@@ -1,0 +1,118 @@
+// Ablation bench — sensitivity of the contention result to the memory-
+// system design choices DESIGN.md calls out (the paper lists these as
+// model extensions in section VI): number of channels, DRAM service
+// discipline, page placement, prefetch MLP and interconnect bandwidth.
+// Metric: omega at full cores for CG.C on the Intel NUMA machine.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace occm;
+
+double omegaAtFull(const topology::MachineSpec& machine,
+                   const sim::SimConfig& simConfig) {
+  analysis::SweepConfig config;
+  config.machine = machine;
+  config.workload.program = workloads::Program::kCG;
+  config.workload.problemClass = workloads::ProblemClass::kC;
+  config.sim = simConfig;
+  config.coreCounts = {1, machine.logicalCores()};
+  const auto sweep = analysis::runSweep(config);
+  return model::degreeOfContention(
+      sweep.at(machine.logicalCores()).totalCyclesD(),
+      sweep.at(1).totalCyclesD());
+}
+
+void report(const std::string& label, double omega, double baseline) {
+  std::printf("  %-44s omega(24) = %6.2f   (%+5.1f%% vs baseline)\n",
+              label.c_str(), omega, 100.0 * (omega / baseline - 1.0));
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  using topology::MachineSpec;
+  const MachineSpec base = topology::intelNuma24();
+  const sim::SimConfig defaults;
+
+  occm::bench::printHeading(
+      "Ablation — CG.C contention vs. memory-system design choices "
+      "(Intel NUMA)");
+
+  const double baseline = omegaAtFull(base, defaults);
+  report("baseline (3 channels, exp. service, interleave)", baseline,
+         baseline);
+
+  // Memory channels per controller (Sancho et al.'s trade-off).
+  for (int channels : {1, 2, 6}) {
+    MachineSpec m = base;
+    m.channelsPerController = channels;
+    report("channels per controller = " + std::to_string(channels),
+           omegaAtFull(m, defaults), baseline);
+  }
+
+  // Service discipline: deterministic vs exponential row service.
+  {
+    sim::SimConfig deterministic = defaults;
+    deterministic.memory.service = mem::ServiceDiscipline::kDeterministic;
+    report("deterministic DRAM service (M/D/1-like)",
+           omegaAtFull(base, deterministic), baseline);
+  }
+
+  // Page placement policies.
+  {
+    sim::SimConfig local = defaults;
+    local.memory.placement = mem::PlacementPolicy::kLocal;
+    report("placement = local (no remote traffic)", omegaAtFull(base, local),
+           baseline);
+    sim::SimConfig firstTouch = defaults;
+    firstTouch.memory.placement = mem::PlacementPolicy::kFirstTouch;
+    report("placement = first-touch", omegaAtFull(base, firstTouch),
+           baseline);
+    sim::SimConfig proportional = defaults;
+    proportional.memory.placement =
+        mem::PlacementPolicy::kProportionalInterleave;
+    report("placement = proportional (eq. 10 c/n split)",
+           omegaAtFull(base, proportional), baseline);
+  }
+
+  // Prefetch MLP (how much stream latency cores hide).
+  for (int mlp : {1, 2, 8}) {
+    MachineSpec m = base;
+    m.prefetchMlp = mlp;
+    report("prefetch MLP = " + std::to_string(mlp), omegaAtFull(m, defaults),
+           baseline);
+  }
+
+  // Interconnect bandwidth: infinite vs calibrated QPI.
+  {
+    MachineSpec m = base;
+    m.linkServiceCycles = 0;
+    report("infinite interconnect bandwidth", omegaAtFull(m, defaults),
+           baseline);
+  }
+
+  // Row-buffer sensitivity: no locality benefit (every access a row miss).
+  {
+    MachineSpec m = base;
+    m.rowHitServiceCycles = m.rowMissServiceCycles;
+    report("no row-buffer locality (hit = miss cost)",
+           omegaAtFull(m, defaults), baseline);
+  }
+
+  // Additional controllers (the paper's 'adding memory controllers
+  // reduces the memory contention').
+  {
+    MachineSpec m = base;
+    m.diesPerSocket = 2;
+    m.coresPerDie = 3;
+    m.controllerScope = topology::ControllerScope::kPerDie;
+    m.hopMatrix = {{0, 1, 1, 2}, {1, 0, 2, 1}, {1, 2, 0, 1}, {2, 1, 1, 0}};
+    m.validate();
+    report("4 controllers (2 per socket, same cores)",
+           omegaAtFull(m, defaults), baseline);
+  }
+  return 0;
+}

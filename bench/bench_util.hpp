@@ -1,0 +1,66 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses in bench/: the paper's
+// machine list, program sets and printing conventions.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/text_table.hpp"
+#include "core/occm.hpp"
+
+namespace occm::bench {
+
+/// The five NPB dwarfs of Table I, in the paper's row order.
+inline const std::vector<workloads::Program> kDwarfs = {
+    workloads::Program::kEP, workloads::Program::kIS,
+    workloads::Program::kFT, workloads::Program::kCG,
+    workloads::Program::kSP};
+
+/// Large problem class per program and machine: class C, except FT.B on
+/// the UMA machine (the paper: FT.C swaps on the 4 GB UMA box).
+inline workloads::ProblemClass largeClassFor(workloads::Program program,
+                                             const topology::MachineSpec& m) {
+  if (program == workloads::Program::kFT &&
+      m.memoryArchitecture == topology::MemoryArchitecture::kUma) {
+    return workloads::ProblemClass::kB;
+  }
+  if (program == workloads::Program::kX264) {
+    return workloads::ProblemClass::kNative;
+  }
+  return workloads::ProblemClass::kC;
+}
+
+/// Runs one (program, class, machine, cores) grid and returns the sweep.
+inline analysis::SweepResult sweep(const topology::MachineSpec& machine,
+                                   workloads::Program program,
+                                   workloads::ProblemClass cls,
+                                   std::vector<int> coreCounts,
+                                   bool sampler = false) {
+  analysis::SweepConfig config;
+  config.machine = machine;
+  config.workload.program = program;
+  config.workload.problemClass = cls;
+  config.coreCounts = std::move(coreCounts);
+  config.sim.enableSampler = sampler;
+  return analysis::runSweep(config);
+}
+
+/// All core counts 1..max for a machine.
+inline std::vector<int> allCores(const topology::MachineSpec& machine) {
+  std::vector<int> counts;
+  for (int n = 1; n <= machine.logicalCores(); ++n) {
+    counts.push_back(n);
+  }
+  return counts;
+}
+
+inline void printHeading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace occm::bench

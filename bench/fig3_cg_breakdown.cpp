@@ -1,0 +1,63 @@
+// Figure 3 — CG.C: total cycles, stalled cycles, work cycles and
+// last-level-cache misses as the number of active cores varies, on the
+// three machines. The paper's observations to verify in the output:
+//   1. total cycles grow non-uniformly with a per-processor shape
+//      (drops where a new memory controller comes online);
+//   2. the growth is entirely in stall cycles;
+//   3. work cycles and LLC misses stay roughly constant.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace occm;
+
+void runMachine(const topology::MachineSpec& machine) {
+  bench::printHeading("Fig. 3 — CG.C on " + machine.name);
+  const auto sweep = bench::sweep(machine, workloads::Program::kCG,
+                                  workloads::ProblemClass::kC,
+                                  bench::allCores(machine));
+  analysis::TextTable table;
+  table.header({"cores", "total [1e9]", "stall [1e9]", "work [1e9]",
+                "LLC misses [1e6]", "coherence [1e3]", "omega"});
+  const double c1 = sweep.at(1).totalCyclesD();
+  for (const perf::RunProfile& p : sweep.profiles) {
+    table.row({std::to_string(p.activeCores),
+               analysis::fmt(static_cast<double>(p.counters.totalCycles) / 1e9, 3),
+               analysis::fmt(static_cast<double>(p.counters.stallCycles) / 1e9, 3),
+               analysis::fmt(static_cast<double>(p.counters.workCycles()) / 1e9, 3),
+               analysis::fmt(static_cast<double>(p.counters.llcMisses) / 1e6, 2),
+               analysis::fmt(static_cast<double>(p.coherenceMisses) / 1e3, 1),
+               analysis::fmt(model::degreeOfContention(p.totalCyclesD(), c1))});
+  }
+  std::printf("%s", table.str().c_str());
+
+  // The three observations, checked numerically over the sweep.
+  const auto& first = sweep.profiles.front();
+  const auto& last = sweep.profiles.back();
+  const double stallGrowth =
+      static_cast<double>(last.counters.stallCycles -
+                          first.counters.stallCycles);
+  const double totalGrowth =
+      static_cast<double>(last.counters.totalCycles -
+                          first.counters.totalCycles);
+  std::printf("\nstall share of total-cycle growth : %5.1f%% (paper: ~100%%)\n",
+              totalGrowth > 0 ? 100.0 * stallGrowth / totalGrowth : 0.0);
+  std::printf("work-cycle change 1 -> max cores  : %+5.1f%% (paper: ~0%%)\n",
+              100.0 * (static_cast<double>(last.counters.workCycles()) /
+                           static_cast<double>(first.counters.workCycles()) -
+                       1.0));
+  std::printf("LLC-miss change 1 -> max cores    : %+5.1f%% (paper: small)\n",
+              100.0 * (static_cast<double>(last.counters.llcMisses) /
+                           static_cast<double>(first.counters.llcMisses) -
+                       1.0));
+}
+
+}  // namespace
+
+int main() {
+  for (const auto& machine : occm::topology::paperMachines()) {
+    runMachine(machine);
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table II — normalized increase in number of cycles for small (W) and
+// large (C) problem sizes in the HPC dwarfs, at half and all cores of the
+// three machines: (C(n) - C(1)) / C(1).
+//
+// The "paper" columns reproduce Table II of Tudor, Teo & See (ICPP 2011)
+// for side-by-side comparison; absolute agreement is not expected (our
+// substrate is a scaled simulator), the ordering and magnitudes are.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace occm;
+
+struct PaperRow {
+  const char* program;
+  // Intel UMA n=4, n=8; Intel NUMA n=12, n=24; AMD n=24, n=48.
+  double values[6];
+};
+
+constexpr PaperRow kPaperSmall[] = {
+    {"EP", {0.00, 0.00, 0.03, 0.57, 0.01, 0.59}},
+    {"IS", {0.10, 0.57, 0.33, 0.33, 0.21, 0.44}},
+    {"FT", {0.32, 0.58, 0.18, 0.34, 0.11, 0.23}},
+    {"CG", {0.01, 0.04, 0.10, 0.43, 0.11, 0.13}},
+    {"SP", {0.32, 0.58, 0.10, 0.50, 0.13, 0.21}},
+};
+
+constexpr PaperRow kPaperLarge[] = {
+    {"EP", {0.00, 0.00, 0.01, 0.54, 0.06, 0.55}},
+    {"IS", {0.07, 0.56, 0.26, 0.85, 0.40, 0.70}},
+    {"FT", {0.70, 1.80, 1.62, 3.94, 0.39, 0.46}},
+    {"CG", {0.91, 2.41, 1.43, 3.31, 0.83, 1.91}},
+    {"SP", {3.34, 7.05, 6.55, 11.59, 4.69, 9.84}},
+};
+
+void runSize(bool large) {
+  const auto machines = topology::paperMachines();
+  const PaperRow* paper = large ? kPaperLarge : kPaperSmall;
+
+  analysis::TextTable table;
+  table.header({"Program", "UMA n=4", "(paper)", "UMA n=8", "(paper)",
+                "NUMA n=12", "(paper)", "NUMA n=24", "(paper)",
+                "AMD n=24", "(paper)", "AMD n=48", "(paper)"});
+
+  for (std::size_t p = 0; p < bench::kDwarfs.size(); ++p) {
+    const workloads::Program program = bench::kDwarfs[p];
+    std::vector<std::string> row{programName(program)};
+    int column = 0;
+    for (const auto& machine : machines) {
+      const workloads::ProblemClass cls =
+          large ? bench::largeClassFor(program, machine)
+                : workloads::ProblemClass::kW;
+      const int full = machine.logicalCores();
+      const int half = full / 2;
+      const auto sweep =
+          bench::sweep(machine, program, cls, {1, half, full});
+      const double c1 = sweep.at(1).totalCyclesD();
+      for (int n : {half, full}) {
+        row.push_back(analysis::fmt(
+            model::degreeOfContention(sweep.at(n).totalCyclesD(), c1)));
+        row.push_back(analysis::fmt(paper[p].values[column]));
+        ++column;
+      }
+    }
+    table.row(std::move(row));
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s problem size (%s):\n\n%s",
+              large ? "Large" : "Small (W)", large ? "C; FT.B on UMA" : "W",
+              table.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  occm::bench::printHeading(
+      "Table II — normalized increase in number of cycles, "
+      "(C(n) - C(1)) / C(1)");
+  runSize(/*large=*/false);
+  runSize(/*large=*/true);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Capacity advisor: use the fitted contention model to choose how many
+// cores to give a memory-bound program. The model needs only a handful of
+// measured runs (the paper's point: predictive analysis from 3-5
+// measurements instead of a full sweep).
+//
+// Speedup(n) = C(1) / (C(n)/n): total cycles spread over n cores.
+// Efficiency(n) = Speedup(n) / n. The advisor reports the core count that
+// maximises speedup and the largest count whose efficiency stays above a
+// threshold — on contended machines those differ substantially.
+//
+// Usage: capacity_advisor [program.class]   (default SP.C)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "core/occm.hpp"
+
+int main(int argc, char** argv) {
+  using namespace occm;
+
+  workloads::WorkloadSpec workload;
+  workload.program = workloads::Program::kSP;
+  workload.problemClass = workloads::ProblemClass::kC;
+  if (argc > 1 && std::strcmp(argv[1], "CG.C") == 0) {
+    workload.program = workloads::Program::kCG;
+  }
+
+  const auto machine = topology::intelNuma24();
+  const model::MachineShape shape = model::shapeOf(machine);
+
+  // Measure only the model's regression inputs.
+  const auto fitCores = model::defaultFitCores(shape);
+  std::printf("Measuring %s on %s at n =",
+              workloads::workloadName(workload.program, workload.problemClass)
+                  .c_str(),
+              machine.name.c_str());
+  for (int n : fitCores) {
+    std::printf(" %d", n);
+  }
+  std::printf(" ...\n");
+
+  analysis::SweepConfig config;
+  config.machine = machine;
+  config.workload = workload;
+  config.coreCounts = fitCores;
+  const auto sweep = analysis::runSweep(config);
+  const model::ContentionModel m =
+      model::ContentionModel::fit(shape, sweep.points());
+
+  std::printf("\n%6s  %10s  %9s  %11s\n", "cores", "omega(n)", "speedup",
+              "efficiency");
+  for (int n = 1; n <= shape.totalCores(); ++n) {
+    std::printf("%6d  %10.2f  %9.2f  %10.1f%%\n", n, m.predictOmega(n),
+                model::predictSpeedup(m, n),
+                100.0 * model::predictEfficiency(m, n));
+  }
+  const model::SpeedupAdvice advice = model::adviseCores(m, 0.5);
+  std::printf("\nadvice: peak predicted speedup %.2fx at %d cores;\n"
+              "        last core count with >= 50%% efficiency: %d\n",
+              advice.bestSpeedup, advice.bestCores, advice.efficientCores);
+  std::printf("(model fit from %zu runs instead of a %d-run sweep)\n",
+              sweep.profiles.size(), shape.totalCores());
+  return 0;
+}

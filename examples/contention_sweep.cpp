@@ -1,0 +1,103 @@
+// Contention sweep: the paper's full measure -> fit -> validate pipeline
+// on the simulated Intel NUMA machine.
+//
+//   1. Build the CG.C workload with one thread per logical core.
+//   2. Run it on 1..24 active cores (fill-processor-first, fixed threads).
+//   3. Fit the contention model from the paper's four regression inputs.
+//   4. Print measured vs. modelled omega(n) and the mean relative error.
+//
+// Usage: contention_sweep [program.class]   (default CG.C)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "core/occm.hpp"
+
+namespace {
+
+occm::workloads::Program parseProgram(const std::string& name) {
+  using occm::workloads::Program;
+  if (name == "EP") return Program::kEP;
+  if (name == "IS") return Program::kIS;
+  if (name == "FT") return Program::kFT;
+  if (name == "CG") return Program::kCG;
+  if (name == "SP") return Program::kSP;
+  if (name == "x264") return Program::kX264;
+  std::fprintf(stderr, "unknown program '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+occm::workloads::ProblemClass parseClass(const std::string& name) {
+  using occm::workloads::ProblemClass;
+  if (name == "S") return ProblemClass::kS;
+  if (name == "W") return ProblemClass::kW;
+  if (name == "A") return ProblemClass::kA;
+  if (name == "B") return ProblemClass::kB;
+  if (name == "C") return ProblemClass::kC;
+  if (name == "simsmall") return ProblemClass::kSimSmall;
+  if (name == "simmedium") return ProblemClass::kSimMedium;
+  if (name == "simlarge") return ProblemClass::kSimLarge;
+  if (name == "native") return ProblemClass::kNative;
+  std::fprintf(stderr, "unknown problem class '%s'\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace occm;
+
+  workloads::WorkloadSpec workload;  // default CG.C
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    const auto dot = arg.find('.');
+    if (dot == std::string::npos) {
+      std::fprintf(stderr, "usage: %s [program.class]\n", argv[0]);
+      return 1;
+    }
+    workload.program = parseProgram(arg.substr(0, dot));
+    workload.problemClass = parseClass(arg.substr(dot + 1));
+  }
+
+  analysis::SweepConfig config;
+  config.machine = topology::intelNuma24();
+  config.workload = workload;
+
+  std::printf("Sweeping %s on %s ...\n",
+              workloads::workloadName(workload.program, workload.problemClass)
+                  .c_str(),
+              config.machine.name.c_str());
+  const analysis::SweepResult sweep = analysis::runSweep(config);
+
+  // Fit from the paper's regression inputs for this machine shape.
+  const model::MachineShape shape = model::shapeOf(config.machine);
+  const auto fitCores = model::defaultFitCores(shape);
+  const auto fitPoints = analysis::pointsAt(sweep, fitCores);
+  const model::ContentionModel m = model::ContentionModel::fit(shape, fitPoints);
+
+  const auto allPoints = sweep.points();
+  const model::ValidationReport report = model::validate(m, allPoints);
+
+  std::printf("\n%6s  %12s  %12s  %9s  %9s  %8s\n", "cores", "measured C(n)",
+              "model C(n)", "omega(m)", "omega(p)", "relerr");
+  for (const model::ValidationRow& row : report.rows) {
+    std::printf("%6d  %13.4e  %12.4e  %9.3f  %9.3f  %7.1f%%\n", row.cores,
+                row.measuredCycles, row.predictedCycles, row.measuredOmega,
+                row.predictedOmega, 100.0 * row.relativeError);
+  }
+  std::printf("\nmean relative error: %.1f%%  (paper reports 5-14%% for "
+              "high-contention programs)\n",
+              100.0 * report.meanRelativeError);
+
+  const auto& profile1 = sweep.at(1);
+  const auto& profileN = sweep.profiles.back();
+  std::printf("\nwork cycles:  C(1) %llu -> C(max) %llu (should stay flat)\n",
+              static_cast<unsigned long long>(profile1.counters.workCycles()),
+              static_cast<unsigned long long>(profileN.counters.workCycles()));
+  std::printf("LLC misses :  C(1) %llu -> C(max) %llu\n",
+              static_cast<unsigned long long>(profile1.counters.llcMisses),
+              static_cast<unsigned long long>(profileN.counters.llcMisses));
+  return 0;
+}

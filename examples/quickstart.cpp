@@ -1,0 +1,45 @@
+// Quickstart: fit the contention model to a handful of measured runs and
+// predict the degree of memory contention at every core count.
+//
+// This example uses the pure-model API (no simulator): the "measurements"
+// are total-cycle counts like the ones PAPI would report — here, the
+// paper's protocol on a 2-socket, 12-cores-per-socket NUMA machine using
+// the four regression inputs C(1), C(2), C(12), C(13).
+
+#include <cstdio>
+
+#include "core/contention_model.hpp"
+
+int main() {
+  using namespace occm;
+
+  // Machine shape: what the model needs to know about the topology.
+  model::MachineShape shape;
+  shape.coresPerProcessor = 12;
+  shape.processors = 2;
+  shape.architecture = topology::MemoryArchitecture::kNuma;
+
+  // Four measured runs (total cycles across all active cores).
+  const model::MeasuredPoint measured[] = {
+      {1, 4.10e11},
+      {2, 4.35e11},
+      {12, 9.80e11},
+      {13, 9.15e11},  // second controller comes online: contention drops
+  };
+
+  const model::ContentionModel m = model::ContentionModel::fit(shape, measured);
+
+  std::printf("Fitted single-processor M/M/1: mu/r = %.3e, L/r = %.3e\n",
+              m.singleProcessor().muOverR(), m.singleProcessor().lOverR());
+  std::printf("Queue saturates at n = %.1f cores\n",
+              m.singleProcessor().saturationCores());
+  std::printf("Colinearity R^2 of 1/C(n): %.3f\n\n",
+              m.singleProcessor().fitInfo().r2);
+
+  std::printf("%6s  %14s  %10s\n", "cores", "C(n) predicted", "omega(n)");
+  for (int n = 1; n <= shape.totalCores(); ++n) {
+    std::printf("%6d  %14.4e  %10.3f\n", n, m.predictCycles(n),
+                m.predictOmega(n));
+  }
+  return 0;
+}

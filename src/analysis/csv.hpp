@@ -1,0 +1,33 @@
+#pragma once
+
+// CSV export of sweep results and figure data, so the bench harnesses'
+// tables can be re-plotted (gnuplot/matplotlib) without re-running the
+// experiments.
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "core/burstiness.hpp"
+#include "core/contention_model.hpp"
+
+namespace occm::analysis {
+
+/// Escapes and joins one CSV row.
+[[nodiscard]] std::string csvRow(const std::vector<std::string>& cells);
+
+/// Sweep -> CSV: one row per core count with the Figure-3 quantities
+/// (total/stall/work cycles, LLC misses, coherence misses, omega).
+[[nodiscard]] std::string sweepToCsv(const SweepResult& sweep);
+
+/// Validation report -> CSV: cores, measured/predicted cycles and omega,
+/// relative error (the Figure-5/6 series).
+[[nodiscard]] std::string validationToCsv(const model::ValidationReport& report);
+
+/// Burstiness CCDF -> CSV: x, P(BurstSize > x) (the Figure-4 series).
+[[nodiscard]] std::string ccdfToCsv(const model::BurstinessReport& report);
+
+/// Writes text to a file; throws ContractViolation on I/O failure.
+void writeFile(const std::string& path, const std::string& contents);
+
+}  // namespace occm::analysis

@@ -1,0 +1,81 @@
+#include "analysis/experiment.hpp"
+
+#include "common/error.hpp"
+
+namespace occm::analysis {
+
+std::vector<model::MeasuredPoint> SweepResult::points() const {
+  std::vector<model::MeasuredPoint> out;
+  out.reserve(profiles.size());
+  for (const perf::RunProfile& p : profiles) {
+    out.push_back({p.activeCores, p.totalCyclesD()});
+  }
+  return out;
+}
+
+const perf::RunProfile& SweepResult::at(int cores) const {
+  for (const perf::RunProfile& p : profiles) {
+    if (p.activeCores == cores) {
+      return p;
+    }
+  }
+  OCCM_REQUIRE_MSG(false, "no run at the requested core count");
+  return profiles.front();  // unreachable
+}
+
+std::vector<double> SweepResult::omegas() const {
+  const double c1 = at(1).totalCyclesD();
+  std::vector<double> out;
+  out.reserve(profiles.size());
+  for (const perf::RunProfile& p : profiles) {
+    out.push_back(model::degreeOfContention(p.totalCyclesD(), c1));
+  }
+  return out;
+}
+
+perf::RunProfile runOnce(const topology::MachineSpec& machine,
+                         const workloads::WorkloadSpec& workload,
+                         int activeCores, const sim::SimConfig& simConfig) {
+  workloads::WorkloadSpec spec = workload;
+  if (spec.threads <= 0) {
+    spec.threads = machine.logicalCores();
+  }
+  workloads::WorkloadInstance instance = workloads::makeWorkload(spec);
+  sim::MachineSim simulator(machine, simConfig);
+  return simulator.run(instance.threads, activeCores, instance.name);
+}
+
+SweepResult runSweep(const SweepConfig& config) {
+  workloads::WorkloadSpec spec = config.workload;
+  if (spec.threads <= 0) {
+    spec.threads = config.machine.logicalCores();
+  }
+  std::vector<int> coreCounts = config.coreCounts;
+  if (coreCounts.empty()) {
+    for (int n = 1; n <= config.machine.logicalCores(); ++n) {
+      coreCounts.push_back(n);
+    }
+  }
+  workloads::WorkloadInstance instance = workloads::makeWorkload(spec);
+  sim::MachineSim simulator(config.machine, config.sim);
+  SweepResult result;
+  result.profiles.reserve(coreCounts.size());
+  for (int cores : coreCounts) {
+    result.profiles.push_back(
+        simulator.run(instance.threads, cores, instance.name));
+  }
+  return result;
+}
+
+std::vector<model::MeasuredPoint> pointsAt(const SweepResult& sweep,
+                                           const std::vector<int>& coreCounts) {
+  std::vector<model::MeasuredPoint> out;
+  out.reserve(coreCounts.size());
+  for (int cores : coreCounts) {
+    const perf::RunProfile& p = sweep.at(cores);
+    out.push_back({p.activeCores, p.totalCyclesD()});
+  }
+  return out;
+}
+
+}  // namespace occm::analysis

@@ -1,0 +1,53 @@
+#pragma once
+
+// Experiment harness: runs (program, class, machine, active-cores) grids
+// through the simulator and converts profiles into the model's measured
+// points — the glue used by the benches, examples and integration tests.
+
+#include <vector>
+
+#include "core/contention_model.hpp"
+#include "perf/run_profile.hpp"
+#include "sim/machine_sim.hpp"
+#include "topology/machine_spec.hpp"
+#include "workloads/workload.hpp"
+
+namespace occm::analysis {
+
+struct SweepConfig {
+  topology::MachineSpec machine;
+  workloads::WorkloadSpec workload;  ///< threads <= 0 => machine cores
+  sim::SimConfig sim;
+  /// Core counts to run; empty => 1 .. machine cores.
+  std::vector<int> coreCounts;
+};
+
+struct SweepResult {
+  std::vector<perf::RunProfile> profiles;  ///< one per core count, in order
+
+  /// Measured points (cores, total cycles) for the model.
+  [[nodiscard]] std::vector<model::MeasuredPoint> points() const;
+
+  /// Profile for an exact core count; throws if it was not run.
+  [[nodiscard]] const perf::RunProfile& at(int cores) const;
+
+  /// Measured omega(n) against the sweep's C(1) (requires a 1-core run).
+  [[nodiscard]] std::vector<double> omegas() const;
+};
+
+/// Runs one configuration.
+[[nodiscard]] perf::RunProfile runOnce(const topology::MachineSpec& machine,
+                                       const workloads::WorkloadSpec& workload,
+                                       int activeCores,
+                                       const sim::SimConfig& simConfig = {});
+
+/// Runs the full sweep. The workload is built once and replayed (streams
+/// reset) for every core count; threads default to the machine's cores,
+/// matching the paper's fixed-threads / varying-cores protocol.
+[[nodiscard]] SweepResult runSweep(const SweepConfig& config);
+
+/// Subset of measured points at the given core counts (model fit inputs).
+[[nodiscard]] std::vector<model::MeasuredPoint> pointsAt(
+    const SweepResult& sweep, const std::vector<int>& coreCounts);
+
+}  // namespace occm::analysis

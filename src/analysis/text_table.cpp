@@ -1,0 +1,62 @@
+#include "analysis/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace occm::analysis {
+
+void TextTable::header(std::vector<std::string> cells) {
+  OCCM_REQUIRE_MSG(!cells.empty(), "header must have columns");
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  OCCM_REQUIRE_MSG(cells.size() == header_.size(),
+                   "row width must match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto renderRow = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+      if (c + 1 < cells.size()) {
+        line += "  ";
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = renderRow(header_);
+  std::size_t ruleLen = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    ruleLen += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(ruleLen, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += renderRow(row);
+  }
+  return out;
+}
+
+std::string fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace occm::analysis

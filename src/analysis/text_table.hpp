@@ -1,0 +1,30 @@
+#pragma once
+
+// Minimal fixed-width text-table formatter for the bench harnesses'
+// paper-style tables.
+
+#include <string>
+#include <vector>
+
+namespace occm::analysis {
+
+class TextTable {
+ public:
+  /// Sets the header row (also fixes the column count).
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row; must match the header width.
+  void row(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a rule under the header.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("%.2f" etc. without iostreams).
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+
+}  // namespace occm::analysis

@@ -1,0 +1,128 @@
+#pragma once
+
+// MESI-lite invalidation directory for shared cache lines.
+//
+// Threads are pinned for the lifetime of a run, so private data can only
+// ever be cached by one core; the directory therefore tracks only
+// addresses in the shared area (trace::AddressSpace::isShared). Per line
+// it records which logical cores hold a copy and whether one of them has
+// written it. A write by core c invalidates every other holder's copies
+// (their next read becomes a coherence miss, served — simplification
+// documented in DESIGN.md — like a memory access). This is the mechanism
+// behind the paper's EP observation: LLC misses grow from ~2e3 to ~3e7 as
+// active cores increase, driven by false sharing of result lines.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace occm::cache {
+
+struct CoherenceStats {
+  std::uint64_t upgrades = 0;           ///< writes that invalidated sharers
+  std::uint64_t invalidationsSent = 0;  ///< per-holder invalidation messages
+  std::uint64_t coherenceMisses = 0;    ///< reads of an invalidated copy
+};
+
+class CoherenceDirectory {
+ public:
+  /// Up to 64 logical cores (a bitmask per line).
+  explicit CoherenceDirectory(int cores) : cores_(cores) {
+    OCCM_REQUIRE_MSG(cores >= 1 && cores <= 64,
+                     "directory supports 1..64 cores");
+  }
+
+  /// Records an access by `core` to the shared line `lineAddr`.
+  /// Returns the cores whose copies must be invalidated (empty for reads
+  /// and for writes with no other sharer).
+  std::vector<CoreId> onAccess(Addr lineAddr, CoreId core, bool write) {
+    OCCM_ASSERT(core >= 0 && core < cores_);
+    Entry& entry = lines_[lineAddr];
+    const std::uint64_t bit = std::uint64_t{1} << core;
+    std::vector<CoreId> toInvalidate;
+    if (write) {
+      const std::uint64_t others = entry.sharers & ~bit;
+      if (others != 0) {
+        ++stats_.upgrades;
+        for (int c = 0; c < cores_; ++c) {
+          if ((others >> c) & 1) {
+            toInvalidate.push_back(c);
+            ++stats_.invalidationsSent;
+          }
+        }
+      }
+      entry.sharers = bit;
+      entry.modified = true;
+      entry.owner = core;
+    } else {
+      if (entry.modified && entry.owner != core) {
+        // Dirty data produced elsewhere: the read is a coherence miss.
+        ++stats_.coherenceMisses;
+        entry.modified = false;
+      }
+      entry.sharers |= bit;
+    }
+    return toInvalidate;
+  }
+
+  /// True when `core` lost its copy of the line to a remote write since it
+  /// last accessed it. Note the asymmetry exploited by the hierarchy: the
+  /// copy survives in any cache instance the core *shares with the owner*
+  /// (e.g. the socket LLC when writer and reader are on one socket), so
+  /// within-socket false sharing is a cheap LLC hit while cross-socket
+  /// false sharing goes off-chip.
+  [[nodiscard]] bool isInvalidatedFor(Addr lineAddr, CoreId core) const {
+    const auto it = lines_.find(lineAddr);
+    if (it == lines_.end()) {
+      return false;
+    }
+    // Only a write creates invalid copies: read-shared lines (owner -1)
+    // coexist in any number of caches.
+    return it->second.owner >= 0 && it->second.owner != core &&
+           ((it->second.sharers >> core) & 1) == 0;
+  }
+
+  /// Core that most recently wrote the line, or -1.
+  [[nodiscard]] CoreId ownerOf(Addr lineAddr) const {
+    const auto it = lines_.find(lineAddr);
+    return it == lines_.end() ? -1 : it->second.owner;
+  }
+
+  /// Removes a core's sharing bit (e.g. natural eviction).
+  void onEviction(Addr lineAddr, CoreId core) {
+    const auto it = lines_.find(lineAddr);
+    if (it == lines_.end()) {
+      return;
+    }
+    it->second.sharers &= ~(std::uint64_t{1} << core);
+    if (it->second.sharers == 0) {
+      lines_.erase(it);
+    }
+  }
+
+  [[nodiscard]] const CoherenceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t trackedLines() const noexcept {
+    return lines_.size();
+  }
+
+  void clear() {
+    lines_.clear();
+    stats_ = {};
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t sharers = 0;
+    CoreId owner = -1;
+    bool modified = false;
+  };
+
+  int cores_;
+  std::unordered_map<Addr, Entry> lines_;
+  CoherenceStats stats_;
+};
+
+}  // namespace occm::cache

@@ -1,0 +1,88 @@
+#pragma once
+
+// Multi-level cache hierarchy for one simulated machine.
+//
+// Instances are laid out per the topology's sharing scopes (private L1/L2
+// per physical core, LLC per socket or die). The hierarchy is
+// non-inclusive: a fill inserts the line at every level on the core's
+// path; evictions are local to a level. Dirty evictions from the LLC are
+// reported to the caller as writeback traffic for the memory system;
+// dirty evictions from inner levels mark the line dirty in the next level
+// when present (and are otherwise dropped — we track timing and traffic,
+// not data).
+//
+// Shared-area addresses additionally consult the MESI-lite directory;
+// a remote write invalidates this core's copies so its next access misses
+// (coherence miss), which the caller treats like an off-chip request.
+
+#include <memory>
+#include <vector>
+
+#include "cache/coherence.hpp"
+#include "cache/set_assoc_cache.hpp"
+#include "common/types.hpp"
+#include "topology/topology_map.hpp"
+
+namespace occm::cache {
+
+/// Outcome of one hierarchy access.
+struct AccessResult {
+  /// Level that hit (1-based); 0 when the access missed every level.
+  int hitLevel = 0;
+  /// Lookup latency in cycles (hit latencies along the search path). The
+  /// memory system adds DRAM/queueing latency for misses.
+  Cycles latency = 0;
+  /// True when the access must go off-chip (LLC miss or coherence miss).
+  bool offChip = false;
+  /// True when the miss was caused by a remote write invalidation.
+  bool coherenceMiss = false;
+  /// Dirty line evicted from the LLC by the fill, if any.
+  bool writeback = false;
+  Addr writebackLine = 0;
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const topology::TopologyMap& topo);
+
+  /// Performs a full access (lookup + fill on miss + coherence) by `core`.
+  AccessResult access(CoreId core, Addr addr, bool write);
+
+  /// Statistics of a level instance (level is 1-based).
+  [[nodiscard]] const CacheStats& stats(int level, int instance) const;
+
+  /// Sum of misses at the machine's last level across all instances — the
+  /// PAPI LLC_MISSES analogue. Coherence misses are included (the line was
+  /// invalidated, so the LLC lookup misses), exactly as hardware counters
+  /// behave; this is what makes EP's miss count grow with active cores.
+  [[nodiscard]] std::uint64_t llcMisses() const;
+
+  [[nodiscard]] const CoherenceStats& coherenceStats() const noexcept {
+    return directory_.stats();
+  }
+
+  [[nodiscard]] int levels() const noexcept {
+    return static_cast<int>(levels_.size());
+  }
+  [[nodiscard]] Bytes lineSize() const noexcept { return lineSize_; }
+
+  /// Drops all cached lines and directory state (not the counters).
+  void flush();
+
+ private:
+  struct Level {
+    topology::CacheLevelSpec spec;
+    std::vector<SetAssocCache> instances;
+  };
+
+  [[nodiscard]] SetAssocCache& instanceFor(CoreId core, Level& level);
+
+  const topology::TopologyMap& topo_;
+  std::vector<Level> levels_;
+  CoherenceDirectory directory_;
+  Bytes lineSize_;
+  /// Cached per-core instance indices, [core * levels + levelIdx].
+  std::vector<int> instanceIndex_;
+};
+
+}  // namespace occm::cache

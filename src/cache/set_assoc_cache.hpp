@@ -1,0 +1,103 @@
+#pragma once
+
+// A single set-associative, write-back, LRU cache instance operating on
+// line addresses. Purely a tag store: no data values are tracked, only
+// presence, dirtiness and recency — all the simulator needs for timing
+// and traffic.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace occm::cache {
+
+/// Aggregate counters for one cache instance.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t dirtyEvictions = 0;
+  std::uint64_t invalidations = 0;
+
+  [[nodiscard]] double missRatio() const noexcept {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) /
+                                     static_cast<double>(accesses);
+  }
+};
+
+/// Result of inserting a line: the victim, if a valid line was evicted.
+struct Eviction {
+  Addr lineAddr = 0;
+  bool dirty = false;
+};
+
+class SetAssocCache {
+ public:
+  /// `size` bytes, `lineSize` bytes per line, `ways` associativity.
+  SetAssocCache(Bytes size, Bytes lineSize, std::uint32_t ways);
+
+  /// Looks up a byte address. On hit, updates recency (and dirtiness for
+  /// writes) and returns true. On miss returns false and counts a miss;
+  /// the caller decides whether to insert().
+  bool access(Addr addr, bool write);
+
+  /// True when the line holding `addr` is present (no stats, no recency).
+  [[nodiscard]] bool contains(Addr addr) const;
+
+  /// Inserts the line for `addr` (as dirty when `write`), evicting the LRU
+  /// way if the set is full. Returns the eviction, if any.
+  std::optional<Eviction> insert(Addr addr, bool write);
+
+  /// Marks the line dirty when present, without touching stats or recency
+  /// (used to sink dirty evictions from an inner level). Returns presence.
+  bool markDirty(Addr addr);
+
+  /// Removes the line if present; returns whether it was present and dirty.
+  struct InvalidateResult {
+    bool wasPresent = false;
+    bool wasDirty = false;
+  };
+  InvalidateResult invalidate(Addr addr);
+
+  /// Drops every line (e.g. between independent simulation runs).
+  void flush();
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Bytes lineSize() const noexcept { return lineSize_; }
+  [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
+  [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  [[nodiscard]] std::size_t setIndex(Addr lineAddr) const noexcept {
+    // Mix the upper bits so power-of-two strides don't all land in one set
+    // pathologically more than on real hardware (simple xor-fold hash).
+    // Set counts need not be powers of two (e.g. a 384-set 16-way LLC).
+    const Addr mixed = lineAddr ^ (lineAddr >> 13);
+    return static_cast<std::size_t>(mixed % sets_);
+  }
+
+  /// Ways of a set, most recently used first.
+  [[nodiscard]] Way* setBase(std::size_t set) noexcept {
+    return ways_ == 0 ? nullptr : &ways_store_[set * ways_];
+  }
+  [[nodiscard]] const Way* setBase(std::size_t set) const noexcept {
+    return &ways_store_[set * ways_];
+  }
+
+  Bytes lineSize_;
+  std::uint32_t ways_;
+  std::size_t sets_;
+  std::vector<Way> ways_store_;  ///< sets_ * ways_, MRU-first per set
+  CacheStats stats_;
+};
+
+}  // namespace occm::cache

@@ -1,0 +1,63 @@
+#pragma once
+
+// Lightweight contract checking (C++ Core Guidelines I.6/E.12 style).
+//
+// OCCM_REQUIRE is used for preconditions on public APIs: it throws
+// occm::ContractViolation so tests can assert on misuse. OCCM_ASSERT is for
+// internal invariants and is compiled out in release-with-assertions-off
+// builds only if OCCM_DISABLE_ASSERTS is defined (never by default: the
+// simulator relies on invariant checks during development).
+
+#include <stdexcept>
+#include <string>
+
+namespace occm {
+
+/// Thrown when a public-API precondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contractFailure(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& msg) {
+  std::string text = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) {
+    text += " — " + msg;
+  }
+  throw ContractViolation(text);
+}
+}  // namespace detail
+
+}  // namespace occm
+
+#define OCCM_REQUIRE(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::occm::detail::contractFailure("precondition", #expr, __FILE__,      \
+                                      __LINE__, "");                        \
+    }                                                                       \
+  } while (false)
+
+#define OCCM_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::occm::detail::contractFailure("precondition", #expr, __FILE__,      \
+                                      __LINE__, (msg));                     \
+    }                                                                       \
+  } while (false)
+
+#if defined(OCCM_DISABLE_ASSERTS)
+#define OCCM_ASSERT(expr) ((void)0)
+#else
+#define OCCM_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::occm::detail::contractFailure("invariant", #expr, __FILE__,         \
+                                      __LINE__, "");                        \
+    }                                                                       \
+  } while (false)
+#endif

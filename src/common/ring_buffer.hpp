@@ -1,0 +1,58 @@
+#pragma once
+
+// Fixed-capacity ring buffer used for bounded event history (e.g. the miss
+// sampler's recent-window record) without per-push allocation.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace occm {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    OCCM_REQUIRE(capacity > 0);
+  }
+
+  /// Appends a value, overwriting the oldest entry when full.
+  void push(const T& value) {
+    data_[head_] = value;
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) {
+      ++size_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == data_.size(); }
+
+  /// Element `i` counting from the oldest retained entry (0 = oldest).
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    OCCM_REQUIRE(i < size_);
+    const std::size_t start = full() ? head_ : 0;
+    return data_[(start + i) % data_.size()];
+  }
+
+  /// Most recently pushed element.
+  [[nodiscard]] const T& back() const {
+    OCCM_REQUIRE(size_ > 0);
+    return data_[(head_ + data_.size() - 1) % data_.size()];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace occm

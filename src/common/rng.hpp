@@ -1,0 +1,145 @@
+#pragma once
+
+// Deterministic pseudo-random number generation for simulation.
+//
+// Everything in occm is reproducible from a 64-bit seed: workload address
+// streams, memory-controller service jitter and scheduler noise all draw
+// from explicitly seeded generators (never from global state). The
+// generator is xoshiro256** seeded via SplitMix64, which is fast, passes
+// BigCrush, and — unlike std::mt19937 — has a guaranteed stable stream
+// across standard-library implementations.
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace occm {
+
+/// SplitMix64: used to expand a single seed into generator state and to
+/// derive independent substream seeds (one per thread / controller).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.next();
+    }
+  }
+
+  /// Derives an independent substream; `stream` distinguishes substreams.
+  [[nodiscard]] static Rng substream(std::uint64_t seed, std::uint64_t stream) noexcept {
+    SplitMix64 sm(seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+    return Rng(sm.next());
+  }
+
+  std::uint64_t operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    OCCM_ASSERT(bound > 0);
+    // Unbiased for every bound; the rejection loop runs ~1 iteration.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    OCCM_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept {
+    // -mean * ln(U) with U in (0,1]: use 1-uniform() to exclude zero.
+    return -mean * std::log(1.0 - uniform());
+  }
+
+  /// Bounded Pareto sample (heavy tail) with shape alpha on [lo, hi].
+  double boundedPareto(double alpha, double lo, double hi) noexcept {
+    OCCM_ASSERT(alpha > 0 && lo > 0 && hi > lo);
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+  /// Geometric number of failures before success, success probability p.
+  std::uint64_t geometric(double p) noexcept {
+    OCCM_ASSERT(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) {
+      return 0;
+    }
+    return static_cast<std::uint64_t>(std::log(1.0 - uniform()) /
+                                      std::log(1.0 - p));
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace occm

@@ -1,0 +1,54 @@
+#pragma once
+
+// Fundamental scalar types shared by every occm module.
+//
+// Simulated time is counted in processor clock cycles of the simulated
+// machine (a single global clock domain; see DESIGN.md). Addresses are
+// byte addresses in a flat 64-bit simulated physical address space.
+
+#include <cstdint>
+
+namespace occm {
+
+/// Simulated time in processor clock cycles.
+using Cycles = std::uint64_t;
+
+/// Signed cycle delta (e.g. model residuals).
+using CycleDelta = std::int64_t;
+
+/// Byte address in the simulated physical address space.
+using Addr = std::uint64_t;
+
+/// Count of bytes.
+using Bytes = std::uint64_t;
+
+/// Identifier of a logical core, 0-based, machine-wide.
+using CoreId = std::int32_t;
+
+/// Identifier of a software thread of the simulated program.
+using ThreadId = std::int32_t;
+
+/// Identifier of a socket (physical processor package).
+using SocketId = std::int32_t;
+
+/// Identifier of a memory controller, machine-wide.
+using ControllerId = std::int32_t;
+
+/// Identifier of a NUMA node (one per memory controller).
+using NodeId = std::int32_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Converts a wall-clock duration in nanoseconds to cycles at `ghz`.
+[[nodiscard]] constexpr Cycles nsToCycles(double ns, double ghz) noexcept {
+  return static_cast<Cycles>(ns * ghz + 0.5);
+}
+
+/// Converts cycles at `ghz` to nanoseconds.
+[[nodiscard]] constexpr double cyclesToNs(Cycles cycles, double ghz) noexcept {
+  return static_cast<double>(cycles) / ghz;
+}
+
+}  // namespace occm

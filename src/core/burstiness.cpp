@@ -1,0 +1,65 @@
+#include "core/burstiness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/summary.hpp"
+
+namespace occm::model {
+
+std::vector<double> figure4Grid(double maxX) {
+  // 1, 2, 5, 10, 20, 50, ... up to maxX (the x ticks of Figure 4).
+  std::vector<double> grid;
+  for (double decade = 1.0; decade <= maxX; decade *= 10.0) {
+    for (double m : {1.0, 2.0, 5.0}) {
+      const double x = m * decade;
+      if (x <= maxX) {
+        grid.push_back(x);
+      }
+    }
+  }
+  return grid;
+}
+
+bool isBursty(double cv, double maxBurst, double meanBurst) {
+  if (meanBurst <= 0.0) {
+    return false;
+  }
+  return cv > 1.0 || maxBurst / meanBurst > 8.0;
+}
+
+BurstinessReport analyzeBurstiness(std::span<const std::uint32_t> windows) {
+  OCCM_REQUIRE_MSG(!windows.empty(), "no sampler windows");
+  BurstinessReport report;
+  report.totalWindows = windows.size();
+
+  std::vector<double> bursts;
+  bursts.reserve(windows.size());
+  stats::OnlineStats active;
+  for (std::uint32_t w : windows) {
+    if (w > 0) {
+      bursts.push_back(static_cast<double>(w));
+      active.add(static_cast<double>(w));
+    }
+  }
+  report.activeWindows = bursts.size();
+  report.idleFraction =
+      1.0 - static_cast<double>(report.activeWindows) /
+                static_cast<double>(report.totalWindows);
+  if (bursts.empty()) {
+    return report;  // no off-chip traffic at all
+  }
+  report.meanBurst = active.mean();
+  report.maxBurst = active.max();
+  report.cv = active.cv();
+  report.bursty = isBursty(report.cv, report.maxBurst, report.meanBurst);
+
+  const auto grid = figure4Grid(std::max(2000.0, report.maxBurst));
+  report.ccdf = stats::ccdfAt(bursts, grid);
+  report.tail = stats::fitLogLogTail(report.ccdf,
+                                     std::max(1.0, report.meanBurst));
+  return report;
+}
+
+}  // namespace occm::model

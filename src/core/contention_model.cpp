@@ -1,0 +1,251 @@
+#include "core/contention_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "stats/summary.hpp"
+
+namespace occm::model {
+
+double degreeOfContention(double cyclesN, double cycles1) {
+  OCCM_REQUIRE_MSG(cycles1 > 0.0, "C(1) must be positive");
+  return (cyclesN - cycles1) / cycles1;
+}
+
+MachineShape shapeOf(const topology::MachineSpec& spec) {
+  MachineShape shape;
+  shape.coresPerProcessor = spec.logicalCoresPerSocket();
+  shape.processors = spec.sockets;
+  shape.architecture = spec.memoryArchitecture;
+  return shape;
+}
+
+std::vector<int> defaultFitCores(const MachineShape& shape) {
+  const int k = shape.coresPerProcessor;
+  std::vector<int> cores{1};
+  if (shape.architecture == topology::MemoryArchitecture::kNuma && k > 2) {
+    cores.push_back(2);
+  }
+  if (k > 1) {
+    cores.push_back(k);
+  }
+  for (int p = 1; p < shape.processors; ++p) {
+    // First boundary for every arch; later boundaries only for NUMA with
+    // potentially heterogeneous interconnects (the paper's AMD protocol).
+    if (p == 1 ||
+        shape.architecture == topology::MemoryArchitecture::kNuma) {
+      cores.push_back(p * k + 1);
+    }
+  }
+  std::sort(cores.begin(), cores.end());
+  cores.erase(std::unique(cores.begin(), cores.end()), cores.end());
+  return cores;
+}
+
+SingleProcessorModel SingleProcessorModel::fit(
+    std::span<const MeasuredPoint> points) {
+  OCCM_REQUIRE_MSG(points.size() >= 2,
+                   "single-processor fit needs >= 2 points");
+  std::vector<stats::Point> inv;
+  inv.reserve(points.size());
+  for (const MeasuredPoint& p : points) {
+    OCCM_REQUIRE_MSG(p.cores >= 1, "core count must be >= 1");
+    OCCM_REQUIRE_MSG(p.totalCycles > 0.0, "cycles must be positive");
+    inv.push_back({static_cast<double>(p.cores), 1.0 / p.totalCycles, 1.0});
+  }
+  SingleProcessorModel model;
+  model.fit_ = stats::fitLinear(inv);
+  return model;
+}
+
+double SingleProcessorModel::predict(double cores) const {
+  OCCM_REQUIRE_MSG(cores >= 1.0, "core count must be >= 1");
+  const double inv = fit_.predict(cores);
+  // Clamp near/past saturation so the open-queue model stays finite.
+  const double floor = kSaturationFloor * fit_.intercept;
+  return 1.0 / std::max(inv, floor);
+}
+
+double SingleProcessorModel::saturationCores() const {
+  if (fit_.slope >= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return fit_.intercept / -fit_.slope;
+}
+
+double colinearityR2(std::span<const MeasuredPoint> points) {
+  OCCM_REQUIRE_MSG(points.size() >= 2, "R^2 needs >= 2 points");
+  std::vector<stats::Point> inv;
+  inv.reserve(points.size());
+  for (const MeasuredPoint& p : points) {
+    OCCM_REQUIRE_MSG(p.totalCycles > 0.0, "cycles must be positive");
+    inv.push_back({static_cast<double>(p.cores), 1.0 / p.totalCycles, 1.0});
+  }
+  return stats::fitLinear(inv).r2;
+}
+
+ContentionModel ContentionModel::fit(const MachineShape& shape,
+                                     std::span<const MeasuredPoint> points) {
+  return fit(shape, points, Options{});
+}
+
+ContentionModel ContentionModel::fit(const MachineShape& shape,
+                                     std::span<const MeasuredPoint> points,
+                                     const Options& options) {
+  OCCM_REQUIRE_MSG(shape.coresPerProcessor >= 1 && shape.processors >= 1,
+                   "invalid machine shape");
+  const int k = shape.coresPerProcessor;
+
+  ContentionModel model;
+  model.shape_ = shape;
+
+  // Partition the measurements.
+  std::vector<MeasuredPoint> first;
+  for (const MeasuredPoint& p : points) {
+    OCCM_REQUIRE_MSG(p.cores >= 1 && p.cores <= shape.totalCores(),
+                     "measured point outside the machine");
+    if (p.cores <= k) {
+      first.push_back(p);
+    }
+    if (p.cores == 1) {
+      model.c1_ = p.totalCycles;
+    }
+  }
+  OCCM_REQUIRE_MSG(model.c1_ > 0.0, "fit requires a measurement at n = 1");
+  model.single_ = SingleProcessorModel::fit(first);
+
+  // One slope per additional processor, from the first measured point
+  // beyond that processor's boundary.
+  //  - NUMA: the remote-access term rho (eq. 10 load-split by default,
+  //    eq. 11 verbatim in proportional mode).
+  //  - UMA: the per-extra-core bus correction DeltaC on top of the
+  //    machine-wide shared-controller queue.
+  model.options_ = options;
+  model.slopes_.assign(static_cast<std::size_t>(shape.processors - 1), 0.0);
+  const bool uma = shape.architecture == topology::MemoryArchitecture::kUma;
+  for (int p = 1; p < shape.processors; ++p) {
+    const int boundary = p * k;
+    // First measured point in (boundary, boundary + k].
+    const MeasuredPoint* chosen = nullptr;
+    for (const MeasuredPoint& m : points) {
+      if (m.cores > boundary && m.cores <= boundary + k &&
+          (chosen == nullptr || m.cores < chosen->cores)) {
+        chosen = &m;
+      }
+    }
+    double slope = 0.0;
+    if (options.homogeneousRemote && p > 1) {
+      slope = model.slopes_[0];
+    } else if (chosen != nullptr) {
+      const int extra = chosen->cores - boundary;
+      if (uma) {
+        // Eq. 8 (shared controller): the single-queue curve spans the
+        // machine; delta is the bus correction per extra core.
+        slope = (chosen->totalCycles -
+                 model.single_.predict(chosen->cores)) /
+                static_cast<double>(extra);
+      } else if (options.remoteMode == RemoteMode::kLoadSplit) {
+        // Eq. 10: C_meas = C_s(n/m) + rho_r * n * (m-1)/m, m = p+1 active
+        // processors at the chosen point.
+        const double n = static_cast<double>(chosen->cores);
+        const double m = static_cast<double>(p + 1);
+        const double remote = n * (m - 1.0) / m;
+        slope =
+            (chosen->totalCycles - model.single_.predict(n / m)) / remote;
+      } else {
+        // Eq. 11 verbatim.
+        slope = (chosen->totalCycles - model.chainedBoundary(p)) /
+                static_cast<double>(extra);
+      }
+    } else if (p > 1) {
+      // Reuse the previous processor's slope rather than failing.
+      slope = model.slopes_[static_cast<std::size_t>(p - 2)];
+    } else {
+      OCCM_REQUIRE_MSG(false,
+                       "no measurement beyond the first processor boundary");
+    }
+    model.slopes_[static_cast<std::size_t>(p - 1)] = slope;
+  }
+  return model;
+}
+
+double ContentionModel::chainedBoundary(int processor) const {
+  // Model value at n = processor * k (all processors up to `processor`
+  // fully active); used by the proportional (eq. 11 verbatim) mode.
+  const int k = shape_.coresPerProcessor;
+  double cycles = single_.predict(k);
+  for (int q = 1; q < processor; ++q) {
+    cycles += slopes_[static_cast<std::size_t>(q - 1)] *
+              static_cast<double>(k);
+  }
+  return cycles;
+}
+
+double ContentionModel::predictCycles(int cores) const {
+  OCCM_REQUIRE_MSG(cores >= 1 && cores <= shape_.totalCores(),
+                   "core count outside the machine");
+  const int k = shape_.coresPerProcessor;
+  if (cores <= k) {
+    return single_.predict(cores);
+  }
+  const int p = (cores - 1) / k;  // processor index of the last core
+  const int extra = cores - p * k;
+  if (shape_.architecture == topology::MemoryArchitecture::kUma) {
+    // Eq. 8 (shared controller): machine-wide single queue plus the bus
+    // correction for the cores beyond the first processor.
+    double correction = 0.0;
+    for (int q = 1; q <= p; ++q) {
+      const int coresBeyond = std::min(cores - q * k, k);
+      correction += slopes_[static_cast<std::size_t>(q - 1)] *
+                    static_cast<double>(coresBeyond);
+    }
+    return single_.predict(cores) + correction;
+  }
+  if (options_.remoteMode == RemoteMode::kLoadSplit) {
+    // Eq. 10: per-controller load n/m plus the remote-request penalty.
+    const double n = static_cast<double>(cores);
+    const double m = static_cast<double>(p + 1);
+    return single_.predict(n / m) +
+           slopes_[static_cast<std::size_t>(p - 1)] * n * (m - 1.0) / m;
+  }
+  // Eq. 11 verbatim: linear beyond the boundary.
+  return chainedBoundary(p) + slopes_[static_cast<std::size_t>(p - 1)] *
+                                  static_cast<double>(extra);
+}
+
+double ContentionModel::predictOmega(int cores) const {
+  return degreeOfContention(predictCycles(cores), c1_);
+}
+
+ValidationReport validate(const ContentionModel& model,
+                          std::span<const MeasuredPoint> measured) {
+  OCCM_REQUIRE_MSG(!measured.empty(), "nothing to validate against");
+  double c1 = model.measuredC1();
+  for (const MeasuredPoint& p : measured) {
+    if (p.cores == 1) {
+      c1 = p.totalCycles;
+    }
+  }
+  ValidationReport report;
+  std::vector<double> meas;
+  std::vector<double> pred;
+  for (const MeasuredPoint& p : measured) {
+    ValidationRow row;
+    row.cores = p.cores;
+    row.measuredCycles = p.totalCycles;
+    row.predictedCycles = model.predictCycles(p.cores);
+    row.measuredOmega = degreeOfContention(p.totalCycles, c1);
+    row.predictedOmega = degreeOfContention(row.predictedCycles, c1);
+    row.relativeError =
+        std::abs(row.predictedCycles - row.measuredCycles) / row.measuredCycles;
+    report.rows.push_back(row);
+    meas.push_back(row.measuredCycles);
+    pred.push_back(row.predictedCycles);
+  }
+  report.meanRelativeError = stats::meanRelativeError(meas, pred);
+  return report;
+}
+
+}  // namespace occm::model

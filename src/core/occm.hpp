@@ -1,0 +1,19 @@
+#pragma once
+
+// Umbrella header: the public API of the occm library.
+//
+//   #include "core/occm.hpp"
+//
+// pulls in the contention model (the paper's contribution), the
+// burstiness analyzer, the machine simulator, the workload kernels and
+// the measurement facade — everything needed to reproduce the paper's
+// measure -> observe -> model -> validate pipeline. Individual headers
+// can of course be included directly.
+
+#include "core/burstiness.hpp"          // IWYU pragma: export
+#include "core/contention_model.hpp"    // IWYU pragma: export
+#include "core/speedup.hpp"              // IWYU pragma: export
+#include "perf/run_profile.hpp"         // IWYU pragma: export
+#include "sim/machine_sim.hpp"          // IWYU pragma: export
+#include "topology/presets.hpp"         // IWYU pragma: export
+#include "workloads/workload.hpp"       // IWYU pragma: export

@@ -1,0 +1,43 @@
+#include "core/speedup.hpp"
+
+#include "common/error.hpp"
+
+namespace occm::model {
+
+double predictSpeedup(const ContentionModel& model, int cores) {
+  const double c1 = model.measuredC1();
+  const double cn = model.predictCycles(cores);
+  OCCM_ASSERT(cn > 0.0);
+  return c1 / (cn / static_cast<double>(cores));
+}
+
+double predictEfficiency(const ContentionModel& model, int cores) {
+  return predictSpeedup(model, cores) / static_cast<double>(cores);
+}
+
+SpeedupAdvice adviseCores(const ContentionModel& model,
+                          double efficiencyThreshold) {
+  OCCM_REQUIRE_MSG(efficiencyThreshold > 0.0 && efficiencyThreshold <= 1.0,
+                   "efficiency threshold must be in (0, 1]");
+  SpeedupAdvice advice;
+  advice.efficiencyThreshold = efficiencyThreshold;
+  for (int n = 1; n <= model.shape().totalCores(); ++n) {
+    const double speedup = predictSpeedup(model, n);
+    if (speedup > advice.bestSpeedup) {
+      advice.bestSpeedup = speedup;
+      advice.bestCores = n;
+    }
+    if (speedup / n >= efficiencyThreshold) {
+      advice.efficientCores = n;
+    }
+  }
+  return advice;
+}
+
+double measuredSpeedup(double cycles1, double cyclesN, int cores) {
+  OCCM_REQUIRE_MSG(cycles1 > 0.0 && cyclesN > 0.0, "cycles must be positive");
+  OCCM_REQUIRE_MSG(cores >= 1, "need at least one core");
+  return cycles1 / (cyclesN / static_cast<double>(cores));
+}
+
+}  // namespace occm::model

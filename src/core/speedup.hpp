@@ -1,0 +1,43 @@
+#pragma once
+
+// Speedup analysis on top of the contention model — the application the
+// paper motivates (and develops in the authors' companion work, Tudor &
+// Teo, IPDPS 2011 [26]): given a fitted contention model, predict the
+// speedup of running on n cores and the core count that maximises it.
+//
+// With C(n) the total cycles across all active cores and the work spread
+// evenly, wall time on n cores is C(n)/n, so
+//     Speedup(n)    = C(1) / (C(n) / n) = n / (1 + omega(n))
+//     Efficiency(n) = Speedup(n) / n    = 1 / (1 + omega(n))
+// Contention (omega > 0) is exactly what separates measured speedup from
+// the linear ideal.
+
+#include "core/contention_model.hpp"
+
+namespace occm::model {
+
+/// Predicted speedup over the 1-core run.
+[[nodiscard]] double predictSpeedup(const ContentionModel& model, int cores);
+
+/// Predicted parallel efficiency in (0, 1] (can exceed 1 when omega < 0).
+[[nodiscard]] double predictEfficiency(const ContentionModel& model,
+                                       int cores);
+
+struct SpeedupAdvice {
+  int bestCores = 1;          ///< core count maximising predicted speedup
+  double bestSpeedup = 1.0;
+  /// Largest core count whose efficiency is >= the threshold.
+  int efficientCores = 1;
+  double efficiencyThreshold = 0.5;
+};
+
+/// Scans 1..totalCores and summarises (the capacity_advisor example).
+[[nodiscard]] SpeedupAdvice adviseCores(const ContentionModel& model,
+                                        double efficiencyThreshold = 0.5);
+
+/// Measured speedup from a pair of observed runs (utility for validating
+/// the predictions against sweeps).
+[[nodiscard]] double measuredSpeedup(double cycles1, double cyclesN,
+                                     int cores);
+
+}  // namespace occm::model

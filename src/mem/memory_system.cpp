@@ -1,0 +1,175 @@
+#include "mem/memory_system.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace occm::mem {
+
+MemorySystem::MemorySystem(const topology::TopologyMap& topo,
+                           const MemoryConfig& config,
+                           std::vector<NodeId> activeNodes,
+                           std::vector<int> nodeWeights)
+    : topo_(topo), config_(config),
+      placement_(config.placement, topo.spec().pageSize,
+                 std::move(activeNodes), std::move(nodeWeights)),
+      rng_(Rng::substream(config.seed, 0xC0117011E5ULL)) {
+  const auto& spec = topo.spec();
+  controllers_.resize(static_cast<std::size_t>(spec.controllers()));
+  for (Controller& c : controllers_) {
+    c.channels.resize(static_cast<std::size_t>(spec.channelsPerController));
+    for (Channel& ch : c.channels) {
+      ch.openRow.assign(static_cast<std::size_t>(spec.banksPerChannel),
+                        kNoRow);
+    }
+  }
+  if (spec.memoryArchitecture == topology::MemoryArchitecture::kUma &&
+      spec.busServiceCycles > 0) {
+    buses_.resize(static_cast<std::size_t>(spec.sockets));
+  }
+  if (spec.memoryArchitecture == topology::MemoryArchitecture::kNuma &&
+      spec.linkServiceCycles > 0) {
+    const auto n = static_cast<std::size_t>(spec.controllers());
+    links_.resize(n * n);
+  }
+  for (NodeId node : placement_.activeNodes()) {
+    OCCM_REQUIRE_MSG(node >= 0 && node < spec.controllers(),
+                     "active node out of range");
+  }
+}
+
+Cycles MemorySystem::drawService(Cycles mean) {
+  switch (config_.service) {
+    case ServiceDiscipline::kExponential: {
+      // Round up so service is never zero cycles.
+      const double s = rng_.exponential(static_cast<double>(mean));
+      return std::max<Cycles>(1, static_cast<Cycles>(s + 0.5));
+    }
+    case ServiceDiscipline::kDeterministic:
+      return std::max<Cycles>(1, mean);
+  }
+  return 1;
+}
+
+Cycles MemorySystem::reserveLink(NodeId a, NodeId b, int hops, Cycles arrival,
+                                 int transfers) {
+  if (links_.empty() || hops == 0 || transfers == 0) {
+    return 0;
+  }
+  if (a > b) {
+    std::swap(a, b);
+  }
+  const auto n = static_cast<std::size_t>(topo_.spec().controllers());
+  Link& link = links_[static_cast<std::size_t>(a) * n +
+                      static_cast<std::size_t>(b)];
+  const Cycles start = std::max(arrival, link.freeAt);
+  // Longer paths occupy more link segments; charge occupancy per hop.
+  link.freeAt = start + static_cast<Cycles>(transfers) *
+                            static_cast<Cycles>(hops) *
+                            topo_.spec().linkServiceCycles;
+  return start - arrival;
+}
+
+std::pair<Cycles, Cycles> MemorySystem::reserveChannel(Controller& controller,
+                                                       Addr addr,
+                                                       Cycles arrival) {
+  const auto& spec = topo_.spec();
+  const Addr row = addr / spec.rowBytes;
+  // Address-striped channel and bank: rows interleave over channels, then
+  // over banks within the channel.
+  auto& channel = controller.channels[static_cast<std::size_t>(
+      row % controller.channels.size())];
+  const auto bank = static_cast<std::size_t>(
+      (row / controller.channels.size()) % channel.openRow.size());
+  const bool rowHit = channel.openRow[bank] == row;
+  channel.openRow[bank] = row;
+  if (rowHit) {
+    ++controller.stats.rowHits;
+  } else {
+    ++controller.stats.rowMisses;
+  }
+  const Cycles start = std::max(arrival, channel.freeAt);
+  const Cycles service = drawService(rowHit ? spec.rowHitServiceCycles
+                                            : spec.rowMissServiceCycles);
+  channel.freeAt = start + service;
+  controller.stats.busyCycles += service;
+  return {start, service};
+}
+
+RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
+  OCCM_ASSERT(now >= lastNow_);
+  lastNow_ = now;
+
+  const auto& spec = topo_.spec();
+  const NodeId requesterNode = topo_.homeNode(core);
+  const NodeId homeNode = placement_.nodeOf(addr, requesterNode);
+  Controller& controller = controllers_[static_cast<std::size_t>(homeNode)];
+
+  RequestTiming timing;
+  timing.node = homeNode;
+  timing.remote = homeNode != requesterNode;
+
+  Cycles arrival = now;
+  // UMA: the per-socket front-side bus is a first queueing stage.
+  if (!buses_.empty()) {
+    Bus& bus = buses_[static_cast<std::size_t>(topo_.location(core).socket)];
+    const Cycles busStart = std::max(arrival, bus.freeAt);
+    bus.freeAt = busStart + spec.busServiceCycles;
+    bus.busy += spec.busServiceCycles;
+    timing.queueWait += busStart - arrival;
+    arrival = busStart + spec.busServiceCycles;
+  }
+  // NUMA: pay the interconnect on the way to a remote controller — hop
+  // latency plus queueing for the finite-bandwidth path (request there,
+  // data line back: 2 transfers reserved up front).
+  const int hops = topo_.hops(requesterNode, homeNode);
+  const Cycles hopOneWay = static_cast<Cycles>(hops) * spec.hopCycles;
+  const Cycles linkWait =
+      reserveLink(requesterNode, homeNode, hops, arrival, 2);
+  timing.queueWait += linkWait;
+  arrival += linkWait + hopOneWay;
+
+  const auto [start, service] = reserveChannel(controller, addr, arrival);
+  timing.queueWait += start - arrival;
+  timing.hopCycles = 2 * hopOneWay;
+  // The channel occupancy (`service`) gates *throughput* — it holds the
+  // channel and delays later arrivals — but DRAM pipelining hides it from
+  // this request's own latency: a solo miss completes after dramLatency.
+  timing.done = start + spec.dramLatency + hopOneWay;
+
+  controller.stats.requests += 1;
+  controller.stats.remoteRequests += timing.remote ? 1 : 0;
+  controller.stats.totalWait += timing.queueWait;
+  controller.stats.totalService += service;
+  return timing;
+}
+
+void MemorySystem::writeback(Cycles now, CoreId core, Addr addr) {
+  OCCM_ASSERT(now >= lastNow_);
+  lastNow_ = now;
+  const NodeId requesterNode = topo_.homeNode(core);
+  const NodeId homeNode = placement_.nodeOf(addr, requesterNode);
+  Controller& controller = controllers_[static_cast<std::size_t>(homeNode)];
+  const int hops = topo_.hops(requesterNode, homeNode);
+  const Cycles hopOneWay =
+      static_cast<Cycles>(hops) * topo_.spec().hopCycles;
+  const Cycles linkWait = reserveLink(requesterNode, homeNode, hops, now, 1);
+  reserveChannel(controller, addr, now + linkWait + hopOneWay);
+  controller.stats.writebacks += 1;
+}
+
+const ControllerStats& MemorySystem::controllerStats(NodeId node) const {
+  OCCM_REQUIRE(node >= 0 &&
+               static_cast<std::size_t>(node) < controllers_.size());
+  return controllers_[static_cast<std::size_t>(node)].stats;
+}
+
+std::uint64_t MemorySystem::totalRequests() const noexcept {
+  std::uint64_t total = 0;
+  for (const Controller& c : controllers_) {
+    total += c.stats.requests;
+  }
+  return total;
+}
+
+}  // namespace occm::mem

@@ -1,0 +1,140 @@
+#pragma once
+
+// The off-chip memory system: per-controller channel queues with DRAM
+// row-buffer state, the UMA front-side buses, and the NUMA interconnect
+// hop delays.
+//
+// Requests stripe over a controller's channels by row address; each
+// channel has `banksPerChannel` banks, each remembering its open row.
+// A request to the open row occupies the channel for the burst transfer
+// only (rowHitServiceCycles); any other request pays the row cycle
+// (rowMissServiceCycles). Sequential streams therefore get near-peak
+// bandwidth while scattered/strided traffic is row-cycle limited — and
+// many interleaved streams evict each other's open rows, which is the
+// physical mechanism behind the contention the paper measures.
+//
+// Timing uses a resource-reservation ("server free at") model, which is
+// exact for FIFO queues as long as requests are presented in nondecreasing
+// time order — the simulator's event loop guarantees that (and this class
+// asserts it). Demand requests block the issuing core and return their
+// completion time; writebacks only occupy channel bandwidth.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mem/placement.hpp"
+#include "topology/topology_map.hpp"
+
+namespace occm::mem {
+
+enum class ServiceDiscipline : std::uint8_t {
+  kExponential,   ///< exponential channel occupancy (M/M/c-like controller)
+  kDeterministic, ///< fixed channel occupancy (M/D/c-like)
+};
+
+struct MemoryConfig {
+  PlacementPolicy placement = PlacementPolicy::kInterleaveActive;
+  ServiceDiscipline service = ServiceDiscipline::kExponential;
+  std::uint64_t seed = 1;
+};
+
+/// Counters for one memory controller.
+struct ControllerStats {
+  std::uint64_t requests = 0;       ///< demand requests served
+  std::uint64_t writebacks = 0;
+  std::uint64_t remoteRequests = 0; ///< demand requests from another node
+  std::uint64_t rowHits = 0;        ///< open-row hits (demand + writeback)
+  std::uint64_t rowMisses = 0;
+  Cycles busyCycles = 0;            ///< channel occupancy accumulated
+  Cycles totalWait = 0;             ///< queueing delay of demand requests
+  Cycles totalService = 0;          ///< channel occupancy of demand requests
+
+  [[nodiscard]] double meanWait() const noexcept {
+    return requests == 0 ? 0.0 : static_cast<double>(totalWait) /
+                                     static_cast<double>(requests);
+  }
+  [[nodiscard]] double rowHitRatio() const noexcept {
+    const double total = static_cast<double>(rowHits + rowMisses);
+    return total == 0.0 ? 0.0 : static_cast<double>(rowHits) / total;
+  }
+};
+
+/// Timing breakdown of one demand request.
+struct RequestTiming {
+  Cycles done = 0;        ///< absolute completion time
+  Cycles queueWait = 0;   ///< cycles spent waiting for a channel
+  Cycles hopCycles = 0;   ///< interconnect cycles (both directions)
+  NodeId node = 0;        ///< controller that served the request
+  bool remote = false;
+};
+
+class MemorySystem {
+ public:
+  /// `activeNodes` are the controllers backing the current run's pages
+  /// (the paper activates controllers with the sockets that own them);
+  /// `nodeWeights` (optional, one per active node) are the active core
+  /// counts used by the proportional-interleave placement.
+  MemorySystem(const topology::TopologyMap& topo, const MemoryConfig& config,
+               std::vector<NodeId> activeNodes,
+               std::vector<int> nodeWeights = {});
+
+  /// Issues a blocking demand read/fill for `core` at time `now`.
+  /// `now` must be nondecreasing across calls (event-ordered).
+  RequestTiming request(Cycles now, CoreId core, Addr addr);
+
+  /// Posts a non-blocking writeback (dirty LLC eviction).
+  void writeback(Cycles now, CoreId core, Addr addr);
+
+  [[nodiscard]] const ControllerStats& controllerStats(NodeId node) const;
+  [[nodiscard]] int controllers() const noexcept {
+    return static_cast<int>(controllers_.size());
+  }
+
+  /// Total demand requests across controllers.
+  [[nodiscard]] std::uint64_t totalRequests() const noexcept;
+
+ private:
+  struct Channel {
+    Cycles freeAt = 0;
+    /// Open row per bank (kNoRow = closed).
+    std::vector<Addr> openRow;
+  };
+  struct Controller {
+    std::vector<Channel> channels;
+    ControllerStats stats;
+  };
+  struct Bus {
+    Cycles freeAt = 0;
+    Cycles busy = 0;
+  };
+  struct Link {
+    Cycles freeAt = 0;
+  };
+
+  static constexpr Addr kNoRow = ~Addr{0};
+
+  /// Routes the request to its address-striped channel/bank, applies the
+  /// row-buffer state and reserves the channel; returns {start, service}.
+  std::pair<Cycles, Cycles> reserveChannel(Controller& controller, Addr addr,
+                                           Cycles arrival);
+
+  [[nodiscard]] Cycles drawService(Cycles mean);
+
+  /// Reserves the interconnect path between two nodes for `transfers`
+  /// 64 B messages; returns the queueing delay before the first transfer.
+  Cycles reserveLink(NodeId a, NodeId b, int hops, Cycles arrival,
+                     int transfers);
+
+  const topology::TopologyMap& topo_;
+  MemoryConfig config_;
+  PagePlacement placement_;
+  std::vector<Controller> controllers_;
+  std::vector<Bus> buses_;   ///< one per socket; UMA only
+  std::vector<Link> links_;  ///< one per unordered node pair; NUMA only
+  Rng rng_;
+  Cycles lastNow_ = 0;  ///< monotonicity check
+};
+
+}  // namespace occm::mem

@@ -1,0 +1,103 @@
+#pragma once
+
+// NUMA page-placement policies (the role numactl played in the paper's
+// protocol). A page's home node decides which memory controller serves its
+// off-chip requests and how many interconnect hops a given core pays.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace occm::mem {
+
+enum class PlacementPolicy : std::uint8_t {
+  /// Pages are interleaved round-robin across the *active* nodes — the
+  /// paper's measured behaviour (the sharp contention drop when a new
+  /// controller activates).
+  kInterleaveActive,
+  /// Pages are interleaved *proportionally to the active cores per node*
+  /// — eq. 10's literal c/n split (an ablation variant).
+  kProportionalInterleave,
+  /// A page lives on the node of the first core that touches it.
+  kFirstTouch,
+  /// Every page lives on the requesting core's own node (no remote
+  /// traffic; an idealised lower bound used in ablations).
+  kLocal,
+};
+
+class PagePlacement {
+ public:
+  /// `nodeWeights` (same length as `activeNodes`, or empty for equal
+  /// weights) drive the proportional-interleave policy — typically the
+  /// number of active cores per node.
+  PagePlacement(PlacementPolicy policy, Bytes pageSize,
+                std::vector<NodeId> activeNodes,
+                std::vector<int> nodeWeights = {})
+      : policy_(policy), pageSize_(pageSize),
+        activeNodes_(std::move(activeNodes)) {
+    OCCM_REQUIRE_MSG(!activeNodes_.empty(), "need at least one active node");
+    OCCM_REQUIRE(pageSize_ > 0 && (pageSize_ & (pageSize_ - 1)) == 0);
+    if (nodeWeights.empty()) {
+      nodeWeights.assign(activeNodes_.size(), 1);
+    }
+    OCCM_REQUIRE_MSG(nodeWeights.size() == activeNodes_.size(),
+                     "one weight per active node");
+    for (int w : nodeWeights) {
+      OCCM_REQUIRE_MSG(w >= 1, "weights must be positive");
+      totalWeight_ += static_cast<std::uint64_t>(w);
+    }
+    cumulativeWeights_.reserve(nodeWeights.size());
+    std::uint64_t running = 0;
+    for (int w : nodeWeights) {
+      running += static_cast<std::uint64_t>(w);
+      cumulativeWeights_.push_back(running);
+    }
+  }
+
+  /// Home node of the page containing `addr`; `requesterNode` is the node
+  /// of the requesting core (used by kFirstTouch / kLocal).
+  [[nodiscard]] NodeId nodeOf(Addr addr, NodeId requesterNode) {
+    const Addr page = addr / pageSize_;
+    switch (policy_) {
+      case PlacementPolicy::kInterleaveActive:
+        return activeNodes_[static_cast<std::size_t>(
+            page % activeNodes_.size())];
+      case PlacementPolicy::kProportionalInterleave: {
+        // Pick the node whose cumulative-weight bucket contains the
+        // page's slot: node i receives weight_i / totalWeight of pages.
+        const std::uint64_t slot = page % totalWeight_;
+        for (std::size_t i = 0; i < cumulativeWeights_.size(); ++i) {
+          if (slot < cumulativeWeights_[i]) {
+            return activeNodes_[i];
+          }
+        }
+        return activeNodes_.back();
+      }
+      case PlacementPolicy::kFirstTouch: {
+        const auto [it, inserted] = firstTouch_.try_emplace(page, requesterNode);
+        return it->second;
+      }
+      case PlacementPolicy::kLocal:
+        return requesterNode;
+    }
+    return activeNodes_.front();
+  }
+
+  [[nodiscard]] PlacementPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const std::vector<NodeId>& activeNodes() const noexcept {
+    return activeNodes_;
+  }
+
+ private:
+  PlacementPolicy policy_;
+  Bytes pageSize_;
+  std::vector<NodeId> activeNodes_;
+  std::vector<std::uint64_t> cumulativeWeights_;
+  std::uint64_t totalWeight_ = 0;
+  std::unordered_map<Addr, NodeId> firstTouch_;
+};
+
+}  // namespace occm::mem

@@ -1,0 +1,40 @@
+#pragma once
+
+// Hardware-counter facade mirroring the PAPI events the paper measures:
+// PAPI_TOT_CYC, PAPI_TOT_INS, PAPI_RES_STL and the last-level-cache miss
+// event (PAPI_L2_TCM on the UMA machine, LLC_MISSES / L3_CACHE_MISSES on
+// the NUMA machines). Work cycles are derived exactly as in the paper:
+// work = total - stall.
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace occm::perf {
+
+struct CounterSet {
+  Cycles totalCycles = 0;   ///< PAPI_TOT_CYC
+  Cycles stallCycles = 0;   ///< PAPI_RES_STL
+  std::uint64_t instructions = 0;  ///< PAPI_TOT_INS
+  std::uint64_t llcMisses = 0;     ///< LLC_MISSES / L3_CACHE_MISSES / L2_TCM
+
+  /// Cycles in which at least one instruction completed (paper def.).
+  [[nodiscard]] Cycles workCycles() const noexcept {
+    return totalCycles - stallCycles;
+  }
+
+  CounterSet& operator+=(const CounterSet& other) noexcept {
+    totalCycles += other.totalCycles;
+    stallCycles += other.stallCycles;
+    instructions += other.instructions;
+    llcMisses += other.llcMisses;
+    return *this;
+  }
+
+  friend CounterSet operator+(CounterSet a, const CounterSet& b) noexcept {
+    a += b;
+    return a;
+  }
+};
+
+}  // namespace occm::perf

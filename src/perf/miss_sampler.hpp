@@ -1,0 +1,64 @@
+#pragma once
+
+// The fine-grained LLC-miss sampler of section III-B.2: counts the number
+// of last-level cache misses (requested cache lines) in every 5 us window
+// of simulated time. The per-window counts are the "burst sizes" whose
+// complementary CDF is Figure 4.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace occm::perf {
+
+class MissSampler {
+ public:
+  /// `windowCycles`: sampling period in cycles (5 us at the machine clock).
+  explicit MissSampler(Cycles windowCycles) : window_(windowCycles) {
+    OCCM_REQUIRE_MSG(windowCycles > 0, "window must be positive");
+  }
+
+  /// Records `lines` requested cache lines at simulated time `time`.
+  void record(Cycles time, std::uint32_t lines = 1) {
+    const auto idx = static_cast<std::size_t>(time / window_);
+    if (counts_.size() <= idx) {
+      counts_.resize(idx + 1, 0);
+    }
+    counts_[idx] += lines;
+  }
+
+  /// Extends the window vector to cover [0, endTime) with trailing zeros.
+  void finalize(Cycles endTime) {
+    const auto windows = static_cast<std::size_t>(
+        (endTime + window_ - 1) / window_);
+    if (counts_.size() < windows) {
+      counts_.resize(windows, 0);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& windows() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] Cycles windowCycles() const noexcept { return window_; }
+
+  /// Burst sizes: the non-empty windows' line counts, as doubles for the
+  /// stats layer. Empty windows are idle gaps between bursts, not bursts.
+  [[nodiscard]] std::vector<double> burstSizes() const {
+    std::vector<double> sizes;
+    sizes.reserve(counts_.size());
+    for (std::uint32_t c : counts_) {
+      if (c > 0) {
+        sizes.push_back(static_cast<double>(c));
+      }
+    }
+    return sizes;
+  }
+
+ private:
+  Cycles window_;
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace occm::perf

@@ -1,0 +1,57 @@
+#include "perf/run_profile.hpp"
+
+#include <sstream>
+
+namespace occm::perf {
+
+namespace {
+std::string withCommas(std::uint64_t value) {
+  std::string raw = std::to_string(value);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  int digits = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (digits != 0 && digits % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++digits;
+  }
+  return {out.rbegin(), out.rend()};
+}
+}  // namespace
+
+std::string formatReport(const RunProfile& profile) {
+  std::ostringstream out;
+  out << "papiex-style report\n";
+  out << "  program       : " << profile.program << "\n";
+  out << "  machine       : " << profile.machine << "\n";
+  out << "  threads/cores : " << profile.threads << " threads on "
+      << profile.activeCores << " active cores\n";
+  out << "  PAPI_TOT_CYC  : " << withCommas(profile.counters.totalCycles)
+      << "\n";
+  out << "  PAPI_RES_STL  : " << withCommas(profile.counters.stallCycles)
+      << "\n";
+  out << "  work cycles   : " << withCommas(profile.counters.workCycles())
+      << "\n";
+  out << "  PAPI_TOT_INS  : " << withCommas(profile.counters.instructions)
+      << "\n";
+  out << "  LLC_MISSES    : " << withCommas(profile.counters.llcMisses)
+      << "\n";
+  out << "  coherence     : " << withCommas(profile.coherenceMisses)
+      << " misses, " << withCommas(profile.writebacks) << " writebacks\n";
+  out << "  ctx switches  : " << withCommas(profile.contextSwitches) << "\n";
+  out << "  makespan      : " << withCommas(profile.makespan) << " cycles\n";
+  for (std::size_t i = 0; i < profile.controllerStats.size(); ++i) {
+    const auto& c = profile.controllerStats[i];
+    if (c.requests == 0 && c.writebacks == 0) {
+      continue;
+    }
+    out << "  controller " << i << " : " << withCommas(c.requests)
+        << " requests (" << withCommas(c.remoteRequests) << " remote), "
+        << "mean wait " << c.meanWait() << " cycles\n";
+  }
+  return out.str();
+}
+
+}  // namespace occm::perf

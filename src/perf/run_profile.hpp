@@ -1,0 +1,51 @@
+#pragma once
+
+// The measured result of one simulated run — everything the paper's
+// methodology extracts from PAPI/papiex for one (program, problem size,
+// machine, active cores) configuration.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/memory_system.hpp"
+#include "perf/counters.hpp"
+
+namespace occm::perf {
+
+struct RunProfile {
+  std::string program;   ///< e.g. "CG.C"
+  std::string machine;   ///< e.g. "Intel NUMA (24 cores, Xeon X5650)"
+  int threads = 0;
+  int activeCores = 0;
+
+  /// Counters summed over all active cores (the paper's "total number of
+  /// cycles required to execute the program across all the active cores").
+  CounterSet counters;
+  /// Per logical core (indexed by machine core id; zeros for idle cores).
+  std::vector<CounterSet> perCore;
+
+  std::uint64_t coherenceMisses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t contextSwitches = 0;
+  /// Wall-clock length of the run in cycles (max core finish time).
+  Cycles makespan = 0;
+
+  /// Per-controller statistics snapshot.
+  std::vector<mem::ControllerStats> controllerStats;
+
+  /// 5 us miss-sampler windows (machine-wide), empty unless sampling was
+  /// enabled for the run.
+  std::vector<std::uint32_t> missWindows;
+  Cycles samplerWindowCycles = 0;
+
+  [[nodiscard]] double totalCyclesD() const noexcept {
+    return static_cast<double>(counters.totalCycles);
+  }
+};
+
+/// Formats the profile as a papiex-style text report.
+[[nodiscard]] std::string formatReport(const RunProfile& profile);
+
+}  // namespace occm::perf

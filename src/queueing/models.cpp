@@ -1,0 +1,98 @@
+#include "queueing/models.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace occm::queueing {
+
+namespace {
+void requireStable(double lambda, double mu) {
+  OCCM_REQUIRE_MSG(lambda >= 0.0, "arrival rate must be non-negative");
+  OCCM_REQUIRE_MSG(mu > 0.0, "service rate must be positive");
+  OCCM_REQUIRE_MSG(lambda < mu, "queue is unstable (lambda >= mu)");
+}
+}  // namespace
+
+double mm1MeanSojourn(double lambda, double mu) {
+  requireStable(lambda, mu);
+  return 1.0 / (mu - lambda);
+}
+
+double mm1MeanWait(double lambda, double mu) {
+  requireStable(lambda, mu);
+  return lambda / (mu * (mu - lambda));
+}
+
+double mm1MeanCustomers(double lambda, double mu) {
+  requireStable(lambda, mu);
+  const double rho = lambda / mu;
+  return rho / (1.0 - rho);
+}
+
+double utilization(double lambda, double mu) {
+  OCCM_REQUIRE_MSG(mu > 0.0, "service rate must be positive");
+  return lambda / mu;
+}
+
+double erlangC(double lambda, double mu, std::size_t servers) {
+  OCCM_REQUIRE_MSG(servers >= 1, "need at least one server");
+  OCCM_REQUIRE_MSG(mu > 0.0, "service rate must be positive");
+  const double a = lambda / mu;  // offered load in Erlangs
+  const auto c = static_cast<double>(servers);
+  OCCM_REQUIRE_MSG(a < c, "M/M/c unstable (offered load >= servers)");
+  // Sum a^k/k! computed iteratively to avoid overflow.
+  double term = 1.0;
+  double sum = 1.0;
+  for (std::size_t k = 1; k < servers; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  const double topTerm = term * (a / c) / (1.0 - a / c);
+  return topTerm / (sum + topTerm);
+}
+
+double mmcMeanSojourn(double lambda, double mu, std::size_t servers) {
+  const double pWait = erlangC(lambda, mu, servers);
+  const auto c = static_cast<double>(servers);
+  const double rho = lambda / (c * mu);
+  return pWait / (c * mu * (1.0 - rho)) + 1.0 / mu;
+}
+
+double md1MeanSojourn(double lambda, double mu) {
+  return mg1MeanSojourn(lambda, mu, 0.0);
+}
+
+double mg1MeanSojourn(double lambda, double mu, double scv) {
+  requireStable(lambda, mu);
+  OCCM_REQUIRE_MSG(scv >= 0.0, "squared CV must be non-negative");
+  const double rho = lambda / mu;
+  // Pollaczek-Khinchine: Wq = rho/(1-rho) * (1+scv)/2 * (1/mu).
+  const double wq = rho / (1.0 - rho) * (1.0 + scv) / 2.0 / mu;
+  return wq + 1.0 / mu;
+}
+
+RepairmanResult machineRepairman(std::size_t stations, double z, double mu) {
+  OCCM_REQUIRE_MSG(stations >= 1, "need at least one station");
+  OCCM_REQUIRE_MSG(z >= 0.0, "think time must be non-negative");
+  OCCM_REQUIRE_MSG(mu > 0.0, "service rate must be positive");
+  const double s = 1.0 / mu;
+  // Mean-value analysis for a closed network with one delay station (think)
+  // and one queueing station (the server).
+  double q = 0.0;  // mean queue length seen at the server
+  double x = 0.0;  // system throughput
+  double r = s;    // response time at the server
+  for (std::size_t k = 1; k <= stations; ++k) {
+    r = s * (1.0 + q);
+    x = static_cast<double>(k) / (z + r);
+    q = x * r;
+  }
+  RepairmanResult result;
+  result.throughput = x;
+  result.meanSojourn = r;
+  result.utilization = x * s;
+  result.meanQueueLength = q;
+  return result;
+}
+
+}  // namespace occm::queueing

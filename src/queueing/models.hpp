@@ -1,0 +1,58 @@
+#pragma once
+
+// Closed-form queueing results (Jain, "The Art of Computer Systems
+// Performance Analysis", 1991 — the paper's reference [11]).
+//
+// The paper's contention model is built on M/M/1: the mean number of cycles
+// to service one off-chip request with n active cores is
+// C_req(n) = 1 / (mu - n L) (paper eq. 5). The other disciplines here back
+// the ablation benches (service-discipline sensitivity) and the closed
+// machine-repairman model explains why a real (finite-population) machine
+// saturates instead of diverging.
+
+#include <cstddef>
+
+namespace occm::queueing {
+
+/// Mean sojourn time (wait + service) in an M/M/1 queue.
+/// lambda: arrival rate, mu: service rate; requires lambda < mu.
+[[nodiscard]] double mm1MeanSojourn(double lambda, double mu);
+
+/// Mean queueing delay (excluding service) in an M/M/1 queue.
+[[nodiscard]] double mm1MeanWait(double lambda, double mu);
+
+/// Mean number of customers in an M/M/1 system.
+[[nodiscard]] double mm1MeanCustomers(double lambda, double mu);
+
+/// Server utilization lambda/mu (valid for any single-server queue).
+[[nodiscard]] double utilization(double lambda, double mu);
+
+/// Erlang C probability of queueing in an M/M/c system.
+[[nodiscard]] double erlangC(double lambda, double mu, std::size_t servers);
+
+/// Mean sojourn time in an M/M/c queue (c parallel servers, shared queue).
+[[nodiscard]] double mmcMeanSojourn(double lambda, double mu,
+                                    std::size_t servers);
+
+/// Mean sojourn time in an M/D/1 queue (deterministic service 1/mu).
+[[nodiscard]] double md1MeanSojourn(double lambda, double mu);
+
+/// Mean sojourn time in an M/G/1 queue via the Pollaczek-Khinchine formula.
+/// scv is the squared coefficient of variation of service time
+/// (0 = deterministic, 1 = exponential).
+[[nodiscard]] double mg1MeanSojourn(double lambda, double mu, double scv);
+
+/// Machine-repairman (closed M/M/1//N) model: N stations each "think" for
+/// mean time z then queue for a single server with mean service 1/mu.
+struct RepairmanResult {
+  double throughput = 0.0;     ///< jobs per unit time through the server
+  double meanSojourn = 0.0;    ///< mean time at the server (wait + service)
+  double utilization = 0.0;    ///< server utilization in [0, 1]
+  double meanQueueLength = 0.0;
+};
+
+/// Exact solution by mean-value analysis. `stations` >= 1, z >= 0, mu > 0.
+[[nodiscard]] RepairmanResult machineRepairman(std::size_t stations, double z,
+                                               double mu);
+
+}  // namespace occm::queueing

@@ -1,0 +1,82 @@
+#include "queueing/single_queue_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace occm::queueing {
+
+namespace {
+
+/// Generates the arrival timestamps for the configured process.
+std::vector<double> generateArrivals(const SingleQueueConfig& config,
+                                     Rng& rng) {
+  std::vector<double> arrivals;
+  arrivals.reserve(config.requests);
+  double t = 0.0;
+  switch (config.arrivals) {
+    case ArrivalProcess::kPoisson: {
+      const double meanGap = 1.0 / config.lambda;
+      for (std::uint64_t i = 0; i < config.requests; ++i) {
+        t += rng.exponential(meanGap);
+        arrivals.push_back(t);
+      }
+      break;
+    }
+    case ArrivalProcess::kBurstyOnOff: {
+      // Bursts of back-to-back requests whose size is heavy tailed;
+      // gaps between bursts keep the long-run rate at lambda.
+      const double tightGap = 0.01 / config.lambda;
+      while (arrivals.size() < config.requests) {
+        const double burstSize = rng.boundedPareto(
+            1.3, 1.0, std::max(2.0, config.burstMean * 50.0));
+        const auto inBurst = static_cast<std::uint64_t>(
+            std::min<double>(burstSize, static_cast<double>(
+                                            config.requests - arrivals.size())));
+        for (std::uint64_t i = 0; i < inBurst; ++i) {
+          t += tightGap;
+          arrivals.push_back(t);
+        }
+        // Gap sized so the long-run average rate stays lambda.
+        const double burstSpan = static_cast<double>(inBurst) * tightGap;
+        const double targetSpan = static_cast<double>(inBurst) / config.lambda;
+        t += rng.exponential(std::max(0.0, targetSpan - burstSpan));
+      }
+      break;
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace
+
+SingleQueueResult simulateSingleQueue(const SingleQueueConfig& config) {
+  OCCM_REQUIRE_MSG(config.lambda > 0.0, "lambda must be positive");
+  OCCM_REQUIRE_MSG(config.mu > 0.0, "mu must be positive");
+  OCCM_REQUIRE_MSG(config.requests > 0, "simulate at least one request");
+
+  Rng rng(config.seed);
+  const std::vector<double> arrivals = generateArrivals(config, rng);
+
+  SingleQueueResult result;
+  double serverFreeAt = 0.0;
+  double busyTime = 0.0;
+  for (double arrival : arrivals) {
+    const double start = std::max(arrival, serverFreeAt);
+    const double service = config.service == ServiceDiscipline::kExponential
+                               ? rng.exponential(1.0 / config.mu)
+                               : 1.0 / config.mu;
+    const double end = start + service;
+    result.wait.add(start - arrival);
+    result.sojourn.add(end - arrival);
+    busyTime += service;
+    serverFreeAt = end;
+  }
+  result.makespan = serverFreeAt;
+  result.utilization = result.makespan == 0.0 ? 0.0 : busyTime / result.makespan;
+  return result;
+}
+
+}  // namespace occm::queueing

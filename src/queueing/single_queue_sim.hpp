@@ -1,0 +1,48 @@
+#pragma once
+
+// A standalone discrete-event simulator of one queueing station. It exists
+// to (a) verify the closed-form models in models.hpp against simulation in
+// tests, and (b) demonstrate that with Poisson arrivals and exponential
+// service, measured sojourn times match 1/(mu - lambda) — the empirical
+// basis of the paper's eq. 5.
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace occm::queueing {
+
+enum class ServiceDiscipline : std::uint8_t {
+  kExponential,   ///< M/M/1
+  kDeterministic, ///< M/D/1
+};
+
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,       ///< exponential inter-arrival gaps
+  kBurstyOnOff,   ///< Pareto-distributed on-bursts separated by long gaps
+};
+
+struct SingleQueueConfig {
+  double lambda = 0.5;  ///< mean arrival rate (requests per time unit)
+  double mu = 1.0;      ///< service rate
+  ServiceDiscipline service = ServiceDiscipline::kExponential;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// For bursty arrivals: mean requests per burst (Pareto tail, alpha 1.3).
+  double burstMean = 16.0;
+  std::uint64_t requests = 100'000;  ///< number of customers to simulate
+  std::uint64_t seed = 42;
+};
+
+struct SingleQueueResult {
+  stats::OnlineStats wait;     ///< queueing delay, excluding service
+  stats::OnlineStats sojourn;  ///< wait + service
+  double utilization = 0.0;    ///< busy time / makespan
+  double makespan = 0.0;
+};
+
+/// Runs the single-queue simulation to completion.
+[[nodiscard]] SingleQueueResult simulateSingleQueue(
+    const SingleQueueConfig& config);
+
+}  // namespace occm::queueing

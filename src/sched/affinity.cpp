@@ -1,0 +1,67 @@
+#include "sched/affinity.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace occm::sched {
+
+int Pinning::maxThreadsPerCore() const {
+  std::size_t most = 0;
+  for (const auto& list : threadsOn) {
+    most = std::max(most, list.size());
+  }
+  return static_cast<int>(most);
+}
+
+Pinning pinRoundRobin(const topology::TopologyMap& topo, int threads,
+                      int activeCores) {
+  OCCM_REQUIRE_MSG(threads >= 1, "need at least one thread");
+  OCCM_REQUIRE_MSG(activeCores >= 1 && activeCores <= topo.spec().logicalCores(),
+                   "active cores out of range");
+  const std::vector<CoreId> active = topo.activeCores(activeCores);
+  Pinning pinning;
+  pinning.pinnedCore.resize(static_cast<std::size_t>(threads));
+  pinning.threadsOn.resize(
+      static_cast<std::size_t>(topo.spec().logicalCores()));
+  for (ThreadId t = 0; t < threads; ++t) {
+    const CoreId core = active[static_cast<std::size_t>(t) % active.size()];
+    pinning.pinnedCore[static_cast<std::size_t>(t)] = core;
+    pinning.threadsOn[static_cast<std::size_t>(core)].push_back(t);
+  }
+  return pinning;
+}
+
+ThreadId RunQueue::current() const {
+  OCCM_REQUIRE_MSG(live_ > 0, "run queue is empty");
+  OCCM_ASSERT(!finished_[current_]);
+  return threads_[current_];
+}
+
+bool RunQueue::rotate() {
+  OCCM_REQUIRE_MSG(live_ > 0, "run queue is empty");
+  if (live_ == 1) {
+    return false;
+  }
+  const std::size_t previous = current_;
+  do {
+    current_ = (current_ + 1) % threads_.size();
+  } while (finished_[current_]);
+  return current_ != previous;
+}
+
+void RunQueue::finish(ThreadId thread) {
+  const auto it = std::find(threads_.begin(), threads_.end(), thread);
+  OCCM_REQUIRE_MSG(it != threads_.end(), "thread not on this queue");
+  const auto idx = static_cast<std::size_t>(it - threads_.begin());
+  OCCM_REQUIRE_MSG(!finished_[idx], "thread already finished");
+  finished_[idx] = true;
+  --live_;
+  if (live_ > 0 && idx == current_) {
+    do {
+      current_ = (current_ + 1) % threads_.size();
+    } while (finished_[current_]);
+  }
+}
+
+}  // namespace occm::sched

@@ -1,0 +1,75 @@
+#pragma once
+
+// Thread-to-core pinning, reproducing the paper's protocol: the program is
+// partitioned into a fixed number of threads (= machine logical cores);
+// the number of *active* cores n is varied; threads are bound with
+// sched_setaffinity to the first n cores of the fill-processor-first
+// order, round-robin, so with n < threads each core time-shares
+// ceil(threads/n) threads (oversubscription).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/topology_map.hpp"
+
+namespace occm::sched {
+
+struct SchedConfig {
+  /// Time-slice length for oversubscribed cores.
+  Cycles quantum = 250'000;
+  /// Direct cost of a context switch (register/TLB work). The indirect
+  /// cost — cache pollution between threads sharing a core, the paper's
+  /// "negative caching effects" — emerges from the cache simulation.
+  Cycles contextSwitchCost = 2'000;
+};
+
+/// Pinning of each thread to a logical core.
+struct Pinning {
+  /// pinnedCore[t] = logical core running thread t.
+  std::vector<CoreId> pinnedCore;
+  /// threadsOn[c] = threads pinned to logical core c (machine-wide index),
+  /// in their round-robin arrival order; empty for inactive cores.
+  std::vector<std::vector<ThreadId>> threadsOn;
+
+  [[nodiscard]] int maxThreadsPerCore() const;
+};
+
+/// Pins `threads` threads round-robin over the first `activeCores` entries
+/// of the machine's fill-processor-first order.
+[[nodiscard]] Pinning pinRoundRobin(const topology::TopologyMap& topo,
+                                    int threads, int activeCores);
+
+/// Round-robin run queue of the threads pinned to one core.
+class RunQueue {
+ public:
+  explicit RunQueue(std::vector<ThreadId> threads)
+      : threads_(std::move(threads)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0 || threads_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Initializes bookkeeping; call once before the first pick.
+  void start() noexcept {
+    live_ = threads_.size();
+    finished_.assign(threads_.size(), false);
+    current_ = 0;
+  }
+
+  /// Currently scheduled thread; queue must be non-empty.
+  [[nodiscard]] ThreadId current() const;
+
+  /// Advances to the next unfinished thread (end of quantum). Returns
+  /// whether the running thread actually changed.
+  bool rotate();
+
+  /// Marks a thread finished and advances if it was current.
+  void finish(ThreadId thread);
+
+ private:
+  std::vector<ThreadId> threads_;
+  std::vector<bool> finished_;
+  std::size_t current_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace occm::sched

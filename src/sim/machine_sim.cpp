@@ -1,0 +1,258 @@
+#include "sim/machine_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "perf/miss_sampler.hpp"
+
+namespace occm::sim {
+
+namespace {
+
+enum class EventKind : std::uint8_t {
+  kAdvance,  ///< core resumes executing operations
+  kIssue,    ///< core presents its pending off-chip request to memory
+};
+
+struct Event {
+  Cycles time = 0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break
+  CoreId core = 0;
+  EventKind kind = EventKind::kAdvance;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+};
+
+struct CoreState {
+  sched::RunQueue queue{{}};
+  bool active = false;
+  bool done = false;
+  Cycles now = 0;
+  Cycles quantumEnd = 0;
+  // Pending off-chip access (set between kAdvance and kIssue).
+  Addr pendingAddr = 0;
+  bool pendingPrefetchable = false;
+  bool pendingCoherence = false;
+  bool pendingWriteback = false;
+  Addr pendingWritebackLine = 0;
+  // Counters.
+  Cycles workCycles = 0;
+  Cycles stallCycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llcMisses = 0;
+  std::uint64_t coherenceMisses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t contextSwitches = 0;
+};
+
+}  // namespace
+
+MachineSim::MachineSim(topology::MachineSpec spec, SimConfig config)
+    : topo_(std::move(spec)), config_(config) {}
+
+perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
+                                 int activeCores,
+                                 const std::string& programName) {
+  const auto& spec = topo_.spec();
+  OCCM_REQUIRE_MSG(!streams.empty(), "need at least one thread");
+  OCCM_REQUIRE_MSG(activeCores >= 1 && activeCores <= spec.logicalCores(),
+                   "active cores out of range");
+
+  for (const trace::RefStreamPtr& s : streams) {
+    OCCM_REQUIRE_MSG(s != nullptr, "null thread stream");
+    s->reset();
+  }
+
+  const int threads = static_cast<int>(streams.size());
+  const sched::Pinning pinning =
+      sched::pinRoundRobin(topo_, threads, activeCores);
+
+  cache::CacheHierarchy hierarchy(topo_);
+  // The run seed perturbs the memory system's service jitter too, so two
+  // sims with different seeds produce genuinely different runs.
+  mem::MemoryConfig memoryConfig = config_.memory;
+  memoryConfig.seed ^= config_.seed * 0x9e3779b97f4a7c15ULL;
+  const std::vector<NodeId> activeNodes = topo_.activeNodes(activeCores);
+  std::vector<int> nodeWeights;
+  nodeWeights.reserve(activeNodes.size());
+  for (NodeId node : activeNodes) {
+    int weight = 0;
+    for (CoreId c : topo_.activeCores(activeCores)) {
+      weight += topo_.homeNode(c) == node ? 1 : 0;
+    }
+    nodeWeights.push_back(weight);
+  }
+  mem::MemorySystem memory(topo_, memoryConfig, activeNodes,
+                           std::move(nodeWeights));
+  Rng rng = Rng::substream(config_.seed, 0x5EDC0FFEEULL);
+
+  const Cycles samplerWindow = std::max<Cycles>(
+      1, nsToCycles(config_.samplerWindowNs, spec.clockGhz));
+  perf::MissSampler sampler(samplerWindow);
+
+  const int totalCores = spec.logicalCores();
+  std::vector<CoreState> cores(static_cast<std::size_t>(totalCores));
+
+  auto jitteredQuantum = [&]() {
+    const double jitter = rng.uniform(0.95, 1.05);
+    return static_cast<Cycles>(
+        static_cast<double>(config_.sched.quantum) * jitter);
+  };
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t seq = 0;
+  for (CoreId c = 0; c < totalCores; ++c) {
+    CoreState& core = cores[static_cast<std::size_t>(c)];
+    auto threadList = pinning.threadsOn[static_cast<std::size_t>(c)];
+    if (threadList.empty()) {
+      core.done = true;
+      continue;
+    }
+    core.queue = sched::RunQueue(std::move(threadList));
+    core.queue.start();
+    core.active = true;
+    core.quantumEnd = jitteredQuantum();
+    events.push({0, seq++, c, EventKind::kAdvance});
+  }
+
+
+  // Advances a core until it blocks on an off-chip request, exhausts its
+  // sync horizon, or finishes.
+  auto advance = [&](CoreId coreId) {
+    CoreState& core = cores[static_cast<std::size_t>(coreId)];
+    const Cycles horizon = core.now + config_.syncHorizon;
+    trace::Op op;
+    while (true) {
+      if (core.queue.empty()) {
+        core.done = true;
+        return;
+      }
+      if (core.now >= horizon) {
+        events.push({core.now, seq++, coreId, EventKind::kAdvance});
+        return;
+      }
+      if (core.now >= core.quantumEnd) {
+        if (core.queue.rotate()) {
+          core.now += config_.sched.contextSwitchCost;
+          core.stallCycles += config_.sched.contextSwitchCost;
+          ++core.contextSwitches;
+        }
+        core.quantumEnd = core.now + jitteredQuantum();
+        continue;
+      }
+      const ThreadId thread = core.queue.current();
+      auto& stream = *streams[static_cast<std::size_t>(thread)];
+      if (!stream.next(op)) {
+        core.queue.finish(thread);
+        continue;
+      }
+      core.now += op.work;
+      core.workCycles += op.work;
+      core.instructions += op.instructions;
+      const cache::AccessResult res =
+          hierarchy.access(coreId, op.addr, op.write);
+      // Prefetchable (streaming) accesses overlap the cache-hit path the
+      // same way they overlap miss latency.
+      const Cycles hitStall =
+          op.prefetchable
+              ? std::max<Cycles>(1, res.latency /
+                                        static_cast<Cycles>(spec.prefetchMlp))
+              : res.latency;
+      core.now += hitStall;
+      core.stallCycles += hitStall;
+      if (res.offChip) {
+        core.pendingAddr = op.addr;
+        core.pendingPrefetchable = op.prefetchable;
+        core.pendingCoherence = res.coherenceMiss;
+        core.pendingWriteback = res.writeback;
+        core.pendingWritebackLine = res.writebackLine;
+        events.push({core.now, seq++, coreId, EventKind::kIssue});
+        return;
+      }
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    CoreState& core = cores[static_cast<std::size_t>(ev.core)];
+    OCCM_ASSERT(core.now <= ev.time || ev.kind == EventKind::kIssue);
+    switch (ev.kind) {
+      case EventKind::kAdvance: {
+        core.now = std::max(core.now, ev.time);
+        advance(ev.core);
+        break;
+      }
+      case EventKind::kIssue: {
+        const Cycles now = ev.time;
+        if (config_.enableSampler) {
+          sampler.record(now);
+        }
+        const mem::RequestTiming timing =
+            memory.request(now, ev.core, core.pendingAddr);
+        if (core.pendingWriteback) {
+          memory.writeback(now, ev.core, core.pendingWritebackLine);
+          ++core.writebacks;
+        }
+        ++core.llcMisses;
+        core.coherenceMisses += core.pendingCoherence ? 1 : 0;
+        // Prefetchable (stream) misses overlap up to prefetchMlp deep: the
+        // observed per-miss stall shrinks accordingly while the memory
+        // system still sees the full request load (approximation noted in
+        // DESIGN.md). Dependent misses use corePerMlp (default blocking).
+        const auto mlp = static_cast<Cycles>(core.pendingPrefetchable
+                                                 ? spec.prefetchMlp
+                                                 : spec.corePerMlp);
+        const Cycles rawStall = timing.done - now;
+        const Cycles stall = std::max<Cycles>(1, rawStall / mlp);
+        core.stallCycles += stall;
+        core.now = now + stall;
+        events.push({core.now, seq++, ev.core, EventKind::kAdvance});
+        break;
+      }
+    }
+  }
+
+  // Assemble the profile.
+  perf::RunProfile profile;
+  profile.program = programName;
+  profile.machine = spec.name;
+  profile.threads = threads;
+  profile.activeCores = activeCores;
+  profile.perCore.resize(static_cast<std::size_t>(totalCores));
+  for (CoreId c = 0; c < totalCores; ++c) {
+    const CoreState& core = cores[static_cast<std::size_t>(c)];
+    OCCM_ASSERT(core.done || !core.active);
+    perf::CounterSet& set = profile.perCore[static_cast<std::size_t>(c)];
+    set.totalCycles = core.workCycles + core.stallCycles;
+    set.stallCycles = core.stallCycles;
+    set.instructions = core.instructions;
+    set.llcMisses = core.llcMisses;
+    profile.counters += set;
+    profile.coherenceMisses += core.coherenceMisses;
+    profile.writebacks += core.writebacks;
+    profile.contextSwitches += core.contextSwitches;
+    profile.makespan = std::max(profile.makespan, core.now);
+  }
+  profile.controllerStats.reserve(
+      static_cast<std::size_t>(memory.controllers()));
+  for (NodeId node = 0; node < memory.controllers(); ++node) {
+    profile.controllerStats.push_back(memory.controllerStats(node));
+  }
+  if (config_.enableSampler) {
+    sampler.finalize(profile.makespan);
+    profile.missWindows = sampler.windows();
+    profile.samplerWindowCycles = sampler.windowCycles();
+  }
+  return profile;
+}
+
+}  // namespace occm::sim

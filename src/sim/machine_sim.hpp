@@ -1,0 +1,69 @@
+#pragma once
+
+// Cycle-level simulator of one multicore machine executing a pinned,
+// possibly oversubscribed parallel program.
+//
+// Execution model (DESIGN.md, "Substitutions"):
+//  - Each software thread is a trace::RefStream of operations (work cycles
+//    followed by one memory access).
+//  - Threads are pinned round-robin to the first n cores of the
+//    fill-processor-first order and time-share a core with a quantum.
+//  - Cache hits cost their level's hit latency (stall cycles); off-chip
+//    misses become memory-system requests. A core blocks on a miss
+//    (configurable miss-level parallelism divides the observed stall).
+//  - Cores interact only through the cache/memory state, so the event loop
+//    orders *memory* requests globally by time (which makes the FIFO
+//    reservation model in mem:: exact) while each core's compute advances
+//    asynchronously between its own misses.
+//
+// Counter semantics match the paper: total cycles per core = work cycles
+// (operations retiring) + stall cycles (cache-hit latency, memory waits,
+// context switches); idle cores accumulate nothing.
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "mem/memory_system.hpp"
+#include "perf/run_profile.hpp"
+#include "sched/affinity.hpp"
+#include "topology/topology_map.hpp"
+#include "trace/ref_stream.hpp"
+
+namespace occm::sim {
+
+struct SimConfig {
+  sched::SchedConfig sched;
+  mem::MemoryConfig memory;
+  /// Record the 5 us LLC-miss sampler (Figure 4) into the profile.
+  bool enableSampler = false;
+  double samplerWindowNs = 5000.0;
+  /// Maximum cycles a core may execute per event-loop turn. Cores only
+  /// block on off-chip misses, so without this bound a core that stays
+  /// cache-resident would run its whole thread in one turn and its cache/
+  /// coherence state would never interleave with the other cores'.
+  Cycles syncHorizon = 5'000;
+  std::uint64_t seed = 7;
+};
+
+class MachineSim {
+ public:
+  explicit MachineSim(topology::MachineSpec spec, SimConfig config = {});
+
+  [[nodiscard]] const topology::TopologyMap& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] const SimConfig& config() const noexcept { return config_; }
+
+  /// Runs `streams` (one per thread; streams are reset() first) on
+  /// `activeCores` cores. Each call simulates from cold caches.
+  [[nodiscard]] perf::RunProfile run(
+      std::span<const trace::RefStreamPtr> streams, int activeCores,
+      const std::string& programName = "workload");
+
+ private:
+  topology::TopologyMap topo_;
+  SimConfig config_;
+};
+
+}  // namespace occm::sim

@@ -1,0 +1,135 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/regression.hpp"
+
+namespace occm::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  OCCM_REQUIRE_MSG(hi > lo, "histogram range must be non-empty");
+  OCCM_REQUIRE_MSG(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) noexcept { add(x, 1); }
+
+void Histogram::add(double x, std::uint64_t count) noexcept {
+  auto raw = static_cast<std::int64_t>(std::floor((x - lo_) / width_));
+  raw = std::clamp<std::int64_t>(raw, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(raw)] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::binValue(std::size_t bin) const {
+  OCCM_REQUIRE(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::binLow(std::size_t bin) const {
+  OCCM_REQUIRE(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::binHigh(std::size_t bin) const {
+  OCCM_REQUIRE(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+double Histogram::quantile(double q) const {
+  OCCM_REQUIRE(q >= 0.0 && q <= 1.0);
+  OCCM_REQUIRE_MSG(total_ > 0, "quantile of an empty histogram");
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t running = 0;
+  for (std::size_t bin = 0; bin < counts_.size(); ++bin) {
+    const std::uint64_t next = running + counts_[bin];
+    if (static_cast<double>(next) >= target) {
+      const double within =
+          counts_[bin] == 0
+              ? 0.0
+              : (target - static_cast<double>(running)) /
+                    static_cast<double>(counts_[bin]);
+      return binLow(bin) + within * width_;
+    }
+    running = next;
+  }
+  return binHigh(counts_.size() - 1);
+}
+
+std::vector<CcdfPoint> empiricalCcdf(std::span<const double> samples) {
+  OCCM_REQUIRE_MSG(!samples.empty(), "CCDF of an empty sample set");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  std::vector<CcdfPoint> out;
+  out.reserve(sorted.size());
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    const double x = sorted[i];
+    // Advance over duplicates; P(X > x) counts strictly greater samples.
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == x) {
+      ++j;
+    }
+    out.push_back({x, static_cast<double>(sorted.size() - j) / n});
+    i = j;
+  }
+  return out;
+}
+
+std::vector<CcdfPoint> ccdfAt(std::span<const double> samples,
+                              std::span<const double> grid) {
+  OCCM_REQUIRE_MSG(!samples.empty(), "CCDF of an empty sample set");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  std::vector<CcdfPoint> out;
+  out.reserve(grid.size());
+  for (double x : grid) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+    const auto greater = static_cast<double>(sorted.end() - it);
+    out.push_back({x, greater / n});
+  }
+  return out;
+}
+
+TailFit fitLogLogTail(std::span<const CcdfPoint> ccdf, double xmin) {
+  std::vector<Point> pts;
+  for (const CcdfPoint& p : ccdf) {
+    if (p.x >= xmin && p.x > 0.0 && p.probability > 0.0) {
+      pts.push_back({std::log10(p.x), std::log10(p.probability), 1.0});
+    }
+  }
+  TailFit fit;
+  if (pts.size() < 3) {
+    return fit;
+  }
+  const LinearFit lf = fitLinear(pts);
+  fit.slope = lf.slope;
+  fit.intercept = lf.intercept;
+  fit.r2 = lf.r2;
+  fit.points = pts.size();
+  return fit;
+}
+
+double hillTailIndex(std::span<const double> samples, std::size_t k) {
+  if (samples.size() < 2 || k < 2 || k > samples.size()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  const double xk = sorted[k - 1];
+  if (xk <= 0.0) {
+    return 0.0;
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    acc += std::log(sorted[i] / xk);
+  }
+  return acc == 0.0 ? 0.0 : static_cast<double>(k - 1) / acc;
+}
+
+}  // namespace occm::stats

@@ -1,0 +1,77 @@
+#pragma once
+
+// Empirical distributions: histograms, complementary CDFs and heavy-tail
+// diagnostics. Figure 4 of the paper plots P(BurstSize > x) on log-log
+// axes and classifies traffic as bursty when the tail is a straight
+// decreasing diagonal (power law); these are the tools behind that plot.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace occm::stats {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add(double x, std::uint64_t count) noexcept;
+
+  [[nodiscard]] std::size_t binCount() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t binValue(std::size_t bin) const;
+  [[nodiscard]] double binLow(std::size_t bin) const;
+  [[nodiscard]] double binHigh(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Quantile in [0,1] by linear interpolation inside the containing bin.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// One point of an empirical complementary CDF: P(X > x).
+struct CcdfPoint {
+  double x = 0.0;
+  double probability = 0.0;
+};
+
+/// Builds the empirical CCDF of the samples: for each distinct value x,
+/// P(X > x) = #{samples > x} / n. Zero-probability trailing point (the
+/// maximum) is included with probability 0 so plots terminate.
+[[nodiscard]] std::vector<CcdfPoint> empiricalCcdf(
+    std::span<const double> samples);
+
+/// CCDF over integer burst sizes, evaluated at the paper's log-spaced grid
+/// (1, 2, 5, 10, 20, 50, ...), convenient for printing Figure 4 rows.
+[[nodiscard]] std::vector<CcdfPoint> ccdfAt(std::span<const double> samples,
+                                            std::span<const double> grid);
+
+/// Result of fitting log10 P(X > x) = a + b * log10 x over x >= xmin.
+struct TailFit {
+  /// Log-log slope b (negative; a straight diagonal indicates power law).
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// R^2 of the log-log fit: near 1 means the tail is a clean diagonal.
+  double r2 = 0.0;
+  /// Number of CCDF points used.
+  std::size_t points = 0;
+};
+
+/// Fits the log-log tail of a CCDF for x >= xmin, skipping zero-probability
+/// points. Requires at least 3 usable points; returns points == 0 otherwise.
+[[nodiscard]] TailFit fitLogLogTail(std::span<const CcdfPoint> ccdf,
+                                    double xmin);
+
+/// Hill estimator of the tail index alpha over the k largest samples.
+/// Larger alpha = lighter tail. Returns 0 when k < 2 or data degenerate.
+[[nodiscard]] double hillTailIndex(std::span<const double> samples,
+                                   std::size_t k);
+
+}  // namespace occm::stats

@@ -1,0 +1,121 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace occm::stats {
+
+namespace {
+
+/// Computes R^2 and residual SE for a fitted line over the points.
+void fillGoodness(std::span<const Point> points, LinearFit& fit) {
+  double ssRes = 0.0;
+  double ssTot = 0.0;
+  double meanY = 0.0;
+  double totalW = 0.0;
+  for (const Point& p : points) {
+    meanY += p.weight * p.y;
+    totalW += p.weight;
+  }
+  meanY /= totalW;
+  for (const Point& p : points) {
+    const double pred = fit.predict(p.x);
+    ssRes += p.weight * (p.y - pred) * (p.y - pred);
+    ssTot += p.weight * (p.y - meanY) * (p.y - meanY);
+  }
+  fit.r2 = ssTot == 0.0 ? 1.0 : 1.0 - ssRes / ssTot;
+  fit.n = points.size();
+  fit.residualStdError =
+      points.size() > 2
+          ? std::sqrt(ssRes / static_cast<double>(points.size() - 2))
+          : 0.0;
+}
+
+}  // namespace
+
+LinearFit fitLinear(std::span<const Point> points) {
+  OCCM_REQUIRE_MSG(points.size() >= 2, "linear fit needs at least two points");
+  double sw = 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (const Point& p : points) {
+    OCCM_REQUIRE_MSG(p.weight > 0.0, "weights must be positive");
+    sw += p.weight;
+    sx += p.weight * p.x;
+    sy += p.weight * p.y;
+  }
+  const double mx = sx / sw;
+  const double my = sy / sw;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (const Point& p : points) {
+    sxx += p.weight * (p.x - mx) * (p.x - mx);
+    sxy += p.weight * (p.x - mx) * (p.y - my);
+  }
+  OCCM_REQUIRE_MSG(sxx > 0.0, "linear fit needs two distinct x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fillGoodness(points, fit);
+  return fit;
+}
+
+LinearFit fitLinear(std::span<const double> xs, std::span<const double> ys) {
+  OCCM_REQUIRE(xs.size() == ys.size());
+  std::vector<Point> points(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    points[i] = Point{xs[i], ys[i], 1.0};
+  }
+  return fitLinear(points);
+}
+
+LinearFit fitThroughOrigin(std::span<const Point> points) {
+  OCCM_REQUIRE_MSG(!points.empty(), "fit needs at least one point");
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (const Point& p : points) {
+    OCCM_REQUIRE_MSG(p.weight > 0.0, "weights must be positive");
+    sxx += p.weight * p.x * p.x;
+    sxy += p.weight * p.x * p.y;
+    syy += p.weight * p.y * p.y;
+  }
+  OCCM_REQUIRE_MSG(sxx > 0.0, "fit through origin needs a nonzero x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = 0.0;
+  // Uncentered R^2: 1 - SS_res / sum(y^2).
+  double ssRes = 0.0;
+  for (const Point& p : points) {
+    const double e = p.y - fit.slope * p.x;
+    ssRes += p.weight * e * e;
+  }
+  fit.r2 = syy == 0.0 ? 1.0 : 1.0 - ssRes / syy;
+  fit.n = points.size();
+  fit.residualStdError =
+      points.size() > 1
+          ? std::sqrt(ssRes / static_cast<double>(points.size() - 1))
+          : 0.0;
+  return fit;
+}
+
+double coefficientOfDetermination(std::span<const double> observed,
+                                  std::span<const double> predicted) {
+  OCCM_REQUIRE(observed.size() == predicted.size());
+  OCCM_REQUIRE(!observed.empty());
+  double mean = 0.0;
+  for (double v : observed) {
+    mean += v;
+  }
+  mean /= static_cast<double>(observed.size());
+  double ssRes = 0.0;
+  double ssTot = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ssRes += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ssTot += (observed[i] - mean) * (observed[i] - mean);
+  }
+  return ssTot == 0.0 ? 1.0 : 1.0 - ssRes / ssTot;
+}
+
+}  // namespace occm::stats

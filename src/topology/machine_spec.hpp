@@ -1,0 +1,137 @@
+#pragma once
+
+// Declarative description of a simulated multicore machine: the socket /
+// die / core / SMT hierarchy, the cache levels with their sharing scope,
+// the memory controllers and the NUMA interconnect hop-distance matrix.
+//
+// The three machines of the paper (Intel UMA 8-core, Intel NUMA 24-core,
+// AMD NUMA 48-core) are provided as presets in topology/presets.hpp.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace occm::topology {
+
+/// Who shares a cache instance.
+enum class CacheScope : std::uint8_t {
+  kPerLogicalCore,   ///< one instance per SMT thread
+  kPerPhysicalCore,  ///< shared by the SMT siblings of one physical core
+  kPerDie,           ///< shared by all cores of one die
+  kPerSocket,        ///< shared by all cores of one socket
+  kMachine,          ///< one instance for the whole machine
+};
+
+/// One cache level.
+struct CacheLevelSpec {
+  int level = 1;               ///< 1, 2, 3 (highest level = LLC)
+  Bytes size = 4 * kKiB;       ///< capacity of one instance
+  Bytes lineSize = 64;
+  std::uint32_t associativity = 4;
+  Cycles hitLatency = 3;       ///< cycles added on a hit at this level
+  CacheScope scope = CacheScope::kPerPhysicalCore;
+};
+
+/// Where memory controllers sit.
+enum class ControllerScope : std::uint8_t {
+  kMachine,    ///< UMA: one shared controller pool for all sockets
+  kPerSocket,  ///< e.g. Intel Nehalem: one controller per socket
+  kPerDie,     ///< e.g. AMD Magny-Cours: one controller per die
+};
+
+/// UMA vs. NUMA memory architecture (paper Fig. 1).
+enum class MemoryArchitecture : std::uint8_t { kUma, kNuma };
+
+struct MachineSpec {
+  std::string name;
+  double clockGhz = 2.0;
+
+  int sockets = 1;
+  int diesPerSocket = 1;
+  int coresPerDie = 4;
+  int smtPerCore = 1;
+
+  std::vector<CacheLevelSpec> caches;
+
+  MemoryArchitecture memoryArchitecture = MemoryArchitecture::kUma;
+  ControllerScope controllerScope = ControllerScope::kMachine;
+  int channelsPerController = 2;
+
+  /// Fixed DRAM access latency (pipe latency, paid once per request).
+  Cycles dramLatency = 160;
+  /// Channel occupancy per cache-line transfer when the access hits the
+  /// bank's open row (sequential streaming: burst transfer only).
+  Cycles rowHitServiceCycles = 13;
+  /// Channel occupancy when the access needs a row activate/precharge
+  /// cycle (random or large-stride traffic; ~tRC). The hit/miss split is
+  /// what makes streaming workloads bandwidth-cheap and scattered ones
+  /// expensive, and what makes interleaved streams from many cores
+  /// degrade each other (row-buffer interference).
+  Cycles rowMissServiceCycles = 110;
+  /// DRAM row size: requests within the same row hit the open row.
+  Bytes rowBytes = 2 * kKiB;
+  /// Independent banks per channel (each keeps one open row).
+  int banksPerChannel = 8;
+  /// Miss-level parallelism for prefetchable (streaming) accesses: the
+  /// core overlaps up to this many stream misses, dividing the observed
+  /// stall. Dependent accesses use corePerMlp (default 1 = blocking).
+  int prefetchMlp = 4;
+  /// UMA only: per-socket front-side-bus occupancy per request (a second
+  /// queueing stage in front of the shared controller, paper Fig. 1a).
+  Cycles busServiceCycles = 0;
+  /// NUMA only: extra one-way cycles per interconnect hop.
+  Cycles hopCycles = 80;
+  /// NUMA only: interconnect link occupancy per 64 B transfer and hop
+  /// (finite link bandwidth). Remote demand requests reserve the node-pair
+  /// path for 2x this (request + data response); 0 = unlimited bandwidth.
+  /// Saturating cross-socket links is a major contention source once a
+  /// second socket activates (QPI/HyperTransport are several times slower
+  /// than the aggregate local DRAM channels).
+  Cycles linkServiceCycles = 0;
+  /// NUMA hop distances between nodes (one node per controller);
+  /// empty for UMA. Must be square, symmetric, zero-diagonal.
+  std::vector<std::vector<int>> hopMatrix;
+
+  /// Outstanding off-chip misses one core can overlap (miss-level
+  /// parallelism). 1 = fully blocking core, the paper's effective regime.
+  int corePerMlp = 1;
+
+  /// Virtual-memory page size used by the placement policies.
+  Bytes pageSize = 4 * kKiB;
+
+  /// Joint cache/working-set scale factor vs. the physical machine
+  /// (documentation only; presets are already scaled).
+  double scaleFactor = 1.0;
+
+  // Derived quantities -----------------------------------------------------
+
+  [[nodiscard]] int logicalCores() const noexcept {
+    return sockets * diesPerSocket * coresPerDie * smtPerCore;
+  }
+  [[nodiscard]] int physicalCores() const noexcept {
+    return sockets * diesPerSocket * coresPerDie;
+  }
+  [[nodiscard]] int dies() const noexcept { return sockets * diesPerSocket; }
+  [[nodiscard]] int logicalCoresPerSocket() const noexcept {
+    return diesPerSocket * coresPerDie * smtPerCore;
+  }
+  [[nodiscard]] int controllers() const noexcept {
+    switch (controllerScope) {
+      case ControllerScope::kMachine:
+        return 1;
+      case ControllerScope::kPerSocket:
+        return sockets;
+      case ControllerScope::kPerDie:
+        return dies();
+    }
+    return 1;
+  }
+  [[nodiscard]] const CacheLevelSpec& lastLevelCache() const;
+
+  /// Validates internal consistency; throws ContractViolation on error.
+  void validate() const;
+};
+
+}  // namespace occm::topology

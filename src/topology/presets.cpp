@@ -1,0 +1,200 @@
+#include "topology/presets.hpp"
+
+namespace occm::topology {
+
+namespace {
+
+/// AMD Magny-Cours partial mesh (paper Fig. 2b): dies of one package are
+/// one hop apart; packages form a square 0-1 / 2-3 where edge-adjacent
+/// packages have a direct link between like-positioned dies (1 hop, 2 hops
+/// for the crossed pair) and diagonal packages are always 2 hops.
+std::vector<std::vector<int>> magnyCoursHops() {
+  constexpr int kNodes = 8;
+  auto adjacentSockets = [](int a, int b) {
+    // Square: 0-1, 0-2, 1-3, 2-3 adjacent; 0-3 and 1-2 diagonal.
+    return (a + b == 1) || (a + b == 5) || (a == 0 && b == 2) ||
+           (a == 2 && b == 0) || (a == 1 && b == 3) || (a == 3 && b == 1);
+  };
+  std::vector<std::vector<int>> hops(kNodes, std::vector<int>(kNodes, 0));
+  for (int i = 0; i < kNodes; ++i) {
+    for (int j = 0; j < kNodes; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const int si = i / 2;
+      const int sj = j / 2;
+      if (si == sj) {
+        hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 1;
+      } else if (adjacentSockets(si, sj)) {
+        // Direct HT link between like-positioned dies only.
+        hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            (i % 2 == j % 2) ? 1 : 2;
+      } else {
+        hops[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = 2;
+      }
+    }
+  }
+  return hops;
+}
+
+}  // namespace
+
+MachineSpec intelUma8() {
+  MachineSpec m;
+  m.name = "Intel UMA (8 cores, Xeon E5320)";
+  m.clockGhz = 1.86;
+  m.sockets = 2;
+  m.diesPerSocket = 1;
+  m.coresPerDie = 4;
+  m.smtPerCore = 1;
+  m.caches = {
+      // 32 KB L1d per core -> kept at 4 KB (small enough that inner loop
+      // buffers behave as on hardware; only the LLC drives off-chip traffic).
+      {.level = 1, .size = 4 * kKiB, .lineSize = 64, .associativity = 8,
+       .hitLatency = 3, .scope = CacheScope::kPerPhysicalCore},
+      // 4 MB semi-unified L2 per socket -> 128 KB at 32x scale. This is the
+      // UMA machine's last-level cache.
+      {.level = 2, .size = 128 * kKiB, .lineSize = 64, .associativity = 16,
+       .hitLatency = 14, .scope = CacheScope::kPerSocket},
+  };
+  m.memoryArchitecture = MemoryArchitecture::kUma;
+  m.controllerScope = ControllerScope::kMachine;
+  m.channelsPerController = 2;
+  // DDR2-667: 64 B burst ~10 ns; row cycle (tRC) ~55 ns at 1.86 GHz.
+  m.rowHitServiceCycles = 18;
+  m.rowMissServiceCycles = 102;
+  m.banksPerChannel = 4;
+  // FSB occupancy per transaction including snoop overhead.
+  m.busServiceCycles = 45;
+  m.dramLatency = 170;  // ~90 ns uncontended
+  m.scaleFactor = 32.0;
+  m.validate();
+  return m;
+}
+
+MachineSpec intelNuma24() {
+  MachineSpec m;
+  m.name = "Intel NUMA (24 cores, Xeon X5650)";
+  m.clockGhz = 2.66;
+  m.sockets = 2;
+  m.diesPerSocket = 1;
+  m.coresPerDie = 6;
+  m.smtPerCore = 2;
+  m.caches = {
+      {.level = 1, .size = 4 * kKiB, .lineSize = 64, .associativity = 8,
+       .hitLatency = 4, .scope = CacheScope::kPerPhysicalCore},
+      // 256 KB private L2 -> 16 KB at 32x scale (shared by SMT siblings).
+      {.level = 2, .size = 16 * kKiB, .lineSize = 64, .associativity = 8,
+       .hitLatency = 10, .scope = CacheScope::kPerPhysicalCore},
+      // 12 MB L3 per socket -> 384 KB at 32x scale.
+      {.level = 3, .size = 384 * kKiB, .lineSize = 64, .associativity = 16,
+       .hitLatency = 40, .scope = CacheScope::kPerSocket},
+  };
+  m.memoryArchitecture = MemoryArchitecture::kNuma;
+  m.controllerScope = ControllerScope::kPerSocket;
+  m.channelsPerController = 3;
+  // DDR3-1333: 64 B burst ~4.8 ns; row cycle (tRC) ~48 ns at 2.66 GHz.
+  m.rowHitServiceCycles = 13;
+  m.rowMissServiceCycles = 128;
+  m.banksPerChannel = 8;
+  m.dramLatency = 170;  // ~65 ns uncontended
+  m.hopCycles = 70;         // QPI one-way hop latency
+  m.linkServiceCycles = 30;  // QPI incl. protocol overhead at 2.66 GHz
+  m.hopMatrix = {{0, 1}, {1, 0}};
+  m.scaleFactor = 32.0;
+  m.validate();
+  return m;
+}
+
+MachineSpec amdNuma48() {
+  MachineSpec m;
+  m.name = "AMD NUMA (48 cores, Opteron 6172)";
+  m.clockGhz = 2.1;
+  m.sockets = 4;
+  m.diesPerSocket = 2;
+  m.coresPerDie = 6;
+  m.smtPerCore = 1;
+  m.caches = {
+      {.level = 1, .size = 4 * kKiB, .lineSize = 64, .associativity = 8,
+       .hitLatency = 3, .scope = CacheScope::kPerPhysicalCore},
+      // 512 KB private L2 -> 16 KB at 32x scale.
+      {.level = 2, .size = 16 * kKiB, .lineSize = 64, .associativity = 8,
+       .hitLatency = 12, .scope = CacheScope::kPerPhysicalCore},
+      // 5 MB L3 per die -> 160 KB at 32x scale.
+      {.level = 3, .size = 160 * kKiB, .lineSize = 64, .associativity = 16,
+       .hitLatency = 40, .scope = CacheScope::kPerDie},
+  };
+  m.memoryArchitecture = MemoryArchitecture::kNuma;
+  m.controllerScope = ControllerScope::kPerDie;
+  m.channelsPerController = 2;
+  // DDR3-1333: 64 B burst ~6 ns; row cycle (tRC) ~48 ns at 2.1 GHz.
+  m.rowHitServiceCycles = 13;
+  m.rowMissServiceCycles = 100;
+  m.banksPerChannel = 16;  // two ranks per channel
+  m.dramLatency = 150;  // ~70 ns uncontended
+  m.hopCycles = 55;          // HyperTransport one-way hop latency
+  m.linkServiceCycles = 10;  // HT 3.x ~12.8 GB/s per direction at 2.1 GHz
+  m.hopMatrix = magnyCoursHops();
+  m.scaleFactor = 32.0;
+  m.validate();
+  return m;
+}
+
+std::vector<MachineSpec> paperMachines() {
+  return {intelUma8(), intelNuma24(), amdNuma48()};
+}
+
+MachineSpec testNuma4() {
+  MachineSpec m;
+  m.name = "test NUMA (4 cores)";
+  m.clockGhz = 1.0;
+  m.sockets = 2;
+  m.diesPerSocket = 1;
+  m.coresPerDie = 2;
+  m.smtPerCore = 1;
+  m.caches = {
+      {.level = 1, .size = 1 * kKiB, .lineSize = 64, .associativity = 2,
+       .hitLatency = 2, .scope = CacheScope::kPerPhysicalCore},
+      {.level = 2, .size = 8 * kKiB, .lineSize = 64, .associativity = 4,
+       .hitLatency = 10, .scope = CacheScope::kPerSocket},
+  };
+  m.memoryArchitecture = MemoryArchitecture::kNuma;
+  m.controllerScope = ControllerScope::kPerSocket;
+  m.channelsPerController = 1;
+  m.rowHitServiceCycles = 10;
+  m.rowMissServiceCycles = 20;
+  m.banksPerChannel = 2;
+  m.dramLatency = 100;
+  m.hopCycles = 40;
+  m.hopMatrix = {{0, 1}, {1, 0}};
+  m.validate();
+  return m;
+}
+
+MachineSpec testUma4() {
+  MachineSpec m;
+  m.name = "test UMA (4 cores)";
+  m.clockGhz = 1.0;
+  m.sockets = 2;
+  m.diesPerSocket = 1;
+  m.coresPerDie = 2;
+  m.smtPerCore = 1;
+  m.caches = {
+      {.level = 1, .size = 1 * kKiB, .lineSize = 64, .associativity = 2,
+       .hitLatency = 2, .scope = CacheScope::kPerPhysicalCore},
+      {.level = 2, .size = 8 * kKiB, .lineSize = 64, .associativity = 4,
+       .hitLatency = 10, .scope = CacheScope::kPerSocket},
+  };
+  m.memoryArchitecture = MemoryArchitecture::kUma;
+  m.controllerScope = ControllerScope::kMachine;
+  m.channelsPerController = 1;
+  m.rowHitServiceCycles = 10;
+  m.rowMissServiceCycles = 20;
+  m.banksPerChannel = 2;
+  m.busServiceCycles = 10;
+  m.dramLatency = 100;
+  m.validate();
+  return m;
+}
+
+}  // namespace occm::topology

@@ -1,0 +1,42 @@
+#pragma once
+
+// The three machines of the paper's experimental setup (section III-A) as
+// simulated-machine presets, plus small synthetic machines for tests.
+//
+// Cache capacities and (in workloads/) problem working sets are jointly
+// scaled down 32x relative to the physical machines so every experiment
+// runs in seconds; miss ratios and queue utilisations — the quantities the
+// contention model depends on — are invariant under the joint scaling
+// (DESIGN.md, "Scaling rule"). Clock rates, latencies and per-line channel
+// occupancies are the physical machines' values.
+
+#include "topology/machine_spec.hpp"
+
+namespace occm::topology {
+
+/// Dual quad-core Intel Xeon E5320 ("Clovertown"), 1.86 GHz, 8 MB L2
+/// (semi-unified, 4 MB/socket), one shared memory controller with
+/// dual-channel DDR2 — the paper's 8-core UMA system.
+[[nodiscard]] MachineSpec intelUma8();
+
+/// Dual six-core Intel Xeon X5650 ("Westmere"), 2.66 GHz, 2 SMT threads
+/// per core (24 logical cores), 12 MB L3/socket, two memory controllers
+/// with triple-channel DDR3 — the paper's 24-core NUMA system.
+[[nodiscard]] MachineSpec intelNuma24();
+
+/// Quad twelve-core AMD Opteron 6172 ("Magny-Cours"), 2.1 GHz, two dies
+/// per package, 10 MB L3/package (5 MB/die), eight memory controllers
+/// (one per die) with dual-channel DDR3, partial-mesh HyperTransport with
+/// direct / one-hop / two-hop distances — the paper's 48-core NUMA system.
+[[nodiscard]] MachineSpec amdNuma48();
+
+/// All three paper machines, in the order used by the paper's tables.
+[[nodiscard]] std::vector<MachineSpec> paperMachines();
+
+/// Tiny 2-socket x 2-core NUMA machine for fast unit tests.
+[[nodiscard]] MachineSpec testNuma4();
+
+/// Tiny 2-socket x 2-core UMA machine for fast unit tests.
+[[nodiscard]] MachineSpec testUma4();
+
+}  // namespace occm::topology

@@ -1,0 +1,127 @@
+#include "topology/topology_map.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace occm::topology {
+
+TopologyMap::TopologyMap(MachineSpec spec) : spec_(std::move(spec)) {
+  spec_.validate();
+  hopMatrix_ = spec_.hopMatrix;
+
+  // Build the fill-processor-first order (see header for the policy).
+  fillOrder_.reserve(static_cast<std::size_t>(spec_.logicalCores()));
+  for (int socket = 0; socket < spec_.sockets; ++socket) {
+    for (int core = 0; core < spec_.coresPerDie; ++core) {
+      for (int die = 0; die < spec_.diesPerSocket; ++die) {
+        for (int smt = 0; smt < spec_.smtPerCore; ++smt) {
+          fillOrder_.push_back(coreId({socket, die, core, smt}));
+        }
+      }
+    }
+  }
+}
+
+CoreId TopologyMap::coreId(const CoreLocation& loc) const {
+  OCCM_REQUIRE(loc.socket >= 0 && loc.socket < spec_.sockets);
+  OCCM_REQUIRE(loc.die >= 0 && loc.die < spec_.diesPerSocket);
+  OCCM_REQUIRE(loc.core >= 0 && loc.core < spec_.coresPerDie);
+  OCCM_REQUIRE(loc.smt >= 0 && loc.smt < spec_.smtPerCore);
+  return ((loc.socket * spec_.diesPerSocket + loc.die) * spec_.coresPerDie +
+          loc.core) *
+             spec_.smtPerCore +
+         loc.smt;
+}
+
+CoreLocation TopologyMap::location(CoreId core) const {
+  OCCM_REQUIRE(core >= 0 && core < spec_.logicalCores());
+  CoreLocation loc;
+  int rest = core;
+  loc.smt = rest % spec_.smtPerCore;
+  rest /= spec_.smtPerCore;
+  loc.core = rest % spec_.coresPerDie;
+  rest /= spec_.coresPerDie;
+  loc.die = rest % spec_.diesPerSocket;
+  loc.socket = rest / spec_.diesPerSocket;
+  return loc;
+}
+
+int TopologyMap::dieIndex(CoreId core) const {
+  const CoreLocation loc = location(core);
+  return loc.socket * spec_.diesPerSocket + loc.die;
+}
+
+NodeId TopologyMap::homeNode(CoreId core) const {
+  switch (spec_.controllerScope) {
+    case ControllerScope::kMachine:
+      return 0;
+    case ControllerScope::kPerSocket:
+      return location(core).socket;
+    case ControllerScope::kPerDie:
+      return dieIndex(core);
+  }
+  return 0;
+}
+
+int TopologyMap::hops(NodeId from, NodeId to) const {
+  if (spec_.memoryArchitecture == MemoryArchitecture::kUma) {
+    return 0;
+  }
+  OCCM_REQUIRE(from >= 0 && static_cast<std::size_t>(from) < hopMatrix_.size());
+  OCCM_REQUIRE(to >= 0 && static_cast<std::size_t>(to) < hopMatrix_.size());
+  return hopMatrix_[static_cast<std::size_t>(from)]
+                   [static_cast<std::size_t>(to)];
+}
+
+std::vector<CoreId> TopologyMap::activeCores(int activeCores) const {
+  OCCM_REQUIRE(activeCores >= 1 && activeCores <= spec_.logicalCores());
+  return {fillOrder_.begin(), fillOrder_.begin() + activeCores};
+}
+
+std::vector<NodeId> TopologyMap::activeNodes(int activeCores) const {
+  std::vector<NodeId> nodes;
+  for (CoreId core : this->activeCores(activeCores)) {
+    const NodeId node = homeNode(core);
+    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+      nodes.push_back(node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+int TopologyMap::cacheInstanceCount(const CacheLevelSpec& level) const {
+  switch (level.scope) {
+    case CacheScope::kPerLogicalCore:
+      return spec_.logicalCores();
+    case CacheScope::kPerPhysicalCore:
+      return spec_.physicalCores();
+    case CacheScope::kPerDie:
+      return spec_.dies();
+    case CacheScope::kPerSocket:
+      return spec_.sockets;
+    case CacheScope::kMachine:
+      return 1;
+  }
+  return 1;
+}
+
+int TopologyMap::cacheInstance(CoreId core, const CacheLevelSpec& level) const {
+  const CoreLocation loc = location(core);
+  switch (level.scope) {
+    case CacheScope::kPerLogicalCore:
+      return core;
+    case CacheScope::kPerPhysicalCore:
+      return core / spec_.smtPerCore;
+    case CacheScope::kPerDie:
+      return dieIndex(core);
+    case CacheScope::kPerSocket:
+      return loc.socket;
+    case CacheScope::kMachine:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace occm::topology

@@ -1,0 +1,72 @@
+#pragma once
+
+// Logical-core <-> physical-location mapping and the fill-processor-first
+// allocation policy of the paper's experimental protocol (the role LIKWID
+// played in the original study).
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/machine_spec.hpp"
+
+namespace occm::topology {
+
+/// Physical location of one logical core.
+struct CoreLocation {
+  SocketId socket = 0;
+  int die = 0;       ///< die index within the socket
+  int core = 0;      ///< physical core index within the die
+  int smt = 0;       ///< SMT thread index within the physical core
+
+  friend bool operator==(const CoreLocation&, const CoreLocation&) = default;
+};
+
+class TopologyMap {
+ public:
+  explicit TopologyMap(MachineSpec spec);
+
+  [[nodiscard]] const MachineSpec& spec() const noexcept { return spec_; }
+
+  /// Canonical logical id of a location.
+  [[nodiscard]] CoreId coreId(const CoreLocation& loc) const;
+
+  /// Physical location of a logical core id.
+  [[nodiscard]] CoreLocation location(CoreId core) const;
+
+  /// Machine-wide die index (socket * diesPerSocket + die).
+  [[nodiscard]] int dieIndex(CoreId core) const;
+
+  /// NUMA node (= memory controller) closest to the core; 0 on UMA.
+  [[nodiscard]] NodeId homeNode(CoreId core) const;
+
+  /// Interconnect distance in hops between two nodes (0 on UMA).
+  [[nodiscard]] int hops(NodeId from, NodeId to) const;
+
+  /// The paper's core-activation order: sockets are filled one at a time;
+  /// within a socket, dies are interleaved so that all controllers of the
+  /// socket activate together (AMD protocol), and SMT siblings of a
+  /// physical core are adjacent. Element k is the logical core activated
+  /// k-th.
+  [[nodiscard]] const std::vector<CoreId>& fillProcessorFirstOrder() const noexcept {
+    return fillOrder_;
+  }
+
+  /// The first `activeCores` entries of the fill order.
+  [[nodiscard]] std::vector<CoreId> activeCores(int activeCores) const;
+
+  /// Nodes owning at least one of the first `activeCores` cores; {0} on UMA.
+  [[nodiscard]] std::vector<NodeId> activeNodes(int activeCores) const;
+
+  /// Number of distinct instances of a cache level on this machine.
+  [[nodiscard]] int cacheInstanceCount(const CacheLevelSpec& level) const;
+
+  /// Which instance of a cache level serves this core.
+  [[nodiscard]] int cacheInstance(CoreId core, const CacheLevelSpec& level) const;
+
+ private:
+  MachineSpec spec_;
+  std::vector<std::vector<int>> hopMatrix_;  ///< copied for fast access
+  std::vector<CoreId> fillOrder_;
+};
+
+}  // namespace occm::topology

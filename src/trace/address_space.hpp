@@ -1,0 +1,77 @@
+#pragma once
+
+// Simulated flat address-space layout with an O(1) shared-vs-private test.
+//
+// Shared data (matrices, grids, key arrays, shared accumulators) is
+// allocated below kPrivateBase; per-thread private data (stack-like
+// scratch, RNG state, local buffers) lives in a disjoint 4 GiB window per
+// thread above it. Because threads are pinned for the lifetime of a run,
+// only shared lines can ever be cached by more than one core, so the
+// coherence directory (cache/coherence.hpp) only needs to track addresses
+// with isShared() == true.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace occm::trace {
+
+class AddressSpace {
+ public:
+  /// First address of the private area; everything below is shared.
+  static constexpr Addr kPrivateBase = Addr{1} << 40;
+  /// Size of each thread's private window.
+  static constexpr Addr kPrivateWindow = Addr{1} << 32;
+
+  /// Allocates `size` bytes of shared memory aligned to `align`.
+  [[nodiscard]] Addr allocShared(Bytes size, Bytes align = 64) {
+    sharedTop_ = alignUp(sharedTop_, align);
+    const Addr base = sharedTop_;
+    sharedTop_ += size;
+    OCCM_REQUIRE_MSG(sharedTop_ <= kPrivateBase, "shared area exhausted");
+    return base;
+  }
+
+  /// Allocates `size` bytes in `thread`'s private window.
+  [[nodiscard]] Addr allocPrivate(ThreadId thread, Bytes size,
+                                  Bytes align = 64) {
+    OCCM_REQUIRE(thread >= 0);
+    const auto t = static_cast<std::size_t>(thread);
+    if (privateTops_.size() <= t) {
+      privateTops_.resize(t + 1, 0);
+    }
+    privateTops_[t] = alignUp(privateTops_[t], align);
+    const Addr offset = privateTops_[t];
+    privateTops_[t] += size;
+    OCCM_REQUIRE_MSG(privateTops_[t] <= kPrivateWindow,
+                     "private window exhausted");
+    return kPrivateBase + static_cast<Addr>(t) * kPrivateWindow + offset;
+  }
+
+  /// True when the address belongs to the shared area.
+  [[nodiscard]] static constexpr bool isShared(Addr addr) noexcept {
+    return addr < kPrivateBase;
+  }
+
+  /// Owning thread of a private address.
+  [[nodiscard]] static ThreadId privateOwner(Addr addr) {
+    OCCM_REQUIRE(!isShared(addr));
+    return static_cast<ThreadId>((addr - kPrivateBase) / kPrivateWindow);
+  }
+
+  [[nodiscard]] Bytes sharedBytes() const noexcept { return sharedTop_; }
+
+ private:
+  [[nodiscard]] static Addr alignUp(Addr value, Bytes align) {
+    OCCM_REQUIRE_MSG(align > 0 && (align & (align - 1)) == 0,
+                     "alignment must be a power of two");
+    return (value + align - 1) & ~(align - 1);
+  }
+
+  Addr sharedTop_ = 0;
+  std::vector<Addr> privateTops_;
+};
+
+}  // namespace occm::trace

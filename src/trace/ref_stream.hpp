@@ -1,0 +1,45 @@
+#pragma once
+
+// Memory-reference streams: the interface between workload kernels and the
+// machine simulator.
+//
+// A thread's execution is a sequence of operations; each operation retires
+// `work` cycles of compute (instructions whose operands are in registers or
+// L1) and then performs one memory access. This compact encoding keeps the
+// simulator's hot path free of variant dispatch.
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace occm::trace {
+
+/// One simulated operation: `work` compute cycles, then access `addr`.
+struct Op {
+  Cycles work = 0;               ///< compute cycles before the access
+  Addr addr = 0;                 ///< byte address accessed
+  bool write = false;
+  /// True for accesses a hardware prefetcher covers (sequential or
+  /// constant-stride streams): the core overlaps their miss latency up to
+  /// the machine's prefetch MLP. False for dependent accesses (gathers,
+  /// pointer chasing), which stall the core for the full miss latency.
+  bool prefetchable = false;
+  std::uint32_t instructions = 1;  ///< instructions retired by this op
+};
+
+/// Pull-interface for a thread's operation stream.
+class RefStream {
+ public:
+  virtual ~RefStream() = default;
+
+  /// Produces the next operation. Returns false when the thread finished.
+  virtual bool next(Op& op) = 0;
+
+  /// Restarts the stream from the beginning (same seed, same addresses).
+  virtual void reset() = 0;
+};
+
+using RefStreamPtr = std::unique_ptr<RefStream>;
+
+}  // namespace occm::trace

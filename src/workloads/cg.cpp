@@ -1,0 +1,144 @@
+// CG — conjugate gradient on a random sparse matrix (NPB CG).
+//
+// Per iteration the dominant loop is the sparse mat-vec q = A*p:
+//   for each row i: for k in rowptr[i]..rowptr[i+1]:
+//     q[i] += a[k] * p[colidx[k]]
+// i.e. a streamed read of the matrix (values + column indices) interleaved
+// with gathers into the iterate vector p, followed by vector updates
+// (axpy/dot) and an OpenMP-reduction write to a shared partial-sum line.
+//
+// Matrix rows are block-partitioned over threads; the gather index
+// sequence is a pure function of (thread, chunk), so every CG iteration
+// revisits the same elements — the fixed sparse pattern of the real code.
+
+#include "workloads/kernels.hpp"
+
+#include "workloads/kernel_util.hpp"
+
+namespace occm::workloads {
+
+namespace {
+
+struct CgParams {
+  std::uint64_t rows = 0;
+  std::uint32_t nnzPerRow = 6;   ///< thinned at 32x scale
+  /// Small classes iterate more (as NPB does), which also gives the 5 us
+  /// sampler a long enough steady state to measure burstiness.
+  int iterations = 6;
+  Cycles workMatrixLine = 40;  ///< ~5 nonzeros per 64 B line, 2 flops each
+  Cycles workGather = 8;
+  Cycles workVector = 30;
+  Cycles workReduce = 30;
+};
+
+/// Paper Table III: CG matrices of 1,400^2 (S) .. 150,000^2 (C) elements;
+/// scaled 32x alongside the machine caches (DESIGN.md).
+CgParams paramsFor(ProblemClass cls) {
+  CgParams p;
+  switch (cls) {
+    case ProblemClass::kS:
+      p.rows = 1'000;
+      p.iterations = 150;
+      break;
+    case ProblemClass::kW:
+      p.rows = 2'500;
+      p.iterations = 80;
+      break;
+    case ProblemClass::kA:
+      p.rows = 8'000;
+      p.iterations = 30;
+      break;
+    case ProblemClass::kB:
+      p.rows = 60'000;
+      p.iterations = 10;
+      break;
+    case ProblemClass::kC:
+      p.rows = 120'000;
+      p.iterations = 6;
+      break;
+    default:
+      OCCM_REQUIRE_MSG(false, "CG takes NPB letter classes");
+  }
+  return p;
+}
+
+}  // namespace
+
+KernelBuild buildCg(ProblemClass cls, int threads, std::uint64_t seed) {
+  OCCM_REQUIRE(threads >= 1);
+  const CgParams p = paramsFor(cls);
+  const std::uint64_t nnz = p.rows * p.nnzPerRow;
+
+  trace::AddressSpace space;
+  // colidx (4 B) + value (8 B) stored as one streamed 12 B-per-nonzero blob.
+  const Addr matrix = space.allocShared(nnz * 12);
+  const Addr pVec = space.allocShared(p.rows * 8);
+  const Addr qVec = space.allocShared(p.rows * 8);
+  const Addr rVec = space.allocShared(p.rows * 8);
+  const Addr zVec = space.allocShared(p.rows * 8);
+  const Addr xVec = space.allocShared(p.rows * 8);
+  const Addr partials = space.allocShared(static_cast<Bytes>(threads) * 8);
+
+  constexpr std::uint64_t kChunkRows = 256;
+
+  KernelBuild build;
+  build.sharedBytes = space.sharedBytes();
+  build.sizeDescription =
+      "sparse matrix " + std::to_string(p.rows) + "^2, " +
+      std::to_string(p.nnzPerRow) + " nnz/row (scaled from NPB " +
+      problemClassName(cls) + ")";
+  build.threadPhases.resize(static_cast<std::size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    const Range rows = threadRange(p.rows, threads, t);
+    auto& phases = build.threadPhases[static_cast<std::size_t>(t)];
+    for (int iter = 0; iter < p.iterations; ++iter) {
+      // Sparse mat-vec, chunked so matrix streaming and vector gathers
+      // interleave in time as in the real row loop.
+      std::uint64_t chunkIdx = 0;
+      for (std::uint64_t row = rows.begin; row < rows.end;
+           row += kChunkRows, ++chunkIdx) {
+        const std::uint64_t chunkRows = std::min(kChunkRows, rows.end - row);
+        const std::uint64_t chunkNnz = chunkRows * p.nnzPerRow;
+        phases.push_back(
+            seqLines(matrix + row * p.nnzPerRow * 12, chunkNnz * 12,
+                     p.workMatrixLine));
+        Phase gather;
+        gather.kind = Phase::Kind::kGather;
+        gather.base = pVec;
+        gather.tableBytes = p.rows * 8;
+        gather.elementBytes = 8;
+        gather.count = chunkNnz;
+        gather.workPerOp = p.workGather;
+        // Seeded by (thread, chunk) only: iterations reuse the pattern.
+        gather.seed = hashSeed(seed, static_cast<std::uint64_t>(t) << 32,
+                               chunkIdx);
+        phases.push_back(gather);
+      }
+      // q[i] accumulation writes.
+      phases.push_back(
+          seqLines(qVec + rows.begin * 8, rows.size() * 8, p.workVector,
+                   /*write=*/true));
+      // Vector updates: r = r - alpha q; z = z + alpha p; rho = r.r etc.
+      phases.push_back(seqLines(rVec + rows.begin * 8, rows.size() * 8,
+                                p.workVector, /*write=*/true));
+      phases.push_back(seqLines(zVec + rows.begin * 8, rows.size() * 8,
+                                p.workVector, /*write=*/true));
+      phases.push_back(seqLines(xVec + rows.begin * 8, rows.size() * 8,
+                                p.workVector, /*write=*/false));
+      // OpenMP reduction: each thread writes its slot of the shared
+      // partial-sum array (false sharing across 8 slots per line).
+      Phase reduce;
+      reduce.kind = Phase::Kind::kStrided;
+      reduce.base = partials + static_cast<Addr>(t) * 8;
+      reduce.count = 2;
+      reduce.strideBytes = 0;
+      reduce.workPerOp = p.workReduce;
+      reduce.write = true;
+      phases.push_back(reduce);
+    }
+  }
+  return build;
+}
+
+}  // namespace occm::workloads

@@ -1,0 +1,108 @@
+// EP — embarrassingly parallel (NPB EP): each thread generates batches of
+// pseudo-random pairs, transforms them (compute heavy: log/sqrt per pair)
+// and tallies acceptance counts.
+//
+// Memory behaviour: the batch buffer is thread-private and small (4 KiB),
+// so off-chip traffic is nearly zero on one socket — but the per-batch
+// tallies land in a shared counter table spanning two cache lines, so
+// every tally by a thread invalidates the other threads' copies. Within a
+// socket the re-fetch hits the shared LLC; across sockets it goes
+// off-chip. This reproduces the paper's EP observations: ~zero contention
+// on UMA, a *negative* contention region while one NUMA socket fills
+// (more cores = more private cache for the buffers), and a contention
+// rise beyond one socket driven by a growing LLC-miss count.
+
+#include "workloads/kernels.hpp"
+
+#include "workloads/kernel_util.hpp"
+
+namespace occm::workloads {
+
+namespace {
+
+struct EpParams {
+  std::uint64_t batches = 0;   ///< per thread
+  Bytes bufferBytes = 8 * kKiB;
+  Cycles workWalk = 60;        ///< per buffer line: RNG + log/sqrt pairs
+  Cycles workTally = 20;
+  std::uint32_t talliesPerBatch = 36;
+};
+
+/// NPB EP scales as 2^24 (S) .. 2^32 (C) random pairs; batches scale
+/// accordingly (compute time dominates, the buffer stays tiny).
+EpParams paramsFor(ProblemClass cls) {
+  EpParams p;
+  switch (cls) {
+    case ProblemClass::kS:
+      p.batches = 30;
+      break;
+    case ProblemClass::kW:
+      p.batches = 200;
+      break;
+    case ProblemClass::kA:
+      p.batches = 400;
+      break;
+    case ProblemClass::kB:
+      p.batches = 700;
+      break;
+    case ProblemClass::kC:
+      p.batches = 1'000;
+      break;
+    default:
+      OCCM_REQUIRE_MSG(false, "EP takes NPB letter classes");
+  }
+  return p;
+}
+
+}  // namespace
+
+KernelBuild buildEp(ProblemClass cls, int threads, std::uint64_t seed) {
+  OCCM_REQUIRE(threads >= 1);
+  const EpParams p = paramsFor(cls);
+
+  trace::AddressSpace space;
+  // Shared tally table: 10 annulus counters + the sx/sy sums, two lines.
+  const Addr tallies = space.allocShared(128);
+
+  KernelBuild build;
+  build.sizeDescription =
+      std::to_string(p.batches) + " batches/thread of " +
+      std::to_string(p.bufferBytes) + " B private pairs (scaled from NPB " +
+      problemClassName(cls) + ")";
+  build.threadPhases.resize(static_cast<std::size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    const Addr buffer = space.allocPrivate(t, p.bufferBytes);
+    auto& phases = build.threadPhases[static_cast<std::size_t>(t)];
+    for (std::uint64_t batch = 0; batch < p.batches; ++batch) {
+      // Generate the batch, then transform it: two walks of the buffer,
+      // with the per-pair tallies interleaved at sub-batch granularity so
+      // tally writes from different cores collide in time (as the real
+      // per-pair increments do).
+      constexpr std::uint64_t kSubBatches = 4;
+      const Bytes subBytes = p.bufferBytes / kSubBatches;
+      for (std::uint64_t sub = 0; sub < kSubBatches; ++sub) {
+        const Addr subBase = buffer + sub * subBytes;
+        phases.push_back(seqLines(subBase, subBytes, p.workWalk,
+                                  /*write=*/true));
+        phases.push_back(seqLines(subBase, subBytes, p.workWalk,
+                                  /*write=*/false));
+        Phase tally;
+        tally.kind = Phase::Kind::kGather;
+        tally.base = tallies;
+        tally.tableBytes = 128;
+        tally.elementBytes = 8;
+        tally.count = p.talliesPerBatch / kSubBatches;
+        tally.workPerOp = p.workTally;
+        tally.write = true;
+        tally.seed = hashSeed(seed, static_cast<std::uint64_t>(t),
+                              batch * kSubBatches + sub);
+        phases.push_back(tally);
+      }
+    }
+  }
+  build.sharedBytes = space.sharedBytes();
+  return build;
+}
+
+}  // namespace occm::workloads

@@ -1,0 +1,111 @@
+// FT — 3-D fast Fourier transform (NPB FT). Each iteration applies a 1-D
+// FFT along every dimension of a complex grid (16 B per point, x fastest):
+// the x pass walks the grid at unit stride; the y and z passes walk
+// "pencils" at strides of one row (G*16 B) and one plane (G^2*16 B).
+// Those large-stride pencil passes touch a new cache line per point and
+// are the source of FT's heavy off-chip traffic.
+//
+// Pencils (and x-pass slabs) are block-partitioned over threads.
+
+#include "workloads/kernels.hpp"
+
+#include "workloads/kernel_util.hpp"
+
+namespace occm::workloads {
+
+namespace {
+
+struct FtParams {
+  std::uint64_t grid = 0;  ///< G: grid is G^3 complex points
+  int iterations = 6;
+  Cycles workLine = 40;    ///< butterflies on the 4 points of one line
+  Cycles workPoint = 40;   ///< strided passes: butterflies per point
+};
+
+/// NPB FT: 64^3 (S) .. 512^3 (C); scaled 32x in footprint (~3.2x per side).
+FtParams paramsFor(ProblemClass cls) {
+  FtParams p;
+  switch (cls) {
+    case ProblemClass::kS:
+      p.grid = 16;
+      break;
+    case ProblemClass::kW:
+      p.grid = 24;
+      break;
+    case ProblemClass::kA:
+      p.grid = 32;
+      break;
+    case ProblemClass::kB:
+      p.grid = 48;
+      break;
+    case ProblemClass::kC:
+      p.grid = 64;
+      break;
+    default:
+      OCCM_REQUIRE_MSG(false, "FT takes NPB letter classes");
+  }
+  return p;
+}
+
+}  // namespace
+
+KernelBuild buildFt(ProblemClass cls, int threads, std::uint64_t seed) {
+  OCCM_REQUIRE(threads >= 1);
+  (void)seed;  // FT's access pattern is fully structural
+  const FtParams p = paramsFor(cls);
+  const std::uint64_t g = p.grid;
+  const std::uint64_t points = g * g * g;
+  constexpr Bytes kPoint = 16;  // complex<double>
+
+  trace::AddressSpace space;
+  const Addr grid = space.allocShared(points * kPoint);
+
+  KernelBuild build;
+  build.sharedBytes = space.sharedBytes();
+  build.sizeDescription = std::to_string(g) + "^3 complex grid (scaled from NPB " +
+                          problemClassName(cls) + ")";
+  build.threadPhases.resize(static_cast<std::size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    auto& phases = build.threadPhases[static_cast<std::size_t>(t)];
+    const Range slab = threadRange(points, threads, t);       // x pass
+    const Range pencils = threadRange(g * g, threads, t);     // y/z passes
+    for (int iter = 0; iter < p.iterations; ++iter) {
+      // x pass: unit stride over the thread's slab, in place.
+      phases.push_back(seqLines(grid + slab.begin * kPoint,
+                                slab.size() * kPoint, p.workLine,
+                                /*write=*/true));
+      // y pass: pencil (x, z) varies y; consecutive points one row apart.
+      for (std::uint64_t pc = pencils.begin; pc < pencils.end; ++pc) {
+        const std::uint64_t x = pc % g;
+        const std::uint64_t z = pc / g;
+        Phase pencil;
+        pencil.kind = Phase::Kind::kStrided;
+        pencil.base = grid + (z * g * g + x) * kPoint;
+        pencil.count = g;
+        pencil.strideBytes = static_cast<std::int64_t>(g * kPoint);
+        pencil.workPerOp = p.workPoint;
+        pencil.write = true;
+        pencil.prefetchable = true;
+        phases.push_back(pencil);
+      }
+      // z pass: pencil (x, y) varies z; consecutive points one plane apart.
+      for (std::uint64_t pc = pencils.begin; pc < pencils.end; ++pc) {
+        const std::uint64_t x = pc % g;
+        const std::uint64_t y = pc / g;
+        Phase pencil;
+        pencil.kind = Phase::Kind::kStrided;
+        pencil.base = grid + (y * g + x) * kPoint;
+        pencil.count = g;
+        pencil.strideBytes = static_cast<std::int64_t>(g * g * kPoint);
+        pencil.workPerOp = p.workPoint;
+        pencil.write = true;
+        pencil.prefetchable = true;
+        phases.push_back(pencil);
+      }
+    }
+  }
+  return build;
+}
+
+}  // namespace occm::workloads

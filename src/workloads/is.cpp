@@ -1,0 +1,108 @@
+// IS — integer bucket sort (NPB IS). Each ranking iteration scans the key
+// array sequentially, counts keys into a small private bucket table, and
+// then writes keys to their ranked positions in the shared output array.
+//
+// The permutation-write phase has partial locality on real hardware (each
+// bucket's region is written through a moving cursor), so it is modelled
+// as pseudo-random *line* writes at one-eighth of the key rate rather
+// than one random write per key; the bucket counting is L1-resident.
+
+#include "workloads/kernels.hpp"
+
+#include "workloads/kernel_util.hpp"
+
+namespace occm::workloads {
+
+namespace {
+
+struct IsParams {
+  std::uint64_t keys = 0;
+  int iterations = 10;  ///< NPB IS performs 10 ranking iterations
+  Bytes bucketBytes = 4 * kKiB;
+  Cycles workKeyLine = 200;   ///< 16 keys per line, ~3 cycles each
+  Cycles workBucket = 40;
+  Cycles workScatter = 240;   ///< rank lookup + cursor bump per line
+};
+
+/// NPB IS: 2^16 (S) .. 2^27 (C) keys, scaled 32x.
+IsParams paramsFor(ProblemClass cls) {
+  IsParams p;
+  switch (cls) {
+    case ProblemClass::kS:
+      p.keys = 8'192;
+      break;
+    case ProblemClass::kW:
+      p.keys = 32'768;
+      break;
+    case ProblemClass::kA:
+      p.keys = 131'072;
+      break;
+    case ProblemClass::kB:
+      p.keys = 300'000;
+      break;
+    case ProblemClass::kC:
+      p.keys = 600'000;
+      break;
+    default:
+      OCCM_REQUIRE_MSG(false, "IS takes NPB letter classes");
+  }
+  return p;
+}
+
+}  // namespace
+
+KernelBuild buildIs(ProblemClass cls, int threads, std::uint64_t seed) {
+  OCCM_REQUIRE(threads >= 1);
+  const IsParams p = paramsFor(cls);
+
+  trace::AddressSpace space;
+  const Addr keys = space.allocShared(p.keys * 4);
+  const Addr out = space.allocShared(p.keys * 4);
+
+  KernelBuild build;
+  build.sizeDescription = std::to_string(p.keys) +
+                          " integer keys (scaled from NPB " +
+                          problemClassName(cls) + ")";
+  build.threadPhases.resize(static_cast<std::size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    const Range range = threadRange(p.keys, threads, t);
+    const Addr buckets = space.allocPrivate(t, p.bucketBytes);
+    auto& phases = build.threadPhases[static_cast<std::size_t>(t)];
+    for (int iter = 0; iter < p.iterations; ++iter) {
+      // Count phase: sequential key scan + private bucket increments.
+      phases.push_back(
+          seqLines(keys + range.begin * 4, range.size() * 4, p.workKeyLine));
+      Phase count;
+      count.kind = Phase::Kind::kGather;
+      count.base = buckets;
+      count.tableBytes = p.bucketBytes;
+      count.elementBytes = 4;
+      count.count = range.size() / 16;
+      count.workPerOp = p.workBucket;
+      count.write = true;
+      count.seed = hashSeed(seed, static_cast<std::uint64_t>(t), 1);
+      phases.push_back(count);
+      // Rank/permute phase: re-read keys, write ranked lines of `out`.
+      phases.push_back(
+          seqLines(keys + range.begin * 4, range.size() * 4, p.workKeyLine));
+      Phase scatter;
+      scatter.kind = Phase::Kind::kGather;
+      scatter.base = out;
+      scatter.tableBytes = p.keys * 4;
+      scatter.elementBytes = 64;  // line-granular cursor writes
+      scatter.count = range.size() / 16;
+      scatter.workPerOp = p.workScatter;
+      scatter.write = true;
+      scatter.prefetchable = true;  // bucket cursors advance sequentially
+
+      // Same keys every iteration -> same destinations: seed excludes iter.
+      scatter.seed = hashSeed(seed, static_cast<std::uint64_t>(t), 2);
+      phases.push_back(scatter);
+    }
+  }
+  build.sharedBytes = space.sharedBytes();
+  return build;
+}
+
+}  // namespace occm::workloads

@@ -1,0 +1,43 @@
+#pragma once
+
+// Small shared helpers for the kernel builders.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace occm::workloads {
+
+/// Half-open range of work items owned by one thread.
+struct Range {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+};
+
+/// Contiguous block partition of `total` items over `threads` threads
+/// (remainder spread over the first threads, like OpenMP static).
+[[nodiscard]] inline Range threadRange(std::uint64_t total, int threads,
+                                       int thread) {
+  OCCM_REQUIRE(threads >= 1 && thread >= 0 && thread < threads);
+  const auto t = static_cast<std::uint64_t>(threads);
+  const auto i = static_cast<std::uint64_t>(thread);
+  const std::uint64_t base = total / t;
+  const std::uint64_t extra = total % t;
+  const std::uint64_t begin = i * base + std::min(i, extra);
+  return {begin, begin + base + (i < extra ? 1 : 0)};
+}
+
+/// Deterministic 64-bit hash of up to three values (phase seeds).
+[[nodiscard]] inline std::uint64_t hashSeed(std::uint64_t a, std::uint64_t b,
+                                            std::uint64_t c = 0) {
+  SplitMix64 h(a ^ (b * 0x9e3779b97f4a7c15ULL) ^
+               (c * 0xbf58476d1ce4e5b9ULL));
+  return h.next();
+}
+
+}  // namespace occm::workloads

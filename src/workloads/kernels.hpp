@@ -1,0 +1,69 @@
+#pragma once
+
+// Phase-list builders for the six workload kernels. Each builder returns
+// one phase list per thread, walking the kernel's real loop nest at cache-
+// line granularity for streamed arrays and element granularity for
+// gathers/scatters (DESIGN.md, "Substitutions").
+//
+// Problem sizes follow the paper's classes at the 32x joint scale of the
+// machine presets: S/W working sets fit the (scaled) caches, A straddles
+// the LLC, B/C far exceed it — the regimes that drive the paper's two
+// contention behaviours.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/address_space.hpp"
+#include "workloads/phase_stream.hpp"
+#include "workloads/problem.hpp"
+
+namespace occm::workloads {
+
+/// Result of building a kernel: one phase list per thread plus footprint.
+struct KernelBuild {
+  std::vector<std::vector<Phase>> threadPhases;
+  Bytes sharedBytes = 0;
+  /// Human-readable problem-size description (Table III analogue).
+  std::string sizeDescription;
+};
+
+/// EP — embarrassingly parallel. Private RNG-batch walks (tiny working
+/// set, compute heavy) plus per-batch tallies into a shared, falsely
+/// shared counter table: the source of the paper's EP coherence effects.
+[[nodiscard]] KernelBuild buildEp(ProblemClass cls, int threads,
+                                  std::uint64_t seed);
+
+/// IS — integer bucket sort. Sequential key scans, private bucket counts,
+/// and a permutation-write phase over the shared output array.
+[[nodiscard]] KernelBuild buildIs(ProblemClass cls, int threads,
+                                  std::uint64_t seed);
+
+/// FT — 3-D FFT. One unit-stride pass and two large-stride (pencil)
+/// passes over the complex grid per iteration.
+[[nodiscard]] KernelBuild buildFt(ProblemClass cls, int threads,
+                                  std::uint64_t seed);
+
+/// CG — conjugate gradient. Streamed sparse-matrix chunks interleaved
+/// with gathers into the iterate vector, plus vector updates and dot
+/// reductions (with the OpenMP-style shared partial-sum line).
+[[nodiscard]] KernelBuild buildCg(ProblemClass cls, int threads,
+                                  std::uint64_t seed);
+
+/// SP — pentadiagonal solver. RHS stencil plus forward/backward sweeps
+/// along x (unit stride), y (row stride) and z (plane stride); writes
+/// dominate, producing heavy writeback traffic.
+[[nodiscard]] KernelBuild buildSp(ProblemClass cls, int threads,
+                                  std::uint64_t seed);
+
+/// x264 — H.264 encode. Per-frame streaming loads (the bursts), cache-
+/// resident motion-search gathers, and output writes; frames round-robin
+/// across threads.
+[[nodiscard]] KernelBuild buildX264(ProblemClass cls, int threads,
+                                    std::uint64_t seed);
+
+/// Dispatches to the right builder.
+[[nodiscard]] KernelBuild buildKernel(Program program, ProblemClass cls,
+                                      int threads, std::uint64_t seed);
+
+}  // namespace occm::workloads

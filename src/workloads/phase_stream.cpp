@@ -1,0 +1,81 @@
+#include "workloads/phase_stream.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace occm::workloads {
+
+PhaseStream::PhaseStream(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  for (const Phase& p : phases_) {
+    OCCM_REQUIRE_MSG(p.kind != Phase::Kind::kGather || p.tableBytes > 0,
+                     "gather phase needs a table size");
+    OCCM_REQUIRE_MSG(p.kind != Phase::Kind::kGather || p.elementBytes > 0,
+                     "gather phase needs an element size");
+    totalOps_ += p.count;
+  }
+}
+
+bool PhaseStream::next(trace::Op& op) {
+  while (phaseIdx_ < phases_.size() &&
+         posInPhase_ >= phases_[phaseIdx_].count) {
+    ++phaseIdx_;
+    posInPhase_ = 0;
+  }
+  if (phaseIdx_ >= phases_.size()) {
+    return false;
+  }
+  const Phase& phase = phases_[phaseIdx_];
+
+  switch (phase.kind) {
+    case Phase::Kind::kStrided:
+      op.addr = static_cast<Addr>(
+          static_cast<std::int64_t>(phase.base) +
+          static_cast<std::int64_t>(posInPhase_) * phase.strideBytes);
+      break;
+    case Phase::Kind::kGather: {
+      // Deterministic per-(seed, position) index: the same phase replayed
+      // revisits the same elements, like a fixed sparse pattern.
+      SplitMix64 h(phase.seed ^ (posInPhase_ * 0x9e3779b97f4a7c15ULL));
+      const std::uint64_t elements = phase.tableBytes / phase.elementBytes;
+      OCCM_ASSERT(elements > 0);
+      op.addr = phase.base + (h.next() % elements) * phase.elementBytes;
+      break;
+    }
+  }
+  op.write = phase.write;
+  op.prefetchable = phase.prefetchable;
+  op.instructions = phase.instrPerOp;
+  op.work = phase.workPerOp;
+  if (phase.jitterWork && phase.workPerOp > 0) {
+    // +/-25 % deterministic jitter from the op counter.
+    SplitMix64 h(opCounter_ * 0xD1B54A32D192ED03ULL + phase.seed);
+    const auto w = static_cast<double>(phase.workPerOp);
+    const double factor =
+        0.75 + 0.5 * (static_cast<double>(h.next() >> 11) * 0x1.0p-53);
+    op.work = static_cast<Cycles>(w * factor + 0.5);
+  }
+  ++posInPhase_;
+  ++opCounter_;
+  return true;
+}
+
+void PhaseStream::reset() {
+  phaseIdx_ = 0;
+  posInPhase_ = 0;
+  opCounter_ = 0;
+}
+
+Phase seqLines(Addr base, Bytes bytes, Cycles workPerOp, bool write) {
+  Phase p;
+  p.kind = Phase::Kind::kStrided;
+  p.base = base;
+  p.count = (bytes + 63) / 64;
+  p.strideBytes = 64;
+  p.workPerOp = workPerOp;
+  p.write = write;
+  p.prefetchable = true;
+  return p;
+}
+
+}  // namespace occm::workloads

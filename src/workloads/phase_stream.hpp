@@ -1,0 +1,70 @@
+#pragma once
+
+// PhaseStream: a lazy operation stream described by a small list of phase
+// descriptors. All six workload kernels (EP, IS, FT, CG, SP, x264) are
+// expressed as phase lists that walk their real loop nests:
+//
+//  - kStrided: `count` accesses from `base` with a fixed byte stride
+//    (stride 64 = one access per cache line of a streamed array, stride 0
+//    = repeated access to one location, large strides = the y/z sweeps of
+//    SP or the transpose passes of FT);
+//  - kGather: `count` accesses at pseudo-random elements of a table
+//    (CG's p[colidx[k]] gather, IS's scatter). The index sequence is a
+//    deterministic function of the phase seed, so re-running a phase with
+//    the same seed touches the same elements in the same order (cache
+//    reuse across solver iterations, as in the real kernels).
+//
+// Each operation carries `workPerOp` compute cycles; a deterministic
+// +/-25 % per-op jitter (hash of the op counter) desynchronises cores the
+// way real instruction streams do.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/ref_stream.hpp"
+
+namespace occm::workloads {
+
+struct Phase {
+  enum class Kind : std::uint8_t { kStrided, kGather };
+
+  Kind kind = Kind::kStrided;
+  Addr base = 0;
+  std::uint64_t count = 0;        ///< operations in this phase
+  std::int64_t strideBytes = 64;  ///< kStrided only (may be 0 or negative)
+  Bytes tableBytes = 0;           ///< kGather only: table size
+  std::uint32_t elementBytes = 8; ///< kGather only: element granularity
+  Cycles workPerOp = 1;
+  std::uint32_t instrPerOp = 4;
+  bool write = false;
+  /// Covered by a hardware prefetcher (sequential / constant stride).
+  bool prefetchable = false;
+  bool jitterWork = true;
+  std::uint64_t seed = 0;         ///< kGather index-sequence seed
+};
+
+class PhaseStream final : public trace::RefStream {
+ public:
+  explicit PhaseStream(std::vector<Phase> phases);
+
+  bool next(trace::Op& op) override;
+  void reset() override;
+
+  /// Total operations across all phases.
+  [[nodiscard]] std::uint64_t totalOps() const noexcept { return totalOps_; }
+
+ private:
+  std::vector<Phase> phases_;
+  std::size_t phaseIdx_ = 0;
+  std::uint64_t posInPhase_ = 0;
+  std::uint64_t opCounter_ = 0;  ///< global op index (work jitter hash)
+  std::uint64_t totalOps_ = 0;
+};
+
+/// Convenience: sequential walk over `bytes` bytes emitting one access per
+/// cache line (64 B), the pattern of a streamed array.
+[[nodiscard]] Phase seqLines(Addr base, Bytes bytes, Cycles workPerOp,
+                             bool write = false);
+
+}  // namespace occm::workloads

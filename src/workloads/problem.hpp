@@ -1,0 +1,91 @@
+#pragma once
+
+// Program and problem-class identifiers for the paper's benchmark set
+// (Table I): five NPB 3.3 OpenMP dwarfs and PARSEC x264.
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace occm::workloads {
+
+enum class Program : std::uint8_t {
+  kEP,    ///< embarrassingly parallel: low data dependency, low memory
+  kIS,    ///< parallel bucket sort on integers
+  kFT,    ///< spectral method: 3-D fast Fourier transform
+  kCG,    ///< sparse linear algebra: conjugate gradient
+  kSP,    ///< structured grid: pentadiagonal solver
+  kX264,  ///< H.264 video encoding (PARSEC)
+};
+
+/// NPB letter classes plus the PARSEC input sizes.
+enum class ProblemClass : std::uint8_t {
+  kS,
+  kW,
+  kA,
+  kB,
+  kC,
+  kSimSmall,
+  kSimMedium,
+  kSimLarge,
+  kNative,
+};
+
+[[nodiscard]] constexpr const char* programName(Program p) {
+  switch (p) {
+    case Program::kEP:
+      return "EP";
+    case Program::kIS:
+      return "IS";
+    case Program::kFT:
+      return "FT";
+    case Program::kCG:
+      return "CG";
+    case Program::kSP:
+      return "SP";
+    case Program::kX264:
+      return "x264";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* problemClassName(ProblemClass c) {
+  switch (c) {
+    case ProblemClass::kS:
+      return "S";
+    case ProblemClass::kW:
+      return "W";
+    case ProblemClass::kA:
+      return "A";
+    case ProblemClass::kB:
+      return "B";
+    case ProblemClass::kC:
+      return "C";
+    case ProblemClass::kSimSmall:
+      return "simsmall";
+    case ProblemClass::kSimMedium:
+      return "simmedium";
+    case ProblemClass::kSimLarge:
+      return "simlarge";
+    case ProblemClass::kNative:
+      return "native";
+  }
+  return "?";
+}
+
+/// True when the class is valid for the program (NPB programs take letter
+/// classes; x264 takes the PARSEC input sizes).
+[[nodiscard]] constexpr bool classValidFor(Program p, ProblemClass c) {
+  const bool letter = c == ProblemClass::kS || c == ProblemClass::kW ||
+                      c == ProblemClass::kA || c == ProblemClass::kB ||
+                      c == ProblemClass::kC;
+  return p == Program::kX264 ? !letter : letter;
+}
+
+/// "CG.C", "x264.native", ... (the paper's notation).
+[[nodiscard]] inline std::string workloadName(Program p, ProblemClass c) {
+  return std::string(programName(p)) + "." + problemClassName(c);
+}
+
+}  // namespace occm::workloads

@@ -1,0 +1,131 @@
+// SP — scalar pentadiagonal solver on a 3-D structured grid (NPB SP).
+// Each time step computes the right-hand side with a 7-point stencil and
+// then performs forward/backward line solves along x, y and z. Cells hold
+// five unknowns (40 B); the y and z sweeps stride by one row / one plane
+// of 40 B cells, touching a new cache line per cell, and rewrite the
+// solution — SP therefore combines the highest off-chip miss rate of the
+// dwarf set with heavy writeback traffic, which is why it shows the
+// paper's largest contention (omega up to 11.6).
+
+#include "workloads/kernels.hpp"
+
+#include "workloads/kernel_util.hpp"
+
+namespace occm::workloads {
+
+namespace {
+
+struct SpParams {
+  std::uint64_t grid = 0;  ///< G: G^3 cells
+  int steps = 3;
+  Cycles workStencil = 8;
+  Cycles workSolveLine = 4;  ///< per streamed line in the x solve
+  Cycles workSolveCell = 4;  ///< per cell in the strided y/z solves
+};
+
+/// NPB SP: 12^3 (S) .. 162^3 (C); scaled 32x in footprint.
+SpParams paramsFor(ProblemClass cls) {
+  SpParams p;
+  switch (cls) {
+    case ProblemClass::kS:
+      p.grid = 8;
+      p.steps = 16;
+      break;
+    case ProblemClass::kW:
+      p.grid = 12;
+      p.steps = 10;
+      break;
+    case ProblemClass::kA:
+      p.grid = 24;
+      p.steps = 6;
+      break;
+    case ProblemClass::kB:
+      p.grid = 40;
+      p.steps = 4;
+      break;
+    case ProblemClass::kC:
+      p.grid = 64;
+      break;
+    default:
+      OCCM_REQUIRE_MSG(false, "SP takes NPB letter classes");
+  }
+  return p;
+}
+
+}  // namespace
+
+KernelBuild buildSp(ProblemClass cls, int threads, std::uint64_t seed) {
+  OCCM_REQUIRE(threads >= 1);
+  (void)seed;  // SP's access pattern is fully structural
+  const SpParams p = paramsFor(cls);
+  const std::uint64_t g = p.grid;
+  const std::uint64_t cells = g * g * g;
+  constexpr Bytes kCell = 40;  // 5 doubles per cell
+
+  trace::AddressSpace space;
+  const Addr u = space.allocShared(cells * kCell);
+  const Addr rhs = space.allocShared(cells * kCell);
+  const Addr lhs = space.allocShared(cells * kCell);
+
+  KernelBuild build;
+  build.sharedBytes = space.sharedBytes();
+  build.sizeDescription = std::to_string(g) +
+                          "^3 grid, 5 unknowns/cell (scaled from NPB " +
+                          problemClassName(cls) + ")";
+  build.threadPhases.resize(static_cast<std::size_t>(threads));
+
+  auto pencilPhase = [&](Addr base, std::uint64_t stride, bool write) {
+    Phase phase;
+    phase.kind = Phase::Kind::kStrided;
+    phase.base = base;
+    phase.count = g;
+    phase.strideBytes = static_cast<std::int64_t>(stride);
+    phase.workPerOp = p.workSolveCell;
+    phase.write = write;
+    phase.prefetchable = true;  // constant-stride sweep
+    return phase;
+  };
+
+  for (int t = 0; t < threads; ++t) {
+    auto& phases = build.threadPhases[static_cast<std::size_t>(t)];
+    const Range slab = threadRange(cells, threads, t);
+    const Range pencils = threadRange(g * g, threads, t);
+    const Addr slabOff = slab.begin * kCell;
+    const Bytes slabBytes = slab.size() * kCell;
+    for (int step = 0; step < p.steps; ++step) {
+      // compute_rhs: stencil reads of u, write of rhs.
+      phases.push_back(seqLines(u + slabOff, slabBytes, p.workStencil));
+      phases.push_back(seqLines(u + slabOff, slabBytes, p.workStencil));
+      phases.push_back(
+          seqLines(rhs + slabOff, slabBytes, p.workStencil, /*write=*/true));
+      // x_solve: unit-stride forward + backward substitution.
+      phases.push_back(seqLines(lhs + slabOff, slabBytes, p.workSolveLine));
+      phases.push_back(
+          seqLines(rhs + slabOff, slabBytes, p.workSolveLine, /*write=*/true));
+      phases.push_back(seqLines(lhs + slabOff, slabBytes, p.workSolveLine));
+      phases.push_back(
+          seqLines(u + slabOff, slabBytes, p.workSolveLine, /*write=*/true));
+      // y_solve and z_solve: per-pencil forward (read lhs) and backward
+      // (write rhs) sweeps at row / plane stride.
+      for (std::uint64_t pc = pencils.begin; pc < pencils.end; ++pc) {
+        const std::uint64_t x = pc % g;
+        const std::uint64_t z = pc / g;
+        const Addr yBase = (z * g * g + x) * kCell;
+        phases.push_back(pencilPhase(lhs + yBase, g * kCell, false));
+        phases.push_back(pencilPhase(rhs + yBase, g * kCell, true));
+        phases.push_back(pencilPhase(u + yBase, g * kCell, true));
+      }
+      for (std::uint64_t pc = pencils.begin; pc < pencils.end; ++pc) {
+        const std::uint64_t x = pc % g;
+        const std::uint64_t y = pc / g;
+        const Addr zBase = (y * g + x) * kCell;
+        phases.push_back(pencilPhase(lhs + zBase, g * g * kCell, false));
+        phases.push_back(pencilPhase(rhs + zBase, g * g * kCell, true));
+        phases.push_back(pencilPhase(u + zBase, g * g * kCell, true));
+      }
+    }
+  }
+  return build;
+}
+
+}  // namespace occm::workloads

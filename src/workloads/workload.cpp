@@ -1,0 +1,48 @@
+#include "workloads/workload.hpp"
+
+#include "common/error.hpp"
+#include "workloads/kernels.hpp"
+
+namespace occm::workloads {
+
+KernelBuild buildKernel(Program program, ProblemClass cls, int threads,
+                        std::uint64_t seed) {
+  OCCM_REQUIRE_MSG(classValidFor(program, cls),
+                   "problem class not valid for this program");
+  switch (program) {
+    case Program::kEP:
+      return buildEp(cls, threads, seed);
+    case Program::kIS:
+      return buildIs(cls, threads, seed);
+    case Program::kFT:
+      return buildFt(cls, threads, seed);
+    case Program::kCG:
+      return buildCg(cls, threads, seed);
+    case Program::kSP:
+      return buildSp(cls, threads, seed);
+    case Program::kX264:
+      return buildX264(cls, threads, seed);
+  }
+  OCCM_REQUIRE_MSG(false, "unknown program");
+  return {};
+}
+
+WorkloadInstance makeWorkload(const WorkloadSpec& spec) {
+  OCCM_REQUIRE_MSG(spec.threads >= 1, "need at least one thread");
+  KernelBuild build =
+      buildKernel(spec.program, spec.problemClass, spec.threads, spec.seed);
+
+  WorkloadInstance instance;
+  instance.name = workloadName(spec.program, spec.problemClass);
+  instance.sizeDescription = std::move(build.sizeDescription);
+  instance.sharedBytes = build.sharedBytes;
+  instance.threads.reserve(build.threadPhases.size());
+  for (auto& phases : build.threadPhases) {
+    auto stream = std::make_unique<PhaseStream>(std::move(phases));
+    instance.totalOps += stream->totalOps();
+    instance.threads.push_back(std::move(stream));
+  }
+  return instance;
+}
+
+}  // namespace occm::workloads

@@ -1,0 +1,37 @@
+#pragma once
+
+// Workload factory: turns a (program, problem class, thread count) triple
+// into the per-thread reference streams the simulator executes.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/ref_stream.hpp"
+#include "workloads/problem.hpp"
+
+namespace occm::workloads {
+
+struct WorkloadSpec {
+  Program program = Program::kCG;
+  ProblemClass problemClass = ProblemClass::kC;
+  /// Software threads. <= 0 means "one per machine logical core" when the
+  /// spec is resolved by the harness (the paper's fixed-threads protocol).
+  int threads = 0;
+  std::uint64_t seed = 2011;
+};
+
+/// A ready-to-run workload instance.
+struct WorkloadInstance {
+  std::string name;  ///< "CG.C" etc.
+  std::string sizeDescription;
+  std::vector<trace::RefStreamPtr> threads;
+  Bytes sharedBytes = 0;
+  std::uint64_t totalOps = 0;
+};
+
+/// Builds the workload. Throws ContractViolation for invalid
+/// program/class combinations.
+[[nodiscard]] WorkloadInstance makeWorkload(const WorkloadSpec& spec);
+
+}  // namespace occm::workloads

@@ -1,0 +1,118 @@
+// x264 — H.264 video encoding (PARSEC). Frames are distributed round-
+// robin over threads. Per frame: a streaming load of the input frame (the
+// off-chip burst that dominates x264's memory traffic), a motion-
+// estimation phase of gathers inside a small cache-resident search window
+// per macroblock row (compute heavy, mostly L1/L2 hits), and a streaming
+// write of the encoded output. Frame buffers are a ring of three shared
+// frames plus an output ring.
+
+#include "workloads/kernels.hpp"
+
+#include "workloads/kernel_util.hpp"
+
+namespace occm::workloads {
+
+namespace {
+
+struct X264Params {
+  std::uint64_t frames = 0;
+  std::uint64_t width = 0;
+  std::uint64_t height = 0;
+  Cycles workLoadLine = 30;    ///< per input line: filtering/prediction
+  Cycles workSearch = 20;      ///< per SAD probe in the search window
+  Cycles workOutLine = 12;
+  std::uint32_t probesPerMacroblock = 40;
+};
+
+/// PARSEC inputs (paper Table III): 8/32/128 frames at 640x360 and 512
+/// frames at 1920x1080, scaled 32x in pixel footprint (4x per side).
+X264Params paramsFor(ProblemClass cls) {
+  X264Params p;
+  switch (cls) {
+    case ProblemClass::kSimSmall:
+      p.frames = 8;
+      p.width = 160;
+      p.height = 90;
+      break;
+    case ProblemClass::kSimMedium:
+      p.frames = 32;
+      p.width = 160;
+      p.height = 90;
+      break;
+    case ProblemClass::kSimLarge:
+      p.frames = 128;
+      p.width = 160;
+      p.height = 90;
+      break;
+    case ProblemClass::kNative:
+      p.frames = 512;
+      p.width = 480;
+      p.height = 270;
+      break;
+    default:
+      OCCM_REQUIRE_MSG(false, "x264 takes PARSEC input sizes");
+  }
+  return p;
+}
+
+}  // namespace
+
+KernelBuild buildX264(ProblemClass cls, int threads, std::uint64_t seed) {
+  OCCM_REQUIRE(threads >= 1);
+  const X264Params p = paramsFor(cls);
+  const Bytes frameBytes = p.width * p.height;  // 8-bit luma
+
+  trace::AddressSpace space;
+  const Addr frameRing = space.allocShared(3 * frameBytes);
+  const Addr outRing = space.allocShared(4 * frameBytes / 2);
+
+  KernelBuild build;
+  build.sharedBytes = space.sharedBytes();
+  build.sizeDescription =
+      std::to_string(p.frames) + " frames at " + std::to_string(p.width) +
+      "x" + std::to_string(p.height) + " (scaled from PARSEC " +
+      problemClassName(cls) + ")";
+  build.threadPhases.resize(static_cast<std::size_t>(threads));
+
+  const std::uint64_t mbRows = p.height / 16;
+  const std::uint64_t mbCols = p.width / 16;
+
+  for (std::uint64_t frame = 0; frame < p.frames; ++frame) {
+    const int t = static_cast<int>(frame % static_cast<std::uint64_t>(threads));
+    auto& phases = build.threadPhases[static_cast<std::size_t>(t)];
+    const Addr cur = frameRing + (frame % 3) * frameBytes;
+    const Addr ref = frameRing + ((frame + 2) % 3) * frameBytes;
+    // Streaming load of the input frame: x264's off-chip burst.
+    phases.push_back(seqLines(cur, frameBytes, p.workLoadLine, /*write=*/true));
+    // GOP structure: every 8th frame is an I-frame — no motion search,
+    // a compute-heavy intra pass instead (burstier aggregate traffic).
+    if (frame % 8 == 0) {
+      phases.push_back(seqLines(cur, frameBytes, 4 * p.workLoadLine));
+      phases.push_back(seqLines(outRing + (frame % 4) * (frameBytes / 2),
+                                frameBytes / 2, p.workOutLine,
+                                /*write=*/true));
+      continue;
+    }
+    // Motion estimation: per macroblock row, SAD probes inside a search
+    // window of +/-16 rows of the reference frame (cache resident).
+    for (std::uint64_t row = 0; row < mbRows; ++row) {
+      Phase search;
+      search.kind = Phase::Kind::kGather;
+      // Clamp the window so it stays inside the reference frame.
+      const std::uint64_t windowTop = std::min(row * 16, p.height - 48);
+      search.base = ref + windowTop * p.width;
+      search.tableBytes = p.width * 48;  // 48 reference rows
+      search.elementBytes = 16;
+      search.count = mbCols * p.probesPerMacroblock;
+      search.workPerOp = p.workSearch;
+      search.seed = hashSeed(seed, frame, row);
+      phases.push_back(search);
+    }
+    // Encoded output write.
+    phases.push_back(seqLines(outRing + (frame % 4) * (frameBytes / 2),
+                              frameBytes / 2, p.workOutLine, /*write=*/true));
+  }
+  return build;
+}
+
+}  // namespace occm::workloads

@@ -1,0 +1,120 @@
+#include "cache/coherence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace occm::cache {
+namespace {
+
+TEST(CoherenceDirectory, ReadersAccumulateAsSharers) {
+  CoherenceDirectory dir(4);
+  EXPECT_TRUE(dir.onAccess(0, 0, false).empty());
+  EXPECT_TRUE(dir.onAccess(0, 1, false).empty());
+  EXPECT_TRUE(dir.onAccess(0, 2, false).empty());
+  EXPECT_FALSE(dir.isInvalidatedFor(0, 0));
+  EXPECT_FALSE(dir.isInvalidatedFor(0, 2));
+  EXPECT_EQ(dir.stats().upgrades, 0u);
+}
+
+TEST(CoherenceDirectory, WriteInvalidatesOtherSharers) {
+  CoherenceDirectory dir(4);
+  (void)dir.onAccess(0, 0, false);
+  (void)dir.onAccess(0, 1, false);
+  const auto victims = dir.onAccess(0, 2, true);
+  EXPECT_EQ(victims, (std::vector<CoreId>{0, 1}));
+  EXPECT_TRUE(dir.isInvalidatedFor(0, 0));
+  EXPECT_TRUE(dir.isInvalidatedFor(0, 1));
+  EXPECT_FALSE(dir.isInvalidatedFor(0, 2));
+  EXPECT_EQ(dir.ownerOf(0), 2);
+  EXPECT_EQ(dir.stats().upgrades, 1u);
+  EXPECT_EQ(dir.stats().invalidationsSent, 2u);
+}
+
+TEST(CoherenceDirectory, WriteWithNoOtherSharerIsSilent) {
+  CoherenceDirectory dir(4);
+  (void)dir.onAccess(0, 1, true);
+  EXPECT_TRUE(dir.onAccess(0, 1, true).empty());
+  EXPECT_EQ(dir.stats().upgrades, 0u);
+}
+
+TEST(CoherenceDirectory, ReadAfterRemoteWriteIsCoherenceMiss) {
+  CoherenceDirectory dir(4);
+  (void)dir.onAccess(0, 0, true);
+  (void)dir.onAccess(0, 1, false);
+  EXPECT_EQ(dir.stats().coherenceMisses, 1u);
+  // Re-reading by the owner is not a coherence miss.
+  (void)dir.onAccess(0, 0, false);
+  EXPECT_EQ(dir.stats().coherenceMisses, 1u);
+}
+
+TEST(CoherenceDirectory, UntrackedLineIsNotInvalidated) {
+  CoherenceDirectory dir(2);
+  EXPECT_FALSE(dir.isInvalidatedFor(123, 0));
+  EXPECT_EQ(dir.ownerOf(123), -1);
+}
+
+TEST(CoherenceDirectory, AlternatingWritersPingPong) {
+  CoherenceDirectory dir(2);
+  std::size_t invalidations = 0;
+  (void)dir.onAccess(0, 0, true);
+  for (int i = 0; i < 10; ++i) {
+    invalidations += dir.onAccess(0, i % 2 == 0 ? 1 : 0, true).size();
+  }
+  EXPECT_EQ(invalidations, 10u);
+}
+
+TEST(CoherenceDirectory, EvictionDropsSharerAndCleansUp) {
+  CoherenceDirectory dir(2);
+  (void)dir.onAccess(0, 0, false);
+  (void)dir.onAccess(0, 1, false);
+  EXPECT_EQ(dir.trackedLines(), 1u);
+  dir.onEviction(0, 0);
+  // Core 0 is no longer a sharer, so a write by core 1 invalidates no one.
+  EXPECT_TRUE(dir.onAccess(0, 1, true).empty());
+  dir.onEviction(0, 1);
+  EXPECT_EQ(dir.trackedLines(), 0u);
+}
+
+TEST(CoherenceDirectory, DistinctLinesIndependent) {
+  CoherenceDirectory dir(2);
+  (void)dir.onAccess(0, 0, true);
+  (void)dir.onAccess(64, 1, true);
+  EXPECT_FALSE(dir.isInvalidatedFor(64, 1));
+  // Core 0 holds no copy of the written line 64, so its copies count as
+  // invalid until it re-reads (the refetch is handled by the hierarchy).
+  EXPECT_TRUE(dir.isInvalidatedFor(64, 0));
+  (void)dir.onAccess(64, 0, false);
+  EXPECT_FALSE(dir.isInvalidatedFor(64, 0));
+}
+
+TEST(CoherenceDirectory, ReadSharedLinesNeverInvalidate) {
+  // No write ever happens: any number of readers coexist and none is
+  // considered invalidated (read-only data such as CG's iterate vector).
+  CoherenceDirectory dir(4);
+  (void)dir.onAccess(0, 0, false);
+  (void)dir.onAccess(0, 3, false);
+  EXPECT_FALSE(dir.isInvalidatedFor(0, 0));
+  EXPECT_FALSE(dir.isInvalidatedFor(0, 1));  // cold, but nothing modified
+  EXPECT_FALSE(dir.isInvalidatedFor(0, 3));
+  EXPECT_EQ(dir.ownerOf(0), -1);
+}
+
+TEST(CoherenceDirectory, SupportsUpTo64Cores) {
+  EXPECT_NO_THROW(CoherenceDirectory(64));
+  EXPECT_THROW((void)CoherenceDirectory(65), ContractViolation);
+  EXPECT_THROW((void)CoherenceDirectory(0), ContractViolation);
+}
+
+TEST(CoherenceDirectory, ClearResetsEverything) {
+  CoherenceDirectory dir(2);
+  (void)dir.onAccess(0, 0, true);
+  (void)dir.onAccess(0, 1, true);
+  dir.clear();
+  EXPECT_EQ(dir.trackedLines(), 0u);
+  EXPECT_EQ(dir.stats().upgrades, 0u);
+  EXPECT_FALSE(dir.isInvalidatedFor(0, 0));
+}
+
+}  // namespace
+}  // namespace occm::cache

@@ -1,0 +1,159 @@
+#include "cache/set_assoc_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace occm::cache {
+namespace {
+
+TEST(SetAssocCache, ColdMissThenHit) {
+  SetAssocCache cache(1024, 64, 2);
+  EXPECT_FALSE(cache.access(0, false));
+  EXPECT_TRUE(cache.insert(0, false) == std::nullopt);
+  EXPECT_TRUE(cache.access(0, false));
+  EXPECT_EQ(cache.stats().accesses, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SetAssocCache, SameLineDifferentOffsetsHit) {
+  SetAssocCache cache(1024, 64, 2);
+  (void)cache.insert(128, false);
+  EXPECT_TRUE(cache.access(128 + 63, false));
+  EXPECT_FALSE(cache.contains(192));
+}
+
+TEST(SetAssocCache, LruEvictionOrder) {
+  // Direct construct a tiny fully-associative-in-one-set shape by filling
+  // one set: use a cache with 1 set (size = ways * line).
+  SetAssocCache cache(2 * 64, 64, 2);
+  ASSERT_EQ(cache.sets(), 1u);
+  (void)cache.insert(0 * 64, false);
+  (void)cache.insert(1 * 64, false);
+  // Touch line 0 so line 1 becomes LRU.
+  EXPECT_TRUE(cache.access(0, false));
+  const auto evicted = cache.insert(2 * 64, false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->lineAddr, 64u);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(64));
+}
+
+TEST(SetAssocCache, DirtyEvictionReported) {
+  SetAssocCache cache(2 * 64, 64, 2);
+  (void)cache.insert(0, /*write=*/true);
+  (void)cache.insert(64, false);
+  const auto evicted = cache.insert(128, false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->lineAddr, 0u);
+  EXPECT_TRUE(evicted->dirty);
+  EXPECT_EQ(cache.stats().dirtyEvictions, 1u);
+}
+
+TEST(SetAssocCache, WriteHitMarksDirty) {
+  SetAssocCache cache(2 * 64, 64, 2);
+  (void)cache.insert(0, false);
+  EXPECT_TRUE(cache.access(0, /*write=*/true));
+  (void)cache.insert(64, false);
+  const auto evicted = cache.insert(128, false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(evicted->dirty);
+}
+
+TEST(SetAssocCache, InsertExistingRefreshesInsteadOfEvicting) {
+  SetAssocCache cache(2 * 64, 64, 2);
+  (void)cache.insert(0, false);
+  (void)cache.insert(64, false);
+  EXPECT_EQ(cache.insert(0, true), std::nullopt);  // refresh, now dirty+MRU
+  const auto evicted = cache.insert(128, false);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->lineAddr, 64u);
+}
+
+TEST(SetAssocCache, InvalidateRemovesLine) {
+  SetAssocCache cache(1024, 64, 2);
+  (void)cache.insert(0, true);
+  const auto result = cache.invalidate(0);
+  EXPECT_TRUE(result.wasPresent);
+  EXPECT_TRUE(result.wasDirty);
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(SetAssocCache, InvalidateAbsentIsNoop) {
+  SetAssocCache cache(1024, 64, 2);
+  const auto result = cache.invalidate(0);
+  EXPECT_FALSE(result.wasPresent);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+TEST(SetAssocCache, MarkDirtyOnlyWhenPresent) {
+  SetAssocCache cache(1024, 64, 2);
+  EXPECT_FALSE(cache.markDirty(0));
+  (void)cache.insert(0, false);
+  EXPECT_TRUE(cache.markDirty(0));
+  (void)cache.insert(64, false);
+  // Evict everything in set of line 0 to observe dirtiness... simpler:
+  const auto result = cache.invalidate(0);
+  EXPECT_TRUE(result.wasDirty);
+}
+
+TEST(SetAssocCache, FlushDropsEverything) {
+  SetAssocCache cache(1024, 64, 2);
+  (void)cache.insert(0, true);
+  (void)cache.insert(64, false);
+  cache.flush();
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(64));
+}
+
+TEST(SetAssocCache, WorkingSetLargerThanCacheMisses) {
+  SetAssocCache cache(8 * kKiB, 64, 4);
+  // Touch 64 KiB twice: second pass still mostly misses (capacity).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (Addr a = 0; a < 64 * kKiB; a += 64) {
+      if (!cache.access(a, false)) {
+        (void)cache.insert(a, false);
+      }
+    }
+  }
+  EXPECT_GT(cache.stats().missRatio(), 0.9);
+}
+
+TEST(SetAssocCache, WorkingSetSmallerThanCacheHits) {
+  SetAssocCache cache(8 * kKiB, 64, 4);
+  for (int pass = 0; pass < 10; ++pass) {
+    for (Addr a = 0; a < 4 * kKiB; a += 64) {
+      if (!cache.access(a, false)) {
+        (void)cache.insert(a, false);
+      }
+    }
+  }
+  // First pass misses, the rest hit: ratio ~ 1/10.
+  EXPECT_LT(cache.stats().missRatio(), 0.2);
+}
+
+TEST(SetAssocCache, NonPowerOfTwoSetCountWorks) {
+  // 384 KiB, 16-way: 384 sets (the Intel NUMA LLC shape).
+  SetAssocCache cache(384 * kKiB, 64, 16);
+  EXPECT_EQ(cache.sets(), 384u);
+  for (Addr a = 0; a < 128 * kKiB; a += 64) {
+    if (!cache.access(a, false)) {
+      (void)cache.insert(a, false);
+    }
+  }
+  for (Addr a = 0; a < 128 * kKiB; a += 64) {
+    EXPECT_TRUE(cache.access(a, false)) << a;
+  }
+}
+
+TEST(SetAssocCache, InvalidGeometryThrows) {
+  EXPECT_THROW((void)SetAssocCache(1000, 64, 2), ContractViolation);  // not multiple
+  EXPECT_THROW((void)SetAssocCache(1024, 48, 2), ContractViolation);  // line !pow2
+  EXPECT_THROW((void)SetAssocCache(1024, 64, 0), ContractViolation);
+  EXPECT_THROW((void)SetAssocCache(64 * 3, 64, 2), ContractViolation);  // 1.5 sets
+}
+
+}  // namespace
+}  // namespace occm::cache

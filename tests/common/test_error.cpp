@@ -1,0 +1,41 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace occm {
+namespace {
+
+TEST(Contracts, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(OCCM_REQUIRE(1 + 1 == 2));
+}
+
+TEST(Contracts, RequireThrowsOnFalse) {
+  EXPECT_THROW(OCCM_REQUIRE(1 + 1 == 3), ContractViolation);
+}
+
+TEST(Contracts, MessageContainsExpressionAndText) {
+  try {
+    OCCM_REQUIRE_MSG(false, "custom context");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, AssertThrowsOnFalse) {
+  EXPECT_THROW(OCCM_ASSERT(false), ContractViolation);
+  EXPECT_NO_THROW(OCCM_ASSERT(true));
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  const auto thrower = [] { throw ContractViolation("x"); };
+  EXPECT_THROW(thrower(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace occm

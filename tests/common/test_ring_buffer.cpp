@@ -1,0 +1,77 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace occm {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_FALSE(rb.full());
+}
+
+TEST(RingBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW((void)RingBuffer<int>(0), ContractViolation);
+}
+
+TEST(RingBuffer, PushAndIndexInOrder) {
+  RingBuffer<int> rb(4);
+  rb.push(10);
+  rb.push(20);
+  rb.push(30);
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 10);
+  EXPECT_EQ(rb[1], 20);
+  EXPECT_EQ(rb[2], 30);
+  EXPECT_EQ(rb.back(), 30);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) {
+    rb.push(i);
+  }
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb[0], 3);
+  EXPECT_EQ(rb[1], 4);
+  EXPECT_EQ(rb[2], 5);
+  EXPECT_EQ(rb.back(), 5);
+}
+
+TEST(RingBuffer, OutOfRangeIndexThrows) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  EXPECT_THROW((void)rb[1], ContractViolation);
+}
+
+TEST(RingBuffer, BackOnEmptyThrows) {
+  RingBuffer<int> rb(3);
+  EXPECT_THROW((void)rb.back(), ContractViolation);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(7);
+  EXPECT_EQ(rb[0], 7);
+}
+
+TEST(RingBuffer, CapacityOneKeepsLatest) {
+  RingBuffer<int> rb(1);
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb[0], 2);
+}
+
+}  // namespace
+}  // namespace occm

@@ -1,0 +1,187 @@
+// Unit and property tests for the deterministic RNG.
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace occm {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReproducibleStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) {
+    first.push_back(a.next());
+  }
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Rng, SubstreamsAreIndependent) {
+  Rng a = Rng::substream(7, 0);
+  Rng b = Rng::substream(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    equal += a.next() == b.next() ? 1 : 0;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(5.0, 9.0);
+    ASSERT_GE(u, 5.0);
+    ASSERT_LT(u, 9.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelowBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.below(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(9);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.between(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    sawLo = sawLo || v == -3;
+    sawHi = sawHi || v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 4.0, 0.05);
+}
+
+TEST(Rng, BoundedParetoStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.boundedPareto(1.3, 1.0, 100.0);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 100.0 * (1.0 + 1e-9));
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  // A bounded Pareto with alpha 1.1 should produce values above ten times
+  // the minimum far more often than an exponential of the same mean.
+  Rng rng(19);
+  int big = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    big += rng.boundedPareto(1.1, 1.0, 1000.0) > 10.0 ? 1 : 0;
+  }
+  // P(X > 10) for Pareto(1.1) is ~ 10^-1.1 ~ 0.079.
+  EXPECT_GT(big, kN / 30);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches) {
+  Rng rng(29);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  const double p = 0.2;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.geometric(p));
+  }
+  // Mean number of failures before success = (1-p)/p = 4.
+  EXPECT_NEAR(sum / kN, (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricWithCertainSuccessIsZero) {
+  Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace occm

@@ -1,0 +1,107 @@
+#include "core/burstiness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace occm::model {
+namespace {
+
+TEST(Figure4Grid, LogSpacedTicks) {
+  const auto grid = figure4Grid(2000.0);
+  const std::vector<double> expected = {1,   2,   5,   10,  20,   50,
+                                        100, 200, 500, 1000, 2000};
+  EXPECT_EQ(grid, expected);
+}
+
+TEST(Figure4Grid, RespectsMax) {
+  const auto grid = figure4Grid(60.0);
+  EXPECT_EQ(grid.back(), 50.0);
+}
+
+TEST(IsBursty, Criterion) {
+  EXPECT_TRUE(isBursty(1.5, 10.0, 5.0));    // high cv
+  EXPECT_TRUE(isBursty(0.5, 100.0, 5.0));   // huge max/mean
+  EXPECT_FALSE(isBursty(0.2, 12.0, 10.0));  // tight around the mean
+  EXPECT_FALSE(isBursty(0.0, 0.0, 0.0));    // no traffic
+}
+
+TEST(AnalyzeBurstiness, HeavyTailedWindowsAreBursty) {
+  // Small-problem pattern: mostly idle windows, occasional Pareto bursts.
+  Rng rng(5);
+  std::vector<std::uint32_t> windows(20000, 0);
+  for (int i = 0; i < 800; ++i) {
+    const auto idx = rng.below(windows.size());
+    windows[idx] = static_cast<std::uint32_t>(
+        rng.boundedPareto(1.2, 1.0, 2000.0));
+  }
+  const BurstinessReport report = analyzeBurstiness(windows);
+  EXPECT_TRUE(report.bursty);
+  EXPECT_GT(report.idleFraction, 0.9);
+  EXPECT_GT(report.maxBurst / report.meanBurst, 8.0);
+  EXPECT_FALSE(report.ccdf.empty());
+}
+
+TEST(AnalyzeBurstiness, SaturatedTrafficIsNotBursty) {
+  // Large-problem pattern: every window carries a near-constant load.
+  Rng rng(7);
+  std::vector<std::uint32_t> windows;
+  for (int i = 0; i < 20000; ++i) {
+    windows.push_back(static_cast<std::uint32_t>(180 + rng.below(40)));
+  }
+  const BurstinessReport report = analyzeBurstiness(windows);
+  EXPECT_FALSE(report.bursty);
+  EXPECT_EQ(report.idleFraction, 0.0);
+  EXPECT_LT(report.cv, 0.2);
+}
+
+TEST(AnalyzeBurstiness, ParetoTailFitIsDiagonal) {
+  Rng rng(11);
+  std::vector<std::uint32_t> windows;
+  for (int i = 0; i < 100000; ++i) {
+    windows.push_back(static_cast<std::uint32_t>(
+        rng.boundedPareto(1.3, 1.0, 100000.0)));
+  }
+  const BurstinessReport report = analyzeBurstiness(windows);
+  ASSERT_GT(report.tail.points, 5u);
+  EXPECT_NEAR(report.tail.slope, -1.3, 0.35);
+  EXPECT_GT(report.tail.r2, 0.9);
+}
+
+TEST(AnalyzeBurstiness, AllIdleReportsNoTraffic) {
+  const std::vector<std::uint32_t> windows(100, 0);
+  const BurstinessReport report = analyzeBurstiness(windows);
+  EXPECT_FALSE(report.bursty);
+  EXPECT_EQ(report.activeWindows, 0u);
+  EXPECT_EQ(report.idleFraction, 1.0);
+}
+
+TEST(AnalyzeBurstiness, EmptyThrows) {
+  const std::vector<std::uint32_t> empty;
+  EXPECT_THROW((void)analyzeBurstiness(empty), ContractViolation);
+}
+
+TEST(AnalyzeBurstiness, CcdfMatchesCounts) {
+  // 10 windows of size 1 and 10 of size 100.
+  std::vector<std::uint32_t> windows;
+  for (int i = 0; i < 10; ++i) {
+    windows.push_back(1);
+    windows.push_back(100);
+  }
+  const BurstinessReport report = analyzeBurstiness(windows);
+  // P(B > 1) = 0.5; P(B > 100) = 0.
+  for (const auto& point : report.ccdf) {
+    if (point.x == 1.0) {
+      EXPECT_DOUBLE_EQ(point.probability, 0.5);
+    }
+    if (point.x >= 100.0) {
+      EXPECT_DOUBLE_EQ(point.probability, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace occm::model

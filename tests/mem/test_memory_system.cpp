@@ -1,0 +1,146 @@
+#include "mem/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+#include "topology/topology_map.hpp"
+
+namespace occm::mem {
+namespace {
+
+// testNuma4: dramLatency 100, rowHit 10, rowMiss 20, 1 channel, 2 banks,
+// hop 40 cycles, nodes {0, 1}, cores 0,1 on node 0 and 2,3 on node 1.
+
+class MemorySystemTest : public ::testing::Test {
+ protected:
+  MemorySystemTest() : topo_(topology::testNuma4()) {}
+
+  MemorySystem makeLocalOnly() {
+    MemoryConfig config;
+    config.placement = PlacementPolicy::kLocal;
+    config.service = ServiceDiscipline::kDeterministic;
+    return MemorySystem(topo_, config, {0, 1});
+  }
+
+  topology::TopologyMap topo_;
+};
+
+TEST_F(MemorySystemTest, SoloLocalRequestTakesDramLatency) {
+  MemorySystem mem = makeLocalOnly();
+  const RequestTiming t = mem.request(1000, 0, 0);
+  EXPECT_EQ(t.done, 1000u + 100u);
+  EXPECT_EQ(t.queueWait, 0u);
+  EXPECT_FALSE(t.remote);
+  EXPECT_EQ(t.node, 0);
+}
+
+TEST_F(MemorySystemTest, RemoteRequestPaysHops) {
+  MemoryConfig config;
+  config.placement = PlacementPolicy::kInterleaveActive;
+  config.service = ServiceDiscipline::kDeterministic;
+  // Only node 1 active: every request from core 0 is remote (1 hop).
+  MemorySystem mem(topo_, config, {1});
+  const RequestTiming t = mem.request(0, 0, 0);
+  EXPECT_TRUE(t.remote);
+  EXPECT_EQ(t.node, 1);
+  EXPECT_EQ(t.hopCycles, 80u);          // 2 x 40
+  EXPECT_EQ(t.done, 40u + 100u + 40u);  // out, DRAM, back
+}
+
+TEST_F(MemorySystemTest, BackToBackRequestsQueue) {
+  MemorySystem mem = makeLocalOnly();
+  // Two simultaneous requests to the same bank row -> the second waits for
+  // the channel occupancy of the first (row miss 20, then row hit 10).
+  const RequestTiming first = mem.request(0, 0, 0);
+  const RequestTiming second = mem.request(0, 1, 0);
+  EXPECT_EQ(first.queueWait, 0u);
+  EXPECT_EQ(second.queueWait, 20u);  // behind one row-miss transfer
+  EXPECT_EQ(second.done, 20u + 100u);
+}
+
+TEST_F(MemorySystemTest, RowHitsAreCheaperThanMisses) {
+  MemorySystem mem = makeLocalOnly();
+  (void)mem.request(0, 0, 0);      // opens row 0
+  (void)mem.request(0, 1, 64);     // same 2 KiB row: hit
+  (void)mem.request(0, 0, 1 << 20);  // far away: row miss
+  const ControllerStats& stats = mem.controllerStats(0);
+  EXPECT_EQ(stats.rowHits, 1u);
+  EXPECT_EQ(stats.rowMisses, 2u);
+  EXPECT_NEAR(stats.rowHitRatio(), 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(MemorySystemTest, StreamKeepsRowOpen) {
+  MemorySystem mem = makeLocalOnly();
+  for (Addr a = 0; a < 2048; a += 64) {
+    (void)mem.request(a, 0, a);  // spread in time, same row
+  }
+  const ControllerStats& stats = mem.controllerStats(0);
+  EXPECT_EQ(stats.rowMisses, 1u);  // only the first access opens the row
+  EXPECT_EQ(stats.rowHits, 31u);
+}
+
+TEST_F(MemorySystemTest, WritebackOccupiesBandwidthOnly) {
+  MemorySystem mem = makeLocalOnly();
+  mem.writeback(0, 0, 0);
+  // A demand request right after queues behind the writeback's occupancy.
+  const RequestTiming t = mem.request(0, 0, 64);
+  EXPECT_GT(t.queueWait, 0u);
+  EXPECT_EQ(mem.controllerStats(0).writebacks, 1u);
+  EXPECT_EQ(mem.controllerStats(0).requests, 1u);
+}
+
+TEST_F(MemorySystemTest, RequestsSpreadOverActiveNodes) {
+  MemoryConfig config;
+  config.placement = PlacementPolicy::kInterleaveActive;
+  config.service = ServiceDiscipline::kDeterministic;
+  MemorySystem mem(topo_, config, {0, 1});
+  for (Addr page = 0; page < 64; ++page) {
+    (void)mem.request(page * 100000, 0, page * 4096);
+  }
+  EXPECT_EQ(mem.controllerStats(0).requests, 32u);
+  EXPECT_EQ(mem.controllerStats(1).requests, 32u);
+  EXPECT_EQ(mem.controllerStats(1).remoteRequests, 32u);
+  EXPECT_EQ(mem.totalRequests(), 64u);
+}
+
+TEST_F(MemorySystemTest, LinkBandwidthQueuesRemoteBursts) {
+  topology::MachineSpec spec = topology::testNuma4();
+  spec.linkServiceCycles = 50;
+  topology::TopologyMap topo(spec);
+  MemoryConfig config;
+  config.placement = PlacementPolicy::kInterleaveActive;
+  config.service = ServiceDiscipline::kDeterministic;
+  MemorySystem mem(topo, config, {1});  // all remote for socket-0 cores
+  // Two remote requests at the same instant: the second waits for the
+  // first's 2 transfers on the link (2 x 50), on top of the channel.
+  const RequestTiming first = mem.request(0, 0, 0);
+  const RequestTiming second = mem.request(0, 1, 1 << 21);  // distinct row
+  EXPECT_EQ(first.queueWait, 0u);
+  EXPECT_GE(second.queueWait, 100u);
+}
+
+TEST_F(MemorySystemTest, ControllerStatsBoundsChecked) {
+  MemorySystem mem = makeLocalOnly();
+  EXPECT_THROW((void)mem.controllerStats(-1), ContractViolation);
+  EXPECT_THROW((void)mem.controllerStats(2), ContractViolation);
+}
+
+TEST_F(MemorySystemTest, UmaBusAddsQueueingStage) {
+  topology::TopologyMap topo(topology::testUma4());
+  MemoryConfig config;
+  config.service = ServiceDiscipline::kDeterministic;
+  MemorySystem mem(topo, config, {0});
+  // Two same-socket cores at the same instant: the second queues at the
+  // socket bus (10 cycles) before the controller.
+  const RequestTiming a = mem.request(0, 0, 0);
+  const RequestTiming b = mem.request(0, 1, 1 << 21);
+  EXPECT_EQ(a.queueWait, 0u);
+  EXPECT_GE(b.queueWait, 10u);
+  // A third from the *other* socket uses its own bus, queueing only at
+  // the shared controller.
+  const RequestTiming c = mem.request(0, 2, 1 << 22);
+  EXPECT_GT(c.queueWait, 0u);
+}
+
+}  // namespace
+}  // namespace occm::mem

@@ -1,0 +1,114 @@
+#include "mem/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace occm::mem {
+namespace {
+
+constexpr Bytes kPage = 4096;
+
+TEST(Placement, InterleaveSpreadsOverActiveNodes) {
+  PagePlacement placement(PlacementPolicy::kInterleaveActive, kPage, {0, 1});
+  std::set<NodeId> used;
+  std::uint64_t onNode0 = 0;
+  for (Addr page = 0; page < 1000; ++page) {
+    const NodeId node = placement.nodeOf(page * kPage, 0);
+    used.insert(node);
+    onNode0 += node == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(used, (std::set<NodeId>{0, 1}));
+  EXPECT_EQ(onNode0, 500u);
+}
+
+TEST(Placement, InterleaveStableForSameAddress) {
+  PagePlacement placement(PlacementPolicy::kInterleaveActive, kPage, {0, 1, 2});
+  const NodeId first = placement.nodeOf(12345, 2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(placement.nodeOf(12345, 0), first);
+  }
+}
+
+TEST(Placement, InterleaveSamePageSameNode) {
+  PagePlacement placement(PlacementPolicy::kInterleaveActive, kPage, {0, 1});
+  EXPECT_EQ(placement.nodeOf(0, 0), placement.nodeOf(kPage - 1, 1));
+}
+
+TEST(Placement, SingleActiveNodeGetsEverything) {
+  PagePlacement placement(PlacementPolicy::kInterleaveActive, kPage, {3});
+  for (Addr a = 0; a < 100 * kPage; a += kPage) {
+    EXPECT_EQ(placement.nodeOf(a, 0), 3);
+  }
+}
+
+TEST(Placement, FirstTouchSticksToFirstRequester) {
+  PagePlacement placement(PlacementPolicy::kFirstTouch, kPage, {0, 1});
+  EXPECT_EQ(placement.nodeOf(0, 1), 1);
+  // A later request from node 0 still lands on node 1.
+  EXPECT_EQ(placement.nodeOf(64, 0), 1);
+  // A different page is touched first by node 0.
+  EXPECT_EQ(placement.nodeOf(kPage, 0), 0);
+}
+
+TEST(Placement, LocalAlwaysServesRequester) {
+  PagePlacement placement(PlacementPolicy::kLocal, kPage, {0, 1});
+  EXPECT_EQ(placement.nodeOf(0, 1), 1);
+  EXPECT_EQ(placement.nodeOf(0, 0), 0);
+}
+
+TEST(Placement, ProportionalFollowsWeights) {
+  // Node 0 has 3x the active cores of node 1: it gets 3/4 of the pages.
+  PagePlacement placement(PlacementPolicy::kProportionalInterleave, kPage,
+                          {0, 1}, {3, 1});
+  std::uint64_t onNode0 = 0;
+  constexpr std::uint64_t kPages = 4000;
+  for (Addr page = 0; page < kPages; ++page) {
+    onNode0 += placement.nodeOf(page * kPage, 1) == 0 ? 1u : 0u;
+  }
+  EXPECT_EQ(onNode0, kPages * 3 / 4);
+}
+
+TEST(Placement, ProportionalEqualWeightsMatchInterleaveShare) {
+  PagePlacement proportional(PlacementPolicy::kProportionalInterleave, kPage,
+                             {0, 1}, {1, 1});
+  std::uint64_t onNode0 = 0;
+  for (Addr page = 0; page < 1000; ++page) {
+    onNode0 += proportional.nodeOf(page * kPage, 0) == 0 ? 1u : 0u;
+  }
+  EXPECT_EQ(onNode0, 500u);
+}
+
+TEST(Placement, ProportionalDeterministicPerPage) {
+  PagePlacement placement(PlacementPolicy::kProportionalInterleave, kPage,
+                          {0, 1, 2}, {1, 2, 3});
+  for (Addr page = 0; page < 50; ++page) {
+    const NodeId first = placement.nodeOf(page * kPage, 0);
+    EXPECT_EQ(placement.nodeOf(page * kPage + 128, 2), first);
+  }
+}
+
+TEST(Placement, WeightValidation) {
+  EXPECT_THROW(PagePlacement(PlacementPolicy::kProportionalInterleave, kPage,
+                             {0, 1}, {1}),
+               ContractViolation);
+  EXPECT_THROW(PagePlacement(PlacementPolicy::kProportionalInterleave, kPage,
+                             {0, 1}, {1, 0}),
+               ContractViolation);
+}
+
+TEST(Placement, EmptyActiveNodesThrows) {
+  EXPECT_THROW((void)
+      PagePlacement(PlacementPolicy::kInterleaveActive, kPage, {}),
+      ContractViolation);
+}
+
+TEST(Placement, NonPowerOfTwoPageThrows) {
+  EXPECT_THROW((void)PagePlacement(PlacementPolicy::kLocal, 3000, {0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace occm::mem

@@ -1,0 +1,58 @@
+#include "perf/miss_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace occm::perf {
+namespace {
+
+TEST(MissSampler, BinsByWindow) {
+  MissSampler sampler(100);
+  sampler.record(0);
+  sampler.record(99);
+  sampler.record(100);
+  sampler.record(250, 5);
+  ASSERT_EQ(sampler.windows().size(), 3u);
+  EXPECT_EQ(sampler.windows()[0], 2u);
+  EXPECT_EQ(sampler.windows()[1], 1u);
+  EXPECT_EQ(sampler.windows()[2], 5u);
+}
+
+TEST(MissSampler, FinalizePadsTrailingZeros) {
+  MissSampler sampler(100);
+  sampler.record(50);
+  sampler.finalize(1000);
+  EXPECT_EQ(sampler.windows().size(), 10u);
+  EXPECT_EQ(sampler.windows().back(), 0u);
+}
+
+TEST(MissSampler, FinalizeNeverShrinks) {
+  MissSampler sampler(100);
+  sampler.record(950);
+  sampler.finalize(100);
+  EXPECT_EQ(sampler.windows().size(), 10u);
+}
+
+TEST(MissSampler, BurstSizesSkipIdleWindows) {
+  MissSampler sampler(100);
+  sampler.record(0, 3);
+  sampler.record(500, 7);
+  sampler.finalize(1000);
+  const auto bursts = sampler.burstSizes();
+  ASSERT_EQ(bursts.size(), 2u);
+  EXPECT_EQ(bursts[0], 3.0);
+  EXPECT_EQ(bursts[1], 7.0);
+}
+
+TEST(MissSampler, ZeroWindowRejected) {
+  EXPECT_THROW((void)MissSampler(0), ContractViolation);
+}
+
+TEST(MissSampler, WindowCyclesAccessor) {
+  MissSampler sampler(13300);
+  EXPECT_EQ(sampler.windowCycles(), 13300u);
+}
+
+}  // namespace
+}  // namespace occm::perf

@@ -1,0 +1,73 @@
+#include "perf/run_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "perf/counters.hpp"
+
+namespace occm::perf {
+namespace {
+
+TEST(CounterSet, WorkIsTotalMinusStall) {
+  CounterSet c;
+  c.totalCycles = 100;
+  c.stallCycles = 30;
+  EXPECT_EQ(c.workCycles(), 70u);
+}
+
+TEST(CounterSet, AdditionAggregates) {
+  CounterSet a;
+  a.totalCycles = 100;
+  a.stallCycles = 40;
+  a.instructions = 10;
+  a.llcMisses = 3;
+  CounterSet b;
+  b.totalCycles = 50;
+  b.stallCycles = 10;
+  b.instructions = 5;
+  b.llcMisses = 2;
+  const CounterSet sum = a + b;
+  EXPECT_EQ(sum.totalCycles, 150u);
+  EXPECT_EQ(sum.stallCycles, 50u);
+  EXPECT_EQ(sum.instructions, 15u);
+  EXPECT_EQ(sum.llcMisses, 5u);
+  a += b;
+  EXPECT_EQ(a.totalCycles, 150u);
+}
+
+TEST(RunProfile, ReportContainsTheCounters) {
+  RunProfile profile;
+  profile.program = "CG.C";
+  profile.machine = "Intel NUMA (24 cores, Xeon X5650)";
+  profile.threads = 24;
+  profile.activeCores = 12;
+  profile.counters.totalCycles = 1'234'567;
+  profile.counters.stallCycles = 1'000'000;
+  profile.counters.instructions = 42;
+  profile.counters.llcMisses = 777;
+  profile.makespan = 99;
+  const std::string report = formatReport(profile);
+  EXPECT_NE(report.find("CG.C"), std::string::npos);
+  EXPECT_NE(report.find("24 threads on 12 active cores"), std::string::npos);
+  EXPECT_NE(report.find("1,234,567"), std::string::npos);
+  EXPECT_NE(report.find("234,567"), std::string::npos);
+  EXPECT_NE(report.find("777"), std::string::npos);
+  // Work cycles derived: 234,567.
+  EXPECT_NE(report.find("work cycles"), std::string::npos);
+}
+
+TEST(RunProfile, ReportListsBusyControllers) {
+  RunProfile profile;
+  profile.program = "p";
+  profile.machine = "m";
+  mem::ControllerStats busy;
+  busy.requests = 5;
+  busy.remoteRequests = 2;
+  mem::ControllerStats idle;
+  profile.controllerStats = {busy, idle};
+  const std::string report = formatReport(profile);
+  EXPECT_NE(report.find("controller 0"), std::string::npos);
+  EXPECT_EQ(report.find("controller 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace occm::perf

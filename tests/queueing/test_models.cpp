@@ -1,0 +1,152 @@
+#include "queueing/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace occm::queueing {
+namespace {
+
+TEST(Mm1, KnownValues) {
+  // lambda 0.5, mu 1: sojourn = 1/(1-0.5) = 2; wait = 0.5/(1*0.5) = 1.
+  EXPECT_NEAR(mm1MeanSojourn(0.5, 1.0), 2.0, 1e-12);
+  EXPECT_NEAR(mm1MeanWait(0.5, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(mm1MeanCustomers(0.5, 1.0), 1.0, 1e-12);
+}
+
+TEST(Mm1, SojournIsWaitPlusService) {
+  const double lambda = 0.7;
+  const double mu = 1.3;
+  EXPECT_NEAR(mm1MeanSojourn(lambda, mu),
+              mm1MeanWait(lambda, mu) + 1.0 / mu, 1e-12);
+}
+
+TEST(Mm1, LittlesLawHolds) {
+  const double lambda = 0.6;
+  const double mu = 1.0;
+  // L = lambda * W.
+  EXPECT_NEAR(mm1MeanCustomers(lambda, mu),
+              lambda * mm1MeanSojourn(lambda, mu), 1e-12);
+}
+
+TEST(Mm1, DivergesTowardsSaturation) {
+  EXPECT_GT(mm1MeanSojourn(0.99, 1.0), mm1MeanSojourn(0.9, 1.0) * 5);
+}
+
+TEST(Mm1, UnstableThrows) {
+  EXPECT_THROW((void)mm1MeanSojourn(1.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)mm1MeanSojourn(2.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)mm1MeanWait(-0.1, 1.0), ContractViolation);
+  EXPECT_THROW((void)mm1MeanSojourn(0.5, 0.0), ContractViolation);
+}
+
+TEST(Utilization, Basic) {
+  EXPECT_NEAR(utilization(0.25, 0.5), 0.5, 1e-12);
+  EXPECT_THROW((void)utilization(1.0, 0.0), ContractViolation);
+}
+
+TEST(ErlangC, SingleServerReducesToRho) {
+  // For c = 1, P(wait) = rho.
+  for (double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(erlangC(rho, 1.0, 1), rho, 1e-9);
+  }
+}
+
+TEST(ErlangC, MoreServersWaitLess) {
+  const double lambda = 1.8;
+  const double mu = 1.0;
+  EXPECT_GT(erlangC(lambda, mu, 2), erlangC(lambda, mu, 3));
+  EXPECT_GT(erlangC(lambda, mu, 3), erlangC(lambda, mu, 8));
+}
+
+TEST(ErlangC, UnstableThrows) {
+  EXPECT_THROW((void)erlangC(2.0, 1.0, 2), ContractViolation);
+  EXPECT_THROW((void)erlangC(1.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Mmc, SingleServerMatchesMm1) {
+  const double lambda = 0.6;
+  const double mu = 1.0;
+  EXPECT_NEAR(mmcMeanSojourn(lambda, mu, 1), mm1MeanSojourn(lambda, mu),
+              1e-9);
+}
+
+TEST(Mmc, PoolingBeatsSingleFastServerOnWait) {
+  // Classic result: at the same total capacity, sojourn in M/M/2 with mu
+  // is larger than M/M/1 with 2mu (service dominates), but the *wait* in
+  // the pooled system is below a single slow server's.
+  const double lambda = 1.2;
+  const double mu = 1.0;
+  const double mm2 = mmcMeanSojourn(lambda, mu, 2);
+  EXPECT_GT(mm2, mm1MeanSojourn(lambda, 2.0 * mu));
+  EXPECT_LT(mm2, mm1MeanSojourn(lambda / 2.0, mu) + 1.0);
+}
+
+TEST(Md1, HalfTheQueueingOfMm1) {
+  const double lambda = 0.8;
+  const double mu = 1.0;
+  const double md1Wait = md1MeanSojourn(lambda, mu) - 1.0 / mu;
+  const double mm1Wait = mm1MeanWait(lambda, mu);
+  EXPECT_NEAR(md1Wait, mm1Wait / 2.0, 1e-9);
+}
+
+TEST(Mg1, PollaczekKhinchineLimits) {
+  const double lambda = 0.5;
+  const double mu = 1.0;
+  // scv = 1 reduces to M/M/1; scv = 0 reduces to M/D/1.
+  EXPECT_NEAR(mg1MeanSojourn(lambda, mu, 1.0), mm1MeanSojourn(lambda, mu),
+              1e-9);
+  EXPECT_NEAR(mg1MeanSojourn(lambda, mu, 0.0), md1MeanSojourn(lambda, mu),
+              1e-9);
+  // Higher variability means longer sojourn.
+  EXPECT_GT(mg1MeanSojourn(lambda, mu, 4.0), mm1MeanSojourn(lambda, mu));
+}
+
+TEST(Mg1, NegativeScvThrows) {
+  EXPECT_THROW((void)mg1MeanSojourn(0.5, 1.0, -0.1), ContractViolation);
+}
+
+TEST(MachineRepairman, SingleStationHasNoQueueing) {
+  const RepairmanResult r = machineRepairman(1, 10.0, 1.0);
+  EXPECT_NEAR(r.meanSojourn, 1.0, 1e-12);
+  EXPECT_NEAR(r.throughput, 1.0 / 11.0, 1e-12);
+}
+
+TEST(MachineRepairman, ZeroThinkTimeSaturatesServer) {
+  const RepairmanResult r = machineRepairman(16, 0.0, 2.0);
+  EXPECT_NEAR(r.utilization, 1.0, 1e-6);
+  EXPECT_NEAR(r.throughput, 2.0, 1e-6);
+}
+
+TEST(MachineRepairman, SojournGrowsWithPopulation) {
+  const double z = 50.0;
+  const double mu = 1.0;
+  double prev = 0.0;
+  for (std::size_t n : {1u, 8u, 32u, 128u}) {
+    const RepairmanResult r = machineRepairman(n, z, mu);
+    EXPECT_GE(r.meanSojourn, prev);
+    prev = r.meanSojourn;
+  }
+  // Deep saturation: sojourn ~ N/mu - z.
+  const RepairmanResult big = machineRepairman(512, z, mu);
+  EXPECT_NEAR(big.meanSojourn, 512.0 / mu - z, 2.0);
+}
+
+TEST(MachineRepairman, UtilizationBounded) {
+  for (std::size_t n : {1u, 4u, 64u}) {
+    const RepairmanResult r = machineRepairman(n, 10.0, 1.0);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_LE(r.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(MachineRepairman, InvalidInputsThrow) {
+  EXPECT_THROW((void)machineRepairman(0, 1.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)machineRepairman(1, -1.0, 1.0), ContractViolation);
+  EXPECT_THROW((void)machineRepairman(1, 1.0, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace occm::queueing

@@ -1,0 +1,98 @@
+// Verifies the single-queue DES against closed-form queueing results —
+// the empirical grounding of the paper's M/M/1 assumption (eq. 5).
+
+#include "queueing/single_queue_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "queueing/models.hpp"
+
+namespace occm::queueing {
+namespace {
+
+class Mm1SimTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Mm1SimTest, MatchesFormulaAcrossLoads) {
+  const double lambda = GetParam();
+  SingleQueueConfig config;
+  config.lambda = lambda;
+  config.mu = 1.0;
+  config.requests = 400'000;
+  const SingleQueueResult result = simulateSingleQueue(config);
+  const double expected = mm1MeanSojourn(lambda, 1.0);
+  EXPECT_NEAR(result.sojourn.mean(), expected, 0.08 * expected);
+  EXPECT_NEAR(result.utilization, lambda, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, Mm1SimTest,
+                         ::testing::Values(0.2, 0.5, 0.7, 0.85));
+
+TEST(SingleQueueSim, Md1HasHalfTheWait) {
+  SingleQueueConfig config;
+  config.lambda = 0.8;
+  config.mu = 1.0;
+  config.requests = 400'000;
+  config.service = ServiceDiscipline::kDeterministic;
+  const SingleQueueResult md1 = simulateSingleQueue(config);
+  EXPECT_NEAR(md1.wait.mean(), mm1MeanWait(0.8, 1.0) / 2.0,
+              0.15 * mm1MeanWait(0.8, 1.0));
+}
+
+TEST(SingleQueueSim, Deterministic) {
+  SingleQueueConfig config;
+  config.requests = 10'000;
+  const SingleQueueResult a = simulateSingleQueue(config);
+  const SingleQueueResult b = simulateSingleQueue(config);
+  EXPECT_EQ(a.sojourn.mean(), b.sojourn.mean());
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(SingleQueueSim, SeedChangesOutcomeSlightly) {
+  SingleQueueConfig a;
+  a.requests = 20'000;
+  SingleQueueConfig b = a;
+  b.seed = a.seed + 1;
+  const SingleQueueResult ra = simulateSingleQueue(a);
+  const SingleQueueResult rb = simulateSingleQueue(b);
+  EXPECT_NE(ra.sojourn.mean(), rb.sojourn.mean());
+  EXPECT_NEAR(ra.sojourn.mean(), rb.sojourn.mean(),
+              0.2 * ra.sojourn.mean());
+}
+
+TEST(SingleQueueSim, BurstyArrivalsWaitLonger) {
+  // Same long-run rate, heavy-tailed bursts: mean wait must exceed the
+  // Poisson case — the queueing-theory face of "bursty traffic hurts".
+  SingleQueueConfig poisson;
+  poisson.lambda = 0.5;
+  poisson.requests = 200'000;
+  SingleQueueConfig bursty = poisson;
+  bursty.arrivals = ArrivalProcess::kBurstyOnOff;
+  const SingleQueueResult rp = simulateSingleQueue(poisson);
+  const SingleQueueResult rb = simulateSingleQueue(bursty);
+  EXPECT_GT(rb.wait.mean(), 1.5 * rp.wait.mean());
+}
+
+TEST(SingleQueueSim, InvalidConfigThrows) {
+  SingleQueueConfig config;
+  config.lambda = 0.0;
+  EXPECT_THROW((void)simulateSingleQueue(config), ContractViolation);
+  config.lambda = 0.5;
+  config.mu = 0.0;
+  EXPECT_THROW((void)simulateSingleQueue(config), ContractViolation);
+  config.mu = 1.0;
+  config.requests = 0;
+  EXPECT_THROW((void)simulateSingleQueue(config), ContractViolation);
+}
+
+TEST(SingleQueueSim, LowLoadNearZeroWait) {
+  SingleQueueConfig config;
+  config.lambda = 0.01;
+  config.requests = 50'000;
+  const SingleQueueResult result = simulateSingleQueue(config);
+  EXPECT_LT(result.wait.mean(), 0.05);
+  EXPECT_NEAR(result.sojourn.mean(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace occm::queueing

@@ -1,0 +1,120 @@
+#include "sched/affinity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/presets.hpp"
+
+namespace occm::sched {
+namespace {
+
+TEST(PinRoundRobin, OneThreadPerCoreWhenCountsMatch) {
+  topology::TopologyMap topo(topology::testNuma4());
+  const Pinning pin = pinRoundRobin(topo, 4, 4);
+  EXPECT_EQ(pin.maxThreadsPerCore(), 1);
+  for (ThreadId t = 0; t < 4; ++t) {
+    const CoreId core = pin.pinnedCore[static_cast<std::size_t>(t)];
+    EXPECT_EQ(pin.threadsOn[static_cast<std::size_t>(core)].size(), 1u);
+  }
+}
+
+TEST(PinRoundRobin, OversubscriptionDistributesEvenly) {
+  topology::TopologyMap topo(topology::intelNuma24());
+  const Pinning pin = pinRoundRobin(topo, 24, 6);
+  EXPECT_EQ(pin.maxThreadsPerCore(), 4);
+  int populated = 0;
+  for (const auto& list : pin.threadsOn) {
+    if (!list.empty()) {
+      EXPECT_EQ(list.size(), 4u);
+      ++populated;
+    }
+  }
+  EXPECT_EQ(populated, 6);
+}
+
+TEST(PinRoundRobin, UsesFillProcessorFirstOrder) {
+  topology::TopologyMap topo(topology::intelNuma24());
+  const Pinning pin = pinRoundRobin(topo, 24, 12);
+  // With 12 active cores on this machine all threads sit on socket 0.
+  for (ThreadId t = 0; t < 24; ++t) {
+    const CoreId core = pin.pinnedCore[static_cast<std::size_t>(t)];
+    EXPECT_EQ(topo.location(core).socket, 0);
+  }
+}
+
+TEST(PinRoundRobin, FewerThreadsThanCoresLeavesCoresIdle) {
+  topology::TopologyMap topo(topology::testNuma4());
+  const Pinning pin = pinRoundRobin(topo, 2, 4);
+  int populated = 0;
+  for (const auto& list : pin.threadsOn) {
+    populated += list.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(populated, 2);
+}
+
+TEST(PinRoundRobin, InvalidArgumentsThrow) {
+  topology::TopologyMap topo(topology::testNuma4());
+  EXPECT_THROW((void)pinRoundRobin(topo, 0, 1), ContractViolation);
+  EXPECT_THROW((void)pinRoundRobin(topo, 1, 0), ContractViolation);
+  EXPECT_THROW((void)pinRoundRobin(topo, 1, 5), ContractViolation);
+}
+
+TEST(RunQueue, RotatesThroughThreads) {
+  RunQueue q({10, 11, 12});
+  q.start();
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.current(), 10);
+  EXPECT_TRUE(q.rotate());
+  EXPECT_EQ(q.current(), 11);
+  EXPECT_TRUE(q.rotate());
+  EXPECT_EQ(q.current(), 12);
+  EXPECT_TRUE(q.rotate());
+  EXPECT_EQ(q.current(), 10);
+}
+
+TEST(RunQueue, SingleThreadNeverSwitches) {
+  RunQueue q({5});
+  q.start();
+  EXPECT_FALSE(q.rotate());
+  EXPECT_EQ(q.current(), 5);
+}
+
+TEST(RunQueue, FinishSkipsThread) {
+  RunQueue q({1, 2, 3});
+  q.start();
+  q.finish(2);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.current(), 1);
+  EXPECT_TRUE(q.rotate());
+  EXPECT_EQ(q.current(), 3);
+  EXPECT_TRUE(q.rotate());
+  EXPECT_EQ(q.current(), 1);
+}
+
+TEST(RunQueue, FinishCurrentAdvances) {
+  RunQueue q({1, 2, 3});
+  q.start();
+  q.finish(1);
+  EXPECT_EQ(q.current(), 2);
+}
+
+TEST(RunQueue, FinishAllEmptiesQueue) {
+  RunQueue q({1, 2});
+  q.start();
+  q.finish(1);
+  q.finish(2);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW((void)q.current(), ContractViolation);
+  EXPECT_THROW((void)q.rotate(), ContractViolation);
+}
+
+TEST(RunQueue, DoubleFinishThrows) {
+  RunQueue q({1, 2});
+  q.start();
+  q.finish(1);
+  EXPECT_THROW((void)q.finish(1), ContractViolation);
+  EXPECT_THROW((void)q.finish(99), ContractViolation);
+}
+
+}  // namespace
+}  // namespace occm::sched

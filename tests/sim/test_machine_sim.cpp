@@ -1,0 +1,196 @@
+// End-to-end tests of the machine simulator on small synthetic workloads.
+
+#include "sim/machine_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "topology/presets.hpp"
+#include "trace/address_space.hpp"
+#include "workloads/phase_stream.hpp"
+
+namespace occm::sim {
+namespace {
+
+using workloads::Phase;
+using workloads::PhaseStream;
+using workloads::seqLines;
+
+/// `threads` identical streaming threads over disjoint shared arrays.
+std::vector<trace::RefStreamPtr> streamingThreads(int threads,
+                                                  std::uint64_t linesEach,
+                                                  Cycles workPerOp,
+                                                  bool prefetchable = true) {
+  std::vector<trace::RefStreamPtr> out;
+  for (int t = 0; t < threads; ++t) {
+    Phase p = seqLines(static_cast<Addr>(t) * (Addr{1} << 26),
+                       linesEach * 64, workPerOp);
+    p.prefetchable = prefetchable;
+    out.push_back(std::make_unique<PhaseStream>(std::vector<Phase>{p}));
+  }
+  return out;
+}
+
+TEST(MachineSim, TotalCyclesEqualsWorkPlusStall) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(4, 5000, 10);
+  const perf::RunProfile p = sim.run(streams, 4, "synthetic");
+  EXPECT_EQ(p.counters.totalCycles,
+            p.counters.workCycles() + p.counters.stallCycles);
+  EXPECT_GT(p.counters.llcMisses, 0u);
+  EXPECT_EQ(p.program, "synthetic");
+  EXPECT_EQ(p.threads, 4);
+  EXPECT_EQ(p.activeCores, 4);
+}
+
+TEST(MachineSim, MakespanShrinksWithMoreCores) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(4, 20000, 20);
+  const Cycles mk1 = sim.run(streams, 1).makespan;
+  const Cycles mk2 = sim.run(streams, 2).makespan;
+  const Cycles mk4 = sim.run(streams, 4).makespan;
+  EXPECT_LT(mk2, mk1);
+  EXPECT_LT(mk4, mk2);
+  EXPECT_GT(mk4, mk1 / 8);  // not super-linear
+}
+
+TEST(MachineSim, WorkCyclesInvariantAcrossCoreCounts) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(4, 10000, 15);
+  const Cycles w1 = sim.run(streams, 1).counters.workCycles();
+  const Cycles w4 = sim.run(streams, 4).counters.workCycles();
+  EXPECT_EQ(w1, w4);
+}
+
+TEST(MachineSim, ContentionInflatesTotalCycles) {
+  // Memory-bound dependent gathers: adding cores must add stall cycles.
+  MachineSim sim(topology::testNuma4());
+  std::vector<trace::RefStreamPtr> streams;
+  for (int t = 0; t < 4; ++t) {
+    Phase gather;
+    gather.kind = Phase::Kind::kGather;
+    gather.base = 0;
+    gather.tableBytes = 1 * kMiB;  // far beyond the 8 KiB LLC
+    gather.elementBytes = 64;
+    gather.count = 30000;
+    gather.workPerOp = 2;
+    gather.seed = static_cast<std::uint64_t>(t);
+    streams.push_back(
+        std::make_unique<PhaseStream>(std::vector<Phase>{gather}));
+  }
+  const auto c1 = sim.run(streams, 1).counters.totalCycles;
+  const auto c4 = sim.run(streams, 4).counters.totalCycles;
+  EXPECT_GT(c4, c1 + c1 / 10);
+}
+
+TEST(MachineSim, DeterministicForSameSeed) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(4, 5000, 10);
+  const perf::RunProfile a = sim.run(streams, 3);
+  const perf::RunProfile b = sim.run(streams, 3);
+  EXPECT_EQ(a.counters.totalCycles, b.counters.totalCycles);
+  EXPECT_EQ(a.counters.llcMisses, b.counters.llcMisses);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(MachineSim, SeedChangesJitterButNotWork) {
+  SimConfig configA;
+  configA.seed = 1;
+  SimConfig configB;
+  configB.seed = 2;
+  MachineSim simA(topology::testNuma4(), configA);
+  MachineSim simB(topology::testNuma4(), configB);
+  const auto streams = streamingThreads(4, 5000, 10);
+  const perf::RunProfile a = simA.run(streams, 2);
+  const perf::RunProfile b = simB.run(streams, 2);
+  EXPECT_EQ(a.counters.workCycles(), b.counters.workCycles());
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(MachineSim, OversubscriptionContextSwitches) {
+  sched::SchedConfig sched;
+  sched.quantum = 10'000;
+  SimConfig config;
+  config.sched = sched;
+  MachineSim sim(topology::testNuma4(), config);
+  const auto streams = streamingThreads(4, 10000, 20);
+  const perf::RunProfile one = sim.run(streams, 1);
+  EXPECT_GT(one.contextSwitches, 10u);
+  const perf::RunProfile four = sim.run(streams, 4);
+  EXPECT_EQ(four.contextSwitches, 0u);  // one thread per core
+}
+
+TEST(MachineSim, PerCoreCountersOnlyOnActiveCores) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(4, 2000, 10);
+  const perf::RunProfile p = sim.run(streams, 2);
+  int busy = 0;
+  for (const auto& core : p.perCore) {
+    busy += core.totalCycles > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(busy, 2);
+}
+
+TEST(MachineSim, SamplerRecordsWindows) {
+  SimConfig config;
+  config.enableSampler = true;
+  config.samplerWindowNs = 5000.0;
+  MachineSim sim(topology::testNuma4(), config);  // 1 GHz: window = 5000 cyc
+  const auto streams = streamingThreads(2, 5000, 10);
+  const perf::RunProfile p = sim.run(streams, 2);
+  EXPECT_EQ(p.samplerWindowCycles, 5000u);
+  ASSERT_FALSE(p.missWindows.empty());
+  std::uint64_t sampled = 0;
+  for (std::uint32_t w : p.missWindows) {
+    sampled += w;
+  }
+  EXPECT_EQ(sampled, p.counters.llcMisses);
+  // Windows cover the whole makespan.
+  EXPECT_GE(p.missWindows.size() * 5000, p.makespan);
+}
+
+TEST(MachineSim, SamplerOffByDefault) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(2, 1000, 10);
+  EXPECT_TRUE(sim.run(streams, 1).missWindows.empty());
+}
+
+TEST(MachineSim, PrefetchableStallsLessThanDependent) {
+  MachineSim sim(topology::testNuma4());
+  const auto stream = streamingThreads(1, 20000, 2, /*prefetchable=*/true);
+  const auto dependent = streamingThreads(1, 20000, 2, /*prefetchable=*/false);
+  const auto ps = sim.run(stream, 1).counters.stallCycles;
+  const auto ds = sim.run(dependent, 1).counters.stallCycles;
+  EXPECT_LT(ps, ds / 2);
+}
+
+TEST(MachineSim, FewerThreadsThanCoresWorks) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(2, 1000, 10);
+  const perf::RunProfile p = sim.run(streams, 4);
+  EXPECT_EQ(p.threads, 2);
+  EXPECT_GT(p.counters.totalCycles, 0u);
+}
+
+TEST(MachineSim, InvalidArgumentsThrow) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(2, 100, 10);
+  EXPECT_THROW((void)sim.run(streams, 0), ContractViolation);
+  EXPECT_THROW((void)sim.run(streams, 5), ContractViolation);
+  const std::vector<trace::RefStreamPtr> empty;
+  EXPECT_THROW((void)sim.run(empty, 1), ContractViolation);
+}
+
+TEST(MachineSim, StreamsAreResetBetweenRuns) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(2, 3000, 10);
+  const auto first = sim.run(streams, 2).counters.instructions;
+  const auto second = sim.run(streams, 2).counters.instructions;
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first, 0u);
+}
+
+}  // namespace
+}  // namespace occm::sim

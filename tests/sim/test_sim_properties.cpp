@@ -1,0 +1,161 @@
+// Property-style tests of machine-level behaviours that the paper's
+// observations depend on, using the real kernels on the paper machines
+// but at small classes (fast).
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "core/occm.hpp"
+
+namespace occm {
+namespace {
+
+using analysis::SweepConfig;
+
+perf::RunProfile run(const topology::MachineSpec& machine,
+                     workloads::Program program, workloads::ProblemClass cls,
+                     int cores, sim::SimConfig simConfig = {}) {
+  workloads::WorkloadSpec spec;
+  spec.program = program;
+  spec.problemClass = cls;
+  return analysis::runOnce(machine, spec, cores, simConfig);
+}
+
+class ClassSweepTest
+    : public ::testing::TestWithParam<workloads::Program> {};
+
+TEST_P(ClassSweepTest, LargerClassesTakeMoreCyclesAtOneCore) {
+  // Problem size scales total cycles (fixed machine, one core).
+  const auto machine = topology::testNuma4();
+  const workloads::Program program = GetParam();
+  const auto small =
+      run(machine, program, workloads::ProblemClass::kS, 1);
+  const auto large =
+      run(machine, program, workloads::ProblemClass::kA, 1);
+  EXPECT_GT(large.counters.totalCycles, small.counters.totalCycles);
+  EXPECT_GT(large.counters.instructions, small.counters.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(NpbPrograms, ClassSweepTest,
+                         ::testing::Values(workloads::Program::kEP,
+                                           workloads::Program::kIS,
+                                           workloads::Program::kFT,
+                                           workloads::Program::kCG,
+                                           workloads::Program::kSP));
+
+TEST(SimProperties, LocalPlacementBeatsRemoteOnlyTraffic) {
+  // Forcing all pages local must not be slower than interleaving across
+  // sockets for a single active socket's worth of cores.
+  const auto machine = topology::intelNuma24();
+  sim::SimConfig local;
+  local.memory.placement = mem::PlacementPolicy::kLocal;
+  const auto interleaved =
+      run(machine, workloads::Program::kCG, workloads::ProblemClass::kB, 24);
+  const auto localRun = run(machine, workloads::Program::kCG,
+                            workloads::ProblemClass::kB, 24, local);
+  EXPECT_LT(localRun.counters.stallCycles,
+            interleaved.counters.stallCycles * 11 / 10);
+}
+
+TEST(SimProperties, InfiniteLinkBandwidthReducesCrossSocketStalls) {
+  auto machine = topology::intelNuma24();
+  const auto limited =
+      run(machine, workloads::Program::kCG, workloads::ProblemClass::kB, 24);
+  machine.linkServiceCycles = 0;
+  const auto unlimited =
+      run(machine, workloads::Program::kCG, workloads::ProblemClass::kB, 24);
+  EXPECT_LT(unlimited.counters.stallCycles, limited.counters.stallCycles);
+}
+
+TEST(SimProperties, MoreChannelsReduceContention) {
+  // The paper's Sancho-et-al. echo: more memory channels, less contention.
+  auto machine = topology::intelNuma24();
+  machine.channelsPerController = 1;
+  const auto one =
+      run(machine, workloads::Program::kSP, workloads::ProblemClass::kA, 12);
+  machine.channelsPerController = 6;
+  const auto six =
+      run(machine, workloads::Program::kSP, workloads::ProblemClass::kA, 12);
+  EXPECT_LT(six.counters.totalCycles, one.counters.totalCycles);
+}
+
+TEST(SimProperties, RowBufferLocalityMattersForStreams) {
+  // With row hits as expensive as misses, streaming workloads slow down.
+  auto machine = topology::intelNuma24();
+  const auto withLocality =
+      run(machine, workloads::Program::kIS, workloads::ProblemClass::kA, 12);
+  machine.rowHitServiceCycles = machine.rowMissServiceCycles;
+  const auto without =
+      run(machine, workloads::Program::kIS, workloads::ProblemClass::kA, 12);
+  EXPECT_GT(without.counters.totalCycles, withLocality.counters.totalCycles);
+}
+
+TEST(SimProperties, DeterministicServiceReducesVariabilityNotMean) {
+  // M/D/1 vs M/M/1: deterministic service cannot be slower on average.
+  const auto machine = topology::intelNuma24();
+  sim::SimConfig deterministic;
+  deterministic.memory.service = mem::ServiceDiscipline::kDeterministic;
+  const auto expRun =
+      run(machine, workloads::Program::kCG, workloads::ProblemClass::kA, 12);
+  const auto detRun = run(machine, workloads::Program::kCG,
+                          workloads::ProblemClass::kA, 12, deterministic);
+  EXPECT_LT(detRun.counters.stallCycles,
+            expRun.counters.stallCycles * 105 / 100);
+}
+
+TEST(SimProperties, SmtSiblingsShareCachesProfitably) {
+  // Running 2 threads on SMT siblings (shared L1/L2) vs on two distinct
+  // physical cores: the CG matrix is shared read-only, so either works,
+  // but the run must complete with identical work either way.
+  const auto machine = topology::intelNuma24();
+  workloads::WorkloadSpec spec;
+  spec.program = workloads::Program::kCG;
+  spec.problemClass = workloads::ProblemClass::kS;
+  spec.threads = 2;
+  const auto instance = workloads::makeWorkload(spec);
+  sim::MachineSim sim(machine);
+  const auto two = sim.run(instance.threads, 2);   // SMT siblings
+  const auto four = sim.run(instance.threads, 4);  // distinct physicals
+  EXPECT_EQ(two.counters.workCycles(), four.counters.workCycles());
+  EXPECT_EQ(two.counters.instructions, four.counters.instructions);
+}
+
+TEST(SimProperties, OversubscriptionAddsSwitchOverheadNotWork) {
+  const auto machine = topology::testNuma4();
+  const auto packed =
+      run(machine, workloads::Program::kIS, workloads::ProblemClass::kS, 1);
+  const auto spread =
+      run(machine, workloads::Program::kIS, workloads::ProblemClass::kS, 4);
+  EXPECT_GT(packed.contextSwitches, spread.contextSwitches);
+  EXPECT_EQ(packed.counters.workCycles(), spread.counters.workCycles());
+}
+
+TEST(SimProperties, SamplerTotalsMatchCounters) {
+  const auto machine = topology::intelNuma24();
+  sim::SimConfig config;
+  config.enableSampler = true;
+  const auto p = run(machine, workloads::Program::kFT,
+                     workloads::ProblemClass::kS, 12, config);
+  std::uint64_t sampled = 0;
+  for (std::uint32_t w : p.missWindows) {
+    sampled += w;
+  }
+  EXPECT_EQ(sampled, p.counters.llcMisses);
+}
+
+TEST(SimProperties, ControllerRequestsMatchMissesPlusWritebacks) {
+  const auto machine = topology::intelNuma24();
+  const auto p = run(machine, workloads::Program::kSP,
+                     workloads::ProblemClass::kS, 6);
+  std::uint64_t requests = 0;
+  std::uint64_t writebacks = 0;
+  for (const auto& c : p.controllerStats) {
+    requests += c.requests;
+    writebacks += c.writebacks;
+  }
+  EXPECT_EQ(requests, p.counters.llcMisses);
+  EXPECT_EQ(writebacks, p.writebacks);
+}
+
+}  // namespace
+}  // namespace occm

@@ -1,0 +1,159 @@
+#include "topology/topology_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "topology/presets.hpp"
+
+namespace occm::topology {
+namespace {
+
+class RoundTripTest : public ::testing::TestWithParam<int> {
+ public:
+  static MachineSpec machineFor(int index) {
+    switch (index) {
+      case 0:
+        return intelUma8();
+      case 1:
+        return intelNuma24();
+      default:
+        return amdNuma48();
+    }
+  }
+};
+
+TEST_P(RoundTripTest, CoreIdLocationRoundTripsForEveryCore) {
+  const TopologyMap topo(RoundTripTest::machineFor(GetParam()));
+  for (CoreId c = 0; c < topo.spec().logicalCores(); ++c) {
+    EXPECT_EQ(topo.coreId(topo.location(c)), c);
+  }
+}
+
+TEST_P(RoundTripTest, FillOrderIsAPermutation) {
+  const TopologyMap topo(RoundTripTest::machineFor(GetParam()));
+  const auto& order = topo.fillProcessorFirstOrder();
+  std::set<CoreId> unique(order.begin(), order.end());
+  EXPECT_EQ(unique.size(), order.size());
+  EXPECT_EQ(static_cast<int>(order.size()), topo.spec().logicalCores());
+}
+
+TEST_P(RoundTripTest, FillOrderIsSocketMajor) {
+  const TopologyMap topo(RoundTripTest::machineFor(GetParam()));
+  const auto& order = topo.fillProcessorFirstOrder();
+  const int perSocket = topo.spec().logicalCoresPerSocket();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(topo.location(order[i]).socket,
+              static_cast<int>(i) / perSocket);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperMachines, RoundTripTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(TopologyMap, IntelNumaFirstTwelveOnSocketZero) {
+  const TopologyMap topo(intelNuma24());
+  const auto active = topo.activeCores(12);
+  for (CoreId c : active) {
+    EXPECT_EQ(topo.location(c).socket, 0);
+  }
+  EXPECT_EQ(topo.activeNodes(12), std::vector<NodeId>{0});
+  EXPECT_EQ(topo.activeNodes(13), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(TopologyMap, IntelNumaSmtSiblingsAdjacent) {
+  const TopologyMap topo(intelNuma24());
+  const auto& order = topo.fillProcessorFirstOrder();
+  // Entries 0 and 1 must be SMT siblings of one physical core.
+  const CoreLocation a = topo.location(order[0]);
+  const CoreLocation b = topo.location(order[1]);
+  EXPECT_EQ(a.socket, b.socket);
+  EXPECT_EQ(a.core, b.core);
+  EXPECT_NE(a.smt, b.smt);
+}
+
+TEST(TopologyMap, AmdActivatesBothDieControllersTogether) {
+  // Paper protocol: the two controllers of a socket come up together; the
+  // die-interleaved fill order has both dies active from the 2nd core on.
+  const TopologyMap topo(amdNuma48());
+  EXPECT_EQ(topo.activeNodes(1).size(), 1u);
+  EXPECT_EQ(topo.activeNodes(2), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(topo.activeNodes(12), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(topo.activeNodes(14), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(topo.activeNodes(48).size(), 8u);
+}
+
+TEST(TopologyMap, UmaHasSingleNode) {
+  const TopologyMap topo(intelUma8());
+  for (CoreId c = 0; c < 8; ++c) {
+    EXPECT_EQ(topo.homeNode(c), 0);
+  }
+  EXPECT_EQ(topo.activeNodes(8), std::vector<NodeId>{0});
+  EXPECT_EQ(topo.hops(0, 0), 0);
+}
+
+TEST(TopologyMap, IntelNumaHomeNodeIsSocket) {
+  const TopologyMap topo(intelNuma24());
+  for (CoreId c = 0; c < 24; ++c) {
+    EXPECT_EQ(topo.homeNode(c), topo.location(c).socket);
+  }
+}
+
+TEST(TopologyMap, AmdHomeNodeIsDie) {
+  const TopologyMap topo(amdNuma48());
+  for (CoreId c = 0; c < 48; ++c) {
+    EXPECT_EQ(topo.homeNode(c), topo.dieIndex(c));
+  }
+}
+
+TEST(TopologyMap, AmdHasThreeDistanceClasses) {
+  // Paper: direct, one hop and two hops on the AMD machine.
+  const TopologyMap topo(amdNuma48());
+  std::set<int> distances;
+  for (NodeId a = 0; a < 8; ++a) {
+    for (NodeId b = 0; b < 8; ++b) {
+      distances.insert(topo.hops(a, b));
+    }
+  }
+  EXPECT_EQ(distances, (std::set<int>{0, 1, 2}));
+}
+
+TEST(TopologyMap, AmdSameSocketDiesAreOneHop) {
+  const TopologyMap topo(amdNuma48());
+  EXPECT_EQ(topo.hops(0, 1), 1);
+  EXPECT_EQ(topo.hops(6, 7), 1);
+}
+
+TEST(TopologyMap, IntelNumaSocketsOneHopApart) {
+  const TopologyMap topo(intelNuma24());
+  EXPECT_EQ(topo.hops(0, 1), 1);
+  EXPECT_EQ(topo.hops(1, 0), 1);
+}
+
+TEST(TopologyMap, CacheInstancesFollowScopes) {
+  const TopologyMap topo(intelNuma24());
+  const auto& spec = topo.spec();
+  const auto& l1 = spec.caches[0];  // per physical core
+  const auto& l3 = spec.caches[2];  // per socket
+  EXPECT_EQ(topo.cacheInstanceCount(l1), 12);
+  EXPECT_EQ(topo.cacheInstanceCount(l3), 2);
+  // SMT siblings (logical 0 and 1) share their L1.
+  EXPECT_EQ(topo.cacheInstance(0, l1), topo.cacheInstance(1, l1));
+  // Distinct physical cores do not.
+  EXPECT_NE(topo.cacheInstance(0, l1), topo.cacheInstance(2, l1));
+  // All cores of socket 0 share the L3.
+  EXPECT_EQ(topo.cacheInstance(0, l3), topo.cacheInstance(10, l3));
+}
+
+TEST(TopologyMap, ActiveCoresBoundsChecked) {
+  const TopologyMap topo(testNuma4());
+  EXPECT_THROW((void)topo.activeCores(0), ContractViolation);
+  EXPECT_THROW((void)topo.activeCores(5), ContractViolation);
+  EXPECT_THROW((void)topo.location(-1), ContractViolation);
+  EXPECT_THROW((void)topo.location(4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace occm::topology

@@ -1,0 +1,72 @@
+#include "trace/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace occm::trace {
+namespace {
+
+TEST(AddressSpace, SharedAllocationsAreDisjoint) {
+  AddressSpace space;
+  const Addr a = space.allocShared(100);
+  const Addr b = space.allocShared(200);
+  EXPECT_GE(b, a + 100);
+  EXPECT_TRUE(AddressSpace::isShared(a));
+  EXPECT_TRUE(AddressSpace::isShared(b + 199));
+}
+
+TEST(AddressSpace, SharedRespectsAlignment) {
+  AddressSpace space;
+  (void)space.allocShared(3);
+  const Addr b = space.allocShared(64, 128);
+  EXPECT_EQ(b % 128, 0u);
+}
+
+TEST(AddressSpace, PrivateWindowsPerThread) {
+  AddressSpace space;
+  const Addr t0 = space.allocPrivate(0, 4096);
+  const Addr t1 = space.allocPrivate(1, 4096);
+  EXPECT_FALSE(AddressSpace::isShared(t0));
+  EXPECT_FALSE(AddressSpace::isShared(t1));
+  EXPECT_EQ(AddressSpace::privateOwner(t0), 0);
+  EXPECT_EQ(AddressSpace::privateOwner(t1), 1);
+  EXPECT_EQ(AddressSpace::privateOwner(t0 + 4095), 0);
+}
+
+TEST(AddressSpace, PrivateAllocationsWithinThreadAreDisjoint) {
+  AddressSpace space;
+  const Addr a = space.allocPrivate(3, 100);
+  const Addr b = space.allocPrivate(3, 100);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(AddressSpace::privateOwner(b), 3);
+}
+
+TEST(AddressSpace, SharedBytesTracksUsage) {
+  AddressSpace space;
+  (void)space.allocShared(64);
+  (void)space.allocShared(64);
+  EXPECT_EQ(space.sharedBytes(), 128u);
+}
+
+TEST(AddressSpace, PrivateOwnerOfSharedThrows) {
+  EXPECT_THROW((void)AddressSpace::privateOwner(0), ContractViolation);
+}
+
+TEST(AddressSpace, BadAlignmentThrows) {
+  AddressSpace space;
+  EXPECT_THROW((void)space.allocShared(64, 3), ContractViolation);
+}
+
+TEST(AddressSpace, NegativeThreadThrows) {
+  AddressSpace space;
+  EXPECT_THROW((void)space.allocPrivate(-1, 64), ContractViolation);
+}
+
+TEST(AddressSpace, BoundaryIsExact) {
+  EXPECT_TRUE(AddressSpace::isShared(AddressSpace::kPrivateBase - 1));
+  EXPECT_FALSE(AddressSpace::isShared(AddressSpace::kPrivateBase));
+}
+
+}  // namespace
+}  // namespace occm::trace
