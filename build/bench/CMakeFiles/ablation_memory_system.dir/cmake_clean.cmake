@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_system.dir/ablation_memory_system.cpp.o"
+  "CMakeFiles/ablation_memory_system.dir/ablation_memory_system.cpp.o.d"
+  "ablation_memory_system"
+  "ablation_memory_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_burstiness.dir/fig4_burstiness.cpp.o"
+  "CMakeFiles/fig4_burstiness.dir/fig4_burstiness.cpp.o.d"
+  "fig4_burstiness"
+  "fig4_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

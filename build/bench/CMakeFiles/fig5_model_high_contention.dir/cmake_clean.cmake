@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_model_high_contention.dir/fig5_model_high_contention.cpp.o"
+  "CMakeFiles/fig5_model_high_contention.dir/fig5_model_high_contention.cpp.o.d"
+  "fig5_model_high_contention"
+  "fig5_model_high_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_model_high_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

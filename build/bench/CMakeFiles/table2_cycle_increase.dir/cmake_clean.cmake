@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cycle_increase.dir/table2_cycle_increase.cpp.o"
+  "CMakeFiles/table2_cycle_increase.dir/table2_cycle_increase.cpp.o.d"
+  "table2_cycle_increase"
+  "table2_cycle_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cycle_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_cycle_increase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_goodness_of_fit.dir/table4_goodness_of_fit.cpp.o"
+  "CMakeFiles/table4_goodness_of_fit.dir/table4_goodness_of_fit.cpp.o.d"
+  "table4_goodness_of_fit"
+  "table4_goodness_of_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_goodness_of_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstiness_profile.dir/burstiness_profile.cpp.o"
+  "CMakeFiles/burstiness_profile.dir/burstiness_profile.cpp.o.d"
+  "burstiness_profile"
+  "burstiness_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstiness_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_advisor.dir/capacity_advisor.cpp.o"
+  "CMakeFiles/capacity_advisor.dir/capacity_advisor.cpp.o.d"
+  "capacity_advisor"
+  "capacity_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_sweep.dir/contention_sweep.cpp.o"
+  "CMakeFiles/contention_sweep.dir/contention_sweep.cpp.o.d"
+  "contention_sweep"
+  "contention_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

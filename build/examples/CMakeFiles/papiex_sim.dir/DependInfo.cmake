@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/papiex_sim.cpp" "examples/CMakeFiles/papiex_sim.dir/papiex_sim.cpp.o" "gcc" "examples/CMakeFiles/papiex_sim.dir/papiex_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/occm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/occm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/occm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/occm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/occm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/occm_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/occm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/occm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/occm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/occm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/occm_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

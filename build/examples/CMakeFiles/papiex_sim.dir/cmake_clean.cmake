@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papiex_sim.dir/papiex_sim.cpp.o"
+  "CMakeFiles/papiex_sim.dir/papiex_sim.cpp.o.d"
+  "papiex_sim"
+  "papiex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papiex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

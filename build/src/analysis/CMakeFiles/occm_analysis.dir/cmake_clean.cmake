@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_analysis.dir/csv.cpp.o"
+  "CMakeFiles/occm_analysis.dir/csv.cpp.o.d"
+  "CMakeFiles/occm_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/occm_analysis.dir/experiment.cpp.o.d"
+  "CMakeFiles/occm_analysis.dir/text_table.cpp.o"
+  "CMakeFiles/occm_analysis.dir/text_table.cpp.o.d"
+  "liboccm_analysis.a"
+  "liboccm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

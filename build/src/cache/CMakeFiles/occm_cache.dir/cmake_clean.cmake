@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/occm_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/occm_cache.dir/set_assoc_cache.cpp.o"
+  "CMakeFiles/occm_cache.dir/set_assoc_cache.cpp.o.d"
+  "liboccm_cache.a"
+  "liboccm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

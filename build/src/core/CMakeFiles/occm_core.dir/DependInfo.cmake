@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/burstiness.cpp" "src/core/CMakeFiles/occm_core.dir/burstiness.cpp.o" "gcc" "src/core/CMakeFiles/occm_core.dir/burstiness.cpp.o.d"
+  "/root/repo/src/core/contention_model.cpp" "src/core/CMakeFiles/occm_core.dir/contention_model.cpp.o" "gcc" "src/core/CMakeFiles/occm_core.dir/contention_model.cpp.o.d"
+  "/root/repo/src/core/speedup.cpp" "src/core/CMakeFiles/occm_core.dir/speedup.cpp.o" "gcc" "src/core/CMakeFiles/occm_core.dir/speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/occm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/occm_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_core.dir/burstiness.cpp.o"
+  "CMakeFiles/occm_core.dir/burstiness.cpp.o.d"
+  "CMakeFiles/occm_core.dir/contention_model.cpp.o"
+  "CMakeFiles/occm_core.dir/contention_model.cpp.o.d"
+  "CMakeFiles/occm_core.dir/speedup.cpp.o"
+  "CMakeFiles/occm_core.dir/speedup.cpp.o.d"
+  "liboccm_core.a"
+  "liboccm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

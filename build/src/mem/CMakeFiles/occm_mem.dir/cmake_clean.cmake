@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/occm_mem.dir/memory_system.cpp.o.d"
+  "liboccm_mem.a"
+  "liboccm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

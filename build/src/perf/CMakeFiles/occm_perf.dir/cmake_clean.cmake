@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_perf.dir/run_profile.cpp.o"
+  "CMakeFiles/occm_perf.dir/run_profile.cpp.o.d"
+  "liboccm_perf.a"
+  "liboccm_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_queueing.dir/models.cpp.o"
+  "CMakeFiles/occm_queueing.dir/models.cpp.o.d"
+  "CMakeFiles/occm_queueing.dir/single_queue_sim.cpp.o"
+  "CMakeFiles/occm_queueing.dir/single_queue_sim.cpp.o.d"
+  "liboccm_queueing.a"
+  "liboccm_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

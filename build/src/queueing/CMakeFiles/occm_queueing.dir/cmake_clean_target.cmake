@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboccm_queueing.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_sched.dir/affinity.cpp.o"
+  "CMakeFiles/occm_sched.dir/affinity.cpp.o.d"
+  "liboccm_sched.a"
+  "liboccm_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_sim.dir/machine_sim.cpp.o"
+  "CMakeFiles/occm_sim.dir/machine_sim.cpp.o.d"
+  "liboccm_sim.a"
+  "liboccm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

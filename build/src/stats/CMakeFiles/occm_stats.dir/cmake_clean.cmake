@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_stats.dir/distribution.cpp.o"
+  "CMakeFiles/occm_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/occm_stats.dir/regression.cpp.o"
+  "CMakeFiles/occm_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/occm_stats.dir/summary.cpp.o"
+  "CMakeFiles/occm_stats.dir/summary.cpp.o.d"
+  "liboccm_stats.a"
+  "liboccm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/machine_spec.cpp" "src/topology/CMakeFiles/occm_topology.dir/machine_spec.cpp.o" "gcc" "src/topology/CMakeFiles/occm_topology.dir/machine_spec.cpp.o.d"
+  "/root/repo/src/topology/presets.cpp" "src/topology/CMakeFiles/occm_topology.dir/presets.cpp.o" "gcc" "src/topology/CMakeFiles/occm_topology.dir/presets.cpp.o.d"
+  "/root/repo/src/topology/topology_map.cpp" "src/topology/CMakeFiles/occm_topology.dir/topology_map.cpp.o" "gcc" "src/topology/CMakeFiles/occm_topology.dir/topology_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

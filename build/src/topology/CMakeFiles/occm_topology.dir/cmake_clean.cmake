@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_topology.dir/machine_spec.cpp.o"
+  "CMakeFiles/occm_topology.dir/machine_spec.cpp.o.d"
+  "CMakeFiles/occm_topology.dir/presets.cpp.o"
+  "CMakeFiles/occm_topology.dir/presets.cpp.o.d"
+  "CMakeFiles/occm_topology.dir/topology_map.cpp.o"
+  "CMakeFiles/occm_topology.dir/topology_map.cpp.o.d"
+  "liboccm_topology.a"
+  "liboccm_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

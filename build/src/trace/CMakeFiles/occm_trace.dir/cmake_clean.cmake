@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_trace.dir/stream_analysis.cpp.o"
+  "CMakeFiles/occm_trace.dir/stream_analysis.cpp.o.d"
+  "liboccm_trace.a"
+  "liboccm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/cg.cpp" "src/workloads/CMakeFiles/occm_workloads.dir/cg.cpp.o" "gcc" "src/workloads/CMakeFiles/occm_workloads.dir/cg.cpp.o.d"
+  "/root/repo/src/workloads/ep.cpp" "src/workloads/CMakeFiles/occm_workloads.dir/ep.cpp.o" "gcc" "src/workloads/CMakeFiles/occm_workloads.dir/ep.cpp.o.d"
+  "/root/repo/src/workloads/ft.cpp" "src/workloads/CMakeFiles/occm_workloads.dir/ft.cpp.o" "gcc" "src/workloads/CMakeFiles/occm_workloads.dir/ft.cpp.o.d"
+  "/root/repo/src/workloads/is.cpp" "src/workloads/CMakeFiles/occm_workloads.dir/is.cpp.o" "gcc" "src/workloads/CMakeFiles/occm_workloads.dir/is.cpp.o.d"
+  "/root/repo/src/workloads/phase_stream.cpp" "src/workloads/CMakeFiles/occm_workloads.dir/phase_stream.cpp.o" "gcc" "src/workloads/CMakeFiles/occm_workloads.dir/phase_stream.cpp.o.d"
+  "/root/repo/src/workloads/sp.cpp" "src/workloads/CMakeFiles/occm_workloads.dir/sp.cpp.o" "gcc" "src/workloads/CMakeFiles/occm_workloads.dir/sp.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/occm_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/occm_workloads.dir/workload.cpp.o.d"
+  "/root/repo/src/workloads/x264.cpp" "src/workloads/CMakeFiles/occm_workloads.dir/x264.cpp.o" "gcc" "src/workloads/CMakeFiles/occm_workloads.dir/x264.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/occm_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occm_workloads.dir/cg.cpp.o"
+  "CMakeFiles/occm_workloads.dir/cg.cpp.o.d"
+  "CMakeFiles/occm_workloads.dir/ep.cpp.o"
+  "CMakeFiles/occm_workloads.dir/ep.cpp.o.d"
+  "CMakeFiles/occm_workloads.dir/ft.cpp.o"
+  "CMakeFiles/occm_workloads.dir/ft.cpp.o.d"
+  "CMakeFiles/occm_workloads.dir/is.cpp.o"
+  "CMakeFiles/occm_workloads.dir/is.cpp.o.d"
+  "CMakeFiles/occm_workloads.dir/phase_stream.cpp.o"
+  "CMakeFiles/occm_workloads.dir/phase_stream.cpp.o.d"
+  "CMakeFiles/occm_workloads.dir/sp.cpp.o"
+  "CMakeFiles/occm_workloads.dir/sp.cpp.o.d"
+  "CMakeFiles/occm_workloads.dir/workload.cpp.o"
+  "CMakeFiles/occm_workloads.dir/workload.cpp.o.d"
+  "CMakeFiles/occm_workloads.dir/x264.cpp.o"
+  "CMakeFiles/occm_workloads.dir/x264.cpp.o.d"
+  "liboccm_workloads.a"
+  "liboccm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

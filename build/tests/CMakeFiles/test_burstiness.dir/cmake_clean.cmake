@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_burstiness.dir/core/test_burstiness.cpp.o"
+  "CMakeFiles/test_burstiness.dir/core/test_burstiness.cpp.o.d"
+  "test_burstiness"
+  "test_burstiness.pdb"
+  "test_burstiness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

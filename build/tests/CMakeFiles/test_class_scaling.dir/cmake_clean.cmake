@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_class_scaling.dir/workloads/test_class_scaling.cpp.o"
+  "CMakeFiles/test_class_scaling.dir/workloads/test_class_scaling.cpp.o.d"
+  "test_class_scaling"
+  "test_class_scaling.pdb"
+  "test_class_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_class_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contention_model.dir/core/test_contention_model.cpp.o"
+  "CMakeFiles/test_contention_model.dir/core/test_contention_model.cpp.o.d"
+  "test_contention_model"
+  "test_contention_model.pdb"
+  "test_contention_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contention_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_sim.dir/sim/test_machine_sim.cpp.o"
+  "CMakeFiles/test_machine_sim.dir/sim/test_machine_sim.cpp.o.d"
+  "test_machine_sim"
+  "test_machine_sim.pdb"
+  "test_machine_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miss_sampler.dir/perf/test_miss_sampler.cpp.o"
+  "CMakeFiles/test_miss_sampler.dir/perf/test_miss_sampler.cpp.o.d"
+  "test_miss_sampler"
+  "test_miss_sampler.pdb"
+  "test_miss_sampler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miss_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

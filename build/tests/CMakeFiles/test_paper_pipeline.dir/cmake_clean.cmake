@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_pipeline.dir/integration/test_paper_pipeline.cpp.o"
+  "CMakeFiles/test_paper_pipeline.dir/integration/test_paper_pipeline.cpp.o.d"
+  "test_paper_pipeline"
+  "test_paper_pipeline.pdb"
+  "test_paper_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_stream.dir/workloads/test_phase_stream.cpp.o"
+  "CMakeFiles/test_phase_stream.dir/workloads/test_phase_stream.cpp.o.d"
+  "test_phase_stream"
+  "test_phase_stream.pdb"
+  "test_phase_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run_profile.dir/perf/test_run_profile.cpp.o"
+  "CMakeFiles/test_run_profile.dir/perf/test_run_profile.cpp.o.d"
+  "test_run_profile"
+  "test_run_profile.pdb"
+  "test_run_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

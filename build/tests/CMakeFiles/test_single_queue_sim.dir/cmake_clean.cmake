@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_queue_sim.dir/queueing/test_single_queue_sim.cpp.o"
+  "CMakeFiles/test_single_queue_sim.dir/queueing/test_single_queue_sim.cpp.o.d"
+  "test_single_queue_sim"
+  "test_single_queue_sim.pdb"
+  "test_single_queue_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_queue_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

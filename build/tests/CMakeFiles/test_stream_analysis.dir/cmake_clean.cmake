@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_analysis.dir/trace/test_stream_analysis.cpp.o"
+  "CMakeFiles/test_stream_analysis.dir/trace/test_stream_analysis.cpp.o.d"
+  "test_stream_analysis"
+  "test_stream_analysis.pdb"
+  "test_stream_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology_map.dir/topology/test_topology_map.cpp.o"
+  "CMakeFiles/test_topology_map.dir/topology/test_topology_map.cpp.o.d"
+  "test_topology_map"
+  "test_topology_map.pdb"
+  "test_topology_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
