@@ -3,6 +3,8 @@
 // Shared helpers for the experiment harnesses in bench/: the paper's
 // machine list, program sets and printing conventions.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -55,6 +57,42 @@ inline std::vector<int> allCores(const topology::MachineSpec& machine) {
     counts.push_back(n);
   }
   return counts;
+}
+
+/// Observability column group shared by the experiment drivers: the
+/// per-controller snapshot (busiest-controller utilization, aggregate
+/// row-hit ratio, request-weighted mean queue wait) that pairs the
+/// paper's cycle counters with the memory-system view.
+inline std::vector<std::string> obsHeader() {
+  return {"util", "row-hit", "wait [cyc]"};
+}
+
+inline std::vector<std::string> obsRow(const perf::RunProfile& p) {
+  double util = 0.0;
+  for (std::size_t i = 0; i < p.controllerStats.size(); ++i) {
+    util = std::max(util, p.controllerUtilization(i));
+  }
+  double rowHit = 0.0;
+  double wait = 0.0;
+  std::uint64_t requests = 0;
+  for (const mem::ControllerStats& c : p.controllerStats) {
+    rowHit += c.rowHitRatio() * static_cast<double>(c.requests);
+    wait += c.meanWait() * static_cast<double>(c.requests);
+    requests += c.requests;
+  }
+  const double denom = requests == 0 ? 1.0 : static_cast<double>(requests);
+  return {analysis::fmt(100.0 * util, 1) + "%",
+          analysis::fmt(100.0 * rowHit / denom, 1) + "%",
+          analysis::fmt(wait / denom, 1)};
+}
+
+/// Appends the obs column group to a header/row cell list.
+inline std::vector<std::string> withObs(std::vector<std::string> cells,
+                                        std::vector<std::string> obsCells) {
+  for (std::string& cell : obsCells) {
+    cells.push_back(std::move(cell));
+  }
+  return cells;
 }
 
 inline void printHeading(const std::string& title) {

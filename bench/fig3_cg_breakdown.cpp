@@ -18,17 +18,21 @@ void runMachine(const topology::MachineSpec& machine) {
                                   workloads::ProblemClass::kC,
                                   bench::allCores(machine));
   analysis::TextTable table;
-  table.header({"cores", "total [1e9]", "stall [1e9]", "work [1e9]",
-                "LLC misses [1e6]", "coherence [1e3]", "omega"});
+  table.header(bench::withObs({"cores", "total [1e9]", "stall [1e9]",
+                               "work [1e9]", "LLC misses [1e6]",
+                               "coherence [1e3]", "omega"},
+                              bench::obsHeader()));
   const double c1 = sweep.at(1).totalCyclesD();
   for (const perf::RunProfile& p : sweep.profiles) {
-    table.row({std::to_string(p.activeCores),
-               analysis::fmt(static_cast<double>(p.counters.totalCycles) / 1e9, 3),
-               analysis::fmt(static_cast<double>(p.counters.stallCycles) / 1e9, 3),
-               analysis::fmt(static_cast<double>(p.counters.workCycles()) / 1e9, 3),
-               analysis::fmt(static_cast<double>(p.counters.llcMisses) / 1e6, 2),
-               analysis::fmt(static_cast<double>(p.coherenceMisses) / 1e3, 1),
-               analysis::fmt(model::degreeOfContention(p.totalCyclesD(), c1))});
+    table.row(bench::withObs(
+        {std::to_string(p.activeCores),
+         analysis::fmt(static_cast<double>(p.counters.totalCycles) / 1e9, 3),
+         analysis::fmt(static_cast<double>(p.counters.stallCycles) / 1e9, 3),
+         analysis::fmt(static_cast<double>(p.counters.workCycles()) / 1e9, 3),
+         analysis::fmt(static_cast<double>(p.counters.llcMisses) / 1e6, 2),
+         analysis::fmt(static_cast<double>(p.coherenceMisses) / 1e3, 1),
+         analysis::fmt(model::degreeOfContention(p.totalCyclesD(), c1))},
+        bench::obsRow(p)));
   }
   std::printf("%s", table.str().c_str());
 

@@ -133,6 +133,57 @@ void BM_FullSmallSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSmallSimulation)->Unit(benchmark::kMillisecond);
 
+// Observability overhead proof: the three cases below run the identical
+// simulation with (a) tracing compiled in but disabled at runtime — the
+// default every other benchmark and test pays, expected within 2% of
+// BM_FullSmallSimulation since the hooks reduce to never-taken branches —
+// (b) windowed metrics on, and (c) metrics plus the event trace.
+void BM_FullSmallSimulationObsDisabled(benchmark::State& state) {
+  workloads::WorkloadSpec spec;
+  spec.program = workloads::Program::kCG;
+  spec.problemClass = workloads::ProblemClass::kS;
+  spec.threads = 4;
+  const auto instance = workloads::makeWorkload(spec);
+  sim::SimConfig config;
+  config.observability = obs::ObsConfig{};  // explicit: all off
+  sim::MachineSim sim(topology::testNuma4(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(instance.threads, 4, instance.name));
+  }
+}
+BENCHMARK(BM_FullSmallSimulationObsDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_FullSmallSimulationObsMetrics(benchmark::State& state) {
+  workloads::WorkloadSpec spec;
+  spec.program = workloads::Program::kCG;
+  spec.problemClass = workloads::ProblemClass::kS;
+  spec.threads = 4;
+  const auto instance = workloads::makeWorkload(spec);
+  sim::SimConfig config;
+  config.observability.metrics = true;
+  sim::MachineSim sim(topology::testNuma4(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(instance.threads, 4, instance.name));
+  }
+}
+BENCHMARK(BM_FullSmallSimulationObsMetrics)->Unit(benchmark::kMillisecond);
+
+void BM_FullSmallSimulationObsFull(benchmark::State& state) {
+  workloads::WorkloadSpec spec;
+  spec.program = workloads::Program::kCG;
+  spec.problemClass = workloads::ProblemClass::kS;
+  spec.threads = 4;
+  const auto instance = workloads::makeWorkload(spec);
+  sim::SimConfig config;
+  config.observability.metrics = true;
+  config.observability.trace = true;
+  sim::MachineSim sim(topology::testNuma4(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(instance.threads, 4, instance.name));
+  }
+}
+BENCHMARK(BM_FullSmallSimulationObsFull)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

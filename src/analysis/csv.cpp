@@ -90,6 +90,24 @@ std::string ccdfToCsv(const model::BurstinessReport& report) {
   return out;
 }
 
+std::string metricsToCsv(const obs::MetricRegistry& metrics,
+                         double clockGhz) {
+  OCCM_REQUIRE_MSG(clockGhz > 0.0, "clock must be positive");
+  std::string out = csvRow(
+      {"window_start_cycles", "window_start_ns", "metric", "unit", "value"});
+  const Cycles window = metrics.windowCycles();
+  for (const obs::Metric& metric : metrics.metrics()) {
+    const std::vector<double> values = metric.series.values();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const Cycles start = static_cast<Cycles>(i) * window;
+      out += csvRow({std::to_string(start),
+                     num(cyclesToNs(start, clockGhz)), metric.name,
+                     metric.unit, num(values[i])});
+    }
+  }
+  return out;
+}
+
 void writeFile(const std::string& path, const std::string& contents) {
   std::ofstream file(path, std::ios::trunc);
   OCCM_REQUIRE_MSG(file.good(), "cannot open file for writing: " + path);

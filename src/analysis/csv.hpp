@@ -10,6 +10,7 @@
 #include "analysis/experiment.hpp"
 #include "core/burstiness.hpp"
 #include "core/contention_model.hpp"
+#include "obs/metric_registry.hpp"
 
 namespace occm::analysis {
 
@@ -26,6 +27,13 @@ namespace occm::analysis {
 
 /// Burstiness CCDF -> CSV: x, P(BurstSize > x) (the Figure-4 series).
 [[nodiscard]] std::string ccdfToCsv(const model::BurstinessReport& report);
+
+/// Metric registry -> tidy ("long") CSV time series: one row per
+/// (window, metric) with the window's start in cycles and nanoseconds
+/// (at `clockGhz`), the metric name/unit and the windowed value. Tidy
+/// layout keeps the export schema stable as metrics come and go.
+[[nodiscard]] std::string metricsToCsv(const obs::MetricRegistry& metrics,
+                                       double clockGhz);
 
 /// Writes text to a file; throws ContractViolation on I/O failure.
 void writeFile(const std::string& path, const std::string& contents);

@@ -29,7 +29,7 @@ bool isBursty(double cv, double maxBurst, double meanBurst) {
   return cv > 1.0 || maxBurst / meanBurst > 8.0;
 }
 
-BurstinessReport analyzeBurstiness(std::span<const std::uint32_t> windows) {
+BurstinessReport analyzeBurstiness(std::span<const std::uint64_t> windows) {
   OCCM_REQUIRE_MSG(!windows.empty(), "no sampler windows");
   BurstinessReport report;
   report.totalWindows = windows.size();
@@ -37,7 +37,7 @@ BurstinessReport analyzeBurstiness(std::span<const std::uint32_t> windows) {
   std::vector<double> bursts;
   bursts.reserve(windows.size());
   stats::OnlineStats active;
-  for (std::uint32_t w : windows) {
+  for (std::uint64_t w : windows) {
     if (w > 0) {
       bursts.push_back(static_cast<double>(w));
       active.add(static_cast<double>(w));

@@ -37,7 +37,7 @@ struct BurstinessReport {
 /// Classifies a sampled run. `windows` are per-window line counts
 /// (perf::MissSampler::windows()).
 [[nodiscard]] BurstinessReport analyzeBurstiness(
-    std::span<const std::uint32_t> windows);
+    std::span<const std::uint64_t> windows);
 
 /// The classification criterion, exposed for testing: traffic is bursty
 /// when burst sizes are highly variable (cv > 1) or the largest burst

@@ -70,9 +70,8 @@ Cycles MemorySystem::reserveLink(NodeId a, NodeId b, int hops, Cycles arrival,
   return start - arrival;
 }
 
-std::pair<Cycles, Cycles> MemorySystem::reserveChannel(Controller& controller,
-                                                       Addr addr,
-                                                       Cycles arrival) {
+MemorySystem::ChannelGrant MemorySystem::reserveChannel(
+    Controller& controller, Addr addr, Cycles arrival) {
   const auto& spec = topo_.spec();
   const Addr row = addr / spec.rowBytes;
   // Address-striped channel and bank: rows interleave over channels, then
@@ -93,7 +92,7 @@ std::pair<Cycles, Cycles> MemorySystem::reserveChannel(Controller& controller,
                                             : spec.rowMissServiceCycles);
   channel.freeAt = start + service;
   controller.stats.busyCycles += service;
-  return {start, service};
+  return {start, service, rowHit};
 }
 
 RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
@@ -129,18 +128,23 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
   timing.queueWait += linkWait;
   arrival += linkWait + hopOneWay;
 
-  const auto [start, service] = reserveChannel(controller, addr, arrival);
-  timing.queueWait += start - arrival;
+  const ChannelGrant grant = reserveChannel(controller, addr, arrival);
+  timing.queueWait += grant.start - arrival;
   timing.hopCycles = 2 * hopOneWay;
   // The channel occupancy (`service`) gates *throughput* — it holds the
   // channel and delays later arrivals — but DRAM pipelining hides it from
   // this request's own latency: a solo miss completes after dramLatency.
-  timing.done = start + spec.dramLatency + hopOneWay;
+  timing.done = grant.start + spec.dramLatency + hopOneWay;
 
   controller.stats.requests += 1;
   controller.stats.remoteRequests += timing.remote ? 1 : 0;
   controller.stats.totalWait += timing.queueWait;
-  controller.stats.totalService += service;
+  controller.stats.totalService += grant.service;
+  if (observer_ != nullptr) {
+    observer_->onTransfer({arrival, grant.start, grant.service,
+                           timing.queueWait, homeNode, timing.remote,
+                           grant.rowHit, false});
+  }
   return timing;
 }
 
@@ -154,8 +158,14 @@ void MemorySystem::writeback(Cycles now, CoreId core, Addr addr) {
   const Cycles hopOneWay =
       static_cast<Cycles>(hops) * topo_.spec().hopCycles;
   const Cycles linkWait = reserveLink(requesterNode, homeNode, hops, now, 1);
-  reserveChannel(controller, addr, now + linkWait + hopOneWay);
+  const Cycles arrival = now + linkWait + hopOneWay;
+  const ChannelGrant grant = reserveChannel(controller, addr, arrival);
   controller.stats.writebacks += 1;
+  if (observer_ != nullptr) {
+    observer_->onTransfer({arrival, grant.start, grant.service,
+                           linkWait + (grant.start - arrival), homeNode,
+                           homeNode != requesterNode, grant.rowHit, true});
+  }
 }
 
 const ControllerStats& MemorySystem::controllerStats(NodeId node) const {

@@ -70,6 +70,27 @@ struct RequestTiming {
   bool remote = false;
 };
 
+/// One serviced transfer as seen at the controller, for observers.
+struct RequestObservation {
+  Cycles arrival = 0;    ///< when the request reached the controller stage
+  Cycles start = 0;      ///< when its channel began the transfer
+  Cycles service = 0;    ///< channel occupancy of the transfer
+  Cycles queueWait = 0;  ///< total queueing delay (bus + link + channel)
+  NodeId node = 0;
+  bool remote = false;
+  bool rowHit = false;
+  bool writeback = false;  ///< non-blocking writeback vs. demand fill
+};
+
+/// Instrumentation hook the memory system calls once per serviced
+/// transfer (demand request or writeback). Implemented by the simulator's
+/// observability adapter; the memory system itself stays obs-agnostic.
+class MemoryObserver {
+ public:
+  virtual ~MemoryObserver() = default;
+  virtual void onTransfer(const RequestObservation& observation) = 0;
+};
+
 class MemorySystem {
  public:
   /// `activeNodes` are the controllers backing the current run's pages
@@ -95,6 +116,12 @@ class MemorySystem {
   /// Total demand requests across controllers.
   [[nodiscard]] std::uint64_t totalRequests() const noexcept;
 
+  /// Attaches (or detaches, with nullptr) a per-transfer observer. The
+  /// observer must outlive the memory system or be detached first.
+  void setObserver(MemoryObserver* observer) noexcept {
+    observer_ = observer;
+  }
+
  private:
   struct Channel {
     Cycles freeAt = 0;
@@ -115,10 +142,16 @@ class MemorySystem {
 
   static constexpr Addr kNoRow = ~Addr{0};
 
+  struct ChannelGrant {
+    Cycles start = 0;    ///< when the channel begins the transfer
+    Cycles service = 0;  ///< channel occupancy
+    bool rowHit = false;
+  };
+
   /// Routes the request to its address-striped channel/bank, applies the
-  /// row-buffer state and reserves the channel; returns {start, service}.
-  std::pair<Cycles, Cycles> reserveChannel(Controller& controller, Addr addr,
-                                           Cycles arrival);
+  /// row-buffer state and reserves the channel.
+  ChannelGrant reserveChannel(Controller& controller, Addr addr,
+                              Cycles arrival);
 
   [[nodiscard]] Cycles drawService(Cycles mean);
 
@@ -134,6 +167,7 @@ class MemorySystem {
   std::vector<Bus> buses_;   ///< one per socket; UMA only
   std::vector<Link> links_;  ///< one per unordered node pair; NUMA only
   Rng rng_;
+  MemoryObserver* observer_ = nullptr;
   Cycles lastNow_ = 0;  ///< monotonicity check
 };
 

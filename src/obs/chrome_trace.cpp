@@ -1,0 +1,126 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+
+namespace occm::obs {
+
+namespace {
+
+std::string num(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+/// Cycles -> trace microseconds at the run's simulated clock.
+double toMicros(Cycles cycles, double ghz) {
+  return static_cast<double>(cycles) / (ghz * 1000.0);
+}
+
+void appendCommon(std::string& out, const std::string& name,
+                  const std::string& category, std::int32_t track,
+                  double tsMicros) {
+  out += "{\"name\":\"";
+  out += jsonEscape(name);
+  out += "\",\"cat\":\"";
+  out += jsonEscape(category.empty() ? std::string("sim") : category);
+  out += "\",\"pid\":0,\"tid\":";
+  out += std::to_string(track);
+  out += ",\"ts\":";
+  out += num(tsMicros);
+}
+
+}  // namespace
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xff);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string toChromeTraceJson(const RunTrace& trace) {
+  const double ghz = trace.clockGhz > 0.0 ? trace.clockGhz : 1.0;
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"otherData\":{"
+                    "\"clock_ghz\":" + num(ghz) +
+                    ",\"dropped_events\":" +
+                    std::to_string(trace.events.dropped()) +
+                    "},\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+  };
+
+  // Track-name metadata.
+  for (const auto& [track, name] : trace.events.trackNames()) {
+    sep();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(track);
+    out += ",\"args\":{\"name\":\"";
+    out += jsonEscape(name);
+    out += "\"}}";
+  }
+
+  // Span / instant events.
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& ev = trace.events[i];
+    sep();
+    appendCommon(out, ev.name, ev.category, ev.track,
+                 toMicros(ev.start, ghz));
+    if (ev.phase == TracePhase::kSpan) {
+      out += ",\"ph\":\"X\",\"dur\":";
+      out += num(toMicros(ev.duration, ghz));
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    if (!ev.argName.empty()) {
+      out += ",\"args\":{\"";
+      out += jsonEscape(ev.argName);
+      out += "\":";
+      out += num(ev.arg);
+      out += '}';
+    }
+    out += '}';
+  }
+
+  // Metric series as counter tracks.
+  const Cycles window = trace.metrics.windowCycles();
+  for (const Metric& metric : trace.metrics.metrics()) {
+    const std::vector<double> values = metric.series.values();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      sep();
+      out += "{\"name\":\"";
+      out += jsonEscape(metric.name);
+      out += "\",\"cat\":\"metric\",\"ph\":\"C\",\"pid\":0,\"ts\":";
+      out += num(toMicros(static_cast<Cycles>(i) * window, ghz));
+      out += ",\"args\":{\"value\":";
+      out += num(values[i]);
+      out += "}}";
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+}  // namespace occm::obs

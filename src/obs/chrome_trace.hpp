@@ -1,0 +1,26 @@
+#pragma once
+
+// Chrome trace_event JSON exporter: serializes a RunTrace into the
+// "JSON Object Format" understood by chrome://tracing and Perfetto
+// (https://ui.perfetto.dev — drag the file in).
+//
+// Mapping:
+//  - span events        -> "ph":"X" complete events (ts + dur)
+//  - instant events     -> "ph":"i" thread-scoped instants
+//  - metric time series -> "ph":"C" counter events, one per window
+//  - track names        -> "ph":"M" thread_name metadata
+// Timestamps are microseconds of simulated wall-clock (cycles / GHz).
+
+#include <string>
+
+#include "obs/run_trace.hpp"
+
+namespace occm::obs {
+
+/// Renders the whole trace (events + metric counter tracks).
+[[nodiscard]] std::string toChromeTraceJson(const RunTrace& trace);
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+[[nodiscard]] std::string jsonEscape(const std::string& text);
+
+}  // namespace occm::obs

@@ -1,0 +1,49 @@
+#include "obs/metric_registry.hpp"
+
+#include "common/error.hpp"
+
+namespace occm::obs {
+
+MetricRegistry::MetricRegistry(Cycles windowCycles) : window_(windowCycles) {
+  OCCM_REQUIRE_MSG(windowCycles > 0, "window must be positive");
+}
+
+TimeSeries& MetricRegistry::open(std::string_view name, std::string_view unit,
+                                 MetricKind kind) {
+  OCCM_REQUIRE_MSG(!name.empty(), "metric name must be non-empty");
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Metric& existing = metrics_[it->second];
+    OCCM_REQUIRE_MSG(existing.series.kind() == kind,
+                     "metric re-opened with a different kind: " +
+                         existing.name);
+    return existing.series;
+  }
+  metrics_.push_back(Metric{std::string(name), std::string(unit),
+                            TimeSeries(window_, kind)});
+  index_.emplace(std::string(name), metrics_.size() - 1);
+  return metrics_.back().series;
+}
+
+TimeSeries& MetricRegistry::counter(std::string_view name,
+                                    std::string_view unit) {
+  return open(name, unit, MetricKind::kCounter);
+}
+
+TimeSeries& MetricRegistry::gauge(std::string_view name,
+                                  std::string_view unit) {
+  return open(name, unit, MetricKind::kGauge);
+}
+
+const TimeSeries* MetricRegistry::find(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  return it == index_.end() ? nullptr : &metrics_[it->second].series;
+}
+
+void MetricRegistry::finalize(Cycles endTime) {
+  for (Metric& m : metrics_) {
+    m.series.finalize(endTime);
+  }
+}
+
+}  // namespace occm::obs

@@ -1,0 +1,57 @@
+#pragma once
+
+// Named collection of TimeSeries sharing one window width — the metric
+// side of a run's observability data. Instrumentation sites register a
+// metric once (counter()/gauge() return a stable reference) and record
+// into it on the hot path without any name lookup.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "obs/time_series.hpp"
+
+namespace occm::obs {
+
+struct Metric {
+  std::string name;  ///< dotted path, e.g. "mem.node0.requests"
+  std::string unit;  ///< e.g. "cycles", "lines/window", "" (dimensionless)
+  TimeSeries series;
+};
+
+class MetricRegistry {
+ public:
+  /// `windowCycles`: shared bucket width of every metric in the registry.
+  explicit MetricRegistry(Cycles windowCycles);
+
+  /// Registers (or re-opens) a per-window-sum metric. The reference stays
+  /// valid for the registry's lifetime. Re-opening requires the same kind.
+  TimeSeries& counter(std::string_view name, std::string_view unit = "");
+  /// Registers (or re-opens) a per-window-mean metric.
+  TimeSeries& gauge(std::string_view name, std::string_view unit = "");
+
+  [[nodiscard]] const TimeSeries* find(std::string_view name) const;
+
+  [[nodiscard]] const std::deque<Metric>& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+  [[nodiscard]] Cycles windowCycles() const noexcept { return window_; }
+
+  /// Extends every series to cover [0, endTime) (trailing empty windows),
+  /// so all metrics line up window-for-window in exports.
+  void finalize(Cycles endTime);
+
+ private:
+  TimeSeries& open(std::string_view name, std::string_view unit,
+                   MetricKind kind);
+
+  Cycles window_;
+  std::deque<Metric> metrics_;  ///< deque: stable references across growth
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace occm::obs

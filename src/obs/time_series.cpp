@@ -1,0 +1,79 @@
+#include "obs/time_series.hpp"
+
+#include "common/error.hpp"
+
+namespace occm::obs {
+
+TimeSeries::TimeSeries(Cycles windowCycles, MetricKind kind)
+    : window_(windowCycles), kind_(kind) {
+  OCCM_REQUIRE_MSG(windowCycles > 0, "window must be positive");
+}
+
+void TimeSeries::record(Cycles time, double value) {
+  const auto idx = static_cast<std::size_t>(time / window_);
+  if (sums_.size() <= idx) {
+    sums_.resize(idx + 1, 0.0);
+    counts_.resize(idx + 1, 0);
+  }
+  sums_[idx] += value;
+  ++counts_[idx];
+}
+
+void TimeSeries::finalize(Cycles endTime) {
+  const auto windows =
+      static_cast<std::size_t>((endTime + window_ - 1) / window_);
+  if (sums_.size() < windows) {
+    sums_.resize(windows, 0.0);
+    counts_.resize(windows, 0);
+  }
+}
+
+double TimeSeries::sum(std::size_t i) const {
+  OCCM_REQUIRE(i < sums_.size());
+  return sums_[i];
+}
+
+std::uint64_t TimeSeries::samples(std::size_t i) const {
+  OCCM_REQUIRE(i < counts_.size());
+  return counts_[i];
+}
+
+double TimeSeries::value(std::size_t i) const {
+  OCCM_REQUIRE(i < sums_.size());
+  if (kind_ == MetricKind::kCounter) {
+    return sums_[i];
+  }
+  // Gauge: mean of this window's samples, else last observed mean.
+  for (std::size_t j = i + 1; j-- > 0;) {
+    if (counts_[j] > 0) {
+      return sums_[j] / static_cast<double>(counts_[j]);
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out(sums_.size(), 0.0);
+  double last = 0.0;
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    if (kind_ == MetricKind::kCounter) {
+      out[i] = sums_[i];
+    } else {
+      if (counts_[i] > 0) {
+        last = sums_[i] / static_cast<double>(counts_[i]);
+      }
+      out[i] = last;
+    }
+  }
+  return out;
+}
+
+double TimeSeries::total() const noexcept {
+  double total = 0.0;
+  for (double s : sums_) {
+    total += s;
+  }
+  return total;
+}
+
+}  // namespace occm::obs

@@ -4,61 +4,69 @@
 // of last-level cache misses (requested cache lines) in every 5 us window
 // of simulated time. The per-window counts are the "burst sizes" whose
 // complementary CDF is Figure 4.
+//
+// Implemented as a thin wrapper over obs::TimeSeries (the observability
+// layer's generic windowed sampler) with counter semantics. Counts are
+// 64-bit throughout: the old implementation accumulated std::uint32_t
+// lines into std::uint32_t windows and could silently wrap on long
+// saturated runs.
 
 #include <cstdint>
 #include <vector>
 
-#include "common/error.hpp"
-#include "common/types.hpp"
+#include "obs/time_series.hpp"
 
 namespace occm::perf {
 
 class MissSampler {
  public:
   /// `windowCycles`: sampling period in cycles (5 us at the machine clock).
-  explicit MissSampler(Cycles windowCycles) : window_(windowCycles) {
-    OCCM_REQUIRE_MSG(windowCycles > 0, "window must be positive");
-  }
+  explicit MissSampler(Cycles windowCycles)
+      : series_(windowCycles, obs::MetricKind::kCounter) {}
 
   /// Records `lines` requested cache lines at simulated time `time`.
-  void record(Cycles time, std::uint32_t lines = 1) {
-    const auto idx = static_cast<std::size_t>(time / window_);
-    if (counts_.size() <= idx) {
-      counts_.resize(idx + 1, 0);
-    }
-    counts_[idx] += lines;
+  void record(Cycles time, std::uint64_t lines = 1) {
+    series_.record(time, static_cast<double>(lines));
   }
 
   /// Extends the window vector to cover [0, endTime) with trailing zeros.
-  void finalize(Cycles endTime) {
-    const auto windows = static_cast<std::size_t>(
-        (endTime + window_ - 1) / window_);
-    if (counts_.size() < windows) {
-      counts_.resize(windows, 0);
+  void finalize(Cycles endTime) { series_.finalize(endTime); }
+
+  /// Per-window line counts (exact for totals below 2^53 lines/window).
+  [[nodiscard]] std::vector<std::uint64_t> windows() const {
+    std::vector<std::uint64_t> counts;
+    counts.reserve(series_.windowCount());
+    for (std::size_t i = 0; i < series_.windowCount(); ++i) {
+      counts.push_back(static_cast<std::uint64_t>(series_.sum(i)));
     }
+    return counts;
   }
 
-  [[nodiscard]] const std::vector<std::uint32_t>& windows() const noexcept {
-    return counts_;
+  [[nodiscard]] Cycles windowCycles() const noexcept {
+    return series_.windowCycles();
   }
-  [[nodiscard]] Cycles windowCycles() const noexcept { return window_; }
+
+  /// The underlying time series (for registering with a MetricRegistry
+  /// export or cross-checking against other obs metrics).
+  [[nodiscard]] const obs::TimeSeries& series() const noexcept {
+    return series_;
+  }
 
   /// Burst sizes: the non-empty windows' line counts, as doubles for the
   /// stats layer. Empty windows are idle gaps between bursts, not bursts.
   [[nodiscard]] std::vector<double> burstSizes() const {
     std::vector<double> sizes;
-    sizes.reserve(counts_.size());
-    for (std::uint32_t c : counts_) {
-      if (c > 0) {
-        sizes.push_back(static_cast<double>(c));
+    sizes.reserve(series_.windowCount());
+    for (std::size_t i = 0; i < series_.windowCount(); ++i) {
+      if (series_.sum(i) > 0.0) {
+        sizes.push_back(series_.sum(i));
       }
     }
     return sizes;
   }
 
  private:
-  Cycles window_;
-  std::vector<std::uint32_t> counts_;
+  obs::TimeSeries series_;
 };
 
 }  // namespace occm::perf

@@ -1,5 +1,6 @@
 #include "perf/run_profile.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace occm::perf {
@@ -18,6 +19,12 @@ std::string withCommas(std::uint64_t value) {
     ++digits;
   }
   return {out.rbegin(), out.rend()};
+}
+
+std::string percent(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f%%", 100.0 * ratio);
+  return buffer;
 }
 }  // namespace
 
@@ -49,7 +56,19 @@ std::string formatReport(const RunProfile& profile) {
     }
     out << "  controller " << i << " : " << withCommas(c.requests)
         << " requests (" << withCommas(c.remoteRequests) << " remote), "
-        << "mean wait " << c.meanWait() << " cycles\n";
+        << "mean wait " << c.meanWait() << " cycles";
+    if (profile.makespan > 0 && profile.channelsPerController > 0) {
+      out << ", util " << percent(profile.controllerUtilization(i));
+    }
+    if (c.rowHits + c.rowMisses > 0) {
+      out << ", row-hit " << percent(c.rowHitRatio());
+    }
+    out << "\n";
+  }
+  if (profile.trace != nullptr) {
+    out << "  obs trace     : " << profile.trace->metrics.size()
+        << " metrics, " << profile.trace->events.size() << " events ("
+        << withCommas(profile.trace->events.dropped()) << " dropped)\n";
   }
   return out.str();
 }

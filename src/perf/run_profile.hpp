@@ -10,6 +10,7 @@
 
 #include "common/types.hpp"
 #include "mem/memory_system.hpp"
+#include "obs/run_trace.hpp"
 #include "perf/counters.hpp"
 
 namespace occm::perf {
@@ -34,14 +35,34 @@ struct RunProfile {
 
   /// Per-controller statistics snapshot.
   std::vector<mem::ControllerStats> controllerStats;
+  /// Channels per controller on the simulated machine (for utilization:
+  /// busyCycles / (makespan * channels)); 0 when unknown.
+  int channelsPerController = 0;
 
   /// 5 us miss-sampler windows (machine-wide), empty unless sampling was
   /// enabled for the run.
-  std::vector<std::uint32_t> missWindows;
+  std::vector<std::uint64_t> missWindows;
   Cycles samplerWindowCycles = 0;
+
+  /// Windowed metrics + structured event trace, attached when the run was
+  /// configured with obs::ObsConfig (null otherwise).
+  obs::RunTracePtr trace;
 
   [[nodiscard]] double totalCyclesD() const noexcept {
     return static_cast<double>(counters.totalCycles);
+  }
+
+  /// Mean channel utilization of controller `node` over the whole run:
+  /// busyCycles / (makespan * channelsPerController). 0 when the run
+  /// length or channel count is unknown.
+  [[nodiscard]] double controllerUtilization(std::size_t node) const noexcept {
+    if (node >= controllerStats.size() || makespan == 0 ||
+        channelsPerController <= 0) {
+      return 0.0;
+    }
+    return static_cast<double>(controllerStats[node].busyCycles) /
+           (static_cast<double>(makespan) *
+            static_cast<double>(channelsPerController));
   }
 };
 

@@ -1,6 +1,7 @@
 #include "sched/affinity.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -30,6 +31,32 @@ Pinning pinRoundRobin(const topology::TopologyMap& topo, int threads,
     pinning.threadsOn[static_cast<std::size_t>(core)].push_back(t);
   }
   return pinning;
+}
+
+std::vector<std::string> describePinning(const Pinning& pinning,
+                                         const topology::TopologyMap& topo) {
+  std::vector<std::string> labels;
+  labels.reserve(pinning.threadsOn.size());
+  for (std::size_t c = 0; c < pinning.threadsOn.size(); ++c) {
+    const auto core = static_cast<CoreId>(c);
+    std::string label = "core " + std::to_string(c);
+    if (pinning.threadsOn[c].empty()) {
+      label += " (idle)";
+    } else {
+      label += " (socket " +
+               std::to_string(topo.location(core).socket) + ", node " +
+               std::to_string(topo.homeNode(core)) + ") threads [";
+      for (std::size_t i = 0; i < pinning.threadsOn[c].size(); ++i) {
+        if (i > 0) {
+          label += ',';
+        }
+        label += std::to_string(pinning.threadsOn[c][i]);
+      }
+      label += ']';
+    }
+    labels.push_back(std::move(label));
+  }
+  return labels;
 }
 
 ThreadId RunQueue::current() const {

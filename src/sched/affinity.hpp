@@ -39,6 +39,12 @@ struct Pinning {
 [[nodiscard]] Pinning pinRoundRobin(const topology::TopologyMap& topo,
                                     int threads, int activeCores);
 
+/// Human-readable label for each logical core under a pinning, e.g.
+/// "core 3 (socket 1, node 1) threads [3,7]"; idle cores get
+/// "core 5 (idle)". Used to name trace timeline tracks.
+[[nodiscard]] std::vector<std::string> describePinning(
+    const Pinning& pinning, const topology::TopologyMap& topo);
+
 /// Round-robin run queue of the threads pinned to one core.
 class RunQueue {
  public:

@@ -1,7 +1,9 @@
 #include "sim/machine_sim.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "cache/hierarchy.hpp"
@@ -53,6 +55,113 @@ struct CoreState {
   std::uint64_t contextSwitches = 0;
 };
 
+/// Observability adapter of one run: receives the memory system's
+/// per-transfer callbacks and exposes the per-core/machine-wide series the
+/// event loop records into. All pointers are null when metrics are off, so
+/// hook sites reduce to a null test.
+class RunObserver final : public mem::MemoryObserver {
+ public:
+  RunObserver(obs::RunTrace& trace, const obs::ObsConfig& config,
+              int controllers, int totalCores)
+      : trace_(trace), metricsOn_(config.metrics), eventsOn_(config.trace) {
+    work.resize(static_cast<std::size_t>(totalCores), nullptr);
+    stall.resize(static_cast<std::size_t>(totalCores), nullptr);
+    if (!metricsOn_) {
+      return;
+    }
+    llcMisses = &trace_.metrics.counter("sim.llc_misses", "lines/window");
+    ctxSwitches =
+        &trace_.metrics.counter("sched.ctx_switches", "switches/window");
+    nodes_.reserve(static_cast<std::size_t>(controllers));
+    for (NodeId n = 0; n < controllers; ++n) {
+      const std::string p = "mem.node" + std::to_string(n) + ".";
+      nodes_.push_back(NodeSeries{
+          &trace_.metrics.counter(p + "requests", "transfers/window"),
+          &trace_.metrics.counter(p + "busy", "cycles/window"),
+          &trace_.metrics.counter(p + "row_hits", "hits/window"),
+          &trace_.metrics.counter(p + "row_misses", "misses/window"),
+          &trace_.metrics.gauge(p + "queue_wait", "cycles"),
+          &trace_.metrics.gauge(p + "backlog", "cycles"),
+      });
+    }
+  }
+
+  /// Registers the work/stall split series of one active core.
+  void openCore(CoreId core) {
+    if (!metricsOn_) {
+      return;
+    }
+    const std::string p = "core" + std::to_string(core) + ".";
+    work[static_cast<std::size_t>(core)] =
+        &trace_.metrics.counter(p + "work", "cycles/window");
+    stall[static_cast<std::size_t>(core)] =
+        &trace_.metrics.counter(p + "stall", "cycles/window");
+  }
+
+  void onTransfer(const mem::RequestObservation& o) override {
+    if (metricsOn_) {
+      NodeSeries& n = nodes_[static_cast<std::size_t>(o.node)];
+      n.requests->record(o.arrival);
+      n.busy->record(o.start, static_cast<double>(o.service));
+      (o.rowHit ? n.rowHits : n.rowMisses)->record(o.start);
+      if (!o.writeback) {
+        n.queueWait->record(o.arrival, static_cast<double>(o.queueWait));
+      }
+      n.backlog->record(o.arrival, static_cast<double>(o.start - o.arrival));
+    }
+    if (eventsOn_) {
+      trace_.events.span(o.writeback ? "writeback" : "service", "mem",
+                         obs::kControllerTrackBase + o.node, o.start,
+                         o.service, "queue_wait",
+                         static_cast<double>(o.queueWait));
+    }
+  }
+
+  /// Derives per-window controller utilization gauges from the busy
+  /// counters; call after metrics are finalized to the run's makespan.
+  void deriveUtilization(int channelsPerController) {
+    if (!metricsOn_ || channelsPerController <= 0) {
+      return;
+    }
+    const Cycles window = trace_.metrics.windowCycles();
+    const double capacity = static_cast<double>(window) *
+                            static_cast<double>(channelsPerController);
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      const obs::TimeSeries* busy = nodes_[n].busy;
+      obs::TimeSeries& util = trace_.metrics.gauge(
+          "mem.node" + std::to_string(n) + ".utilization", "fraction");
+      for (std::size_t i = 0; i < busy->windowCount(); ++i) {
+        util.record(busy->windowStart(i), busy->sum(i) / capacity);
+      }
+    }
+  }
+
+  [[nodiscard]] bool metricsOn() const noexcept { return metricsOn_; }
+  [[nodiscard]] bool eventsOn() const noexcept { return eventsOn_; }
+
+  // Per-core series, indexed by CoreId; null for inactive cores or when
+  // metrics are off.
+  std::vector<obs::TimeSeries*> work;
+  std::vector<obs::TimeSeries*> stall;
+  obs::TimeSeries* llcMisses = nullptr;
+  obs::TimeSeries* ctxSwitches = nullptr;
+
+ private:
+  struct NodeSeries {
+    obs::TimeSeries* requests;
+    obs::TimeSeries* busy;
+    obs::TimeSeries* rowHits;
+    obs::TimeSeries* rowMisses;
+    obs::TimeSeries* queueWait;
+    obs::TimeSeries* backlog;
+  };
+
+  obs::RunTrace& trace_;
+  bool metricsOn_;
+  bool eventsOn_;
+  std::vector<NodeSeries> nodes_;
+};
+
 }  // namespace
 
 MachineSim::MachineSim(topology::MachineSpec spec, SimConfig config)
@@ -101,6 +210,47 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
   const int totalCores = spec.logicalCores();
   std::vector<CoreState> cores(static_cast<std::size_t>(totalCores));
 
+  // Observability: build the run trace and attach the memory observer.
+  // `obs` stays disengaged (null) unless requested — and when
+  // OCCM_OBS_ENABLED=0 the constant-false `enabled()` lets the compiler
+  // drop every hook below.
+  obs::RunTracePtr runTrace;
+  std::optional<RunObserver> hooks;
+  if (config_.observability.enabled()) {
+    const Cycles obsWindow = std::max<Cycles>(
+        1, nsToCycles(config_.observability.windowNs, spec.clockGhz));
+    runTrace = std::make_shared<obs::RunTrace>(
+        obsWindow, config_.observability.traceCapacity,
+        config_.observability.overflow, spec.clockGhz);
+    hooks.emplace(*runTrace, config_.observability, memory.controllers(),
+                  totalCores);
+    memory.setObserver(&*hooks);
+    const std::vector<std::string> labels =
+        sched::describePinning(pinning, topo_);
+    for (CoreId c = 0; c < totalCores; ++c) {
+      if (!pinning.threadsOn[static_cast<std::size_t>(c)].empty()) {
+        hooks->openCore(c);
+        runTrace->events.setTrackName(c,
+                                      labels[static_cast<std::size_t>(c)]);
+      }
+    }
+    for (NodeId n = 0; n < memory.controllers(); ++n) {
+      runTrace->events.setTrackName(obs::kControllerTrackBase + n,
+                                    "memory controller " + std::to_string(n));
+    }
+    if (hooks->eventsOn()) {
+      for (ThreadId t = 0; t < threads; ++t) {
+        runTrace->events.instant(
+            "pin thread " + std::to_string(t), "sched",
+            pinning.pinnedCore[static_cast<std::size_t>(t)], 0);
+      }
+    }
+  }
+
+  // Raw hook pointer for the hot loops: null means "no observability",
+  // making every instrumentation site one predictable branch.
+  RunObserver* const hp = hooks ? &*hooks : nullptr;
+
   auto jitteredQuantum = [&]() {
     const double jitter = rng.uniform(0.95, 1.05);
     return static_cast<Cycles>(
@@ -144,6 +294,18 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
           core.now += config_.sched.contextSwitchCost;
           core.stallCycles += config_.sched.contextSwitchCost;
           ++core.contextSwitches;
+          if (hp != nullptr) {
+            if (hp->ctxSwitches != nullptr) {
+              hp->ctxSwitches->record(core.now);
+              hp->stall[static_cast<std::size_t>(coreId)]->record(
+                  core.now,
+                  static_cast<double>(config_.sched.contextSwitchCost));
+            }
+            if (hp->eventsOn()) {
+              runTrace->events.instant("ctx-switch", "sched", coreId,
+                                       core.now);
+            }
+          }
         }
         core.quantumEnd = core.now + jitteredQuantum();
         continue;
@@ -157,6 +319,10 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
       core.now += op.work;
       core.workCycles += op.work;
       core.instructions += op.instructions;
+      if (hp != nullptr && hp->metricsOn()) {
+        hp->work[static_cast<std::size_t>(coreId)]->record(
+            core.now, static_cast<double>(op.work));
+      }
       const cache::AccessResult res =
           hierarchy.access(coreId, op.addr, op.write);
       // Prefetchable (streaming) accesses overlap the cache-hit path the
@@ -168,6 +334,10 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
               : res.latency;
       core.now += hitStall;
       core.stallCycles += hitStall;
+      if (hp != nullptr && hp->metricsOn()) {
+        hp->stall[static_cast<std::size_t>(coreId)]->record(
+            core.now, static_cast<double>(hitStall));
+      }
       if (res.offChip) {
         core.pendingAddr = op.addr;
         core.pendingPrefetchable = op.prefetchable;
@@ -196,6 +366,9 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
         if (config_.enableSampler) {
           sampler.record(now);
         }
+        if (hp != nullptr && hp->llcMisses != nullptr) {
+          hp->llcMisses->record(now);
+        }
         const mem::RequestTiming timing =
             memory.request(now, ev.core, core.pendingAddr);
         if (core.pendingWriteback) {
@@ -215,6 +388,17 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
         const Cycles stall = std::max<Cycles>(1, rawStall / mlp);
         core.stallCycles += stall;
         core.now = now + stall;
+        if (hp != nullptr) {
+          if (hp->metricsOn()) {
+            hp->stall[static_cast<std::size_t>(ev.core)]->record(
+                core.now, static_cast<double>(stall));
+          }
+          if (hp->eventsOn()) {
+            runTrace->events.span("mem-stall", "core", ev.core, now, stall,
+                                  "queue_wait",
+                                  static_cast<double>(timing.queueWait));
+          }
+        }
         events.push({core.now, seq++, ev.core, EventKind::kAdvance});
         break;
       }
@@ -247,10 +431,17 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
   for (NodeId node = 0; node < memory.controllers(); ++node) {
     profile.controllerStats.push_back(memory.controllerStats(node));
   }
+  profile.channelsPerController = spec.channelsPerController;
   if (config_.enableSampler) {
     sampler.finalize(profile.makespan);
     profile.missWindows = sampler.windows();
     profile.samplerWindowCycles = sampler.windowCycles();
+  }
+  if (runTrace != nullptr) {
+    memory.setObserver(nullptr);
+    runTrace->metrics.finalize(profile.makespan);
+    hooks->deriveUtilization(spec.channelsPerController);
+    profile.trace = std::move(runTrace);
   }
   return profile;
 }

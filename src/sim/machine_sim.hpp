@@ -25,6 +25,7 @@
 
 #include "common/types.hpp"
 #include "mem/memory_system.hpp"
+#include "obs/run_trace.hpp"
 #include "perf/run_profile.hpp"
 #include "sched/affinity.hpp"
 #include "topology/topology_map.hpp"
@@ -38,6 +39,13 @@ struct SimConfig {
   /// Record the 5 us LLC-miss sampler (Figure 4) into the profile.
   bool enableSampler = false;
   double samplerWindowNs = 5000.0;
+  /// Observability: windowed metrics (controller utilization/queueing,
+  /// per-core work/stall split, LLC-miss rate) and structured trace events
+  /// (controller service spans, memory stalls, context switches), attached
+  /// to the profile as `RunProfile::trace`. Off by default; when off the
+  /// simulator pays one predicted branch per hook (OCCM_OBS_ENABLED=0
+  /// compiles the hooks out entirely).
+  obs::ObsConfig observability;
   /// Maximum cycles a core may execute per event-loop turn. Cores only
   /// block on off-chip misses, so without this bound a core that stays
   /// cache-resident would run its whole thread in one turn and its cache/

@@ -32,10 +32,10 @@ TEST(IsBursty, Criterion) {
 TEST(AnalyzeBurstiness, HeavyTailedWindowsAreBursty) {
   // Small-problem pattern: mostly idle windows, occasional Pareto bursts.
   Rng rng(5);
-  std::vector<std::uint32_t> windows(20000, 0);
+  std::vector<std::uint64_t> windows(20000, 0);
   for (int i = 0; i < 800; ++i) {
     const auto idx = rng.below(windows.size());
-    windows[idx] = static_cast<std::uint32_t>(
+    windows[idx] = static_cast<std::uint64_t>(
         rng.boundedPareto(1.2, 1.0, 2000.0));
   }
   const BurstinessReport report = analyzeBurstiness(windows);
@@ -48,9 +48,9 @@ TEST(AnalyzeBurstiness, HeavyTailedWindowsAreBursty) {
 TEST(AnalyzeBurstiness, SaturatedTrafficIsNotBursty) {
   // Large-problem pattern: every window carries a near-constant load.
   Rng rng(7);
-  std::vector<std::uint32_t> windows;
+  std::vector<std::uint64_t> windows;
   for (int i = 0; i < 20000; ++i) {
-    windows.push_back(static_cast<std::uint32_t>(180 + rng.below(40)));
+    windows.push_back(static_cast<std::uint64_t>(180 + rng.below(40)));
   }
   const BurstinessReport report = analyzeBurstiness(windows);
   EXPECT_FALSE(report.bursty);
@@ -60,9 +60,9 @@ TEST(AnalyzeBurstiness, SaturatedTrafficIsNotBursty) {
 
 TEST(AnalyzeBurstiness, ParetoTailFitIsDiagonal) {
   Rng rng(11);
-  std::vector<std::uint32_t> windows;
+  std::vector<std::uint64_t> windows;
   for (int i = 0; i < 100000; ++i) {
-    windows.push_back(static_cast<std::uint32_t>(
+    windows.push_back(static_cast<std::uint64_t>(
         rng.boundedPareto(1.3, 1.0, 100000.0)));
   }
   const BurstinessReport report = analyzeBurstiness(windows);
@@ -72,7 +72,7 @@ TEST(AnalyzeBurstiness, ParetoTailFitIsDiagonal) {
 }
 
 TEST(AnalyzeBurstiness, AllIdleReportsNoTraffic) {
-  const std::vector<std::uint32_t> windows(100, 0);
+  const std::vector<std::uint64_t> windows(100, 0);
   const BurstinessReport report = analyzeBurstiness(windows);
   EXPECT_FALSE(report.bursty);
   EXPECT_EQ(report.activeWindows, 0u);
@@ -80,13 +80,13 @@ TEST(AnalyzeBurstiness, AllIdleReportsNoTraffic) {
 }
 
 TEST(AnalyzeBurstiness, EmptyThrows) {
-  const std::vector<std::uint32_t> empty;
+  const std::vector<std::uint64_t> empty;
   EXPECT_THROW((void)analyzeBurstiness(empty), ContractViolation);
 }
 
 TEST(AnalyzeBurstiness, CcdfMatchesCounts) {
   // 10 windows of size 1 and 10 of size 100.
-  std::vector<std::uint32_t> windows;
+  std::vector<std::uint64_t> windows;
   for (int i = 0; i < 10; ++i) {
     windows.push_back(1);
     windows.push_back(100);

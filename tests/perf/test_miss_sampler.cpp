@@ -45,6 +45,24 @@ TEST(MissSampler, BurstSizesSkipIdleWindows) {
   EXPECT_EQ(bursts[1], 7.0);
 }
 
+TEST(MissSampler, WindowCountsSurviveUint32Overflow) {
+  // Regression: window counts were uint32 and silently wrapped past 2^32
+  // lines; they are now 64-bit throughout.
+  MissSampler sampler(100);
+  sampler.record(10, 5'000'000'000ULL);
+  sampler.record(20, 5'000'000'000ULL);
+  ASSERT_EQ(sampler.windows().size(), 1u);
+  EXPECT_EQ(sampler.windows()[0], 10'000'000'000ULL);
+}
+
+TEST(MissSampler, ExposesUnderlyingTimeSeries) {
+  MissSampler sampler(100);
+  sampler.record(0, 2);
+  sampler.record(150, 3);
+  EXPECT_EQ(sampler.series().windowCount(), 2u);
+  EXPECT_DOUBLE_EQ(sampler.series().total(), 5.0);
+}
+
 TEST(MissSampler, ZeroWindowRejected) {
   EXPECT_THROW((void)MissSampler(0), ContractViolation);
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "perf/counters.hpp"
 
 namespace occm::perf {
@@ -67,6 +70,53 @@ TEST(RunProfile, ReportListsBusyControllers) {
   const std::string report = formatReport(profile);
   EXPECT_NE(report.find("controller 0"), std::string::npos);
   EXPECT_EQ(report.find("controller 1"), std::string::npos);
+}
+
+TEST(RunProfile, ControllerUtilizationFromBusyCycles) {
+  RunProfile profile;
+  mem::ControllerStats c;
+  c.busyCycles = 500;
+  profile.controllerStats = {c};
+  EXPECT_DOUBLE_EQ(profile.controllerUtilization(0), 0.0);  // makespan unknown
+  profile.makespan = 1000;
+  profile.channelsPerController = 2;
+  EXPECT_DOUBLE_EQ(profile.controllerUtilization(0), 0.25);
+  EXPECT_DOUBLE_EQ(profile.controllerUtilization(9), 0.0);  // out of range
+}
+
+TEST(RunProfile, ReportShowsUtilizationRowHitAndMeanWait) {
+  RunProfile profile;
+  profile.program = "p";
+  profile.machine = "m";
+  profile.makespan = 1000;
+  profile.channelsPerController = 2;
+  mem::ControllerStats c;
+  c.requests = 10;
+  c.totalWait = 150;
+  c.busyCycles = 500;
+  c.rowHits = 3;
+  c.rowMisses = 1;
+  profile.controllerStats = {c};
+  const std::string report = formatReport(profile);
+  EXPECT_NE(report.find("mean wait 15 cycles"), std::string::npos);
+  EXPECT_NE(report.find("util 25.0%"), std::string::npos);
+  EXPECT_NE(report.find("row-hit 75.0%"), std::string::npos);
+}
+
+TEST(RunProfile, ReportMentionsAttachedObsTrace) {
+  RunProfile profile;
+  profile.program = "p";
+  profile.machine = "m";
+  const std::string without = formatReport(profile);
+  EXPECT_EQ(without.find("obs trace"), std::string::npos);
+
+  profile.trace = std::make_shared<obs::RunTrace>(
+      100, 16, obs::OverflowPolicy::kDropOldest, 1.0);
+  profile.trace->metrics.counter("sim.llc_misses").record(0);
+  profile.trace->events.instant("ctx-switch", "sched", 0, 10);
+  const std::string report = formatReport(profile);
+  EXPECT_NE(report.find("obs trace"), std::string::npos);
+  EXPECT_NE(report.find("1 metrics, 1 events"), std::string::npos);
 }
 
 }  // namespace

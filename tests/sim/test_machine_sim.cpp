@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
@@ -143,7 +145,7 @@ TEST(MachineSim, SamplerRecordsWindows) {
   EXPECT_EQ(p.samplerWindowCycles, 5000u);
   ASSERT_FALSE(p.missWindows.empty());
   std::uint64_t sampled = 0;
-  for (std::uint32_t w : p.missWindows) {
+  for (std::uint64_t w : p.missWindows) {
     sampled += w;
   }
   EXPECT_EQ(sampled, p.counters.llcMisses);
@@ -155,6 +157,98 @@ TEST(MachineSim, SamplerOffByDefault) {
   MachineSim sim(topology::testNuma4());
   const auto streams = streamingThreads(2, 1000, 10);
   EXPECT_TRUE(sim.run(streams, 1).missWindows.empty());
+}
+
+TEST(MachineSim, ObsOffByDefault) {
+  MachineSim sim(topology::testNuma4());
+  const auto streams = streamingThreads(2, 1000, 10);
+  EXPECT_EQ(sim.run(streams, 2).trace, nullptr);
+}
+
+TEST(MachineSim, ObsMetricsCrossCheckAggregateCounters) {
+  SimConfig config;
+  config.observability.metrics = true;
+  MachineSim sim(topology::testNuma4(), config);
+  const auto streams = streamingThreads(4, 5000, 10);
+  const perf::RunProfile p = sim.run(streams, 4);
+  ASSERT_NE(p.trace, nullptr);
+  const obs::MetricRegistry& metrics = p.trace->metrics;
+
+  // The windowed LLC-miss counter totals to the aggregate counter.
+  const obs::TimeSeries* llc = metrics.find("sim.llc_misses");
+  ASSERT_NE(llc, nullptr);
+  EXPECT_DOUBLE_EQ(llc->total(),
+                   static_cast<double>(p.counters.llcMisses));
+
+  // Per-node request and busy counters total to the controller stats.
+  double requests = 0.0;
+  double busy = 0.0;
+  for (const auto& c : p.controllerStats) {
+    requests += static_cast<double>(c.requests + c.writebacks);
+    busy += static_cast<double>(c.busyCycles);
+  }
+  double metricRequests = 0.0;
+  double metricBusy = 0.0;
+  for (std::size_t n = 0; n < p.controllerStats.size(); ++n) {
+    const std::string prefix = "mem.node" + std::to_string(n) + ".";
+    metricRequests += metrics.find(prefix + "requests")->total();
+    metricBusy += metrics.find(prefix + "busy")->total();
+  }
+  EXPECT_DOUBLE_EQ(metricRequests, requests);
+  EXPECT_DOUBLE_EQ(metricBusy, busy);
+
+  // Per-core work counters total to the aggregate work cycles.
+  double work = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    const obs::TimeSeries* s =
+        metrics.find("core" + std::to_string(c) + ".work");
+    ASSERT_NE(s, nullptr);
+    work += s->total();
+  }
+  EXPECT_DOUBLE_EQ(work, static_cast<double>(p.counters.workCycles()));
+
+  // All series are finalized to the same window count covering makespan.
+  const std::size_t windows = llc->windowCount();
+  EXPECT_GE(windows * metrics.windowCycles(), p.makespan);
+  for (const obs::Metric& m : metrics.metrics()) {
+    EXPECT_EQ(m.series.windowCount(), windows) << m.name;
+  }
+}
+
+TEST(MachineSim, ObsTraceRecordsSpansAndTrackNames) {
+  SimConfig config;
+  config.observability.trace = true;
+  MachineSim sim(topology::testNuma4(), config);
+  const auto streams = streamingThreads(2, 2000, 10);
+  const perf::RunProfile p = sim.run(streams, 2);
+  ASSERT_NE(p.trace, nullptr);
+  EXPECT_EQ(p.trace->metrics.size(), 0u);  // metrics not requested
+  EXPECT_GT(p.trace->events.size(), 0u);
+  EXPECT_TRUE(p.trace->events.trackNames().contains(0));
+  EXPECT_TRUE(
+      p.trace->events.trackNames().contains(obs::kControllerTrackBase));
+  bool sawServiceSpan = false;
+  for (std::size_t i = 0; i < p.trace->events.size(); ++i) {
+    if (p.trace->events[i].name == "service") {
+      sawServiceSpan = true;
+      EXPECT_GE(p.trace->events[i].track, obs::kControllerTrackBase);
+    }
+  }
+  EXPECT_TRUE(sawServiceSpan);
+}
+
+TEST(MachineSim, ObsRingBufferBackpressureBoundsMemory) {
+  SimConfig config;
+  config.observability.trace = true;
+  config.observability.traceCapacity = 64;
+  MachineSim sim(topology::testNuma4(), config);
+  const auto streams = streamingThreads(4, 5000, 10);
+  const perf::RunProfile p = sim.run(streams, 4);
+  ASSERT_NE(p.trace, nullptr);
+  EXPECT_LE(p.trace->events.size(), 64u);
+  EXPECT_GT(p.trace->events.dropped(), 0u);
+  EXPECT_EQ(p.trace->events.recorded(),
+            p.trace->events.size() + p.trace->events.dropped());
 }
 
 TEST(MachineSim, PrefetchableStallsLessThanDependent) {

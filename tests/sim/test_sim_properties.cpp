@@ -137,7 +137,7 @@ TEST(SimProperties, SamplerTotalsMatchCounters) {
   const auto p = run(machine, workloads::Program::kFT,
                      workloads::ProblemClass::kS, 12, config);
   std::uint64_t sampled = 0;
-  for (std::uint32_t w : p.missWindows) {
+  for (std::uint64_t w : p.missWindows) {
     sampled += w;
   }
   EXPECT_EQ(sampled, p.counters.llcMisses);
