@@ -184,6 +184,43 @@ void BM_FullSmallSimulationObsFull(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSmallSimulationObsFull)->Unit(benchmark::kMillisecond);
 
+// Fault-injection overhead proof: an explicit empty FaultPlan must cost
+// nothing — the engine reports idle() and the per-request advanceTo hook
+// reduces to a never-taken branch. Expected within noise of
+// BM_FullSmallSimulation; the Faulty variant shows what a live scenario
+// (outage + throttle + background traffic) actually costs.
+void BM_FullSmallSimulationNullFaultPlan(benchmark::State& state) {
+  workloads::WorkloadSpec spec;
+  spec.program = workloads::Program::kCG;
+  spec.problemClass = workloads::ProblemClass::kS;
+  spec.threads = 4;
+  const auto instance = workloads::makeWorkload(spec);
+  sim::SimConfig config;
+  config.faultPlan = fault::FaultPlan{};  // explicit: no faults scripted
+  sim::MachineSim sim(topology::testNuma4(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(instance.threads, 4, instance.name));
+  }
+}
+BENCHMARK(BM_FullSmallSimulationNullFaultPlan)->Unit(benchmark::kMillisecond);
+
+void BM_FullSmallSimulationFaultActive(benchmark::State& state) {
+  workloads::WorkloadSpec spec;
+  spec.program = workloads::Program::kCG;
+  spec.problemClass = workloads::ProblemClass::kS;
+  spec.threads = 4;
+  const auto instance = workloads::makeWorkload(spec);
+  sim::SimConfig config;
+  config.faultPlan.controllerOutage(1, 20'000, 120'000)
+      .coreThrottle(0, 10'000, 60'000, 2.0)
+      .backgroundTraffic(0, 0, 50'000, 500);
+  sim::MachineSim sim(topology::testNuma4(), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(instance.threads, 4, instance.name));
+  }
+}
+BENCHMARK(BM_FullSmallSimulationFaultActive)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,8 +1,34 @@
 #include "analysis/experiment.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <set>
+#include <sstream>
+#include <utility>
+
 #include "common/error.hpp"
 
 namespace occm::analysis {
+
+namespace {
+
+/// "1, 2, 12" — for contract-violation messages on lookups that miss.
+std::string coreCountsPresent(const std::vector<perf::RunProfile>& profiles) {
+  std::set<int> cores;
+  for (const perf::RunProfile& p : profiles) {
+    cores.insert(p.activeCores);
+  }
+  std::string out;
+  for (int c : cores) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::to_string(c);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace
 
 std::vector<model::MeasuredPoint> SweepResult::points() const {
   std::vector<model::MeasuredPoint> out;
@@ -19,11 +45,21 @@ const perf::RunProfile& SweepResult::at(int cores) const {
       return p;
     }
   }
-  OCCM_REQUIRE_MSG(false, "no run at the requested core count");
-  return profiles.front();  // unreachable
+  throw ContractViolation(
+      "sweep has no run at n = " + std::to_string(cores) +
+      "; core counts present: " + coreCountsPresent(profiles));
 }
 
 std::vector<double> SweepResult::omegas() const {
+  bool haveC1 = false;
+  for (const perf::RunProfile& p : profiles) {
+    haveC1 = haveC1 || p.activeCores == 1;
+  }
+  if (!haveC1) {
+    throw ContractViolation(
+        "omega(n) needs the sweep's 1-core run as its C(1) anchor; core "
+        "counts present: " + coreCountsPresent(profiles));
+  }
   const double c1 = at(1).totalCyclesD();
   std::vector<double> out;
   out.reserve(profiles.size());
@@ -31,6 +67,24 @@ std::vector<double> SweepResult::omegas() const {
     out.push_back(model::degreeOfContention(p.totalCyclesD(), c1));
   }
   return out;
+}
+
+std::string SweepResult::diagnostics() const {
+  std::ostringstream out;
+  out << profiles.size() << " run(s) completed";
+  if (restoredRuns > 0) {
+    out << " (" << restoredRuns << " restored from checkpoint)";
+  }
+  if (failures.empty()) {
+    out << ", no failures";
+    return out.str();
+  }
+  out << ", " << failures.size() << " failure record(s):";
+  for (const RunFailure& f : failures) {
+    out << "\n  n = " << f.cores << ": " << f.attempts << " attempt(s), "
+        << (f.recovered ? "recovered" : "gave up") << " — " << f.error;
+  }
+  return out.str();
 }
 
 perf::RunProfile runOnce(const topology::MachineSpec& machine,
@@ -57,12 +111,80 @@ SweepResult runSweep(const SweepConfig& config) {
     }
   }
   workloads::WorkloadInstance instance = workloads::makeWorkload(spec);
-  sim::MachineSim simulator(config.machine, config.sim);
+
+  SweepCheckpoint state;
+  state.program = instance.name;
+  state.machine = config.machine.name;
+  state.seed = config.sim.seed;
+  state.threads = spec.threads;
+  if (!config.checkpointPath.empty()) {
+    if (auto loaded = SweepCheckpoint::load(config.checkpointPath);
+        loaded.has_value() &&
+        loaded->matches(state.program, state.machine, state.seed,
+                        state.threads)) {
+      state = std::move(*loaded);
+    }
+  }
+
   SweepResult result;
   result.profiles.reserve(coreCounts.size());
+  const int maxAttempts = std::max(1, config.maxAttempts);
   for (int cores : coreCounts) {
-    result.profiles.push_back(
-        simulator.run(instance.threads, cores, instance.name));
+    if (const RunRecord* record = state.find(cores)) {
+      // Restored run: the lightweight counters are all the model needs.
+      perf::RunProfile profile;
+      profile.program = state.program;
+      profile.machine = state.machine;
+      profile.threads = state.threads;
+      profile.activeCores = cores;
+      profile.counters.totalCycles = static_cast<Cycles>(record->totalCycles);
+      profile.counters.stallCycles = static_cast<Cycles>(record->stallCycles);
+      profile.makespan = static_cast<Cycles>(record->makespan);
+      result.profiles.push_back(std::move(profile));
+      ++result.restoredRuns;
+      continue;
+    }
+    RunFailure failure;
+    failure.cores = cores;
+    bool completed = false;
+    for (int attempt = 0; attempt < maxAttempts && !completed; ++attempt) {
+      try {
+        if (config.beforeRun) {
+          config.beforeRun(cores, attempt);
+        }
+        sim::SimConfig simConfig = config.sim;
+        // Retry under a perturbed seed: if the failure was input-shaped
+        // (a pathological arrival pattern), a different deterministic
+        // stream can clear it; attempt 0 keeps the configured seed.
+        constexpr std::uint64_t kSeedStep = 0x9E3779B97F4A7C15ULL;
+        simConfig.seed =
+            config.sim.seed + static_cast<std::uint64_t>(attempt) * kSeedStep;
+        sim::MachineSim simulator(config.machine, simConfig);
+        perf::RunProfile profile =
+            simulator.run(instance.threads, cores, instance.name);
+        failure.attempts = attempt + 1;
+        if (attempt > 0) {
+          failure.recovered = true;
+          result.failures.push_back(failure);
+          state.failures.push_back(failure);
+        }
+        state.runs.push_back({cores, profile.totalCyclesD(),
+                              static_cast<double>(profile.counters.stallCycles),
+                              static_cast<double>(profile.makespan)});
+        result.profiles.push_back(std::move(profile));
+        completed = true;
+      } catch (const std::exception& e) {
+        failure.error = e.what();
+        failure.attempts = attempt + 1;
+      }
+    }
+    if (!completed) {
+      result.failures.push_back(failure);
+      state.failures.push_back(failure);
+    }
+    if (!config.checkpointPath.empty()) {
+      state.save(config.checkpointPath);
+    }
   }
   return result;
 }

@@ -4,8 +4,11 @@
 // through the simulator and converts profiles into the model's measured
 // points — the glue used by the benches, examples and integration tests.
 
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "analysis/sweep_state.hpp"
 #include "core/contention_model.hpp"
 #include "perf/run_profile.hpp"
 #include "sim/machine_sim.hpp"
@@ -20,19 +23,42 @@ struct SweepConfig {
   sim::SimConfig sim;
   /// Core counts to run; empty => 1 .. machine cores.
   std::vector<int> coreCounts;
+  /// Attempts per core count. A failed run (any escaping exception) is
+  /// retried with a perturbed seed up to maxAttempts times total; what
+  /// still fails becomes a RunFailure instead of aborting the sweep.
+  int maxAttempts = 2;
+  /// When non-empty, completed runs are checkpointed here after every
+  /// core count (atomic tmp+rename JSON) and a matching checkpoint is
+  /// restored on the next call, skipping finished runs. A checkpoint
+  /// whose program/machine/seed/threads identity differs is ignored.
+  std::string checkpointPath;
+  /// Test/diagnostics hook, called before every attempt; an exception it
+  /// throws is treated exactly like a failed run.
+  std::function<void(int cores, int attempt)> beforeRun;
 };
 
 struct SweepResult {
-  std::vector<perf::RunProfile> profiles;  ///< one per core count, in order
+  std::vector<perf::RunProfile> profiles;  ///< completed runs, in order
+  /// Core counts that failed at least once (recovered or not); a core
+  /// count with `recovered == false` has no profile.
+  std::vector<RunFailure> failures;
+  /// Runs restored from the checkpoint instead of simulated. Restored
+  /// profiles are lightweight: counters.totalCycles/stallCycles and
+  /// makespan only.
+  std::size_t restoredRuns = 0;
 
   /// Measured points (cores, total cycles) for the model.
   [[nodiscard]] std::vector<model::MeasuredPoint> points() const;
 
-  /// Profile for an exact core count; throws if it was not run.
+  /// Profile for an exact core count; throws a ContractViolation naming
+  /// the core counts actually present if it was not run.
   [[nodiscard]] const perf::RunProfile& at(int cores) const;
 
   /// Measured omega(n) against the sweep's C(1) (requires a 1-core run).
   [[nodiscard]] std::vector<double> omegas() const;
+
+  /// Human-readable health summary: completed/restored/failed runs.
+  [[nodiscard]] std::string diagnostics() const;
 };
 
 /// Runs one configuration.
@@ -44,6 +70,12 @@ struct SweepResult {
 /// Runs the full sweep. The workload is built once and replayed (streams
 /// reset) for every core count; threads default to the machine's cores,
 /// matching the paper's fixed-threads / varying-cores protocol.
+///
+/// Failure isolating: a run that throws is retried (seed-perturbed) up
+/// to config.maxAttempts times and then recorded as a RunFailure; the
+/// sweep always completes with whatever survived, and no exception from
+/// an individual run escapes. With config.checkpointPath set, completed
+/// runs persist across interrupted invocations.
 [[nodiscard]] SweepResult runSweep(const SweepConfig& config);
 
 /// Subset of measured points at the given core counts (model fit inputs).

@@ -1,0 +1,337 @@
+#include "analysis/sweep_state.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace occm::analysis {
+
+namespace {
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal recursive-descent reader for the subset of JSON toJson emits
+/// (objects, arrays, strings, numbers, booleans). Any deviation fails the
+/// whole parse — a checkpoint is either trustworthy or ignored.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  void fail() noexcept { ok_ = false; }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (!ok_ || pos_ >= text_.size() || text_[pos_] != c) {
+      ok_ = false;
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skipWs();
+    return ok_ && pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  std::string parseString() {
+    if (!consume('"')) {
+      return {};
+    }
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              ok_ = false;
+              return out;
+            }
+            const unsigned long code =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            c = static_cast<char>(code & 0xFFU);
+            break;
+          }
+          default: c = esc; break;
+        }
+      }
+      out += c;
+    }
+    if (!consume('"')) {
+      ok_ = false;
+    }
+    return out;
+  }
+
+  double parseNumber() {
+    skipWs();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    errno = 0;
+    const double value = std::strtod(begin, &end);
+    if (end == begin || errno == ERANGE) {
+      ok_ = false;
+      return 0.0;
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  bool parseBool() {
+    skipWs();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    ok_ = false;
+    return false;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool SweepCheckpoint::matches(const std::string& programName,
+                              const std::string& machineName,
+                              std::uint64_t seedValue,
+                              int threadCount) const {
+  return program == programName && machine == machineName &&
+         seed == seedValue && threads == threadCount;
+}
+
+const RunRecord* SweepCheckpoint::find(int cores) const {
+  for (const RunRecord& r : runs) {
+    if (r.cores == cores) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+std::string SweepCheckpoint::toJson() const {
+  std::ostringstream out;
+  out.precision(17);  // round-trips doubles exactly
+  out << "{\n";
+  out << "  \"program\": \"" << jsonEscape(program) << "\",\n";
+  out << "  \"machine\": \"" << jsonEscape(machine) << "\",\n";
+  // The seed is a string: a 64-bit value does not survive a double.
+  out << "  \"seed\": \"" << seed << "\",\n";
+  out << "  \"threads\": " << threads << ",\n";
+  out << "  \"runs\": [";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"cores\": " << r.cores
+        << ", \"totalCycles\": " << r.totalCycles
+        << ", \"stallCycles\": " << r.stallCycles
+        << ", \"makespan\": " << r.makespan << "}";
+  }
+  out << (runs.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"failures\": [";
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const RunFailure& f = failures[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"cores\": " << f.cores << ", \"attempts\": " << f.attempts
+        << ", \"recovered\": " << (f.recovered ? "true" : "false")
+        << ", \"error\": \"" << jsonEscape(f.error) << "\"}";
+  }
+  out << (failures.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+std::optional<SweepCheckpoint> SweepCheckpoint::parse(
+    const std::string& json) {
+  Reader reader(json);
+  SweepCheckpoint state;
+  if (!reader.consume('{')) {
+    return std::nullopt;
+  }
+  bool first = true;
+  while (reader.ok() && !reader.peek('}')) {
+    if (!first && !reader.consume(',')) {
+      return std::nullopt;
+    }
+    first = false;
+    const std::string key = reader.parseString();
+    if (!reader.consume(':')) {
+      return std::nullopt;
+    }
+    if (key == "program") {
+      state.program = reader.parseString();
+    } else if (key == "machine") {
+      state.machine = reader.parseString();
+    } else if (key == "seed") {
+      const std::string digits = reader.parseString();
+      errno = 0;
+      char* end = nullptr;
+      state.seed = std::strtoull(digits.c_str(), &end, 10);
+      if (end == digits.c_str() || *end != '\0' || errno == ERANGE) {
+        reader.fail();
+      }
+    } else if (key == "threads") {
+      state.threads = static_cast<int>(reader.parseNumber());
+    } else if (key == "runs") {
+      if (!reader.consume('[')) {
+        return std::nullopt;
+      }
+      while (reader.ok() && !reader.peek(']')) {
+        if (!state.runs.empty() && !reader.consume(',')) {
+          return std::nullopt;
+        }
+        RunRecord record;
+        if (!reader.consume('{')) {
+          return std::nullopt;
+        }
+        bool innerFirst = true;
+        while (reader.ok() && !reader.peek('}')) {
+          if (!innerFirst && !reader.consume(',')) {
+            return std::nullopt;
+          }
+          innerFirst = false;
+          const std::string field = reader.parseString();
+          if (!reader.consume(':')) {
+            return std::nullopt;
+          }
+          if (field == "cores") {
+            record.cores = static_cast<int>(reader.parseNumber());
+          } else if (field == "totalCycles") {
+            record.totalCycles = reader.parseNumber();
+          } else if (field == "stallCycles") {
+            record.stallCycles = reader.parseNumber();
+          } else if (field == "makespan") {
+            record.makespan = reader.parseNumber();
+          } else {
+            reader.fail();
+          }
+        }
+        reader.consume('}');
+        state.runs.push_back(record);
+      }
+      reader.consume(']');
+    } else if (key == "failures") {
+      if (!reader.consume('[')) {
+        return std::nullopt;
+      }
+      while (reader.ok() && !reader.peek(']')) {
+        if (!state.failures.empty() && !reader.consume(',')) {
+          return std::nullopt;
+        }
+        RunFailure failure;
+        if (!reader.consume('{')) {
+          return std::nullopt;
+        }
+        bool innerFirst = true;
+        while (reader.ok() && !reader.peek('}')) {
+          if (!innerFirst && !reader.consume(',')) {
+            return std::nullopt;
+          }
+          innerFirst = false;
+          const std::string field = reader.parseString();
+          if (!reader.consume(':')) {
+            return std::nullopt;
+          }
+          if (field == "cores") {
+            failure.cores = static_cast<int>(reader.parseNumber());
+          } else if (field == "attempts") {
+            failure.attempts = static_cast<int>(reader.parseNumber());
+          } else if (field == "recovered") {
+            failure.recovered = reader.parseBool();
+          } else if (field == "error") {
+            failure.error = reader.parseString();
+          } else {
+            reader.fail();
+          }
+        }
+        reader.consume('}');
+        state.failures.push_back(failure);
+      }
+      reader.consume(']');
+    } else {
+      reader.fail();
+    }
+  }
+  reader.consume('}');
+  if (!reader.ok()) {
+    return std::nullopt;
+  }
+  return state;
+}
+
+bool SweepCheckpoint::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    out << toJson();
+    if (!out) {
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<SweepCheckpoint> SweepCheckpoint::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace occm::analysis

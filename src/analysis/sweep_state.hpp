@@ -1,0 +1,68 @@
+#pragma once
+
+// Failure isolation and resumability for sweep harnesses. A sweep over
+// many core counts is the unit of work the whole methodology hangs on;
+// one crashed or degenerate run must not throw away the survivors. This
+// header holds the structured failure record runSweep emits and the
+// JSON checkpoint that lets an interrupted sweep resume without
+// re-simulating completed core counts.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace occm::analysis {
+
+/// One core count that misbehaved during a sweep: either it eventually
+/// recovered on a seed-perturbed retry, or it exhausted its attempts and
+/// is absent from the results.
+struct RunFailure {
+  int cores = 0;
+  int attempts = 0;        ///< total attempts made (1 = failed first try)
+  std::string error;       ///< what() of the last exception
+  bool recovered = false;  ///< a retry eventually produced a profile
+};
+
+/// Lightweight record of one completed run — exactly what the model fit
+/// needs (cores, cycle totals), so resuming a sweep does not require the
+/// full profile to have been persisted.
+struct RunRecord {
+  int cores = 0;
+  double totalCycles = 0.0;
+  double stallCycles = 0.0;
+  double makespan = 0.0;
+};
+
+/// On-disk sweep state: an identity header (so a checkpoint from a
+/// different program/machine/seed is never silently reused) plus the
+/// completed runs and recorded failures.
+struct SweepCheckpoint {
+  std::string program;
+  std::string machine;
+  std::uint64_t seed = 0;
+  int threads = 0;
+  std::vector<RunRecord> runs;
+  std::vector<RunFailure> failures;
+
+  [[nodiscard]] bool matches(const std::string& programName,
+                             const std::string& machineName,
+                             std::uint64_t seedValue, int threadCount) const;
+  /// Completed record for a core count, or nullptr.
+  [[nodiscard]] const RunRecord* find(int cores) const;
+
+  [[nodiscard]] std::string toJson() const;
+  /// Parses what toJson produced; nullopt on malformed input.
+  [[nodiscard]] static std::optional<SweepCheckpoint> parse(
+      const std::string& json);
+
+  /// Atomic write: temp file in the same directory, then rename.
+  /// Returns false on I/O failure (checkpointing is best-effort; a sweep
+  /// never aborts because its checkpoint could not be written).
+  bool save(const std::string& path) const;
+  /// nullopt when the file is absent or unparsable.
+  [[nodiscard]] static std::optional<SweepCheckpoint> load(
+      const std::string& path);
+};
+
+}  // namespace occm::analysis

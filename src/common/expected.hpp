@@ -1,0 +1,75 @@
+#pragma once
+
+// Minimal result type for operations that can fail with a typed,
+// diagnosable error (a tiny std::expected subset; the toolchain baseline
+// predates P0323 being usable everywhere).
+//
+// Used by the hardened model-fitting layer: instead of throwing on
+// degenerate input (saturated regimes, duplicate core counts, garbage
+// cycles), fit functions return Expected<Model, FitError> so sweep
+// harnesses can record the diagnosis and keep going.
+
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+
+namespace occm {
+
+/// Wraps an error value so Expected's constructors stay unambiguous even
+/// when the value and error types coincide.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+[[nodiscard]] Unexpected<std::decay_t<E>> makeUnexpected(E&& error) {
+  return {std::forward<E>(error)};
+}
+
+/// Either a value of type T or an error of type E. Access to the wrong
+/// alternative is a contract violation, never undefined behaviour.
+template <typename T, typename E>
+class Expected {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::expected.
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Expected(Unexpected<E> error)
+      : state_(std::in_place_index<1>, std::move(error.error)) {}
+
+  [[nodiscard]] bool hasValue() const noexcept { return state_.index() == 0; }
+  [[nodiscard]] explicit operator bool() const noexcept { return hasValue(); }
+
+  [[nodiscard]] T& value() {
+    OCCM_REQUIRE_MSG(hasValue(), "Expected holds an error, not a value");
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] const T& value() const {
+    OCCM_REQUIRE_MSG(hasValue(), "Expected holds an error, not a value");
+    return std::get<0>(state_);
+  }
+  [[nodiscard]] T& operator*() { return value(); }
+  [[nodiscard]] const T& operator*() const { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+  [[nodiscard]] E& error() {
+    OCCM_REQUIRE_MSG(!hasValue(), "Expected holds a value, not an error");
+    return std::get<1>(state_);
+  }
+  [[nodiscard]] const E& error() const {
+    OCCM_REQUIRE_MSG(!hasValue(), "Expected holds a value, not an error");
+    return std::get<1>(state_);
+  }
+
+  [[nodiscard]] T valueOr(T fallback) const {
+    return hasValue() ? std::get<0>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> state_;
+};
+
+}  // namespace occm

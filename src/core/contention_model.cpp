@@ -3,14 +3,56 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <set>
+#include <string>
 
 #include "common/error.hpp"
 #include "stats/summary.hpp"
 
 namespace occm::model {
 
+namespace {
+
+/// Matches Options{}.robustFallbackR2 (kept in the header for visibility).
+constexpr double kDefaultRobustFallbackR2 = 0.9;
+
+/// "1, 4, 5" — the distinct core counts present, for diagnostics.
+std::string coresPresent(std::span<const MeasuredPoint> points) {
+  std::set<int> cores;
+  for (const MeasuredPoint& p : points) {
+    cores.insert(p.cores);
+  }
+  std::string out;
+  for (int c : cores) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += std::to_string(c);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace
+
 double degreeOfContention(double cyclesN, double cycles1) {
   OCCM_REQUIRE_MSG(cycles1 > 0.0, "C(1) must be positive");
+  return (cyclesN - cycles1) / cycles1;
+}
+
+Expected<double, FitError> degreeOfContentionChecked(double cyclesN,
+                                                     double cycles1) {
+  if (!(cycles1 > 0.0) || !std::isfinite(cycles1)) {
+    return makeUnexpected(FitError{
+        FitErrorKind::kNonPositiveCycles,
+        "C(1) = " + std::to_string(cycles1) + " is not a positive finite "
+        "cycle count; omega(n) is undefined",
+        1});
+  }
+  if (!std::isfinite(cyclesN)) {
+    return makeUnexpected(FitError{
+        FitErrorKind::kNonPositiveCycles,
+        "C(n) = " + std::to_string(cyclesN) + " is not finite", 0});
+  }
   return (cyclesN - cycles1) / cycles1;
 }
 
@@ -46,17 +88,77 @@ std::vector<int> defaultFitCores(const MachineShape& shape) {
 
 SingleProcessorModel SingleProcessorModel::fit(
     std::span<const MeasuredPoint> points) {
-  OCCM_REQUIRE_MSG(points.size() >= 2,
-                   "single-processor fit needs >= 2 points");
+  auto result = tryFit(points);
+  if (!result) {
+    throw ContractViolation("single-processor fit: " +
+                            result.error().describe());
+  }
+  return *result;
+}
+
+Expected<SingleProcessorModel, FitError> SingleProcessorModel::tryFit(
+    std::span<const MeasuredPoint> points, FitMethod method) {
+  if (points.size() < 2) {
+    return makeUnexpected(FitError{
+        FitErrorKind::kTooFewPoints,
+        "needs >= 2 measurements, got " + std::to_string(points.size()),
+        0});
+  }
   std::vector<stats::Point> inv;
   inv.reserve(points.size());
+  std::set<int> distinct;
   for (const MeasuredPoint& p : points) {
-    OCCM_REQUIRE_MSG(p.cores >= 1, "core count must be >= 1");
-    OCCM_REQUIRE_MSG(p.totalCycles > 0.0, "cycles must be positive");
+    if (p.cores < 1) {
+      return makeUnexpected(FitError{
+          FitErrorKind::kInvalidCoreCount,
+          "core count " + std::to_string(p.cores) + " is < 1", p.cores});
+    }
+    if (!(p.totalCycles > 0.0) || !std::isfinite(p.totalCycles)) {
+      return makeUnexpected(FitError{
+          FitErrorKind::kNonPositiveCycles,
+          "measurement at n = " + std::to_string(p.cores) + " reports " +
+              std::to_string(p.totalCycles) +
+              " cycles (failed or empty run?)",
+          p.cores});
+    }
+    distinct.insert(p.cores);
     inv.push_back({static_cast<double>(p.cores), 1.0 / p.totalCycles, 1.0});
   }
+  if (distinct.size() < 2) {
+    return makeUnexpected(FitError{
+        FitErrorKind::kDuplicateCores,
+        "all " + std::to_string(points.size()) +
+            " measurements share core count " + coresPresent(points) +
+            "; the 1/C(n) line needs two distinct n",
+        *distinct.begin()});
+  }
   SingleProcessorModel model;
-  model.fit_ = stats::fitLinear(inv);
+  model.fit_ = method == FitMethod::kTheilSen ? stats::fitTheilSen(inv)
+                                              : stats::fitLinear(inv);
+  if (method == FitMethod::kRobustFallback &&
+      model.fit_.r2 < kDefaultRobustFallbackR2) {
+    model.fit_ = stats::fitTheilSen(inv);
+  }
+  // Saturation diagnosis: the open M/M/1 queue requires mu > n L across
+  // the measured range; a non-positive intercept (mu/r <= 0) or a fitted
+  // 1/C that crosses zero inside the data means the regime is saturated
+  // and the model's predictions would be garbage.
+  if (!(model.fit_.intercept > 0.0)) {
+    return makeUnexpected(FitError{
+        FitErrorKind::kSaturated,
+        "fitted mu/r = " + std::to_string(model.fit_.intercept) +
+            " is not positive",
+        0});
+  }
+  for (const MeasuredPoint& p : points) {
+    if (model.fit_.predict(static_cast<double>(p.cores)) <= 0.0) {
+      return makeUnexpected(FitError{
+          FitErrorKind::kSaturated,
+          "fitted mu <= n L already at measured n = " +
+              std::to_string(p.cores) + " (queue saturated in-range)",
+          p.cores});
+    }
+  }
   return model;
 }
 
@@ -94,8 +196,30 @@ ContentionModel ContentionModel::fit(const MachineShape& shape,
 ContentionModel ContentionModel::fit(const MachineShape& shape,
                                      std::span<const MeasuredPoint> points,
                                      const Options& options) {
-  OCCM_REQUIRE_MSG(shape.coresPerProcessor >= 1 && shape.processors >= 1,
-                   "invalid machine shape");
+  auto result = tryFit(shape, points, options);
+  if (!result) {
+    throw ContractViolation("contention-model fit: " +
+                            result.error().describe());
+  }
+  return *result;
+}
+
+Expected<ContentionModel, FitError> ContentionModel::tryFit(
+    const MachineShape& shape, std::span<const MeasuredPoint> points) {
+  return tryFit(shape, points, Options{});
+}
+
+Expected<ContentionModel, FitError> ContentionModel::tryFit(
+    const MachineShape& shape, std::span<const MeasuredPoint> points,
+    const Options& options) {
+  if (shape.coresPerProcessor < 1 || shape.processors < 1) {
+    return makeUnexpected(FitError{
+        FitErrorKind::kInvalidShape,
+        "machine shape " + std::to_string(shape.coresPerProcessor) +
+            " cores/processor x " + std::to_string(shape.processors) +
+            " processors has a non-positive dimension",
+        0});
+  }
   const int k = shape.coresPerProcessor;
 
   ContentionModel model;
@@ -104,17 +228,45 @@ ContentionModel ContentionModel::fit(const MachineShape& shape,
   // Partition the measurements.
   std::vector<MeasuredPoint> first;
   for (const MeasuredPoint& p : points) {
-    OCCM_REQUIRE_MSG(p.cores >= 1 && p.cores <= shape.totalCores(),
-                     "measured point outside the machine");
+    if (p.cores < 1 || p.cores > shape.totalCores()) {
+      return makeUnexpected(FitError{
+          FitErrorKind::kInvalidCoreCount,
+          "measured point at n = " + std::to_string(p.cores) +
+              " is outside the machine (1.." +
+              std::to_string(shape.totalCores()) + ")",
+          p.cores});
+    }
     if (p.cores <= k) {
       first.push_back(p);
     }
-    if (p.cores == 1) {
+    if (p.cores == 1 && p.totalCycles > 0.0) {
       model.c1_ = p.totalCycles;
     }
   }
-  OCCM_REQUIRE_MSG(model.c1_ > 0.0, "fit requires a measurement at n = 1");
-  model.single_ = SingleProcessorModel::fit(first);
+  if (!(model.c1_ > 0.0)) {
+    return makeUnexpected(FitError{
+        FitErrorKind::kMissingC1,
+        "no usable measurement at n = 1 to anchor omega; core counts "
+        "present: " + coresPresent(points),
+        1});
+  }
+  // Resolve the estimator: kRobustFallback means OLS unless its
+  // colinearity R^2 on the first-processor points falls below the
+  // configured threshold (outliers breaking the 1/C(n) linearity).
+  FitMethod method = options.fitMethod;
+  auto single = SingleProcessorModel::tryFit(
+      first, method == FitMethod::kRobustFallback ? FitMethod::kOls : method);
+  if (single && method == FitMethod::kRobustFallback &&
+      single->fitInfo().r2 < options.robustFallbackR2) {
+    single = SingleProcessorModel::tryFit(first, FitMethod::kTheilSen);
+  }
+  if (!single) {
+    FitError error = single.error();
+    error.message = "single-processor stage (n <= " + std::to_string(k) +
+                    "): " + error.message;
+    return makeUnexpected(std::move(error));
+  }
+  model.single_ = *single;
 
   // One slope per additional processor, from the first measured point
   // beyond that processor's boundary.
@@ -163,8 +315,13 @@ ContentionModel ContentionModel::fit(const MachineShape& shape,
       // Reuse the previous processor's slope rather than failing.
       slope = model.slopes_[static_cast<std::size_t>(p - 2)];
     } else {
-      OCCM_REQUIRE_MSG(false,
-                       "no measurement beyond the first processor boundary");
+      return makeUnexpected(FitError{
+          FitErrorKind::kMissingBoundary,
+          "no measurement in (" + std::to_string(boundary) + ", " +
+              std::to_string(boundary + k) +
+              "] to fit the first remote slope; core counts present: " +
+              coresPresent(points),
+          boundary + 1});
     }
     model.slopes_[static_cast<std::size_t>(p - 1)] = slope;
   }
@@ -224,7 +381,7 @@ ValidationReport validate(const ContentionModel& model,
   OCCM_REQUIRE_MSG(!measured.empty(), "nothing to validate against");
   double c1 = model.measuredC1();
   for (const MeasuredPoint& p : measured) {
-    if (p.cores == 1) {
+    if (p.cores == 1 && p.totalCycles > 0.0) {
       c1 = p.totalCycles;
     }
   }
@@ -236,15 +393,23 @@ ValidationReport validate(const ContentionModel& model,
     row.cores = p.cores;
     row.measuredCycles = p.totalCycles;
     row.predictedCycles = model.predictCycles(p.cores);
-    row.measuredOmega = degreeOfContention(p.totalCycles, c1);
     row.predictedOmega = degreeOfContention(row.predictedCycles, c1);
-    row.relativeError =
-        std::abs(row.predictedCycles - row.measuredCycles) / row.measuredCycles;
+    // A failed/empty run recorded as <= 0 cycles would turn the error and
+    // omega columns into inf/NaN and poison the mean; flag it instead.
+    if (p.totalCycles > 0.0 && std::isfinite(p.totalCycles)) {
+      row.measuredOmega = degreeOfContention(p.totalCycles, c1);
+      row.relativeError = std::abs(row.predictedCycles - row.measuredCycles) /
+                          row.measuredCycles;
+      meas.push_back(row.measuredCycles);
+      pred.push_back(row.predictedCycles);
+    } else {
+      row.degenerate = true;
+      ++report.degenerateRows;
+    }
     report.rows.push_back(row);
-    meas.push_back(row.measuredCycles);
-    pred.push_back(row.predictedCycles);
   }
-  report.meanRelativeError = stats::meanRelativeError(meas, pred);
+  report.meanRelativeError =
+      meas.empty() ? 0.0 : stats::meanRelativeError(meas, pred);
   return report;
 }
 

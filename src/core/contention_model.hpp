@@ -32,6 +32,8 @@
 #include <span>
 #include <vector>
 
+#include "common/expected.hpp"
+#include "core/fit_error.hpp"
 #include "stats/regression.hpp"
 #include "topology/machine_spec.hpp"
 
@@ -44,7 +46,25 @@ struct MeasuredPoint {
 };
 
 /// omega(n) per Definition 1. Negative values = positive cache effects.
+/// Throws ContractViolation when C(1) is non-positive; use the checked
+/// variant in harness code that must survive degenerate measurements.
 [[nodiscard]] double degreeOfContention(double cyclesN, double cycles1);
+
+/// Non-throwing omega(n): diagnoses non-positive or non-finite C(1)
+/// (e.g. a failed run recorded as zero cycles) as a typed FitError
+/// instead of dividing to inf/NaN.
+[[nodiscard]] Expected<double, FitError> degreeOfContentionChecked(
+    double cyclesN, double cycles1);
+
+/// How the 1/C(n) regression line is estimated.
+enum class FitMethod : std::uint8_t {
+  kOls,       ///< ordinary least squares (the paper's estimator)
+  kTheilSen,  ///< robust median-of-slopes (outlier-contaminated sweeps)
+  /// OLS first; falls back to Theil-Sen when the OLS colinearity R^2
+  /// drops below robustFallbackR2 (outliers breaking the linearity the
+  /// model relies on).
+  kRobustFallback,
+};
 
 /// The machine abstraction the model needs: processors of equal core
 /// count filled one at a time.
@@ -73,8 +93,18 @@ struct MachineShape {
 class SingleProcessorModel {
  public:
   /// Fits from >= 2 points, all with 1 <= cores <= coresPerProcessor.
+  /// Throws ContractViolation on degenerate input (thin wrapper over
+  /// tryFit for callers that treat bad input as a programming error).
   [[nodiscard]] static SingleProcessorModel fit(
       std::span<const MeasuredPoint> points);
+
+  /// Hardened fit: diagnoses degenerate input (too few points, duplicate
+  /// or invalid core counts, non-positive/non-finite cycles, a fitted
+  /// queue already saturated — mu <= n L — inside the measured range) as
+  /// a typed FitError instead of throwing.
+  [[nodiscard]] static Expected<SingleProcessorModel, FitError> tryFit(
+      std::span<const MeasuredPoint> points,
+      FitMethod method = FitMethod::kOls);
 
   /// Predicted C(n). Beyond the fitted saturation point the open queue
   /// diverges; predictions are clamped at kSaturationFloor of the
@@ -119,6 +149,11 @@ class ContentionModel {
     /// paper's three-point homogeneous-interconnect variant).
     bool homogeneousRemote = false;
     RemoteMode remoteMode = RemoteMode::kLoadSplit;
+    /// Estimator for the single-processor 1/C(n) line.
+    FitMethod fitMethod = FitMethod::kOls;
+    /// kRobustFallback switches to Theil-Sen when the OLS colinearity
+    /// R^2 of the first-processor points drops below this threshold.
+    double robustFallbackR2 = 0.9;
   };
 
   /// Fits from measured points. Requirements: >= 2 points within the
@@ -126,12 +161,26 @@ class ContentionModel {
   /// that should be modelled, at least one point just beyond its
   /// boundary (unless homogeneousRemote reuses the first boundary
   /// slope). Points are matched by the fill-processor-first policy.
+  /// Throws ContractViolation on degenerate input (wrapper over tryFit).
   [[nodiscard]] static ContentionModel fit(
       const MachineShape& shape, std::span<const MeasuredPoint> points,
       const Options& options);
 
   /// Overload with default options.
   [[nodiscard]] static ContentionModel fit(
+      const MachineShape& shape, std::span<const MeasuredPoint> points);
+
+  /// Hardened fit: every precondition failure (invalid shape, points
+  /// outside the machine, missing n = 1 anchor, missing boundary point,
+  /// degenerate single-processor input, saturated regime) comes back as
+  /// a typed FitError naming the offending core counts, so a sweep
+  /// harness can log the diagnosis and keep the surviving runs.
+  [[nodiscard]] static Expected<ContentionModel, FitError> tryFit(
+      const MachineShape& shape, std::span<const MeasuredPoint> points,
+      const Options& options);
+
+  /// Overload with default options.
+  [[nodiscard]] static Expected<ContentionModel, FitError> tryFit(
       const MachineShape& shape, std::span<const MeasuredPoint> points);
 
   /// Predicted total cycles C(n), 1 <= n <= shape.totalCores().
@@ -170,11 +219,16 @@ struct ValidationRow {
   double measuredOmega = 0.0;
   double predictedOmega = 0.0;
   double relativeError = 0.0;  ///< |pred - meas| / meas (cycles)
+  /// True when measuredCycles <= 0 (a failed/empty run): the error and
+  /// omega columns are forced to 0 instead of dividing to inf/NaN, and
+  /// the row is excluded from meanRelativeError.
+  bool degenerate = false;
 };
 
 struct ValidationReport {
   std::vector<ValidationRow> rows;
   double meanRelativeError = 0.0;
+  std::size_t degenerateRows = 0;  ///< rows excluded from the mean
 };
 
 /// Validates a fitted model against a full measurement sweep.

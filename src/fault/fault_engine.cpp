@@ -1,0 +1,141 @@
+#include "fault/fault_engine.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace occm::fault {
+
+namespace {
+
+/// Hard cap on pre-generated background injections: a plan asking for
+/// more is almost certainly a misconfigured period.
+constexpr std::size_t kMaxInjections = std::size_t{1} << 22;
+
+}  // namespace
+
+FaultEngine::FaultEngine(const FaultPlan& plan,
+                         const topology::TopologyMap& topo,
+                         std::span<const NodeId> activeNodes,
+                         std::uint64_t seed) {
+  plan.validate(topo.spec().controllers(), topo.spec().logicalCores(),
+                activeNodes);
+  throttles_.resize(static_cast<std::size_t>(topo.spec().logicalCores()));
+
+  Rng rng = Rng::substream(seed, 0xFA17B17ULL);
+  for (const FaultEvent& e : plan.events()) {
+    switch (e.kind) {
+      case FaultKind::kControllerOutage:
+        transitions_.push_back(
+            {e.start, TransitionKind::kDown, e.target, 1.0, 0});
+        transitions_.push_back({e.end, TransitionKind::kUp, e.target, 1.0, 0});
+        break;
+      case FaultKind::kControllerDegrade:
+        transitions_.push_back(
+            {e.start, TransitionKind::kServiceScale, e.target, e.magnitude, 0});
+        transitions_.push_back(
+            {e.end, TransitionKind::kServiceScale, e.target, 1.0, 0});
+        break;
+      case FaultKind::kEccSpike:
+        transitions_.push_back({e.start, TransitionKind::kEcc, e.target,
+                                e.magnitude, e.penaltyCycles});
+        transitions_.push_back({e.end, TransitionKind::kEcc, e.target, 0.0, 0});
+        break;
+      case FaultKind::kCoreThrottle:
+        throttles_[static_cast<std::size_t>(e.target)].windows.push_back(
+            {e.start, e.end, e.magnitude});
+        anyThrottle_ = true;
+        break;
+      case FaultKind::kBackgroundTraffic: {
+        OCCM_REQUIRE_MSG(
+            (e.end - e.start) / e.period + injections_.size() < kMaxInjections,
+            "background traffic plan generates too many injections");
+        for (Cycles t = e.start; t < e.end; t += e.period) {
+          // Scattered 64 B-aligned addresses: row-cycle-limited traffic
+          // that evicts the demand streams' open rows.
+          injections_.push_back({t, e.target, rng.below(Addr{1} << 30) & ~Addr{63}});
+        }
+        break;
+      }
+    }
+  }
+
+  std::sort(transitions_.begin(), transitions_.end(),
+            [](const Transition& a, const Transition& b) {
+              return std::tie(a.time, a.node, a.kind) <
+                     std::tie(b.time, b.node, b.kind);
+            });
+  std::sort(injections_.begin(), injections_.end(),
+            [](const Injection& a, const Injection& b) {
+              return std::tie(a.time, a.node, a.addr) <
+                     std::tie(b.time, b.node, b.addr);
+            });
+  for (CoreThrottles& core : throttles_) {
+    std::sort(core.windows.begin(), core.windows.end(),
+              [](const ThrottleWindow& a, const ThrottleWindow& b) {
+                return a.start < b.start;
+              });
+  }
+}
+
+void FaultEngine::advanceTo(Cycles now, mem::MemorySystem& memory) {
+  // Merge-walk transitions and injections so a transfer scheduled during
+  // an outage really sees the controller down (transitions win ties).
+  while (transitionCursor_ < transitions_.size() ||
+         injectionCursor_ < injections_.size()) {
+    const bool haveTransition = transitionCursor_ < transitions_.size() &&
+                                transitions_[transitionCursor_].time <= now;
+    const bool haveInjection = injectionCursor_ < injections_.size() &&
+                               injections_[injectionCursor_].time <= now;
+    if (!haveTransition && !haveInjection) {
+      break;
+    }
+    const bool transitionFirst =
+        haveTransition &&
+        (!haveInjection || transitions_[transitionCursor_].time <=
+                               injections_[injectionCursor_].time);
+    if (transitionFirst) {
+      const Transition& t = transitions_[transitionCursor_++];
+      switch (t.kind) {
+        case TransitionKind::kDown:
+          memory.setControllerUp(t.node, false);
+          break;
+        case TransitionKind::kUp:
+          memory.setControllerUp(t.node, true);
+          break;
+        case TransitionKind::kServiceScale:
+          memory.setControllerServiceScale(t.node, t.value);
+          break;
+        case TransitionKind::kEcc:
+          memory.setControllerEcc(t.node, t.value, t.penalty);
+          break;
+      }
+    } else {
+      const Injection& inj = injections_[injectionCursor_++];
+      memory.injectBackground(inj.time, inj.node, inj.addr);
+      ++backgroundIssued_;
+    }
+  }
+}
+
+Cycles FaultEngine::throttleExtra(CoreId core, Cycles now, Cycles work) {
+  CoreThrottles& state = throttles_[static_cast<std::size_t>(core)];
+  while (state.cursor < state.windows.size() &&
+         state.windows[state.cursor].end <= now) {
+    ++state.cursor;
+  }
+  if (state.cursor >= state.windows.size()) {
+    return 0;
+  }
+  const ThrottleWindow& window = state.windows[state.cursor];
+  if (now < window.start) {
+    return 0;
+  }
+  const auto extra = static_cast<Cycles>(
+      static_cast<double>(work) * (window.slowdown - 1.0) + 0.5);
+  throttledCycles_ += extra;
+  return extra;
+}
+
+}  // namespace occm::fault

@@ -1,0 +1,106 @@
+#pragma once
+
+// Runtime driver of a FaultPlan for one simulated run.
+//
+// The engine compiles the plan into (a) a sorted list of controller
+// health transitions, (b) a pre-generated, sorted stream of background
+// traffic injections (addresses drawn from a seed-derived substream so
+// the whole scenario is reproducible), and (c) per-core throttle windows.
+// The simulator calls advanceTo(now, memory) before presenting each
+// memory request — applying every transition and injection scheduled at
+// or before `now`, in time order, which preserves the memory system's
+// monotonic-time contract — and throttleExtra() per executed operation
+// on cores that have windows. A default (empty) plan compiles to an idle
+// engine the simulator skips with one null-pointer test.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/fault_plan.hpp"
+#include "mem/memory_system.hpp"
+#include "topology/topology_map.hpp"
+
+namespace occm::fault {
+
+class FaultEngine {
+ public:
+  /// Validates the plan against the machine (targets in range, outages
+  /// never cover every active controller) and compiles the schedule.
+  FaultEngine(const FaultPlan& plan, const topology::TopologyMap& topo,
+              std::span<const NodeId> activeNodes, std::uint64_t seed);
+
+  /// True when the plan schedules nothing at all.
+  [[nodiscard]] bool idle() const noexcept {
+    return transitions_.empty() && injections_.empty() && !anyThrottle_;
+  }
+
+  /// Applies every controller health transition and background injection
+  /// scheduled at or before `now`, in time order. `now` must be
+  /// nondecreasing across calls (the simulator's event loop guarantees
+  /// it, same as for MemorySystem::request).
+  void advanceTo(Cycles now, mem::MemorySystem& memory);
+
+  /// Whether `core` has any throttle window (cheap pre-filter so
+  /// unthrottled cores pay one branch per operation).
+  [[nodiscard]] bool coreThrottled(CoreId core) const noexcept {
+    return static_cast<std::size_t>(core) < throttles_.size() &&
+           !throttles_[static_cast<std::size_t>(core)].windows.empty();
+  }
+
+  /// Extra stall cycles a throttled core pays to execute `work` cycles
+  /// starting at `now` (its own monotonic clock). Zero outside windows.
+  [[nodiscard]] Cycles throttleExtra(CoreId core, Cycles now, Cycles work);
+
+  /// Total extra cycles injected by throttle windows so far.
+  [[nodiscard]] Cycles throttledCycles() const noexcept {
+    return throttledCycles_;
+  }
+  /// Background transfers actually injected so far (dropped ones —
+  /// controller down — still count as issued by the scenario).
+  [[nodiscard]] std::uint64_t backgroundIssued() const noexcept {
+    return backgroundIssued_;
+  }
+
+ private:
+  enum class TransitionKind : std::uint8_t {
+    kDown,
+    kUp,
+    kServiceScale,
+    kEcc,
+  };
+  struct Transition {
+    Cycles time = 0;
+    TransitionKind kind = TransitionKind::kDown;
+    NodeId node = 0;
+    double value = 1.0;     ///< service scale or ECC probability
+    Cycles penalty = 0;     ///< ECC retry latency
+  };
+  struct Injection {
+    Cycles time = 0;
+    NodeId node = 0;
+    Addr addr = 0;
+  };
+  struct ThrottleWindow {
+    Cycles start = 0;
+    Cycles end = 0;
+    double slowdown = 1.0;
+  };
+  struct CoreThrottles {
+    std::vector<ThrottleWindow> windows;  ///< sorted by start
+    std::size_t cursor = 0;               ///< first window not yet passed
+  };
+
+  std::vector<Transition> transitions_;  ///< sorted by (time, node, kind)
+  std::size_t transitionCursor_ = 0;
+  std::vector<Injection> injections_;    ///< sorted by time
+  std::size_t injectionCursor_ = 0;
+  std::vector<CoreThrottles> throttles_;  ///< indexed by CoreId
+  bool anyThrottle_ = false;
+  Cycles throttledCycles_ = 0;
+  std::uint64_t backgroundIssued_ = 0;
+};
+
+}  // namespace occm::fault

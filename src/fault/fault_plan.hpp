@@ -1,0 +1,102 @@
+#pragma once
+
+// Deterministic fault scenarios scripted against simulated time.
+//
+// A FaultPlan is a declarative list of fault windows a run should suffer:
+// memory-controller outages (requests reroute to surviving controllers
+// with a bounded retry-with-backoff penalty), controller degradation
+// (channel service slowed by a scale factor), thermal throttle windows on
+// cores, transient ECC-retry latency spikes, and interfering background
+// traffic bursts aimed at one controller. The plan itself is pure data —
+// fault::FaultEngine turns it into health transitions and injections
+// against mem::MemorySystem, and sim::MachineSim applies the core-local
+// throttle windows. Everything is reproducible from SimConfig::seed:
+// identical plan + seed gives bit-identical RunProfile counters.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace occm::fault {
+
+enum class FaultKind : std::uint8_t {
+  kControllerOutage,   ///< controller down; demand traffic fails over
+  kControllerDegrade,  ///< channel occupancy scaled (slower service rate)
+  kCoreThrottle,       ///< thermal throttle: core work cycles stretched
+  kEccSpike,           ///< probabilistic ECC-retry latency added per request
+  kBackgroundTraffic,  ///< periodic interfering transfers at one controller
+};
+
+[[nodiscard]] constexpr const char* toString(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kControllerOutage: return "controller-outage";
+    case FaultKind::kControllerDegrade: return "controller-degrade";
+    case FaultKind::kCoreThrottle: return "core-throttle";
+    case FaultKind::kEccSpike: return "ecc-spike";
+    case FaultKind::kBackgroundTraffic: return "background-traffic";
+  }
+  return "unknown";
+}
+
+/// One scripted fault window [start, end) in simulated cycles.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kControllerOutage;
+  /// NodeId for controller faults, CoreId for throttle windows.
+  std::int32_t target = 0;
+  Cycles start = 0;
+  Cycles end = 0;
+  /// Service scale (degrade, >= 1), slowdown factor (throttle, >= 1) or
+  /// ECC-retry probability (spike, in (0, 1]); unused otherwise.
+  double magnitude = 1.0;
+  /// Latency added per ECC retry; unused otherwise.
+  Cycles penaltyCycles = 0;
+  /// Inter-arrival of background transfers; unused otherwise.
+  Cycles period = 0;
+};
+
+class FaultPlan {
+ public:
+  /// Controller `node` serves nothing in [start, end); demand requests
+  /// pay the bounded retry/backoff penalty and reroute to the nearest
+  /// healthy controller.
+  FaultPlan& controllerOutage(NodeId node, Cycles start, Cycles end);
+
+  /// Controller `node`'s channel occupancy is multiplied by
+  /// `serviceScale` (>= 1) in [start, end).
+  FaultPlan& controllerDegrade(NodeId node, Cycles start, Cycles end,
+                               double serviceScale);
+
+  /// Core `core` retires `slowdown`x (>= 1) slower in [start, end); the
+  /// stretch is accounted as stall cycles (the core is not retiring).
+  FaultPlan& coreThrottle(CoreId core, Cycles start, Cycles end,
+                          double slowdown);
+
+  /// Each request served by `node` in [start, end) suffers an extra
+  /// `penalty`-cycle ECC retry with probability `probability`.
+  FaultPlan& eccSpike(NodeId node, Cycles start, Cycles end,
+                      double probability, Cycles penalty);
+
+  /// Injects one interfering transfer at `node` every `period` cycles in
+  /// [start, end) (scattered addresses: row-cycle-limited traffic).
+  FaultPlan& backgroundTraffic(NodeId node, Cycles start, Cycles end,
+                               Cycles period);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Machine-dependent validation: targets in range, and controller
+  /// outages never cover every active controller at once (the memory
+  /// system needs at least one healthy controller to fail over to).
+  /// Throws ContractViolation with the offending event in the message.
+  void validate(int controllers, int cores,
+                std::span<const NodeId> activeNodes) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace occm::fault

@@ -88,11 +88,40 @@ MemorySystem::ChannelGrant MemorySystem::reserveChannel(
     ++controller.stats.rowMisses;
   }
   const Cycles start = std::max(arrival, channel.freeAt);
-  const Cycles service = drawService(rowHit ? spec.rowHitServiceCycles
-                                            : spec.rowMissServiceCycles);
+  Cycles service = drawService(rowHit ? spec.rowHitServiceCycles
+                                      : spec.rowMissServiceCycles);
+  // Degraded service rate: scale after the draw so the generator stream
+  // stays aligned with the healthy run (scenario comparisons stay
+  // request-for-request comparable).
+  if (controller.health.serviceScale != 1.0) {
+    service = std::max<Cycles>(
+        1, static_cast<Cycles>(static_cast<double>(service) *
+                                   controller.health.serviceScale +
+                               0.5));
+  }
   channel.freeAt = start + service;
   controller.stats.busyCycles += service;
   return {start, service, rowHit};
+}
+
+NodeId MemorySystem::failoverNode(NodeId requester, NodeId original) const {
+  NodeId best = -1;
+  int bestHops = 0;
+  for (NodeId node : placement_.activeNodes()) {
+    if (node == original ||
+        !controllers_[static_cast<std::size_t>(node)].health.up) {
+      continue;
+    }
+    const int hops = topo_.hops(requester, node);
+    if (best < 0 || hops < bestHops || (hops == bestHops && node < best)) {
+      best = node;
+      bestHops = hops;
+    }
+  }
+  OCCM_REQUIRE_MSG(best >= 0,
+                   "controller " + std::to_string(original) +
+                       " is down and no healthy active controller remains");
+  return best;
 }
 
 RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
@@ -101,14 +130,33 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
 
   const auto& spec = topo_.spec();
   const NodeId requesterNode = topo_.homeNode(core);
-  const NodeId homeNode = placement_.nodeOf(addr, requesterNode);
-  Controller& controller = controllers_[static_cast<std::size_t>(homeNode)];
+  NodeId homeNode = placement_.nodeOf(addr, requesterNode);
 
   RequestTiming timing;
+  Cycles arrival = now;
+  if (!controllers_[static_cast<std::size_t>(homeNode)].health.up) {
+    // The home controller is down: the request times out and retries with
+    // exponential backoff (bounded), then fails over to the nearest
+    // healthy controller — paying the backoff before it even leaves.
+    ControllerStats& downStats =
+        controllers_[static_cast<std::size_t>(homeNode)].stats;
+    Cycles backoff = 0;
+    for (int attempt = 0; attempt < kFailoverRetries; ++attempt) {
+      backoff += spec.dramLatency << attempt;
+    }
+    downStats.retryAttempts += kFailoverRetries;
+    downStats.reroutedAway += 1;
+    timing.retryCycles = backoff;
+    timing.queueWait += backoff;
+    timing.rerouted = true;
+    arrival += backoff;
+    homeNode = failoverNode(requesterNode, homeNode);
+    controllers_[static_cast<std::size_t>(homeNode)].stats.absorbed += 1;
+  }
+  Controller& controller = controllers_[static_cast<std::size_t>(homeNode)];
   timing.node = homeNode;
   timing.remote = homeNode != requesterNode;
 
-  Cycles arrival = now;
   // UMA: the per-socket front-side bus is a first queueing stage.
   if (!buses_.empty()) {
     Bus& bus = buses_[static_cast<std::size_t>(topo_.location(core).socket)];
@@ -136,6 +184,14 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
   // this request's own latency: a solo miss completes after dramLatency.
   timing.done = grant.start + spec.dramLatency + hopOneWay;
 
+  // Transient ECC-retry latency spike (fault plan): the line needs a
+  // retried burst, delaying this request without occupying the channel.
+  if (controller.health.eccProbability > 0.0 &&
+      rng_.bernoulli(controller.health.eccProbability)) {
+    timing.done += controller.health.eccPenalty;
+    controller.stats.eccRetries += 1;
+  }
+
   controller.stats.requests += 1;
   controller.stats.remoteRequests += timing.remote ? 1 : 0;
   controller.stats.totalWait += timing.queueWait;
@@ -143,7 +199,7 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
   if (observer_ != nullptr) {
     observer_->onTransfer({arrival, grant.start, grant.service,
                            timing.queueWait, homeNode, timing.remote,
-                           grant.rowHit, false});
+                           grant.rowHit, false, false});
   }
   return timing;
 }
@@ -152,7 +208,13 @@ void MemorySystem::writeback(Cycles now, CoreId core, Addr addr) {
   OCCM_ASSERT(now >= lastNow_);
   lastNow_ = now;
   const NodeId requesterNode = topo_.homeNode(core);
-  const NodeId homeNode = placement_.nodeOf(addr, requesterNode);
+  NodeId homeNode = placement_.nodeOf(addr, requesterNode);
+  if (!controllers_[static_cast<std::size_t>(homeNode)].health.up) {
+    // Posted writebacks fail over without the demand-path retry penalty.
+    controllers_[static_cast<std::size_t>(homeNode)].stats.reroutedAway += 1;
+    homeNode = failoverNode(requesterNode, homeNode);
+    controllers_[static_cast<std::size_t>(homeNode)].stats.absorbed += 1;
+  }
   Controller& controller = controllers_[static_cast<std::size_t>(homeNode)];
   const int hops = topo_.hops(requesterNode, homeNode);
   const Cycles hopOneWay =
@@ -164,7 +226,64 @@ void MemorySystem::writeback(Cycles now, CoreId core, Addr addr) {
   if (observer_ != nullptr) {
     observer_->onTransfer({arrival, grant.start, grant.service,
                            linkWait + (grant.start - arrival), homeNode,
-                           homeNode != requesterNode, grant.rowHit, true});
+                           homeNode != requesterNode, grant.rowHit, true,
+                           false});
+  }
+}
+
+void MemorySystem::setControllerUp(NodeId node, bool up) {
+  OCCM_REQUIRE(node >= 0 &&
+               static_cast<std::size_t>(node) < controllers_.size());
+  controllers_[static_cast<std::size_t>(node)].health.up = up;
+}
+
+void MemorySystem::setControllerServiceScale(NodeId node, double scale) {
+  OCCM_REQUIRE(node >= 0 &&
+               static_cast<std::size_t>(node) < controllers_.size());
+  OCCM_REQUIRE_MSG(scale >= 1.0, "service scale must be >= 1");
+  controllers_[static_cast<std::size_t>(node)].health.serviceScale = scale;
+}
+
+void MemorySystem::setControllerEcc(NodeId node, double probability,
+                                    Cycles penalty) {
+  OCCM_REQUIRE(node >= 0 &&
+               static_cast<std::size_t>(node) < controllers_.size());
+  OCCM_REQUIRE_MSG(probability >= 0.0 && probability <= 1.0,
+                   "ECC probability must be in [0, 1]");
+  Controller& c = controllers_[static_cast<std::size_t>(node)];
+  c.health.eccProbability = probability;
+  c.health.eccPenalty = penalty;
+}
+
+const ControllerHealth& MemorySystem::controllerHealth(NodeId node) const {
+  OCCM_REQUIRE(node >= 0 &&
+               static_cast<std::size_t>(node) < controllers_.size());
+  return controllers_[static_cast<std::size_t>(node)].health;
+}
+
+int MemorySystem::healthyActiveControllers() const noexcept {
+  int healthy = 0;
+  for (NodeId node : placement_.activeNodes()) {
+    healthy += controllers_[static_cast<std::size_t>(node)].health.up ? 1 : 0;
+  }
+  return healthy;
+}
+
+void MemorySystem::injectBackground(Cycles now, NodeId node, Addr addr) {
+  OCCM_ASSERT(now >= lastNow_);
+  lastNow_ = now;
+  OCCM_REQUIRE(node >= 0 &&
+               static_cast<std::size_t>(node) < controllers_.size());
+  Controller& controller = controllers_[static_cast<std::size_t>(node)];
+  if (!controller.health.up) {
+    return;  // a dead controller attracts no interfering traffic
+  }
+  const ChannelGrant grant = reserveChannel(controller, addr, now);
+  controller.stats.background += 1;
+  if (observer_ != nullptr) {
+    observer_->onTransfer({now, grant.start, grant.service,
+                           grant.start - now, node, false, grant.rowHit,
+                           false, true});
   }
 }
 

@@ -50,6 +50,12 @@ struct ControllerStats {
   Cycles busyCycles = 0;            ///< channel occupancy accumulated
   Cycles totalWait = 0;             ///< queueing delay of demand requests
   Cycles totalService = 0;          ///< channel occupancy of demand requests
+  // Degraded-mode counters (all zero on a healthy run).
+  std::uint64_t reroutedAway = 0;   ///< arrivals while down, failed over
+  std::uint64_t absorbed = 0;       ///< transfers served for a down peer
+  std::uint64_t retryAttempts = 0;  ///< bounded retries against this node
+  std::uint64_t eccRetries = 0;     ///< ECC-retry latency spikes applied
+  std::uint64_t background = 0;     ///< injected interfering transfers
 
   [[nodiscard]] double meanWait() const noexcept {
     return requests == 0 ? 0.0 : static_cast<double>(totalWait) /
@@ -66,8 +72,21 @@ struct RequestTiming {
   Cycles done = 0;        ///< absolute completion time
   Cycles queueWait = 0;   ///< cycles spent waiting for a channel
   Cycles hopCycles = 0;   ///< interconnect cycles (both directions)
+  Cycles retryCycles = 0; ///< backoff paid before failing over
   NodeId node = 0;        ///< controller that served the request
   bool remote = false;
+  bool rerouted = false;  ///< home controller was down; served elsewhere
+};
+
+/// Runtime health of one memory controller, driven by fault::FaultEngine
+/// (or directly by tests). Default-constructed = fully healthy.
+struct ControllerHealth {
+  bool up = true;
+  /// Multiplies channel occupancy (>= 1; degraded service rate).
+  double serviceScale = 1.0;
+  /// Per-request probability of a transient ECC retry, with its latency.
+  double eccProbability = 0.0;
+  Cycles eccPenalty = 0;
 };
 
 /// One serviced transfer as seen at the controller, for observers.
@@ -80,6 +99,7 @@ struct RequestObservation {
   bool remote = false;
   bool rowHit = false;
   bool writeback = false;  ///< non-blocking writeback vs. demand fill
+  bool background = false; ///< injected interfering transfer (fault plan)
 };
 
 /// Instrumentation hook the memory system calls once per serviced
@@ -93,6 +113,12 @@ class MemoryObserver {
 
 class MemorySystem {
  public:
+  /// Bounded retry-with-backoff budget paid by a demand request that
+  /// arrives while its home controller is down (models the timeout +
+  /// retry sequence before the failover kicks in): the request waits
+  /// dramLatency << attempt for each attempt before failing over.
+  static constexpr int kFailoverRetries = 2;
+
   /// `activeNodes` are the controllers backing the current run's pages
   /// (the paper activates controllers with the sockets that own them);
   /// `nodeWeights` (optional, one per active node) are the active core
@@ -107,6 +133,28 @@ class MemorySystem {
 
   /// Posts a non-blocking writeback (dirty LLC eviction).
   void writeback(Cycles now, CoreId core, Addr addr);
+
+  // Degraded-mode control (driven by fault::FaultEngine or tests) --------
+
+  /// Marks a controller down/up. While down, demand requests whose pages
+  /// it backs pay a bounded retry-with-backoff penalty and fail over to
+  /// the nearest healthy active controller; writebacks and injected
+  /// background traffic reroute (or drop) without the retry penalty.
+  void setControllerUp(NodeId node, bool up);
+  /// Scales the controller's channel occupancy (>= 1; 1 = healthy).
+  void setControllerServiceScale(NodeId node, double scale);
+  /// Arms (probability > 0) or clears (probability == 0) transient
+  /// ECC-retry latency spikes on the controller.
+  void setControllerEcc(NodeId node, double probability, Cycles penalty);
+  [[nodiscard]] const ControllerHealth& controllerHealth(NodeId node) const;
+  /// Active controllers currently up.
+  [[nodiscard]] int healthyActiveControllers() const noexcept;
+
+  /// Injects one interfering transfer at `node` (fault-plan background
+  /// traffic). Occupies channel bandwidth like a writeback; dropped when
+  /// the controller is down. `now` obeys the same monotonicity contract
+  /// as request().
+  void injectBackground(Cycles now, NodeId node, Addr addr);
 
   [[nodiscard]] const ControllerStats& controllerStats(NodeId node) const;
   [[nodiscard]] int controllers() const noexcept {
@@ -131,6 +179,7 @@ class MemorySystem {
   struct Controller {
     std::vector<Channel> channels;
     ControllerStats stats;
+    ControllerHealth health;
   };
   struct Bus {
     Cycles freeAt = 0;
@@ -159,6 +208,11 @@ class MemorySystem {
   /// 64 B messages; returns the queueing delay before the first transfer.
   Cycles reserveLink(NodeId a, NodeId b, int hops, Cycles arrival,
                      int transfers);
+
+  /// Failover target for traffic homed on the down node `original`:
+  /// the healthy active controller nearest to `requester` (fewest hops,
+  /// lowest id on ties). Throws ContractViolation if none is healthy.
+  [[nodiscard]] NodeId failoverNode(NodeId requester, NodeId original) const;
 
   const topology::TopologyMap& topo_;
   MemoryConfig config_;

@@ -65,6 +65,18 @@ std::string formatReport(const RunProfile& profile) {
     }
     out << "\n";
   }
+  if (!profile.faultEpochs.empty()) {
+    out << "  faults        : " << profile.faultEpochs.size() << " epochs, "
+        << withCommas(profile.reroutedRequests) << " rerouted, "
+        << withCommas(profile.faultRetries) << " retries, "
+        << withCommas(profile.backgroundRequests) << " background, "
+        << withCommas(profile.throttledCycles) << " throttled cycles\n";
+    for (const FaultEpoch& epoch : profile.faultEpochs) {
+      out << "    " << epoch.kind << " target " << epoch.target << " ["
+          << withCommas(epoch.start) << ", " << withCommas(epoch.end)
+          << ")\n";
+    }
+  }
   if (profile.trace != nullptr) {
     out << "  obs trace     : " << profile.trace->metrics.size()
         << " metrics, " << profile.trace->events.size() << " events ("

@@ -15,6 +15,17 @@
 
 namespace occm::perf {
 
+/// One scripted fault window the run suffered (copied from the
+/// fault::FaultPlan so the profile is self-describing without a fault
+/// dependency). `kind` matches fault::toString(FaultKind).
+struct FaultEpoch {
+  std::string kind;
+  std::int32_t target = 0;  ///< controller node or core id
+  Cycles start = 0;
+  Cycles end = 0;
+  double magnitude = 1.0;
+};
+
 struct RunProfile {
   std::string program;   ///< e.g. "CG.C"
   std::string machine;   ///< e.g. "Intel NUMA (24 cores, Xeon X5650)"
@@ -47,6 +58,14 @@ struct RunProfile {
   /// Windowed metrics + structured event trace, attached when the run was
   /// configured with obs::ObsConfig (null otherwise).
   obs::RunTracePtr trace;
+
+  /// Fault scenario of the run (empty on a healthy run) and its
+  /// machine-wide degraded-mode counters.
+  std::vector<FaultEpoch> faultEpochs;
+  std::uint64_t reroutedRequests = 0;   ///< transfers served by a peer
+  std::uint64_t faultRetries = 0;       ///< bounded retry attempts paid
+  std::uint64_t backgroundRequests = 0; ///< interfering transfers injected
+  Cycles throttledCycles = 0;           ///< stall added by throttle windows
 
   [[nodiscard]] double totalCyclesD() const noexcept {
     return static_cast<double>(counters.totalCycles);

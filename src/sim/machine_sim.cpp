@@ -9,6 +9,7 @@
 #include "cache/hierarchy.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "fault/fault_engine.hpp"
 #include "perf/miss_sampler.hpp"
 
 namespace occm::sim {
@@ -203,6 +204,13 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
                            std::move(nodeWeights));
   Rng rng = Rng::substream(config_.seed, 0x5EDC0FFEEULL);
 
+  // Fault scenario: compile the plan (validating it against this machine
+  // and the run's active controllers); an empty plan leaves `fe` null so
+  // the hot loops pay one predictable branch.
+  fault::FaultEngine faultEngine(config_.faultPlan, topo_, activeNodes,
+                                 config_.seed);
+  fault::FaultEngine* const fe = faultEngine.idle() ? nullptr : &faultEngine;
+
   const Cycles samplerWindow = std::max<Cycles>(
       1, nsToCycles(config_.samplerWindowNs, spec.clockGhz));
   perf::MissSampler sampler(samplerWindow);
@@ -243,6 +251,17 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
         runTrace->events.instant(
             "pin thread " + std::to_string(t), "sched",
             pinning.pinnedCore[static_cast<std::size_t>(t)], 0);
+      }
+      // Fault windows are known upfront; emit them as spans so the
+      // degraded epochs line up under the affected track in the timeline.
+      for (const fault::FaultEvent& e : config_.faultPlan.events()) {
+        const std::int32_t track =
+            e.kind == fault::FaultKind::kCoreThrottle
+                ? e.target
+                : obs::kControllerTrackBase + e.target;
+        runTrace->events.span(
+            std::string("fault:") + fault::toString(e.kind), "fault", track,
+            e.start, e.end - e.start, "magnitude", e.magnitude);
       }
     }
   }
@@ -316,6 +335,19 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
         core.queue.finish(thread);
         continue;
       }
+      // Thermal throttle window: the core retires `slowdown`x slower; the
+      // stretch is stall (the pipeline is not retiring).
+      if (fe != nullptr && fe->coreThrottled(coreId)) {
+        const Cycles extra = fe->throttleExtra(coreId, core.now, op.work);
+        if (extra > 0) {
+          core.now += extra;
+          core.stallCycles += extra;
+          if (hp != nullptr && hp->metricsOn()) {
+            hp->stall[static_cast<std::size_t>(coreId)]->record(
+                core.now, static_cast<double>(extra));
+          }
+        }
+      }
       core.now += op.work;
       core.workCycles += op.work;
       core.instructions += op.instructions;
@@ -368,6 +400,11 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
         }
         if (hp != nullptr && hp->llcMisses != nullptr) {
           hp->llcMisses->record(now);
+        }
+        // Apply fault-plan transitions and background injections scheduled
+        // up to `now` before this request sees the memory system.
+        if (fe != nullptr) {
+          fe->advanceTo(now, memory);
         }
         const mem::RequestTiming timing =
             memory.request(now, ev.core, core.pendingAddr);
@@ -430,6 +467,17 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
       static_cast<std::size_t>(memory.controllers()));
   for (NodeId node = 0; node < memory.controllers(); ++node) {
     profile.controllerStats.push_back(memory.controllerStats(node));
+    profile.reroutedRequests += profile.controllerStats.back().absorbed;
+    profile.faultRetries += profile.controllerStats.back().retryAttempts;
+  }
+  if (fe != nullptr) {
+    profile.backgroundRequests = fe->backgroundIssued();
+    profile.throttledCycles = fe->throttledCycles();
+    profile.faultEpochs.reserve(config_.faultPlan.events().size());
+    for (const fault::FaultEvent& e : config_.faultPlan.events()) {
+      profile.faultEpochs.push_back(
+          {fault::toString(e.kind), e.target, e.start, e.end, e.magnitude});
+    }
   }
   profile.channelsPerController = spec.channelsPerController;
   if (config_.enableSampler) {

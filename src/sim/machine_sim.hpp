@@ -24,6 +24,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "fault/fault_plan.hpp"
 #include "mem/memory_system.hpp"
 #include "obs/run_trace.hpp"
 #include "perf/run_profile.hpp"
@@ -46,6 +47,13 @@ struct SimConfig {
   /// simulator pays one predicted branch per hook (OCCM_OBS_ENABLED=0
   /// compiles the hooks out entirely).
   obs::ObsConfig observability;
+  /// Deterministic fault scenario scripted against simulated time:
+  /// controller outages/degradation, core throttle windows, ECC-retry
+  /// spikes and background traffic bursts (see fault::FaultPlan). The
+  /// default empty plan costs one never-taken branch per event; scripted
+  /// windows are recorded as RunProfile::faultEpochs and, with tracing
+  /// on, as "fault"-category spans.
+  fault::FaultPlan faultPlan;
   /// Maximum cycles a core may execute per event-loop turn. Cores only
   /// block on off-chip misses, so without this bound a core that stays
   /// cache-resident would run its whole thread in one turn and its cache/

@@ -1,5 +1,6 @@
 #include "stats/regression.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -97,6 +98,45 @@ LinearFit fitThroughOrigin(std::span<const Point> points) {
       points.size() > 1
           ? std::sqrt(ssRes / static_cast<double>(points.size() - 1))
           : 0.0;
+  return fit;
+}
+
+LinearFit fitTheilSen(std::span<const Point> points) {
+  OCCM_REQUIRE_MSG(points.size() >= 2,
+                   "Theil-Sen fit needs at least two points");
+  std::vector<double> slopes;
+  slopes.reserve(points.size() * (points.size() - 1) / 2);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      const double dx = points[j].x - points[i].x;
+      if (dx != 0.0) {
+        slopes.push_back((points[j].y - points[i].y) / dx);
+      }
+    }
+  }
+  OCCM_REQUIRE_MSG(!slopes.empty(),
+                   "Theil-Sen fit needs two distinct x values");
+  const auto median = [](std::vector<double>& values) {
+    const std::size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                     values.end());
+    double result = values[mid];
+    if (values.size() % 2 == 0) {
+      const auto lower = std::max_element(
+          values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid));
+      result = (result + *lower) / 2.0;
+    }
+    return result;
+  };
+  LinearFit fit;
+  fit.slope = median(slopes);
+  std::vector<double> intercepts;
+  intercepts.reserve(points.size());
+  for (const Point& p : points) {
+    intercepts.push_back(p.y - fit.slope * p.x);
+  }
+  fit.intercept = median(intercepts);
+  fillGoodness(points, fit);
   return fit;
 }
 

@@ -43,6 +43,15 @@ struct LinearFit {
 /// Fits y = b*x (regression through the origin); r2 is the uncentered R^2.
 [[nodiscard]] LinearFit fitThroughOrigin(std::span<const Point> points);
 
+/// Theil–Sen robust estimator: slope = median of all pairwise slopes,
+/// intercept = median of (y_i - slope * x_i). Breakdown point ~29%, so a
+/// few outlier-contaminated sweep points (a degraded run, a partially
+/// failed measurement) do not drag the fit the way least squares lets
+/// them. Weights are ignored (medians are unweighted); r2/residuals are
+/// reported against the robust line. O(n^2) pairs — fine for sweep-sized
+/// inputs. Requires >= 2 points with two distinct x values.
+[[nodiscard]] LinearFit fitTheilSen(std::span<const Point> points);
+
 /// R^2 of an externally supplied prediction against observations.
 [[nodiscard]] double coefficientOfDetermination(
     std::span<const double> observed, std::span<const double> predicted);

@@ -56,6 +56,35 @@ TEST(RunSweep, ExplicitCoreCounts) {
   EXPECT_THROW((void)sweep.at(2), ContractViolation);
 }
 
+TEST(RunSweep, MissingRunDiagnosisNamesWhatIsPresent) {
+  SweepConfig config = smallConfig();
+  config.coreCounts = {1, 3};
+  const SweepResult sweep = runSweep(config);
+  try {
+    (void)sweep.at(2);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n = 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("core counts present: 1, 3"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(RunSweep, OmegasWithoutBaselineRunExplainsItself) {
+  SweepConfig config = smallConfig();
+  config.coreCounts = {2, 4};  // no 1-core run to anchor omega
+  const SweepResult sweep = runSweep(config);
+  try {
+    (void)sweep.omegas();
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1-core"), std::string::npos) << what;
+    EXPECT_NE(what.find("2, 4"), std::string::npos) << what;
+  }
+}
+
 TEST(RunSweep, OmegasNormalizedToC1) {
   const SweepResult sweep = runSweep(smallConfig());
   const auto omegas = sweep.omegas();

@@ -28,7 +28,13 @@ TEST(Contracts, MessageContainsExpressionAndText) {
 }
 
 TEST(Contracts, AssertThrowsOnFalse) {
+#ifdef OCCM_DISABLE_ASSERTS
+  // Invariant checks are compiled out in this configuration; the macro
+  // must still be callable and must not evaluate to a throw.
+  EXPECT_NO_THROW(OCCM_ASSERT(false));
+#else
   EXPECT_THROW(OCCM_ASSERT(false), ContractViolation);
+#endif
   EXPECT_NO_THROW(OCCM_ASSERT(true));
 }
 

@@ -1,0 +1,73 @@
+#include "common/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace occm {
+namespace {
+
+struct Diag {
+  int code = 0;
+  std::string note;
+};
+
+TEST(Expected, HoldsValue) {
+  Expected<int, Diag> e(42);
+  ASSERT_TRUE(e.hasValue());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int, Diag> e = makeUnexpected(Diag{7, "saturated"});
+  ASSERT_FALSE(e.hasValue());
+  EXPECT_EQ(e.error().code, 7);
+  EXPECT_EQ(e.error().note, "saturated");
+}
+
+TEST(Expected, WrongAlternativeAccessIsContractViolation) {
+  Expected<int, Diag> value(1);
+  Expected<int, Diag> error = makeUnexpected(Diag{});
+  EXPECT_THROW((void)value.error(), ContractViolation);
+  EXPECT_THROW((void)error.value(), ContractViolation);
+  EXPECT_THROW((void)*error, ContractViolation);
+}
+
+TEST(Expected, ValueOrFallsBack) {
+  Expected<int, Diag> value(9);
+  Expected<int, Diag> error = makeUnexpected(Diag{1, "x"});
+  EXPECT_EQ(value.valueOr(-1), 9);
+  EXPECT_EQ(error.valueOr(-1), -1);
+}
+
+TEST(Expected, ArrowReachesMembers) {
+  Expected<std::vector<int>, Diag> e(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(e->size(), 3u);
+}
+
+TEST(Expected, SameValueAndErrorTypeStayDistinct) {
+  // Unexpected disambiguates when T == E.
+  Expected<int, int> value(5);
+  Expected<int, int> error = makeUnexpected(5);
+  EXPECT_TRUE(value.hasValue());
+  EXPECT_FALSE(error.hasValue());
+  EXPECT_EQ(error.error(), 5);
+}
+
+TEST(Expected, MutableAccessWritesThrough) {
+  Expected<std::string, Diag> e(std::string("a"));
+  e.value() += "b";
+  EXPECT_EQ(*e, "ab");
+  Expected<int, Diag> err = makeUnexpected(Diag{1, "n"});
+  err.error().code = 2;
+  EXPECT_EQ(err.error().code, 2);
+}
+
+}  // namespace
+}  // namespace occm

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.hpp"
@@ -321,6 +322,249 @@ TEST(Validate, ReportsPerPointAndMeanError) {
     EXPECT_GT(row.measuredCycles, 0.0);
   }
   EXPECT_NEAR(report.meanRelativeError, 1.0 - 1.0 / 1.10, 0.01);
+}
+
+TEST(Validate, DegenerateMeasurementsAreFlaggedNotDivided) {
+  MachineShape shape;
+  shape.coresPerProcessor = 4;
+  shape.processors = 1;
+  shape.architecture = topology::MemoryArchitecture::kNuma;
+  std::vector<MeasuredPoint> fitPoints;
+  for (int n : {1, 4}) {
+    fitPoints.push_back({n, eq6(1e6, 1e-2, 5e-4, n)});
+  }
+  const ContentionModel m = ContentionModel::fit(shape, fitPoints);
+  // A crashed 3-core run recorded as zero cycles must not poison the
+  // report with a division by zero.
+  const std::vector<MeasuredPoint> all = {
+      {1, eq6(1e6, 1e-2, 5e-4, 1)},
+      {2, eq6(1e6, 1e-2, 5e-4, 2)},
+      {3, 0.0},
+      {4, eq6(1e6, 1e-2, 5e-4, 4)}};
+  const ValidationReport report = validate(m, all);
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.degenerateRows, 1u);
+  EXPECT_TRUE(report.rows[2].degenerate);
+  EXPECT_DOUBLE_EQ(report.rows[2].relativeError, 0.0);
+  EXPECT_FALSE(report.rows[0].degenerate);
+  EXPECT_TRUE(std::isfinite(report.meanRelativeError));
+  EXPECT_NEAR(report.meanRelativeError, 0.0, 1e-6);  // 3 clean rows only
+}
+
+// ---------------------------------------------------------------------------
+// Hardened fitting: typed diagnoses instead of NaN/inf or thrown garbage.
+
+TEST(DegreeOfContentionChecked, DiagnosesBadBaseline) {
+  const auto good = degreeOfContentionChecked(200.0, 100.0);
+  ASSERT_TRUE(good.hasValue());
+  EXPECT_DOUBLE_EQ(*good, 1.0);
+
+  for (double c1 : {0.0, -5.0, std::nan(""),
+                    std::numeric_limits<double>::infinity()}) {
+    const auto bad = degreeOfContentionChecked(200.0, c1);
+    ASSERT_FALSE(bad.hasValue()) << c1;
+    EXPECT_EQ(bad.error().kind, FitErrorKind::kNonPositiveCycles);
+  }
+}
+
+TEST(SingleProcessorModel, ExactlyTwoPointsFitExactly) {
+  // The minimum legal input: two distinct points determine the line.
+  const double r = 1e6, mu = 1e-2, L = 5e-4;
+  const std::vector<MeasuredPoint> two = {{1, eq6(r, mu, L, 1)},
+                                          {4, eq6(r, mu, L, 4)}};
+  const auto m = SingleProcessorModel::tryFit(two);
+  ASSERT_TRUE(m.hasValue());
+  EXPECT_NEAR(m->muOverR(), mu / r, 1e-12);
+  EXPECT_NEAR(m->lOverR(), L / r, 1e-14);
+}
+
+TEST(SingleProcessorModel, TryFitDiagnosesDegenerateInput) {
+  const std::vector<MeasuredPoint> one = {{1, 100.0}};
+  const auto tooFew = SingleProcessorModel::tryFit(one);
+  ASSERT_FALSE(tooFew.hasValue());
+  EXPECT_EQ(tooFew.error().kind, FitErrorKind::kTooFewPoints);
+
+  const std::vector<MeasuredPoint> dup = {{3, 100.0}, {3, 120.0}};
+  const auto duplicate = SingleProcessorModel::tryFit(dup);
+  ASSERT_FALSE(duplicate.hasValue());
+  EXPECT_EQ(duplicate.error().kind, FitErrorKind::kDuplicateCores);
+
+  const std::vector<MeasuredPoint> zeroCore = {{0, 100.0}, {1, 120.0}};
+  const auto invalidCore = SingleProcessorModel::tryFit(zeroCore);
+  ASSERT_FALSE(invalidCore.hasValue());
+  EXPECT_EQ(invalidCore.error().kind, FitErrorKind::kInvalidCoreCount);
+  EXPECT_EQ(invalidCore.error().cores, 0);
+
+  for (double cycles : {0.0, -1.0, std::nan("")}) {
+    const std::vector<MeasuredPoint> bad = {{1, cycles}, {2, 200.0}};
+    const auto nonPositive = SingleProcessorModel::tryFit(bad);
+    ASSERT_FALSE(nonPositive.hasValue()) << cycles;
+    EXPECT_EQ(nonPositive.error().kind, FitErrorKind::kNonPositiveCycles);
+  }
+}
+
+TEST(SingleProcessorModel, TryFitDiagnosesSaturatedRegime) {
+  // 1/C = -0.5 + n: negative intercept, i.e. the fitted queue is already
+  // past saturation inside the measured range.
+  const std::vector<MeasuredPoint> points = {{1, 2.0}, {2, 1.0 / 1.5}};
+  const auto m = SingleProcessorModel::tryFit(points);
+  ASSERT_FALSE(m.hasValue());
+  EXPECT_EQ(m.error().kind, FitErrorKind::kSaturated);
+  EXPECT_NE(m.error().describe().find("saturated"), std::string::npos);
+}
+
+TEST(SingleProcessorModel, DecreasingCyclesMeanNoSaturation) {
+  // C(n) shrinking with n (positive cache effects): fitted contention is
+  // non-positive, so the queue never saturates and omega is negative.
+  const std::vector<MeasuredPoint> points = {{1, 200.0}, {2, 150.0},
+                                             {4, 100.0}};
+  const auto m = SingleProcessorModel::tryFit(points);
+  ASSERT_TRUE(m.hasValue());
+  EXPECT_LE(m->lOverR(), 0.0);
+  EXPECT_TRUE(std::isinf(m->saturationCores()));
+  EXPECT_GT(m->predict(4), 0.0);
+}
+
+TEST(SingleProcessorModel, FitErrorSurfacesInThrowingWrapper) {
+  const std::vector<MeasuredPoint> one = {{1, 100.0}};
+  try {
+    (void)SingleProcessorModel::fit(one);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("too-few-points"),
+              std::string::npos);
+  }
+}
+
+TEST(SingleProcessorModel, TheilSenShrugsOffOneOutlier) {
+  const double r = 1e6, mu = 1e-2, L = 5e-4;
+  std::vector<MeasuredPoint> points;
+  for (int n = 1; n <= 8; ++n) {
+    points.push_back({n, eq6(r, mu, L, n)});
+  }
+  points[3].totalCycles *= 3.0;  // one corrupted 4-core run
+
+  const auto ols = SingleProcessorModel::tryFit(points, FitMethod::kOls);
+  const auto robust =
+      SingleProcessorModel::tryFit(points, FitMethod::kTheilSen);
+  ASSERT_TRUE(ols.hasValue());
+  ASSERT_TRUE(robust.hasValue());
+  // OLS is dragged ~10% off the true intercept; the median-of-slopes
+  // estimator recovers the clean line exactly (21 of 28 pairs are clean).
+  EXPECT_GT(std::abs(ols->muOverR() - mu / r), 5e-10);
+  EXPECT_NEAR(robust->muOverR(), mu / r, 1e-12);
+  EXPECT_NEAR(robust->lOverR(), L / r, 1e-14);
+}
+
+TEST(SingleProcessorModel, RobustFallbackSwitchesOnPoorColinearity) {
+  const double r = 1e6, mu = 1e-2, L = 5e-4;
+  std::vector<MeasuredPoint> points;
+  for (int n = 1; n <= 8; ++n) {
+    points.push_back({n, eq6(r, mu, L, n)});
+  }
+  points[3].totalCycles *= 3.0;  // drops the OLS R^2 to ~0.24
+
+  const auto fallback =
+      SingleProcessorModel::tryFit(points, FitMethod::kRobustFallback);
+  const auto theilSen =
+      SingleProcessorModel::tryFit(points, FitMethod::kTheilSen);
+  ASSERT_TRUE(fallback.hasValue());
+  ASSERT_TRUE(theilSen.hasValue());
+  EXPECT_DOUBLE_EQ(fallback->muOverR(), theilSen->muOverR());
+  EXPECT_DOUBLE_EQ(fallback->lOverR(), theilSen->lOverR());
+
+  // Clean data stays on the paper's OLS estimator.
+  std::vector<MeasuredPoint> clean;
+  for (int n = 1; n <= 8; ++n) {
+    clean.push_back({n, eq6(r, mu, L, n)});
+  }
+  const auto onClean =
+      SingleProcessorModel::tryFit(clean, FitMethod::kRobustFallback);
+  const auto olsClean = SingleProcessorModel::tryFit(clean, FitMethod::kOls);
+  ASSERT_TRUE(onClean.hasValue());
+  ASSERT_TRUE(olsClean.hasValue());
+  EXPECT_DOUBLE_EQ(onClean->muOverR(), olsClean->muOverR());
+}
+
+TEST(ContentionModel, TryFitDiagnosesMissingC1) {
+  MachineShape shape;
+  shape.coresPerProcessor = 4;
+  shape.processors = 1;
+  shape.architecture = topology::MemoryArchitecture::kNuma;
+  const std::vector<MeasuredPoint> points = {{2, 1000.0}, {4, 1200.0}};
+  const auto m = ContentionModel::tryFit(shape, points);
+  ASSERT_FALSE(m.hasValue());
+  EXPECT_EQ(m.error().kind, FitErrorKind::kMissingC1);
+  // The diagnosis names what IS there, so the fix is obvious.
+  EXPECT_NE(m.error().message.find("2, 4"), std::string::npos);
+}
+
+TEST(ContentionModel, TryFitDiagnosesMissingBoundary) {
+  MachineShape shape;
+  shape.coresPerProcessor = 2;
+  shape.processors = 2;
+  shape.architecture = topology::MemoryArchitecture::kNuma;
+  const std::vector<MeasuredPoint> missing = {{1, 1000.0}, {2, 1200.0}};
+  const auto m = ContentionModel::tryFit(shape, missing);
+  ASSERT_FALSE(m.hasValue());
+  EXPECT_EQ(m.error().kind, FitErrorKind::kMissingBoundary);
+  EXPECT_NE(m.error().message.find("1, 2"), std::string::npos);
+
+  // Homogeneous-remote mode still needs the first boundary point.
+  ContentionModel::Options options;
+  options.homogeneousRemote = true;
+  const auto homogeneous = ContentionModel::tryFit(shape, missing, options);
+  ASSERT_FALSE(homogeneous.hasValue());
+  EXPECT_EQ(homogeneous.error().kind, FitErrorKind::kMissingBoundary);
+}
+
+TEST(ContentionModel, TryFitDiagnosesBadShapeAndForeignPoints) {
+  MachineShape badShape;
+  badShape.coresPerProcessor = 0;
+  badShape.processors = 2;
+  const std::vector<MeasuredPoint> points = {{1, 1000.0}, {2, 1200.0}};
+  const auto shapeError = ContentionModel::tryFit(badShape, points);
+  ASSERT_FALSE(shapeError.hasValue());
+  EXPECT_EQ(shapeError.error().kind, FitErrorKind::kInvalidShape);
+
+  MachineShape shape;
+  shape.coresPerProcessor = 2;
+  shape.processors = 1;
+  const std::vector<MeasuredPoint> outside = {{1, 1000.0}, {5, 1200.0}};
+  const auto coreError = ContentionModel::tryFit(shape, outside);
+  ASSERT_FALSE(coreError.hasValue());
+  EXPECT_EQ(coreError.error().kind, FitErrorKind::kInvalidCoreCount);
+  EXPECT_EQ(coreError.error().cores, 5);
+}
+
+TEST(ContentionModel, TryFitMatchesThrowingFitOnGoodInput) {
+  MachineShape shape;
+  shape.coresPerProcessor = 2;
+  shape.processors = 2;
+  shape.architecture = topology::MemoryArchitecture::kNuma;
+  const std::vector<MeasuredPoint> points = {{1, 1000.0}, {2, 1200.0},
+                                             {3, 1500.0}};
+  const auto tried = ContentionModel::tryFit(shape, points);
+  ASSERT_TRUE(tried.hasValue());
+  const ContentionModel thrown = ContentionModel::fit(shape, points);
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_DOUBLE_EQ(tried->predictCycles(n), thrown.predictCycles(n)) << n;
+  }
+}
+
+TEST(ContentionModel, FitAtProcessorBoundaryPointsOnly) {
+  // Exactly the paper's minimal NUMA input set {1, 2, k, k+1} with k = 2:
+  // every point sits on or adjacent to a boundary.
+  MachineShape shape;
+  shape.coresPerProcessor = 2;
+  shape.processors = 2;
+  shape.architecture = topology::MemoryArchitecture::kNuma;
+  const std::vector<MeasuredPoint> points = {{1, 1000.0}, {2, 1300.0},
+                                             {3, 1900.0}, {4, 2600.0}};
+  const auto m = ContentionModel::tryFit(shape, points);
+  ASSERT_TRUE(m.hasValue());
+  EXPECT_GT(m->predictCycles(4), m->predictCycles(1));
+  EXPECT_NO_THROW((void)m->predictOmega(4));
 }
 
 }  // namespace

@@ -1,0 +1,246 @@
+// Fault engine + degraded-mode memory semantics + end-to-end determinism
+// of scripted fault scenarios.
+
+#include "fault/fault_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/fault_plan.hpp"
+#include "mem/memory_system.hpp"
+#include "sim/machine_sim.hpp"
+#include "topology/presets.hpp"
+#include "topology/topology_map.hpp"
+#include "trace/address_space.hpp"
+#include "workloads/phase_stream.hpp"
+
+namespace occm::fault {
+namespace {
+
+using workloads::Phase;
+using workloads::PhaseStream;
+using workloads::seqLines;
+
+// testNuma4: dramLatency 100, rowHit 10, rowMiss 20, 1 channel, 2 banks,
+// hop 40 cycles, nodes {0, 1}, cores 0,1 on node 0 and 2,3 on node 1.
+
+class FaultEngineTest : public ::testing::Test {
+ protected:
+  FaultEngineTest() : topo_(topology::testNuma4()), active_({0, 1}) {}
+
+  mem::MemorySystem makeLocalMemory() {
+    mem::MemoryConfig config;
+    config.placement = mem::PlacementPolicy::kLocal;
+    config.service = mem::ServiceDiscipline::kDeterministic;
+    return mem::MemorySystem(topo_, config, active_);
+  }
+
+  topology::TopologyMap topo_;
+  std::vector<NodeId> active_;
+};
+
+TEST_F(FaultEngineTest, EmptyPlanIsIdle) {
+  FaultEngine engine(FaultPlan{}, topo_, active_, 7);
+  EXPECT_TRUE(engine.idle());
+  EXPECT_FALSE(engine.coreThrottled(0));
+}
+
+TEST_F(FaultEngineTest, TransitionsApplyInTimeOrder) {
+  FaultPlan plan;
+  plan.controllerOutage(0, 100, 200);
+  FaultEngine engine(plan, topo_, active_, 7);
+  EXPECT_FALSE(engine.idle());
+
+  mem::MemorySystem memory = makeLocalMemory();
+  engine.advanceTo(50, memory);
+  EXPECT_TRUE(memory.controllerHealth(0).up);
+  engine.advanceTo(150, memory);
+  EXPECT_FALSE(memory.controllerHealth(0).up);
+  EXPECT_EQ(memory.healthyActiveControllers(), 1);
+  engine.advanceTo(250, memory);
+  EXPECT_TRUE(memory.controllerHealth(0).up);
+  EXPECT_EQ(memory.healthyActiveControllers(), 2);
+}
+
+TEST_F(FaultEngineTest, OutageReroutesWithBoundedBackoff) {
+  mem::MemorySystem memory = makeLocalMemory();
+  memory.setControllerUp(0, false);
+  // Core 0 is homed on node 0 (local placement): the request pays the
+  // retry backoff (100 + 200 with dramLatency 100), then fails over to
+  // node 1 — one hop away.
+  const mem::RequestTiming t = memory.request(1000, 0, 0);
+  EXPECT_TRUE(t.rerouted);
+  EXPECT_EQ(t.node, 1);
+  const Cycles backoff = 100 + 200;  // dramLatency << attempt, 2 retries
+  EXPECT_EQ(t.retryCycles, backoff);
+  EXPECT_GE(t.queueWait, backoff);
+  EXPECT_EQ(t.done, 1000u + backoff + 40u + 100u + 40u);
+
+  EXPECT_EQ(memory.controllerStats(0).reroutedAway, 1u);
+  EXPECT_EQ(memory.controllerStats(0).retryAttempts,
+            static_cast<std::uint64_t>(mem::MemorySystem::kFailoverRetries));
+  EXPECT_EQ(memory.controllerStats(1).absorbed, 1u);
+  EXPECT_EQ(memory.controllerStats(1).requests, 1u);
+}
+
+TEST_F(FaultEngineTest, RequestWithNoHealthyControllerThrows) {
+  mem::MemorySystem memory = makeLocalMemory();
+  memory.setControllerUp(0, false);
+  memory.setControllerUp(1, false);
+  EXPECT_THROW(memory.request(0, 0, 0), ContractViolation);
+}
+
+TEST_F(FaultEngineTest, EccSpikeAddsPenaltyDeterministically) {
+  mem::MemorySystem memory = makeLocalMemory();
+  const mem::RequestTiming healthy = memory.request(0, 0, 0);
+  memory.setControllerEcc(0, 1.0, 500);
+  const mem::RequestTiming spiked = memory.request(10000, 0, 0);
+  EXPECT_EQ(spiked.done - 10000u, (healthy.done - 0u) + 500u);
+  EXPECT_EQ(memory.controllerStats(0).eccRetries, 1u);
+  memory.setControllerEcc(0, 0.0, 0);
+  const mem::RequestTiming after = memory.request(20000, 0, 0);
+  EXPECT_EQ(after.done - 20000u, healthy.done - 0u);
+}
+
+TEST_F(FaultEngineTest, ServiceScaleStretchesChannelOccupancy) {
+  mem::MemorySystem healthy = makeLocalMemory();
+  mem::MemorySystem degraded = makeLocalMemory();
+  degraded.setControllerServiceScale(0, 3.0);
+  // Two back-to-back requests to the same bank: the second queues behind
+  // the first transfer's channel occupancy, which the scale stretches.
+  (void)healthy.request(0, 0, 0);
+  const Cycles healthyWait = healthy.request(0, 1, 0).queueWait;
+  (void)degraded.request(0, 0, 0);
+  const Cycles degradedWait = degraded.request(0, 1, 0).queueWait;
+  EXPECT_EQ(healthyWait, 20u);       // one row-miss service
+  EXPECT_EQ(degradedWait, 3 * 20u);  // stretched 3x
+}
+
+TEST_F(FaultEngineTest, BackgroundInjectionOccupiesBandwidth) {
+  mem::MemorySystem quiet = makeLocalMemory();
+  mem::MemorySystem noisy = makeLocalMemory();
+  // Inject an interfering transfer just before the demand request, at the
+  // same controller: the demand request queues behind it.
+  noisy.injectBackground(0, 0, 0);
+  EXPECT_EQ(noisy.controllerStats(0).background, 1u);
+  const Cycles quietWait = quiet.request(1, 0, 64).queueWait;
+  const Cycles noisyWait = noisy.request(1, 0, 64).queueWait;
+  EXPECT_GT(noisyWait, quietWait);
+}
+
+TEST_F(FaultEngineTest, BackgroundDroppedWhileControllerDown) {
+  mem::MemorySystem memory = makeLocalMemory();
+  memory.setControllerUp(0, false);
+  memory.injectBackground(0, 0, 0);
+  EXPECT_EQ(memory.controllerStats(0).background, 0u);
+}
+
+TEST_F(FaultEngineTest, ThrottleExtraStretchesWorkInsideWindowOnly) {
+  FaultPlan plan;
+  plan.coreThrottle(1, 100, 200, 2.0);
+  FaultEngine engine(plan, topo_, active_, 7);
+  EXPECT_TRUE(engine.coreThrottled(1));
+  EXPECT_FALSE(engine.coreThrottled(0));
+
+  EXPECT_EQ(engine.throttleExtra(1, 50, 40), 0u);    // before the window
+  EXPECT_EQ(engine.throttleExtra(1, 150, 40), 40u);  // 2x slowdown
+  EXPECT_EQ(engine.throttleExtra(1, 250, 40), 0u);   // after the window
+  EXPECT_EQ(engine.throttledCycles(), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: scripted scenarios through MachineSim.
+
+std::vector<trace::RefStreamPtr> streamingThreads(int threads,
+                                                  std::uint64_t linesEach,
+                                                  Cycles workPerOp) {
+  std::vector<trace::RefStreamPtr> out;
+  for (int t = 0; t < threads; ++t) {
+    Phase p = seqLines(static_cast<Addr>(t) * (Addr{1} << 26),
+                       linesEach * 64, workPerOp);
+    out.push_back(std::make_unique<PhaseStream>(std::vector<Phase>{p}));
+  }
+  return out;
+}
+
+sim::SimConfig faultyConfig() {
+  sim::SimConfig config;
+  config.faultPlan.controllerOutage(1, 20'000, 120'000);
+  config.faultPlan.coreThrottle(0, 10'000, 60'000, 2.0);
+  config.faultPlan.backgroundTraffic(0, 0, 50'000, 500);
+  return config;
+}
+
+TEST(FaultSim, IdenticalPlanAndSeedAreBitIdentical) {
+  sim::MachineSim simA(topology::testNuma4(), faultyConfig());
+  sim::MachineSim simB(topology::testNuma4(), faultyConfig());
+  const auto streams = streamingThreads(4, 8000, 10);
+  const perf::RunProfile a = simA.run(streams, 4, "faulty");
+  const perf::RunProfile b = simB.run(streams, 4, "faulty");
+
+  EXPECT_EQ(a.counters.totalCycles, b.counters.totalCycles);
+  EXPECT_EQ(a.counters.stallCycles, b.counters.stallCycles);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.reroutedRequests, b.reroutedRequests);
+  EXPECT_EQ(a.faultRetries, b.faultRetries);
+  EXPECT_EQ(a.backgroundRequests, b.backgroundRequests);
+  EXPECT_EQ(a.throttledCycles, b.throttledCycles);
+  ASSERT_EQ(a.controllerStats.size(), b.controllerStats.size());
+  for (std::size_t n = 0; n < a.controllerStats.size(); ++n) {
+    EXPECT_EQ(a.controllerStats[n].requests, b.controllerStats[n].requests);
+    EXPECT_EQ(a.controllerStats[n].reroutedAway,
+              b.controllerStats[n].reroutedAway);
+    EXPECT_EQ(a.controllerStats[n].absorbed, b.controllerStats[n].absorbed);
+    EXPECT_EQ(a.controllerStats[n].background,
+              b.controllerStats[n].background);
+  }
+}
+
+TEST(FaultSim, ScenarioDegradesTheRunAndRecordsEpochs) {
+  sim::MachineSim healthy(topology::testNuma4());
+  sim::MachineSim faulty(topology::testNuma4(), faultyConfig());
+  const auto streams = streamingThreads(4, 8000, 10);
+  const perf::RunProfile h = healthy.run(streams, 4);
+  const perf::RunProfile f = faulty.run(streams, 4);
+
+  EXPECT_GT(f.counters.totalCycles, h.counters.totalCycles);
+  EXPECT_GT(f.reroutedRequests, 0u);
+  EXPECT_GT(f.faultRetries, 0u);
+  EXPECT_GT(f.backgroundRequests, 0u);
+  EXPECT_GT(f.throttledCycles, 0u);
+  ASSERT_EQ(f.faultEpochs.size(), 3u);
+  EXPECT_EQ(f.faultEpochs[0].kind, "controller-outage");
+  EXPECT_EQ(f.faultEpochs[0].target, 1);
+  EXPECT_EQ(f.faultEpochs[0].start, 20'000u);
+  EXPECT_EQ(f.faultEpochs[0].end, 120'000u);
+
+  EXPECT_TRUE(h.faultEpochs.empty());
+  EXPECT_EQ(h.reroutedRequests, 0u);
+}
+
+TEST(FaultSim, NullPlanMatchesNoPlanBitForBit) {
+  sim::SimConfig explicitEmpty;
+  explicitEmpty.faultPlan = fault::FaultPlan{};
+  sim::MachineSim withEmpty(topology::testNuma4(), explicitEmpty);
+  sim::MachineSim without(topology::testNuma4());
+  const auto streams = streamingThreads(4, 5000, 10);
+  const perf::RunProfile a = withEmpty.run(streams, 4);
+  const perf::RunProfile b = without.run(streams, 4);
+  EXPECT_EQ(a.counters.totalCycles, b.counters.totalCycles);
+  EXPECT_EQ(a.counters.stallCycles, b.counters.stallCycles);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(FaultSim, InvalidPlanForMachineIsRejectedAtRunStart) {
+  sim::SimConfig config;
+  config.faultPlan.controllerOutage(0, 0, 1000)
+      .controllerOutage(1, 500, 1500);
+  sim::MachineSim sim(topology::testNuma4(), config);
+  const auto streams = streamingThreads(4, 100, 10);
+  EXPECT_THROW((void)sim.run(streams, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace occm::fault

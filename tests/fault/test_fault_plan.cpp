@@ -1,0 +1,97 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace occm::fault {
+namespace {
+
+const std::vector<NodeId> kTwoNodes = {0, 1};
+
+TEST(FaultPlan, BuildersChainAndRecordEvents) {
+  FaultPlan plan;
+  plan.controllerOutage(1, 100, 200)
+      .controllerDegrade(0, 50, 150, 2.0)
+      .coreThrottle(3, 0, 1000, 1.5)
+      .eccSpike(0, 10, 20, 0.25, 300)
+      .backgroundTraffic(1, 0, 500, 50);
+  ASSERT_EQ(plan.events().size(), 5u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kControllerOutage);
+  EXPECT_EQ(plan.events()[0].target, 1);
+  EXPECT_EQ(plan.events()[1].magnitude, 2.0);
+  EXPECT_EQ(plan.events()[3].penaltyCycles, 300u);
+  EXPECT_EQ(plan.events()[4].period, 50u);
+}
+
+TEST(FaultPlan, DefaultPlanIsEmpty) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_NO_THROW(plan.validate(2, 4, kTwoNodes));
+}
+
+TEST(FaultPlan, RejectsEmptyOrInvertedWindows) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.controllerOutage(0, 100, 100), ContractViolation);
+  EXPECT_THROW(plan.coreThrottle(0, 200, 100, 2.0), ContractViolation);
+}
+
+TEST(FaultPlan, RejectsBadMagnitudes) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.controllerDegrade(0, 0, 10, 0.5), ContractViolation);
+  EXPECT_THROW(plan.coreThrottle(0, 0, 10, 0.0), ContractViolation);
+  EXPECT_THROW(plan.eccSpike(0, 0, 10, 0.0, 100), ContractViolation);
+  EXPECT_THROW(plan.eccSpike(0, 0, 10, 1.5, 100), ContractViolation);
+  EXPECT_THROW(plan.backgroundTraffic(0, 0, 10, 0), ContractViolation);
+}
+
+TEST(FaultPlan, ValidateRejectsOutOfRangeTargets) {
+  FaultPlan controllerPlan;
+  controllerPlan.controllerOutage(5, 0, 10);
+  EXPECT_THROW(controllerPlan.validate(2, 4, kTwoNodes), ContractViolation);
+
+  FaultPlan corePlan;
+  corePlan.coreThrottle(9, 0, 10, 2.0);
+  EXPECT_THROW(corePlan.validate(2, 4, kTwoNodes), ContractViolation);
+}
+
+TEST(FaultPlan, ValidateRejectsAllActiveControllersDownAtOnce) {
+  // Overlapping outages that cover both active controllers in [100, 200):
+  // nothing healthy remains to fail over to.
+  FaultPlan plan;
+  plan.controllerOutage(0, 50, 250).controllerOutage(1, 100, 200);
+  EXPECT_THROW(plan.validate(2, 4, kTwoNodes), ContractViolation);
+}
+
+TEST(FaultPlan, ValidateAcceptsDisjointOutages) {
+  FaultPlan plan;
+  plan.controllerOutage(0, 50, 100).controllerOutage(1, 100, 200);
+  EXPECT_NO_THROW(plan.validate(2, 4, kTwoNodes));
+}
+
+TEST(FaultPlan, OutageOfInactiveNodeDoesNotCountAgainstSurvivors) {
+  // Node 1 is the only active controller; node 0 being down is harmless.
+  const std::vector<NodeId> onlyNode1 = {1};
+  FaultPlan plan;
+  plan.controllerOutage(0, 0, 1000);
+  EXPECT_NO_THROW(plan.validate(2, 4, onlyNode1));
+
+  FaultPlan fatal;
+  fatal.controllerOutage(1, 0, 1000);
+  EXPECT_THROW(fatal.validate(2, 4, onlyNode1), ContractViolation);
+}
+
+TEST(FaultPlan, ToStringCoversAllKinds) {
+  EXPECT_STREQ(toString(FaultKind::kControllerOutage), "controller-outage");
+  EXPECT_STREQ(toString(FaultKind::kControllerDegrade), "controller-degrade");
+  EXPECT_STREQ(toString(FaultKind::kCoreThrottle), "core-throttle");
+  EXPECT_STREQ(toString(FaultKind::kEccSpike), "ecc-spike");
+  EXPECT_STREQ(toString(FaultKind::kBackgroundTraffic), "background-traffic");
+}
+
+}  // namespace
+}  // namespace occm::fault

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "common/error.hpp"
@@ -109,6 +110,37 @@ TEST(CoefficientOfDetermination, MismatchedSizesThrow) {
   const std::vector<double> a = {1.0, 2.0};
   const std::vector<double> b = {1.0};
   EXPECT_THROW((void)coefficientOfDetermination(a, b), ContractViolation);
+}
+
+TEST(FitTheilSen, ExactOnCleanLine) {
+  std::vector<Point> pts;
+  for (int x = 1; x <= 9; ++x) {
+    pts.push_back({static_cast<double>(x), 3.0 + 2.0 * x, 1.0});
+  }
+  const LinearFit fit = fitTheilSen(pts);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_EQ(fit.n, 9u);
+}
+
+TEST(FitTheilSen, IgnoresOneOutlierWhereOlsDoesNot) {
+  std::vector<Point> pts;
+  for (int x = 1; x <= 9; ++x) {
+    pts.push_back({static_cast<double>(x), 3.0 + 2.0 * x, 1.0});
+  }
+  pts[4].y += 100.0;  // one wild measurement
+  const LinearFit robust = fitTheilSen(pts);
+  const LinearFit ols = fitLinear(pts);
+  EXPECT_NEAR(robust.slope, 2.0, 1e-12);
+  EXPECT_NEAR(robust.intercept, 3.0, 1e-12);
+  EXPECT_GT(std::abs(ols.intercept - 3.0), 1.0);  // OLS is dragged
+}
+
+TEST(FitTheilSen, DegenerateInputThrows) {
+  const std::vector<Point> one = {{1.0, 2.0, 1.0}};
+  EXPECT_THROW((void)fitTheilSen(one), ContractViolation);
+  const std::vector<Point> sameX = {{2.0, 1.0, 1.0}, {2.0, 5.0, 1.0}};
+  EXPECT_THROW((void)fitTheilSen(sameX), ContractViolation);
 }
 
 }  // namespace
