@@ -18,6 +18,7 @@ double omegaAtFull(const topology::MachineSpec& machine,
   config.workload.problemClass = workloads::ProblemClass::kC;
   config.sim = simConfig;
   config.coreCounts = {1, machine.logicalCores()};
+  config.parallel.workers = bench::sweepWorkers();
   const auto sweep = analysis::runSweep(config);
   return model::degreeOfContention(
       sweep.at(machine.logicalCores()).totalCyclesD(),
@@ -32,7 +33,8 @@ void report(const std::string& label, double omega, double baseline) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseWorkers(argc, argv);
   using topology::MachineSpec;
   const MachineSpec base = topology::intelNuma24();
   const sim::SimConfig defaults;

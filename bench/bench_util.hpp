@@ -6,14 +6,44 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "analysis/experiment.hpp"
 #include "analysis/text_table.hpp"
 #include "core/occm.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace occm::bench {
+
+/// Sweep pool size shared by the drivers: 0 (the default) resolves to
+/// OCCM_SWEEP_WORKERS or hardware concurrency; parseWorkers overrides it
+/// from the command line.
+inline int& sweepWorkers() {
+  static int workers = 0;
+  return workers;
+}
+
+/// Parses an optional `--workers=N` argument (every driver's only flag)
+/// into sweepWorkers(); N >= 1. Other arguments are left untouched.
+inline void parseWorkers(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    constexpr const char* kFlag = "--workers=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      const int value = std::atoi(arg.c_str() + std::string(kFlag).size());
+      if (value >= 1) {
+        sweepWorkers() = value;
+      } else {
+        std::fprintf(stderr, "ignoring bad %sN (N must be >= 1): %s\n",
+                     kFlag, arg.c_str());
+      }
+    }
+  }
+  std::printf("sweep pool size: %d\n",
+              exec::resolveWorkerCount(sweepWorkers()));
+}
 
 /// The five NPB dwarfs of Table I, in the paper's row order.
 inline const std::vector<workloads::Program> kDwarfs = {
@@ -36,6 +66,8 @@ inline workloads::ProblemClass largeClassFor(workloads::Program program,
 }
 
 /// Runs one (program, class, machine, cores) grid and returns the sweep.
+/// Runs the core counts on the shared sweepWorkers() pool (bit-identical
+/// output for any pool size).
 inline analysis::SweepResult sweep(const topology::MachineSpec& machine,
                                    workloads::Program program,
                                    workloads::ProblemClass cls,
@@ -47,6 +79,7 @@ inline analysis::SweepResult sweep(const topology::MachineSpec& machine,
   config.workload.problemClass = cls;
   config.coreCounts = std::move(coreCounts);
   config.sim.enableSampler = sampler;
+  config.parallel.workers = sweepWorkers();
   return analysis::runSweep(config);
 }
 

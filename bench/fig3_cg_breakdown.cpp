@@ -59,7 +59,8 @@ void runMachine(const topology::MachineSpec& machine) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  occm::bench::parseWorkers(argc, argv);
   for (const auto& machine : occm::topology::paperMachines()) {
     runMachine(machine);
   }

@@ -53,7 +53,8 @@ void profileOne(const topology::MachineSpec& machine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  occm::bench::parseWorkers(argc, argv);
   using occm::workloads::ProblemClass;
   using occm::workloads::Program;
   const auto machine = occm::topology::intelNuma24();

@@ -28,7 +28,8 @@ constexpr PaperR2 kPaper[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parseWorkers(argc, argv);
   using workloads::ProblemClass;
   using workloads::Program;
   const std::vector<Program> programs = {Program::kEP, Program::kIS,

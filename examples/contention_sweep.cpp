@@ -6,9 +6,12 @@
 //   3. Fit the contention model from the paper's four regression inputs.
 //   4. Print measured vs. modelled omega(n) and the mean relative error.
 //
-// Usage: contention_sweep [program.class]   (default CG.C)
+// Usage: contention_sweep [program.class] [--workers=N]   (default CG.C,
+// pool size from OCCM_SWEEP_WORKERS or hardware concurrency)
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -50,11 +53,17 @@ int main(int argc, char** argv) {
   using namespace occm;
 
   workloads::WorkloadSpec workload;  // default CG.C
-  if (argc > 1) {
-    const std::string arg = argv[1];
+  int workers = 0;  // 0 = OCCM_SWEEP_WORKERS or hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::max(1, std::atoi(arg.c_str() + 10));
+      continue;
+    }
     const auto dot = arg.find('.');
     if (dot == std::string::npos) {
-      std::fprintf(stderr, "usage: %s [program.class]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [program.class] [--workers=N]\n",
+                   argv[0]);
       return 1;
     }
     workload.program = parseProgram(arg.substr(0, dot));
@@ -64,6 +73,7 @@ int main(int argc, char** argv) {
   analysis::SweepConfig config;
   config.machine = topology::intelNuma24();
   config.workload = workload;
+  config.parallel.workers = workers;
 
   std::printf("Sweeping %s on %s ...\n",
               workloads::workloadName(workload.program, workload.problemClass)

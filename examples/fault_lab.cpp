@@ -16,7 +16,9 @@
 //
 // Usage: fault_lab [program.class]   (default CG.S)
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -99,11 +101,17 @@ int main(int argc, char** argv) {
 
   workloads::WorkloadSpec workload;
   workload.problemClass = workloads::ProblemClass::kS;
-  if (argc > 1) {
-    const std::string arg = argv[1];
+  int workers = 0;  // 0 = OCCM_SWEEP_WORKERS or hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) {
+      workers = std::max(1, std::atoi(arg.c_str() + 10));
+      continue;
+    }
     const auto dot = arg.find('.');
     if (dot == std::string::npos) {
-      std::fprintf(stderr, "usage: %s [program.class]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [program.class] [--workers=N]\n",
+                   argv[0]);
       return 1;
     }
     workload.program = parseProgram(arg.substr(0, dot));
@@ -113,6 +121,7 @@ int main(int argc, char** argv) {
   analysis::SweepConfig config;
   config.machine = topology::intelNuma24();
   config.workload = workload;
+  config.parallel.workers = workers;
   const model::MachineShape shape = model::shapeOf(config.machine);
   config.coreCounts = model::defaultFitCores(shape);
   config.coreCounts.push_back(shape.totalCores());

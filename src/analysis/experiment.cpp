@@ -2,22 +2,22 @@
 
 #include <algorithm>
 #include <exception>
+#include <future>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "common/error.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace occm::analysis {
 
 namespace {
 
 /// "1, 2, 12" — for contract-violation messages on lookups that miss.
-std::string coreCountsPresent(const std::vector<perf::RunProfile>& profiles) {
-  std::set<int> cores;
-  for (const perf::RunProfile& p : profiles) {
-    cores.insert(p.activeCores);
-  }
+std::string joinCores(const std::set<int>& cores) {
   std::string out;
   for (int c : cores) {
     if (!out.empty()) {
@@ -27,6 +27,146 @@ std::string coreCountsPresent(const std::vector<perf::RunProfile>& profiles) {
   }
   return out.empty() ? "none" : out;
 }
+
+std::string coreCountsPresent(const std::vector<perf::RunProfile>& profiles) {
+  std::set<int> cores;
+  for (const perf::RunProfile& p : profiles) {
+    cores.insert(p.activeCores);
+  }
+  return joinCores(cores);
+}
+
+/// Suffix naming what a partially-merged sweep is missing and the pool
+/// size that produced it — empty when nothing is pending.
+std::string pendingSuffix(const SweepResult& sweep) {
+  const std::vector<int> pending = sweep.pendingCoreCounts();
+  if (pending.empty()) {
+    return {};
+  }
+  std::set<int> cores(pending.begin(), pending.end());
+  return "; still pending: " + joinCores(cores) + " (sweep pool size " +
+         std::to_string(sweep.requestedWorkers) + ")";
+}
+
+/// Everything one (core count) task produces; merged in request order.
+struct TaskOutcome {
+  std::optional<perf::RunProfile> profile;
+  std::optional<RunFailure> failure;  ///< recovered retry or permanent
+  std::optional<RunRecord> record;    ///< checkpoint row for the profile
+  bool restored = false;
+};
+
+/// Runs one core count to completion: restore from the checkpoint when
+/// possible, otherwise attempt (with seed-perturbed retries) until a
+/// profile or a permanent failure. Builds a private workload instance and
+/// simulator per attempt, so concurrent tasks share nothing mutable; no
+/// exception escapes.
+TaskOutcome runSweepTask(const SweepConfig& config,
+                         const workloads::WorkloadSpec& spec,
+                         const SweepCheckpoint& restoredState, int cores,
+                         int maxAttempts, int poolSize) {
+  TaskOutcome outcome;
+  if (const RunRecord* record = restoredState.find(cores)) {
+    // Restored run: the lightweight counters are all the model needs.
+    perf::RunProfile profile;
+    profile.program = restoredState.program;
+    profile.machine = restoredState.machine;
+    profile.threads = restoredState.threads;
+    profile.activeCores = cores;
+    profile.counters.totalCycles = static_cast<Cycles>(record->totalCycles);
+    profile.counters.stallCycles = static_cast<Cycles>(record->stallCycles);
+    profile.makespan = static_cast<Cycles>(record->makespan);
+    outcome.profile = std::move(profile);
+    outcome.record = *record;
+    outcome.restored = true;
+    return outcome;
+  }
+  RunFailure failure;
+  failure.cores = cores;
+  failure.poolSize = poolSize;
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+    try {
+      if (config.beforeRun) {
+        config.beforeRun(cores, attempt);
+      }
+      sim::SimConfig simConfig = config.sim;
+      // Retry under a perturbed seed: if the failure was input-shaped
+      // (a pathological arrival pattern), a different deterministic
+      // stream can clear it; attempt 0 keeps the configured seed.
+      constexpr std::uint64_t kSeedStep = 0x9E3779B97F4A7C15ULL;
+      simConfig.seed =
+          config.sim.seed + static_cast<std::uint64_t>(attempt) * kSeedStep;
+      // A fresh instance per task (not a shared reset one): building from
+      // the same spec seed yields bit-identical streams, and private
+      // streams are what lets tasks run concurrently at all.
+      workloads::WorkloadInstance instance = workloads::makeWorkload(spec);
+      sim::MachineSim simulator(config.machine, simConfig);
+      perf::RunProfile profile =
+          simulator.run(instance.threads, cores, instance.name);
+      failure.attempts = attempt + 1;
+      if (attempt > 0) {
+        failure.recovered = true;
+        outcome.failure = failure;
+      }
+      outcome.record = RunRecord{
+          cores, profile.totalCyclesD(),
+          static_cast<double>(profile.counters.stallCycles),
+          static_cast<double>(profile.makespan)};
+      outcome.profile = std::move(profile);
+      return outcome;
+    } catch (const std::exception& e) {
+      failure.error = e.what();
+      failure.attempts = attempt + 1;
+    }
+  }
+  outcome.failure = failure;
+  return outcome;
+}
+
+/// Serializes checkpoint writes and keeps their contents deterministic: a
+/// snapshot is rebuilt from the restored state plus the completed
+/// outcomes in request order, so the file never depends on which task
+/// finished first. Records loaded from a prior checkpoint are preserved
+/// even when this run requested a different core-count subset.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const SweepConfig& config, SweepCheckpoint restoredState,
+                   const std::vector<TaskOutcome>& outcomes)
+      : path_(config.checkpointPath), base_(std::move(restoredState)),
+        outcomes_(outcomes), done_(outcomes.size(), false) {}
+
+  /// Marks task `index` complete and persists the snapshot (no-op without
+  /// a checkpoint path). Thread-safe.
+  void commit(std::size_t index) {
+    if (path_.empty()) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    done_[index] = true;
+    SweepCheckpoint snapshot = base_;
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+      if (!done_[i]) {
+        continue;
+      }
+      const TaskOutcome& outcome = outcomes_[i];
+      // Restored outcomes are already in the base snapshot.
+      if (outcome.record.has_value() && !outcome.restored) {
+        snapshot.runs.push_back(*outcome.record);
+      }
+      if (outcome.failure.has_value()) {
+        snapshot.failures.push_back(*outcome.failure);
+      }
+    }
+    snapshot.save(path_);
+  }
+
+ private:
+  std::mutex mutex_;
+  const std::string path_;
+  const SweepCheckpoint base_;
+  const std::vector<TaskOutcome>& outcomes_;
+  std::vector<bool> done_;
+};
 
 }  // namespace
 
@@ -39,6 +179,20 @@ std::vector<model::MeasuredPoint> SweepResult::points() const {
   return out;
 }
 
+std::vector<int> SweepResult::pendingCoreCounts() const {
+  std::vector<int> pending;
+  for (int cores : requestedCoreCounts) {
+    bool present = false;
+    for (const perf::RunProfile& p : profiles) {
+      present = present || p.activeCores == cores;
+    }
+    if (!present) {
+      pending.push_back(cores);
+    }
+  }
+  return pending;
+}
+
 const perf::RunProfile& SweepResult::at(int cores) const {
   for (const perf::RunProfile& p : profiles) {
     if (p.activeCores == cores) {
@@ -47,7 +201,8 @@ const perf::RunProfile& SweepResult::at(int cores) const {
   }
   throw ContractViolation(
       "sweep has no run at n = " + std::to_string(cores) +
-      "; core counts present: " + coreCountsPresent(profiles));
+      "; core counts present: " + coreCountsPresent(profiles) +
+      pendingSuffix(*this));
 }
 
 std::vector<double> SweepResult::omegas() const {
@@ -58,7 +213,8 @@ std::vector<double> SweepResult::omegas() const {
   if (!haveC1) {
     throw ContractViolation(
         "omega(n) needs the sweep's 1-core run as its C(1) anchor; core "
-        "counts present: " + coreCountsPresent(profiles));
+        "counts present: " + coreCountsPresent(profiles) +
+        pendingSuffix(*this));
   }
   const double c1 = at(1).totalCyclesD();
   std::vector<double> out;
@@ -74,6 +230,14 @@ std::string SweepResult::diagnostics() const {
   out << profiles.size() << " run(s) completed";
   if (restoredRuns > 0) {
     out << " (" << restoredRuns << " restored from checkpoint)";
+  }
+  if (requestedWorkers > 1) {
+    out << ", pool size " << requestedWorkers;
+  }
+  const std::vector<int> pending = pendingCoreCounts();
+  if (!pending.empty()) {
+    std::set<int> cores(pending.begin(), pending.end());
+    out << ", still pending: " << joinCores(cores);
   }
   if (failures.empty()) {
     out << ", no failures";
@@ -104,86 +268,76 @@ SweepResult runSweep(const SweepConfig& config) {
   if (spec.threads <= 0) {
     spec.threads = config.machine.logicalCores();
   }
+  // Invalid (program, class) pairs fail loudly here instead of surfacing
+  // as per-task RunFailures on every core count.
+  OCCM_REQUIRE_MSG(
+      workloads::classValidFor(spec.program, spec.problemClass),
+      "problem class not valid for this program");
   std::vector<int> coreCounts = config.coreCounts;
   if (coreCounts.empty()) {
     for (int n = 1; n <= config.machine.logicalCores(); ++n) {
       coreCounts.push_back(n);
     }
   }
-  workloads::WorkloadInstance instance = workloads::makeWorkload(spec);
 
-  SweepCheckpoint state;
-  state.program = instance.name;
-  state.machine = config.machine.name;
-  state.seed = config.sim.seed;
-  state.threads = spec.threads;
+  SweepCheckpoint identity;
+  identity.program = workloads::workloadName(spec.program, spec.problemClass);
+  identity.machine = config.machine.name;
+  identity.seed = config.sim.seed;
+  identity.threads = spec.threads;
+  SweepCheckpoint restoredState = identity;
   if (!config.checkpointPath.empty()) {
     if (auto loaded = SweepCheckpoint::load(config.checkpointPath);
         loaded.has_value() &&
-        loaded->matches(state.program, state.machine, state.seed,
-                        state.threads)) {
-      state = std::move(*loaded);
+        loaded->matches(identity.program, identity.machine, identity.seed,
+                        identity.threads)) {
+      restoredState = std::move(*loaded);
     }
   }
 
-  SweepResult result;
-  result.profiles.reserve(coreCounts.size());
   const int maxAttempts = std::max(1, config.maxAttempts);
-  for (int cores : coreCounts) {
-    if (const RunRecord* record = state.find(cores)) {
-      // Restored run: the lightweight counters are all the model needs.
-      perf::RunProfile profile;
-      profile.program = state.program;
-      profile.machine = state.machine;
-      profile.threads = state.threads;
-      profile.activeCores = cores;
-      profile.counters.totalCycles = static_cast<Cycles>(record->totalCycles);
-      profile.counters.stallCycles = static_cast<Cycles>(record->stallCycles);
-      profile.makespan = static_cast<Cycles>(record->makespan);
-      result.profiles.push_back(std::move(profile));
-      ++result.restoredRuns;
-      continue;
+  const int workers = exec::resolveWorkerCount(config.parallel.workers);
+
+  std::vector<TaskOutcome> outcomes(coreCounts.size());
+  CheckpointWriter checkpoint(config, restoredState, outcomes);
+
+  if (workers == 1 || coreCounts.size() <= 1) {
+    // Serial path: run inline on the calling thread, in request order —
+    // no pool, no synchronization beyond the (still deterministic)
+    // checkpoint writer.
+    for (std::size_t i = 0; i < coreCounts.size(); ++i) {
+      outcomes[i] = runSweepTask(config, spec, restoredState, coreCounts[i],
+                                 maxAttempts, workers);
+      checkpoint.commit(i);
     }
-    RunFailure failure;
-    failure.cores = cores;
-    bool completed = false;
-    for (int attempt = 0; attempt < maxAttempts && !completed; ++attempt) {
-      try {
-        if (config.beforeRun) {
-          config.beforeRun(cores, attempt);
-        }
-        sim::SimConfig simConfig = config.sim;
-        // Retry under a perturbed seed: if the failure was input-shaped
-        // (a pathological arrival pattern), a different deterministic
-        // stream can clear it; attempt 0 keeps the configured seed.
-        constexpr std::uint64_t kSeedStep = 0x9E3779B97F4A7C15ULL;
-        simConfig.seed =
-            config.sim.seed + static_cast<std::uint64_t>(attempt) * kSeedStep;
-        sim::MachineSim simulator(config.machine, simConfig);
-        perf::RunProfile profile =
-            simulator.run(instance.threads, cores, instance.name);
-        failure.attempts = attempt + 1;
-        if (attempt > 0) {
-          failure.recovered = true;
-          result.failures.push_back(failure);
-          state.failures.push_back(failure);
-        }
-        state.runs.push_back({cores, profile.totalCyclesD(),
-                              static_cast<double>(profile.counters.stallCycles),
-                              static_cast<double>(profile.makespan)});
-        result.profiles.push_back(std::move(profile));
-        completed = true;
-      } catch (const std::exception& e) {
-        failure.error = e.what();
-        failure.attempts = attempt + 1;
-      }
+  } else {
+    exec::ThreadPool pool({workers, coreCounts.size()});
+    std::vector<std::future<void>> joins;
+    joins.reserve(coreCounts.size());
+    for (std::size_t i = 0; i < coreCounts.size(); ++i) {
+      joins.push_back(pool.submit([&, i] {
+        outcomes[i] = runSweepTask(config, spec, restoredState,
+                                   coreCounts[i], maxAttempts, workers);
+        checkpoint.commit(i);
+      }));
     }
-    if (!completed) {
-      result.failures.push_back(failure);
-      state.failures.push_back(failure);
+    for (std::future<void>& join : joins) {
+      join.get();  // tasks catch run failures; nothing should rethrow
     }
-    if (!config.checkpointPath.empty()) {
-      state.save(config.checkpointPath);
+  }
+
+  // Deterministic merge: request order, independent of completion order.
+  SweepResult result;
+  result.requestedWorkers = workers;
+  result.requestedCoreCounts = coreCounts;
+  result.profiles.reserve(coreCounts.size());
+  for (TaskOutcome& outcome : outcomes) {
+    if (outcome.failure.has_value()) {
+      result.failures.push_back(std::move(*outcome.failure));
+    }
+    if (outcome.profile.has_value()) {
+      result.profiles.push_back(std::move(*outcome.profile));
+      result.restoredRuns += outcome.restored ? 1 : 0;
     }
   }
   return result;

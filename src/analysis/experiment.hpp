@@ -17,6 +17,22 @@
 
 namespace occm::analysis {
 
+/// Parallel execution of a sweep's independent (core count) runs.
+///
+/// Determinism guarantee: every pool size — including 1 — produces
+/// bit-identical SweepResult contents (profiles, failures, checkpoint
+/// files after completion). Each task builds its own workload instance
+/// and simulator from the sweep's seeds, shares no mutable state with its
+/// siblings, and results merge back in core-count (request) order; the
+/// pool only changes wall-clock time. See DESIGN.md §9.
+struct ParallelSweepConfig {
+  /// Worker threads for the pool. 1 runs every task inline on the calling
+  /// thread (no pool is created); 0 (the default) resolves through
+  /// exec::resolveWorkerCount — the OCCM_SWEEP_WORKERS environment
+  /// variable, then hardware concurrency.
+  int workers = 0;
+};
+
 struct SweepConfig {
   topology::MachineSpec machine;
   workloads::WorkloadSpec workload;  ///< threads <= 0 => machine cores
@@ -33,8 +49,13 @@ struct SweepConfig {
   /// whose program/machine/seed/threads identity differs is ignored.
   std::string checkpointPath;
   /// Test/diagnostics hook, called before every attempt; an exception it
-  /// throws is treated exactly like a failed run.
+  /// throws is treated exactly like a failed run. With parallel.workers
+  /// != 1 it is invoked concurrently from pool workers — it must be
+  /// thread-safe (and must not assume call order across core counts).
   std::function<void(int cores, int attempt)> beforeRun;
+  /// Pool configuration; the default resolves to OCCM_SWEEP_WORKERS or
+  /// hardware concurrency. Output is bit-identical for every pool size.
+  ParallelSweepConfig parallel;
 };
 
 struct SweepResult {
@@ -46,12 +67,24 @@ struct SweepResult {
   /// profiles are lightweight: counters.totalCycles/stallCycles and
   /// makespan only.
   std::size_t restoredRuns = 0;
+  /// Resolved pool size the sweep ran with (1 = serial); reported by the
+  /// accessor diagnostics so a partially-merged parallel sweep names the
+  /// execution mode that produced it.
+  int requestedWorkers = 1;
+  /// Core counts the sweep was asked to run, in request order.
+  std::vector<int> requestedCoreCounts;
 
   /// Measured points (cores, total cycles) for the model.
   [[nodiscard]] std::vector<model::MeasuredPoint> points() const;
 
+  /// Requested core counts that have no completed profile (runs that
+  /// failed permanently, or were never merged). Empty for a fully
+  /// successful sweep.
+  [[nodiscard]] std::vector<int> pendingCoreCounts() const;
+
   /// Profile for an exact core count; throws a ContractViolation naming
-  /// the core counts actually present if it was not run.
+  /// the core counts actually present, the ones still pending and the
+  /// pool size if it was not run.
   [[nodiscard]] const perf::RunProfile& at(int cores) const;
 
   /// Measured omega(n) against the sweep's C(1) (requires a 1-core run).
@@ -67,15 +100,23 @@ struct SweepResult {
                                        int activeCores,
                                        const sim::SimConfig& simConfig = {});
 
-/// Runs the full sweep. The workload is built once and replayed (streams
-/// reset) for every core count; threads default to the machine's cores,
-/// matching the paper's fixed-threads / varying-cores protocol.
+/// Runs the full sweep. Each core count gets its own freshly built
+/// workload instance (bit-identical across builds for a fixed spec seed);
+/// threads default to the machine's cores, matching the paper's
+/// fixed-threads / varying-cores protocol.
+///
+/// Parallel by default: independent (core count) runs execute on a
+/// config.parallel pool (OCCM_SWEEP_WORKERS / hardware concurrency) and
+/// merge back in request order, bit-identical to workers = 1 — the runs
+/// share no mutable state and every RNG stream is derived per task from
+/// the configured seeds, so the pool size only changes wall-clock time.
 ///
 /// Failure isolating: a run that throws is retried (seed-perturbed) up
 /// to config.maxAttempts times and then recorded as a RunFailure; the
 /// sweep always completes with whatever survived, and no exception from
 /// an individual run escapes. With config.checkpointPath set, completed
-/// runs persist across interrupted invocations.
+/// runs persist across interrupted invocations (checkpoint writes are
+/// serialized behind a mutex and deterministic in content).
 [[nodiscard]] SweepResult runSweep(const SweepConfig& config);
 
 /// Subset of measured points at the given core counts (model fit inputs).

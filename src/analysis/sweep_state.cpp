@@ -180,6 +180,7 @@ std::string SweepCheckpoint::toJson() const {
     out << (i == 0 ? "\n" : ",\n");
     out << "    {\"cores\": " << f.cores << ", \"attempts\": " << f.attempts
         << ", \"recovered\": " << (f.recovered ? "true" : "false")
+        << ", \"poolSize\": " << f.poolSize
         << ", \"error\": \"" << jsonEscape(f.error) << "\"}";
   }
   out << (failures.empty() ? "]\n" : "\n  ]\n");
@@ -284,6 +285,9 @@ std::optional<SweepCheckpoint> SweepCheckpoint::parse(
             failure.attempts = static_cast<int>(reader.parseNumber());
           } else if (field == "recovered") {
             failure.recovered = reader.parseBool();
+          } else if (field == "poolSize") {
+            // Absent in pre-parallel checkpoints; RunFailure defaults to 1.
+            failure.poolSize = static_cast<int>(reader.parseNumber());
           } else if (field == "error") {
             failure.error = reader.parseString();
           } else {

@@ -22,6 +22,9 @@ struct RunFailure {
   int attempts = 0;        ///< total attempts made (1 = failed first try)
   std::string error;       ///< what() of the last exception
   bool recovered = false;  ///< a retry eventually produced a profile
+  /// Resolved sweep pool size when the failure was recorded (1 = serial);
+  /// lets a partially-merged parallel sweep be diagnosed from its records.
+  int poolSize = 1;
 };
 
 /// Lightweight record of one completed run — exactly what the model fit

@@ -1,0 +1,103 @@
+#include "exec/thread_pool.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace occm::exec {
+
+int resolveWorkerCount(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("OCCM_SWEEP_WORKERS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value <= 4096) {
+      return static_cast<int>(value);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+ThreadPool::ThreadPool(ThreadPoolConfig config) {
+  const int workerCount = resolveWorkerCount(config.workers);
+  capacity_ = config.queueCapacity != 0
+                  ? config.queueCapacity
+                  : static_cast<std::size_t>(workerCount) * 2;
+  workers_.reserve(static_cast<std::size_t>(workerCount));
+  for (int i = 0; i < workerCount; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  notEmpty_.notify_all();
+  notFull_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  OCCM_REQUIRE_MSG(task != nullptr, "null task");
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock,
+                  [this] { return queue_.size() < capacity_ || stopping_; });
+    OCCM_REQUIRE_MSG(!stopping_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(packaged));
+  }
+  notEmpty_.notify_one();
+  return future;
+}
+
+bool ThreadPool::trySubmit(std::function<void()> task,
+                           std::future<void>* future) {
+  OCCM_REQUIRE_MSG(task != nullptr, "null task");
+  std::packaged_task<void()> packaged(std::move(task));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= capacity_) {
+      return false;
+    }
+    if (future != nullptr) {
+      *future = packaged.get_future();
+    }
+    queue_.push_back(std::move(packaged));
+  }
+  notEmpty_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      notEmpty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    notFull_.notify_one();
+    task();  // packaged_task captures anything the task throws
+  }
+}
+
+}  // namespace occm::exec

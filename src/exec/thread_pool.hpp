@@ -1,0 +1,88 @@
+#pragma once
+
+// exec: a small fixed-size thread pool with a bounded task queue — the
+// concurrency substrate for running independent simulations (one sweep
+// point each) in parallel.
+//
+// Design constraints, in order:
+//  - Determinism lives in the caller, not here. The pool guarantees only
+//    that every submitted task runs exactly once on some worker; callers
+//    that need reproducible output must make tasks independent (no shared
+//    mutable state) and merge results in a fixed order (see
+//    analysis::runSweep).
+//  - Exceptions never kill a worker: each task runs inside a
+//    std::packaged_task, so whatever it throws is captured and rethrown
+//    from the submitter's future.
+//  - The queue is bounded. submit() blocks when the queue is full
+//    (backpressure towards producers), trySubmit() refuses instead; both
+//    keep memory proportional to workers + capacity, not to the number of
+//    tasks a producer can dream up.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace occm::exec {
+
+/// Resolves a requested pool size: positive values pass through; zero or
+/// negative fall back to the OCCM_SWEEP_WORKERS environment variable
+/// (when it parses as a positive integer) and then to
+/// std::thread::hardware_concurrency(), never below 1.
+[[nodiscard]] int resolveWorkerCount(int requested);
+
+struct ThreadPoolConfig {
+  /// Worker threads; <= 0 resolves via resolveWorkerCount.
+  int workers = 0;
+  /// Bounded queue capacity (tasks waiting, excluding ones already
+  /// running); 0 means 2x the worker count.
+  std::size_t queueCapacity = 0;
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(ThreadPoolConfig config = {});
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workers() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] std::size_t queueCapacity() const noexcept {
+    return capacity_;
+  }
+
+  /// Submits a task, blocking while the queue is at capacity. The future
+  /// becomes ready when the task finishes and rethrows anything the task
+  /// threw. Throws ContractViolation if the pool is shutting down.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Non-blocking submit: returns false — leaving the task unqueued —
+  /// when the queue is at capacity or the pool is shutting down. On
+  /// success, stores the task's future into *future when it is non-null.
+  [[nodiscard]] bool trySubmit(std::function<void()> task,
+                               std::future<void>* future = nullptr);
+
+  /// Tasks queued but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queued() const;
+
+ private:
+  void workerLoop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t capacity_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace occm::exec

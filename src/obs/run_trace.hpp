@@ -9,6 +9,12 @@
 // constant-false branch the optimizer deletes; with tracing compiled in
 // but disabled at runtime (the default ObsConfig), the hot path pays one
 // predictable null-pointer test per hook.
+//
+// Thread safety: a RunTrace is built inside MachineSim::run and written
+// only by that run — metric registries and trace sinks are per-task
+// sinks, never shared across concurrent simulations. Parallel sweeps
+// therefore need no locking here: each task's trace rides back on its
+// RunProfile and is "merged" simply by the deterministic result order.
 
 #include <cstddef>
 #include <memory>

@@ -19,6 +19,15 @@
 // Counter semantics match the paper: total cycles per core = work cycles
 // (operations retiring) + stall cycles (cache-hit latency, memory waits,
 // context switches); idle cores accumulate nothing.
+//
+// Thread safety (audited for the parallel sweep engine, DESIGN.md §9):
+// a MachineSim is NOT safe for concurrent run() calls — run() mutates the
+// streams it is handed and builds its per-run state (cache hierarchy,
+// memory system, fault engine, RNGs, observability sinks) as locals. But
+// *distinct* instances share nothing: the class holds only value-typed
+// configuration, the module has no static mutable state, and every RNG is
+// derived from the config seed. One simulator + one workload instance per
+// thread is therefore race-free and bit-deterministic.
 
 #include <span>
 #include <string>

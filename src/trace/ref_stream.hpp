@@ -7,6 +7,10 @@
 // `work` cycles of compute (instructions whose operands are in registers or
 // L1) and then performs one memory access. This compact encoding keeps the
 // simulator's hot path free of variant dispatch.
+//
+// Thread safety: a RefStream is a mutable cursor — next()/reset() are not
+// synchronized. Streams belong to exactly one simulation; concurrent
+// simulations each get their own freshly built set (see workloads::).
 
 #include <cstdint>
 #include <memory>

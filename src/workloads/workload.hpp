@@ -2,6 +2,13 @@
 
 // Workload factory: turns a (program, problem class, thread count) triple
 // into the per-thread reference streams the simulator executes.
+//
+// Thread safety: makeWorkload is a pure function of its spec — kernels
+// draw only from RNGs seeded by spec.seed and touch no static state — so
+// concurrent calls are safe and two builds from the same spec produce
+// bit-identical streams. The returned instance owns mutable stream state
+// and must stay confined to one simulation at a time; parallel sweeps
+// build one instance per task instead of sharing a reset one.
 
 #include <string>
 #include <vector>
