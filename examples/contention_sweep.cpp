@@ -6,10 +6,19 @@
 //   3. Fit the contention model from the paper's four regression inputs.
 //   4. Print measured vs. modelled omega(n) and the mean relative error.
 //
-// Usage: contention_sweep [program.class] [--workers=N]   (default CG.C,
-// pool size from OCCM_SWEEP_WORKERS or hardware concurrency)
+// Usage: contention_sweep [program.class] [--workers=N] [--deadline=SECONDS]
+//        [--budget-cycles=N] [--checkpoint=PATH]
+// (default CG.C, pool size from OCCM_SWEEP_WORKERS or hardware concurrency)
+//
+// Lifecycle controls: --deadline caps each run's wall time and
+// --budget-cycles caps its simulated cycles — an overrunning run becomes a
+// RunFailure{timeout} while the rest of the sweep completes. Ctrl-C stops
+// the sweep gracefully: in-flight runs wind down at their next cancellation
+// point, a valid checkpoint is flushed (with --checkpoint), and rerunning
+// the same command resumes from it.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +28,12 @@
 #include "core/occm.hpp"
 
 namespace {
+
+// Signal handlers may only touch signal-safe state; requestStop() is a
+// lock-free atomic store, designed for exactly this call site.
+occm::CancellationSource gStop;
+
+extern "C" void onSigint(int /*signum*/) { gStop.requestStop(); }
 
 occm::workloads::Program parseProgram(const std::string& name) {
   using occm::workloads::Program;
@@ -54,15 +69,33 @@ int main(int argc, char** argv) {
 
   workloads::WorkloadSpec workload;  // default CG.C
   int workers = 0;  // 0 = OCCM_SWEEP_WORKERS or hardware concurrency
+  double deadline = 0.0;
+  Cycles budgetCycles = 0;
+  std::string checkpointPath;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
       workers = std::max(1, std::atoi(arg.c_str() + 10));
       continue;
     }
+    if (arg.rfind("--deadline=", 0) == 0) {
+      deadline = std::atof(arg.c_str() + 11);
+      continue;
+    }
+    if (arg.rfind("--budget-cycles=", 0) == 0) {
+      budgetCycles = std::strtoull(arg.c_str() + 16, nullptr, 10);
+      continue;
+    }
+    if (arg.rfind("--checkpoint=", 0) == 0) {
+      checkpointPath = arg.substr(13);
+      continue;
+    }
     const auto dot = arg.find('.');
     if (dot == std::string::npos) {
-      std::fprintf(stderr, "usage: %s [program.class] [--workers=N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [program.class] [--workers=N] "
+                   "[--deadline=SECONDS] [--budget-cycles=N] "
+                   "[--checkpoint=PATH]\n",
                    argv[0]);
       return 1;
     }
@@ -74,12 +107,39 @@ int main(int argc, char** argv) {
   config.machine = topology::intelNuma24();
   config.workload = workload;
   config.parallel.workers = workers;
+  config.limits.wallSeconds = deadline;
+  config.limits.cycleBudget = budgetCycles;
+  config.checkpointPath = checkpointPath;
+  config.cancel = gStop.token();
+  std::signal(SIGINT, onSigint);
 
   std::printf("Sweeping %s on %s ...\n",
               workloads::workloadName(workload.program, workload.problemClass)
                   .c_str(),
               config.machine.name.c_str());
   const analysis::SweepResult sweep = analysis::runSweep(config);
+  if (sweep.restoredRuns > 0) {
+    std::printf("(%u runs restored from checkpoint)\n",
+                static_cast<unsigned>(sweep.restoredRuns));
+  }
+  if (sweep.stopped) {
+    // Graceful Ctrl-C: completed runs are checkpointed (with --checkpoint);
+    // rerunning the same command resumes where this one stopped.
+    std::printf("%s\n", sweep.diagnostics().c_str());
+    if (!checkpointPath.empty()) {
+      std::printf("checkpoint flushed to %s — rerun to resume\n",
+                  checkpointPath.c_str());
+    }
+    return 130;  // conventional SIGINT exit
+  }
+  if (!sweep.failures.empty()) {
+    std::printf("%s\n", sweep.diagnostics().c_str());
+    if (!sweep.pendingCoreCounts().empty()) {
+      // Timed-out or failed core counts leave holes the fit below would
+      // trip over; the completed subset was still reported faithfully.
+      return 1;
+    }
+  }
 
   // Fit from the paper's regression inputs for this machine shape.
   const model::MachineShape shape = model::shapeOf(config.machine);

@@ -14,9 +14,16 @@
 // of crashing — the same Expected<.., FitError> channel the sweep
 // harness relies on.
 //
-// Usage: fault_lab [program.class]   (default CG.S)
+// Usage: fault_lab [program.class] [--workers=N] [--deadline=SECONDS]
+// (default CG.S)
+//
+// --deadline caps each run's wall time: an overrunning scenario is
+// reported as a timeout while the remaining scenarios still execute.
+// Ctrl-C stops gracefully between cancellation points instead of killing
+// the process mid-scenario.
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -27,6 +34,11 @@
 #include "fault/fault_plan.hpp"
 
 namespace {
+
+// requestStop() is a lock-free atomic store — safe from a signal handler.
+occm::CancellationSource gStop;
+
+extern "C" void onSigint(int /*signum*/) { gStop.requestStop(); }
 
 struct Scenario {
   std::string name;
@@ -102,15 +114,22 @@ int main(int argc, char** argv) {
   workloads::WorkloadSpec workload;
   workload.problemClass = workloads::ProblemClass::kS;
   int workers = 0;  // 0 = OCCM_SWEEP_WORKERS or hardware concurrency
+  double deadline = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
       workers = std::max(1, std::atoi(arg.c_str() + 10));
       continue;
     }
+    if (arg.rfind("--deadline=", 0) == 0) {
+      deadline = std::atof(arg.c_str() + 11);
+      continue;
+    }
     const auto dot = arg.find('.');
     if (dot == std::string::npos) {
-      std::fprintf(stderr, "usage: %s [program.class] [--workers=N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [program.class] [--workers=N] "
+                   "[--deadline=SECONDS]\n",
                    argv[0]);
       return 1;
     }
@@ -122,6 +141,9 @@ int main(int argc, char** argv) {
   config.machine = topology::intelNuma24();
   config.workload = workload;
   config.parallel.workers = workers;
+  config.limits.wallSeconds = deadline;
+  config.cancel = gStop.token();
+  std::signal(SIGINT, onSigint);
   const model::MachineShape shape = model::shapeOf(config.machine);
   config.coreCounts = model::defaultFitCores(shape);
   config.coreCounts.push_back(shape.totalCores());
@@ -138,6 +160,10 @@ int main(int argc, char** argv) {
   // Healthy run first: its makespan anchors the fault windows, its fit is
   // the reference the degraded fits are compared against.
   const analysis::SweepResult baseline = analysis::runSweep(config);
+  if (baseline.stopped || !baseline.pendingCoreCounts().empty()) {
+    std::printf("%s\n", baseline.diagnostics().c_str());
+    return baseline.stopped ? 130 : 1;
+  }
   const Cycles makespan = baseline.profiles.back().makespan;
   double baseMu = 0.0;
   double baseL = 0.0;
@@ -148,6 +174,10 @@ int main(int argc, char** argv) {
     analysis::SweepConfig run = config;
     run.sim.faultPlan = scenario.plan;
     const analysis::SweepResult sweep = analysis::runSweep(run);
+    if (sweep.stopped) {
+      std::printf("%s\n", sweep.diagnostics().c_str());
+      return 130;
+    }
     if (!sweep.failures.empty()) {
       std::printf("%-22s %s\n", scenario.name.c_str(),
                   sweep.diagnostics().c_str());

@@ -2,12 +2,14 @@
 
 // CSV export of sweep results and figure data, so the bench harnesses'
 // tables can be re-plotted (gnuplot/matplotlib) without re-running the
-// experiments.
+// experiments — plus a hardened loader for the sweep table, so exported
+// results can be re-ingested (diffed, re-fit) without trusting the bytes.
 
 #include <string>
 #include <vector>
 
 #include "analysis/experiment.hpp"
+#include "common/expected.hpp"
 #include "core/burstiness.hpp"
 #include "core/contention_model.hpp"
 #include "obs/metric_registry.hpp"
@@ -34,6 +36,40 @@ namespace occm::analysis {
 /// layout keeps the export schema stable as metrics come and go.
 [[nodiscard]] std::string metricsToCsv(const obs::MetricRegistry& metrics,
                                        double clockGhz);
+
+/// Sweep failure records -> CSV: one row per RunFailure with its
+/// lifecycle kind (exception/timeout/cancelled), so aborted runs are
+/// visible in the same export pipeline as the completed ones.
+[[nodiscard]] std::string failuresToCsv(const SweepResult& sweep);
+
+/// Why a sweep CSV could not be re-ingested.
+struct CsvError {
+  std::size_t line = 0;  ///< 1-based line of the first deviation
+  std::string detail;
+
+  /// "corrupt sweep csv at line 3: expected 9 fields, got 7"
+  [[nodiscard]] std::string message() const;
+};
+
+/// One re-ingested sweepToCsv row.
+struct SweepCsvRow {
+  int cores = 0;
+  double totalCycles = 0.0;
+  double stallCycles = 0.0;
+  double workCycles = 0.0;
+  double llcMisses = 0.0;
+  double coherenceMisses = 0.0;
+  double writebacks = 0.0;
+  double makespan = 0.0;
+  double omega = 0.0;
+};
+
+/// Parses what sweepToCsv produced. Validates shape strictly — exact
+/// header, exact column count, numeric fields, cores >= 1, finite
+/// non-negative cycle counts — and returns a typed CsvError naming the
+/// first bad line; never throws or crashes on arbitrary bytes.
+[[nodiscard]] Expected<std::vector<SweepCsvRow>, CsvError> parseSweepCsv(
+    const std::string& text);
 
 /// Writes text to a file; throws ContractViolation on I/O failure.
 void writeFile(const std::string& path, const std::string& contents);

@@ -1,14 +1,20 @@
 #include "analysis/experiment.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <future>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -54,6 +60,144 @@ struct TaskOutcome {
   std::optional<RunFailure> failure;  ///< recovered retry or permanent
   std::optional<RunRecord> record;    ///< checkpoint row for the profile
   bool restored = false;
+  /// Sweep-level stop observed before the task started: no attempt was
+  /// made, no failure is recorded, and the core count stays pending so a
+  /// resumed sweep re-attempts it.
+  bool skipped = false;
+};
+
+/// One per sweep task: the cancellation source the watchdog (or a relayed
+/// sweep-wide stop) fires into the run, plus the armed deadline for the
+/// attempt in flight. A deque because std::atomic makes the slot
+/// immovable.
+struct LifecycleSlot {
+  CancellationSource source;
+  std::atomic<bool> timedOut{false};
+  /// Deadline of the attempt in flight; guarded by the watchdog mutex.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/// Watchdog for per-run wall deadlines and sweep-wide cancellation. One
+/// thread per sweep (started only when either feature is configured)
+/// polls the slots: an expired deadline marks its slot timed-out and
+/// fires the slot's cancellation source; a sweep-level stop request is
+/// relayed into every slot. The simulator then unwinds at its next
+/// event-loop cancellation point — the watchdog never touches run state,
+/// so completed runs stay bit-deterministic.
+class Watchdog {
+ public:
+  Watchdog(double wallSeconds, CancellationToken sweepToken,
+           std::size_t slotCount)
+      : wallSeconds_(wallSeconds), sweepToken_(std::move(sweepToken)),
+        slots_(slotCount),
+        active_(wallSeconds > 0.0 || sweepToken_.valid()) {
+    if (active_) {
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+
+  ~Watchdog() {
+    if (thread_.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+    }
+  }
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// True when a thread is watching (a wall deadline or sweep token is
+  /// configured); when false, tokenFor() still works but never fires.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  [[nodiscard]] CancellationToken tokenFor(std::size_t slot) const {
+    return slots_[slot].source.token();
+  }
+
+  [[nodiscard]] bool timedOut(std::size_t slot) const noexcept {
+    return slots_[slot].timedOut.load(std::memory_order_relaxed);
+  }
+
+  /// Arms slot's deadline at now + wallSeconds (no-op without one).
+  void arm(std::size_t slot) {
+    if (wallSeconds_ <= 0.0) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    slots_[slot].deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(wallSeconds_));
+  }
+
+  void disarm(std::size_t slot) {
+    if (wallSeconds_ <= 0.0) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    slots_[slot].deadline.reset();
+  }
+
+ private:
+  void loop() {
+    // Poll fast enough to bound deadline overshoot to a fraction of the
+    // deadline itself, but never busier than 1 kHz.
+    using std::chrono::milliseconds;
+    const auto poll =
+        wallSeconds_ > 0.0
+            ? std::clamp(milliseconds(static_cast<long>(
+                             wallSeconds_ * 1000.0 / 4.0)),
+                         milliseconds(1), milliseconds(20))
+            : milliseconds(5);
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, poll, [this] { return stop_; });
+      if (stop_) {
+        return;
+      }
+      const bool sweepStop = sweepToken_.stopRequested();
+      const auto now = std::chrono::steady_clock::now();
+      for (LifecycleSlot& slot : slots_) {
+        if (sweepStop) {
+          slot.source.requestStop();
+        }
+        if (slot.deadline.has_value() && now >= *slot.deadline) {
+          slot.timedOut.store(true, std::memory_order_relaxed);
+          slot.source.requestStop();
+          slot.deadline.reset();
+        }
+      }
+    }
+  }
+
+  const double wallSeconds_;
+  const CancellationToken sweepToken_;
+  std::deque<LifecycleSlot> slots_;
+  const bool active_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Disarms a watchdog slot on every exit path of one attempt.
+class ArmedDeadline {
+ public:
+  ArmedDeadline(Watchdog& watchdog, std::size_t slot)
+      : watchdog_(watchdog), slot_(slot) {
+    watchdog_.arm(slot_);
+  }
+  ~ArmedDeadline() { watchdog_.disarm(slot_); }
+  ArmedDeadline(const ArmedDeadline&) = delete;
+  ArmedDeadline& operator=(const ArmedDeadline&) = delete;
+
+ private:
+  Watchdog& watchdog_;
+  std::size_t slot_;
 };
 
 /// Runs one core count to completion: restore from the checkpoint when
@@ -64,10 +208,13 @@ struct TaskOutcome {
 TaskOutcome runSweepTask(const SweepConfig& config,
                          const workloads::WorkloadSpec& spec,
                          const SweepCheckpoint& restoredState, int cores,
-                         int maxAttempts, int poolSize) {
+                         int maxAttempts, int poolSize, Watchdog& watchdog,
+                         std::size_t slot) {
   TaskOutcome outcome;
   if (const RunRecord* record = restoredState.find(cores)) {
-    // Restored run: the lightweight counters are all the model needs.
+    // Restored run: everything the CSV exporter and the determinism
+    // fingerprint read, so a resumed sweep is byte-identical to an
+    // uninterrupted one.
     perf::RunProfile profile;
     profile.program = restoredState.program;
     profile.machine = restoredState.machine;
@@ -75,10 +222,27 @@ TaskOutcome runSweepTask(const SweepConfig& config,
     profile.activeCores = cores;
     profile.counters.totalCycles = static_cast<Cycles>(record->totalCycles);
     profile.counters.stallCycles = static_cast<Cycles>(record->stallCycles);
+    profile.counters.llcMisses =
+        static_cast<std::uint64_t>(record->llcMisses);
+    profile.coherenceMisses =
+        static_cast<std::uint64_t>(record->coherenceMisses);
+    profile.writebacks = static_cast<std::uint64_t>(record->writebacks);
+    profile.reroutedRequests =
+        static_cast<std::uint64_t>(record->reroutedRequests);
+    profile.faultRetries = static_cast<std::uint64_t>(record->faultRetries);
+    profile.backgroundRequests =
+        static_cast<std::uint64_t>(record->backgroundRequests);
+    profile.throttledCycles = static_cast<Cycles>(record->throttledCycles);
     profile.makespan = static_cast<Cycles>(record->makespan);
     outcome.profile = std::move(profile);
     outcome.record = *record;
     outcome.restored = true;
+    return outcome;
+  }
+  if (config.cancel.stopRequested()) {
+    // Graceful stop before the first attempt: stay pending (a resume
+    // re-attempts this core count), record nothing.
+    outcome.skipped = true;
     return outcome;
   }
   RunFailure failure;
@@ -86,6 +250,9 @@ TaskOutcome runSweepTask(const SweepConfig& config,
   failure.poolSize = poolSize;
   for (int attempt = 0; attempt < maxAttempts; ++attempt) {
     try {
+      // The deadline covers the whole attempt, beforeRun included — a
+      // hook that hangs is exactly the overrun the watchdog exists for.
+      const ArmedDeadline deadline(watchdog, slot);
       if (config.beforeRun) {
         config.beforeRun(cores, attempt);
       }
@@ -96,6 +263,10 @@ TaskOutcome runSweepTask(const SweepConfig& config,
       constexpr std::uint64_t kSeedStep = 0x9E3779B97F4A7C15ULL;
       simConfig.seed =
           config.sim.seed + static_cast<std::uint64_t>(attempt) * kSeedStep;
+      simConfig.cycleBudget = config.limits.cycleBudget;
+      if (watchdog.active()) {
+        simConfig.cancel = watchdog.tokenFor(slot);
+      }
       // A fresh instance per task (not a shared reset one): building from
       // the same spec seed yields bit-identical streams, and private
       // streams are what lets tasks run concurrently at all.
@@ -109,14 +280,43 @@ TaskOutcome runSweepTask(const SweepConfig& config,
         outcome.failure = failure;
       }
       outcome.record = RunRecord{
-          cores, profile.totalCyclesD(),
+          cores,
+          profile.totalCyclesD(),
           static_cast<double>(profile.counters.stallCycles),
-          static_cast<double>(profile.makespan)};
+          static_cast<double>(profile.makespan),
+          static_cast<double>(profile.counters.llcMisses),
+          static_cast<double>(profile.coherenceMisses),
+          static_cast<double>(profile.writebacks),
+          static_cast<double>(profile.reroutedRequests),
+          static_cast<double>(profile.faultRetries),
+          static_cast<double>(profile.backgroundRequests),
+          static_cast<double>(profile.throttledCycles)};
       outcome.profile = std::move(profile);
+      return outcome;
+    } catch (const RunAborted& e) {
+      // Lifecycle outcomes are terminal: a timed-out run would time out
+      // again and a cancelled sweep wants to wind down, so neither is
+      // retried. kCycleBudget and a fired wall deadline are both
+      // "overran its limits"; everything else the token carried is the
+      // sweep-wide stop.
+      failure.error = e.what();
+      failure.attempts = attempt + 1;
+      const bool overran = e.reason() == AbortReason::kCycleBudget ||
+                           watchdog.timedOut(slot);
+      failure.kind = overran ? RunFailureKind::kTimeout
+                             : RunFailureKind::kCancelled;
+      outcome.failure = failure;
       return outcome;
     } catch (const std::exception& e) {
       failure.error = e.what();
       failure.attempts = attempt + 1;
+    }
+    if (config.cancel.stopRequested()) {
+      // Stop requested between attempts: don't burn retries on a sweep
+      // that is winding down.
+      failure.kind = RunFailureKind::kCancelled;
+      outcome.failure = failure;
+      return outcome;
     }
   }
   outcome.failure = failure;
@@ -153,7 +353,11 @@ class CheckpointWriter {
       if (outcome.record.has_value() && !outcome.restored) {
         snapshot.runs.push_back(*outcome.record);
       }
-      if (outcome.failure.has_value()) {
+      // Timeouts and cancellations are lifecycle outcomes of *this*
+      // invocation: persisting them would pile up stale records across
+      // resumes that are expected to re-attempt those core counts.
+      if (outcome.failure.has_value() &&
+          outcome.failure->kind == RunFailureKind::kException) {
         snapshot.failures.push_back(*outcome.failure);
       }
     }
@@ -234,19 +438,30 @@ std::string SweepResult::diagnostics() const {
   if (requestedWorkers > 1) {
     out << ", pool size " << requestedWorkers;
   }
+  if (stopped) {
+    out << ", stopped early (cancellation requested)";
+  }
   const std::vector<int> pending = pendingCoreCounts();
   if (!pending.empty()) {
     std::set<int> cores(pending.begin(), pending.end());
     out << ", still pending: " << joinCores(cores);
   }
+  if (!checkpointWarning.empty()) {
+    out << "\n  checkpoint: " << checkpointWarning;
+  }
   if (failures.empty()) {
-    out << ", no failures";
+    out << (checkpointWarning.empty() ? ", no failures" : "\n  no failures");
     return out.str();
   }
-  out << ", " << failures.size() << " failure record(s):";
+  out << (checkpointWarning.empty() ? ", " : "\n  ")
+      << failures.size() << " failure record(s):";
   for (const RunFailure& f : failures) {
     out << "\n  n = " << f.cores << ": " << f.attempts << " attempt(s), "
-        << (f.recovered ? "recovered" : "gave up") << " — " << f.error;
+        << (f.recovered ? "recovered" : "gave up");
+    if (f.kind != RunFailureKind::kException) {
+      out << " [" << toString(f.kind) << "]";
+    }
+    out << " — " << f.error;
   }
   return out.str();
 }
@@ -286,12 +501,20 @@ SweepResult runSweep(const SweepConfig& config) {
   identity.seed = config.sim.seed;
   identity.threads = spec.threads;
   SweepCheckpoint restoredState = identity;
+  std::string checkpointWarning;
   if (!config.checkpointPath.empty()) {
-    if (auto loaded = SweepCheckpoint::load(config.checkpointPath);
-        loaded.has_value() &&
-        loaded->matches(identity.program, identity.machine, identity.seed,
-                        identity.threads)) {
-      restoredState = std::move(*loaded);
+    // Tolerant restore: a checkpoint that exists but cannot be trusted
+    // (truncated, garbage, version-skewed, CRC-failed) is quarantined to
+    // <path>.corrupt and the sweep starts fresh; only its diagnosis
+    // survives, as SweepResult::checkpointWarning.
+    auto loaded = SweepCheckpoint::loadOrQuarantine(config.checkpointPath);
+    if (loaded) {
+      if (loaded->matches(identity.program, identity.machine, identity.seed,
+                          identity.threads)) {
+        restoredState = std::move(*loaded);
+      }
+    } else if (loaded.error().kind != CheckpointErrorKind::kMissing) {
+      checkpointWarning = loaded.error().message();
     }
   }
 
@@ -300,6 +523,10 @@ SweepResult runSweep(const SweepConfig& config) {
 
   std::vector<TaskOutcome> outcomes(coreCounts.size());
   CheckpointWriter checkpoint(config, restoredState, outcomes);
+  // One watchdog (and one slot per task) for the whole sweep; its thread
+  // only exists when a wall deadline or a sweep token is configured.
+  Watchdog watchdog(config.limits.wallSeconds, config.cancel,
+                    coreCounts.size());
 
   if (workers == 1 || coreCounts.size() <= 1) {
     // Serial path: run inline on the calling thread, in request order —
@@ -307,7 +534,7 @@ SweepResult runSweep(const SweepConfig& config) {
     // checkpoint writer.
     for (std::size_t i = 0; i < coreCounts.size(); ++i) {
       outcomes[i] = runSweepTask(config, spec, restoredState, coreCounts[i],
-                                 maxAttempts, workers);
+                                 maxAttempts, workers, watchdog, i);
       checkpoint.commit(i);
     }
   } else {
@@ -317,7 +544,8 @@ SweepResult runSweep(const SweepConfig& config) {
     for (std::size_t i = 0; i < coreCounts.size(); ++i) {
       joins.push_back(pool.submit([&, i] {
         outcomes[i] = runSweepTask(config, spec, restoredState,
-                                   coreCounts[i], maxAttempts, workers);
+                                   coreCounts[i], maxAttempts, workers,
+                                   watchdog, i);
         checkpoint.commit(i);
       }));
     }
@@ -330,9 +558,13 @@ SweepResult runSweep(const SweepConfig& config) {
   SweepResult result;
   result.requestedWorkers = workers;
   result.requestedCoreCounts = coreCounts;
+  result.checkpointWarning = std::move(checkpointWarning);
   result.profiles.reserve(coreCounts.size());
   for (TaskOutcome& outcome : outcomes) {
+    result.stopped = result.stopped || outcome.skipped;
     if (outcome.failure.has_value()) {
+      result.stopped =
+          result.stopped || outcome.failure->kind == RunFailureKind::kCancelled;
       result.failures.push_back(std::move(*outcome.failure));
     }
     if (outcome.profile.has_value()) {
@@ -340,6 +572,7 @@ SweepResult runSweep(const SweepConfig& config) {
       result.restoredRuns += outcome.restored ? 1 : 0;
     }
   }
+  result.stopped = result.stopped || config.cancel.stopRequested();
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/sweep_state.hpp"
+#include "common/cancellation.hpp"
 #include "core/contention_model.hpp"
 #include "perf/run_profile.hpp"
 #include "sim/machine_sim.hpp"
@@ -31,6 +32,21 @@ struct ParallelSweepConfig {
   /// exec::resolveWorkerCount — the OCCM_SWEEP_WORKERS environment
   /// variable, then hardware concurrency.
   int workers = 0;
+};
+
+/// Per-run lifecycle limits. A run that exceeds either bound is recorded
+/// as RunFailure{kind = kTimeout} (not retried, never checkpointed) and
+/// the sweep continues with the remaining core counts.
+struct SweepLimits {
+  /// Wall-clock deadline per attempt, enforced by a watchdog thread that
+  /// fires the run's cancellation token. 0 = unlimited. Which runs time
+  /// out under a wall deadline is machine-dependent; the *completed* runs
+  /// stay bit-identical to a serial sweep of the same subset.
+  double wallSeconds = 0.0;
+  /// Simulated-cycle budget per attempt (sim::SimConfig::cycleBudget).
+  /// Fully deterministic: the same budget aborts the same run at the same
+  /// event on every machine and pool size. 0 = unlimited.
+  Cycles cycleBudget = 0;
 };
 
 struct SweepConfig {
@@ -56,6 +72,16 @@ struct SweepConfig {
   /// Pool configuration; the default resolves to OCCM_SWEEP_WORKERS or
   /// hardware concurrency. Output is bit-identical for every pool size.
   ParallelSweepConfig parallel;
+  /// Per-run wall/cycle limits (see SweepLimits). Defaults are unlimited.
+  SweepLimits limits;
+  /// Whole-sweep graceful stop. When the token reports a stop request
+  /// (watchdog relays it to every in-flight run's cancellation point),
+  /// runs not yet started are left pending — no failure record, so a
+  /// resume re-attempts them — in-flight runs unwind as RunFailure{kind =
+  /// kCancelled}, completed work is already checkpointed, and runSweep
+  /// returns normally with SweepResult::stopped set. The source's
+  /// requestStop() is async-signal-safe, so a SIGINT handler may own it.
+  CancellationToken cancel;
 };
 
 struct SweepResult {
@@ -73,6 +99,14 @@ struct SweepResult {
   int requestedWorkers = 1;
   /// Core counts the sweep was asked to run, in request order.
   std::vector<int> requestedCoreCounts;
+  /// True when the sweep's cancellation token fired: some core counts may
+  /// be pending, and the checkpoint (when configured) holds every
+  /// completed run for a later resume.
+  bool stopped = false;
+  /// Non-empty when a configured checkpoint existed but could not be
+  /// trusted (CheckpointError::message()); the bad file was quarantined
+  /// to `<path>.corrupt` and the sweep started fresh.
+  std::string checkpointWarning;
 
   /// Measured points (cores, total cycles) for the model.
   [[nodiscard]] std::vector<model::MeasuredPoint> points() const;

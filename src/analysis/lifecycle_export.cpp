@@ -1,0 +1,44 @@
+#include "analysis/lifecycle_export.hpp"
+
+#include "obs/chrome_trace.hpp"
+
+namespace occm::analysis {
+
+obs::RunTracePtr lifecycleTrace(const SweepResult& sweep) {
+  // One metric window and a clock of 1 GHz: lifecycle "time" is request
+  // order, not simulated cycles, so the units only need to be stable.
+  const Cycles end =
+      static_cast<Cycles>(sweep.failures.size() == 0 ? 1
+                                                     : sweep.failures.size());
+  auto trace = std::make_shared<obs::RunTrace>(
+      end, sweep.failures.size() + 16, obs::OverflowPolicy::kDropOldest, 1.0);
+  double exceptions = 0.0;
+  double timeouts = 0.0;
+  double cancelled = 0.0;
+  for (std::size_t i = 0; i < sweep.failures.size(); ++i) {
+    const RunFailure& f = sweep.failures[i];
+    trace->events.setTrackName(f.cores, "n = " + std::to_string(f.cores));
+    trace->events.instant(std::string(toString(f.kind)) +
+                              (f.recovered ? " (recovered)" : "") + ": " +
+                              f.error,
+                          "lifecycle", f.cores, static_cast<Cycles>(i));
+    switch (f.kind) {
+      case RunFailureKind::kException: exceptions += 1.0; break;
+      case RunFailureKind::kTimeout: timeouts += 1.0; break;
+      case RunFailureKind::kCancelled: cancelled += 1.0; break;
+    }
+  }
+  trace->metrics.gauge("sweep.failures.exception", "runs")
+      .record(0, exceptions);
+  trace->metrics.gauge("sweep.failures.timeout", "runs").record(0, timeouts);
+  trace->metrics.gauge("sweep.failures.cancelled", "runs")
+      .record(0, cancelled);
+  trace->metrics.finalize(end);
+  return trace;
+}
+
+std::string lifecycleToChromeTraceJson(const SweepResult& sweep) {
+  return obs::toChromeTraceJson(*lifecycleTrace(sweep));
+}
+
+}  // namespace occm::analysis

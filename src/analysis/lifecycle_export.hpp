@@ -1,0 +1,25 @@
+#pragma once
+
+// Observability export of a sweep's *lifecycle*: which runs failed, timed
+// out or were cancelled, rendered as a Chrome trace_event JSON (one
+// instant per failure on a per-core-count track, plus counters of each
+// RunFailureKind) so an aborted sweep is inspectable in the same Perfetto
+// timeline as the per-run traces the simulator emits.
+
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "obs/run_trace.hpp"
+
+namespace occm::analysis {
+
+/// Builds a RunTrace describing the sweep's failures: an instant event
+/// per RunFailure (category "lifecycle", track = core count, timestamped
+/// by request order) and one gauge per failure kind counting occurrences.
+/// Deterministic: identical SweepResults produce identical traces.
+[[nodiscard]] obs::RunTracePtr lifecycleTrace(const SweepResult& sweep);
+
+/// lifecycleTrace rendered with obs::toChromeTraceJson.
+[[nodiscard]] std::string lifecycleToChromeTraceJson(const SweepResult& sweep);
+
+}  // namespace occm::analysis

@@ -1,11 +1,14 @@
 #include "analysis/sweep_state.hpp"
 
-#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "common/crc32.hpp"
+#include "common/json_reader.hpp"
 
 namespace occm::analysis {
 
@@ -35,108 +38,120 @@ std::string jsonEscape(const std::string& text) {
   return out;
 }
 
-/// Minimal recursive-descent reader for the subset of JSON toJson emits
-/// (objects, arrays, strings, numbers, booleans). Any deviation fails the
-/// whole parse — a checkpoint is either trustworthy or ignored.
-class Reader {
- public:
-  explicit Reader(const std::string& text) : text_(text) {}
+/// Canonical double formatting shared by the JSON emitter and the CRC
+/// payloads: %.17g round-trips every double, and computing both the JSON
+/// text and the checksum from the same string means a value that survives
+/// a parse round-trip always re-produces its own CRC.
+std::string fmtDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
 
-  [[nodiscard]] bool ok() const noexcept { return ok_; }
-  void fail() noexcept { ok_ = false; }
-
-  void skipWs() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
+// The CRC covers a canonical field encoding — not the JSON bytes — so
+// whitespace or key reordering never invalidates a record, while any
+// change to a field's *value* does. Writer and loader both derive the
+// payload from the in-memory record via these two helpers.
+std::string runPayload(const RunRecord& r) {
+  std::string out = "run|";
+  out += std::to_string(r.cores);
+  for (const double value :
+       {r.totalCycles, r.stallCycles, r.makespan, r.llcMisses,
+        r.coherenceMisses, r.writebacks, r.reroutedRequests, r.faultRetries,
+        r.backgroundRequests, r.throttledCycles}) {
+    out += '|';
+    out += fmtDouble(value);
   }
+  return out;
+}
 
-  bool consume(char c) {
-    skipWs();
-    if (!ok_ || pos_ >= text_.size() || text_[pos_] != c) {
-      ok_ = false;
-      return false;
-    }
-    ++pos_;
-    return true;
-  }
+std::string failurePayload(const RunFailure& f) {
+  std::string out = "fail|";
+  out += std::to_string(f.cores);
+  out += '|';
+  out += std::to_string(f.attempts);
+  out += '|';
+  out += f.recovered ? '1' : '0';
+  out += '|';
+  out += std::to_string(f.poolSize);
+  out += '|';
+  out += toString(f.kind);
+  out += '|';
+  out += f.error;
+  return out;
+}
 
-  [[nodiscard]] bool peek(char c) {
-    skipWs();
-    return ok_ && pos_ < text_.size() && text_[pos_] == c;
-  }
+std::string crcHex(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
 
-  std::string parseString() {
-    if (!consume('"')) {
-      return {};
-    }
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\' && pos_ < text_.size()) {
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case 'n': c = '\n'; break;
-          case 'r': c = '\r'; break;
-          case 't': c = '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              ok_ = false;
-              return out;
-            }
-            const unsigned long code =
-                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
-            pos_ += 4;
-            c = static_cast<char>(code & 0xFFU);
-            break;
-          }
-          default: c = esc; break;
-        }
-      }
-      out += c;
-    }
-    if (!consume('"')) {
-      ok_ = false;
-    }
-    return out;
-  }
-
-  double parseNumber() {
-    skipWs();
-    const char* begin = text_.c_str() + pos_;
-    char* end = nullptr;
-    errno = 0;
-    const double value = std::strtod(begin, &end);
-    if (end == begin || errno == ERANGE) {
-      ok_ = false;
-      return 0.0;
-    }
-    pos_ += static_cast<std::size_t>(end - begin);
-    return value;
-  }
-
-  bool parseBool() {
-    skipWs();
-    if (text_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-      return false;
-    }
-    ok_ = false;
+bool parseCrcHex(const std::string& text, std::uint32_t* out) {
+  if (text.size() != 8) {
     return false;
   }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text.c_str(), &end, 16);
+  if (end != text.c_str() + 8 || errno == ERANGE) {
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(value);
+  return true;
+}
 
- private:
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
+bool parseFailureKind(const std::string& text, RunFailureKind* out) {
+  for (const RunFailureKind kind :
+       {RunFailureKind::kException, RunFailureKind::kTimeout,
+        RunFailureKind::kCancelled}) {
+    if (text == toString(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+CheckpointError readerError(const JsonReader& reader) {
+  CheckpointError err;
+  err.kind = reader.truncated() ? CheckpointErrorKind::kTruncated
+                                : CheckpointErrorKind::kSyntax;
+  err.byteOffset = reader.errorOffset();
+  err.detail = reader.errorDetail();
+  return err;
+}
+
+CheckpointError crcError(std::size_t recordOffset, std::string detail) {
+  CheckpointError err;
+  err.kind = CheckpointErrorKind::kCrcMismatch;
+  err.byteOffset = recordOffset;
+  err.detail = std::move(detail);
+  return err;
+}
 
 }  // namespace
+
+std::string CheckpointError::message() const {
+  std::string out = "corrupt checkpoint (";
+  out += toString(kind);
+  out += ')';
+  if (kind != CheckpointErrorKind::kMissing &&
+      kind != CheckpointErrorKind::kIoError) {
+    out += " at byte ";
+    out += std::to_string(byteOffset);
+  }
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  if (!quarantinedTo.empty()) {
+    out += " (quarantined to ";
+    out += quarantinedTo;
+    out += ')';
+  }
+  return out;
+}
 
 bool SweepCheckpoint::matches(const std::string& programName,
                               const std::string& machineName,
@@ -157,8 +172,8 @@ const RunRecord* SweepCheckpoint::find(int cores) const {
 
 std::string SweepCheckpoint::toJson() const {
   std::ostringstream out;
-  out.precision(17);  // round-trips doubles exactly
   out << "{\n";
+  out << "  \"version\": " << kFormatVersion << ",\n";
   out << "  \"program\": \"" << jsonEscape(program) << "\",\n";
   out << "  \"machine\": \"" << jsonEscape(machine) << "\",\n";
   // The seed is a string: a 64-bit value does not survive a double.
@@ -169,9 +184,17 @@ std::string SweepCheckpoint::toJson() const {
     const RunRecord& r = runs[i];
     out << (i == 0 ? "\n" : ",\n");
     out << "    {\"cores\": " << r.cores
-        << ", \"totalCycles\": " << r.totalCycles
-        << ", \"stallCycles\": " << r.stallCycles
-        << ", \"makespan\": " << r.makespan << "}";
+        << ", \"totalCycles\": " << fmtDouble(r.totalCycles)
+        << ", \"stallCycles\": " << fmtDouble(r.stallCycles)
+        << ", \"makespan\": " << fmtDouble(r.makespan)
+        << ", \"llcMisses\": " << fmtDouble(r.llcMisses)
+        << ", \"coherenceMisses\": " << fmtDouble(r.coherenceMisses)
+        << ", \"writebacks\": " << fmtDouble(r.writebacks)
+        << ", \"rerouted\": " << fmtDouble(r.reroutedRequests)
+        << ", \"faultRetries\": " << fmtDouble(r.faultRetries)
+        << ", \"background\": " << fmtDouble(r.backgroundRequests)
+        << ", \"throttledCycles\": " << fmtDouble(r.throttledCycles)
+        << ", \"crc\": \"" << crcHex(crc32(runPayload(r))) << "\"}";
   }
   out << (runs.empty() ? "],\n" : "\n  ],\n");
   out << "  \"failures\": [";
@@ -181,31 +204,49 @@ std::string SweepCheckpoint::toJson() const {
     out << "    {\"cores\": " << f.cores << ", \"attempts\": " << f.attempts
         << ", \"recovered\": " << (f.recovered ? "true" : "false")
         << ", \"poolSize\": " << f.poolSize
-        << ", \"error\": \"" << jsonEscape(f.error) << "\"}";
+        << ", \"kind\": \"" << toString(f.kind) << "\""
+        << ", \"error\": \"" << jsonEscape(f.error) << "\""
+        << ", \"crc\": \"" << crcHex(crc32(failurePayload(f))) << "\"}";
   }
   out << (failures.empty() ? "]\n" : "\n  ]\n");
   out << "}\n";
   return out.str();
 }
 
-std::optional<SweepCheckpoint> SweepCheckpoint::parse(
+Expected<SweepCheckpoint, CheckpointError> SweepCheckpoint::parseChecked(
     const std::string& json) {
-  Reader reader(json);
+  JsonReader reader(json);
   SweepCheckpoint state;
+  // Legacy (pre-CRC) checkpoints carry no header; absence means v1 and
+  // no per-record checksums to demand.
+  int version = 1;
   if (!reader.consume('{')) {
-    return std::nullopt;
+    return makeUnexpected(readerError(reader));
   }
   bool first = true;
   while (reader.ok() && !reader.peek('}')) {
     if (!first && !reader.consume(',')) {
-      return std::nullopt;
+      return makeUnexpected(readerError(reader));
     }
     first = false;
     const std::string key = reader.parseString();
     if (!reader.consume(':')) {
-      return std::nullopt;
+      return makeUnexpected(readerError(reader));
     }
-    if (key == "program") {
+    if (key == "version") {
+      reader.skipWs();
+      const std::size_t versionOffset = reader.offset();
+      version = static_cast<int>(reader.parseNumber());
+      if (reader.ok() && (version < 1 || version > kFormatVersion)) {
+        CheckpointError err;
+        err.kind = CheckpointErrorKind::kVersionSkew;
+        err.byteOffset = versionOffset;
+        err.detail = "checkpoint format version " + std::to_string(version) +
+                     "; this build reads versions 1.." +
+                     std::to_string(kFormatVersion);
+        return makeUnexpected(err);
+      }
+    } else if (key == "program") {
       state.program = reader.parseString();
     } else if (key == "machine") {
       state.machine = reader.parseString();
@@ -215,31 +256,35 @@ std::optional<SweepCheckpoint> SweepCheckpoint::parse(
       char* end = nullptr;
       state.seed = std::strtoull(digits.c_str(), &end, 10);
       if (end == digits.c_str() || *end != '\0' || errno == ERANGE) {
-        reader.fail();
+        reader.fail("seed is not a decimal 64-bit integer");
       }
     } else if (key == "threads") {
       state.threads = static_cast<int>(reader.parseNumber());
     } else if (key == "runs") {
       if (!reader.consume('[')) {
-        return std::nullopt;
+        return makeUnexpected(readerError(reader));
       }
       while (reader.ok() && !reader.peek(']')) {
         if (!state.runs.empty() && !reader.consume(',')) {
-          return std::nullopt;
+          return makeUnexpected(readerError(reader));
         }
+        reader.skipWs();
+        const std::size_t recordOffset = reader.offset();
         RunRecord record;
+        bool hasCrc = false;
+        std::uint32_t storedCrc = 0;
         if (!reader.consume('{')) {
-          return std::nullopt;
+          return makeUnexpected(readerError(reader));
         }
         bool innerFirst = true;
         while (reader.ok() && !reader.peek('}')) {
           if (!innerFirst && !reader.consume(',')) {
-            return std::nullopt;
+            return makeUnexpected(readerError(reader));
           }
           innerFirst = false;
           const std::string field = reader.parseString();
           if (!reader.consume(':')) {
-            return std::nullopt;
+            return makeUnexpected(readerError(reader));
           }
           if (field == "cores") {
             record.cores = static_cast<int>(reader.parseNumber());
@@ -249,35 +294,74 @@ std::optional<SweepCheckpoint> SweepCheckpoint::parse(
             record.stallCycles = reader.parseNumber();
           } else if (field == "makespan") {
             record.makespan = reader.parseNumber();
+          } else if (field == "llcMisses") {
+            record.llcMisses = reader.parseNumber();
+          } else if (field == "coherenceMisses") {
+            record.coherenceMisses = reader.parseNumber();
+          } else if (field == "writebacks") {
+            record.writebacks = reader.parseNumber();
+          } else if (field == "rerouted") {
+            record.reroutedRequests = reader.parseNumber();
+          } else if (field == "faultRetries") {
+            record.faultRetries = reader.parseNumber();
+          } else if (field == "background") {
+            record.backgroundRequests = reader.parseNumber();
+          } else if (field == "throttledCycles") {
+            record.throttledCycles = reader.parseNumber();
+          } else if (field == "crc") {
+            hasCrc = parseCrcHex(reader.parseString(), &storedCrc);
+            if (reader.ok() && !hasCrc) {
+              reader.fail("crc is not 8 hex digits");
+            }
           } else {
-            reader.fail();
+            reader.fail("unknown run field \"" + field + "\"");
           }
         }
         reader.consume('}');
+        if (!reader.ok()) {
+          return makeUnexpected(readerError(reader));
+        }
+        if (version >= 2) {
+          if (!hasCrc) {
+            return makeUnexpected(
+                crcError(recordOffset, "run record is missing its crc"));
+          }
+          const std::uint32_t computed = crc32(runPayload(record));
+          if (computed != storedCrc) {
+            return makeUnexpected(crcError(
+                recordOffset, "run record crc mismatch (stored " +
+                                  crcHex(storedCrc) + ", computed " +
+                                  crcHex(computed) + ")"));
+          }
+        }
         state.runs.push_back(record);
       }
       reader.consume(']');
     } else if (key == "failures") {
       if (!reader.consume('[')) {
-        return std::nullopt;
+        return makeUnexpected(readerError(reader));
       }
       while (reader.ok() && !reader.peek(']')) {
         if (!state.failures.empty() && !reader.consume(',')) {
-          return std::nullopt;
+          return makeUnexpected(readerError(reader));
         }
+        reader.skipWs();
+        const std::size_t recordOffset = reader.offset();
         RunFailure failure;
+        bool hasCrc = false;
+        std::uint32_t storedCrc = 0;
         if (!reader.consume('{')) {
-          return std::nullopt;
+          return makeUnexpected(readerError(reader));
         }
         bool innerFirst = true;
         while (reader.ok() && !reader.peek('}')) {
           if (!innerFirst && !reader.consume(',')) {
-            return std::nullopt;
+            return makeUnexpected(readerError(reader));
           }
           innerFirst = false;
           const std::string field = reader.parseString();
           if (!reader.consume(':')) {
-            return std::nullopt;
+            return makeUnexpected(readerError(reader));
           }
           if (field == "cores") {
             failure.cores = static_cast<int>(reader.parseNumber());
@@ -288,25 +372,64 @@ std::optional<SweepCheckpoint> SweepCheckpoint::parse(
           } else if (field == "poolSize") {
             // Absent in pre-parallel checkpoints; RunFailure defaults to 1.
             failure.poolSize = static_cast<int>(reader.parseNumber());
+          } else if (field == "kind") {
+            // Absent in v1 checkpoints; RunFailure defaults to kException.
+            const std::string kindText = reader.parseString();
+            if (reader.ok() && !parseFailureKind(kindText, &failure.kind)) {
+              reader.fail("unknown failure kind \"" + kindText + "\"");
+            }
           } else if (field == "error") {
             failure.error = reader.parseString();
+          } else if (field == "crc") {
+            hasCrc = parseCrcHex(reader.parseString(), &storedCrc);
+            if (reader.ok() && !hasCrc) {
+              reader.fail("crc is not 8 hex digits");
+            }
           } else {
-            reader.fail();
+            reader.fail("unknown failure field \"" + field + "\"");
           }
         }
         reader.consume('}');
+        if (!reader.ok()) {
+          return makeUnexpected(readerError(reader));
+        }
+        if (version >= 2) {
+          if (!hasCrc) {
+            return makeUnexpected(
+                crcError(recordOffset, "failure record is missing its crc"));
+          }
+          const std::uint32_t computed = crc32(failurePayload(failure));
+          if (computed != storedCrc) {
+            return makeUnexpected(crcError(
+                recordOffset, "failure record crc mismatch (stored " +
+                                  crcHex(storedCrc) + ", computed " +
+                                  crcHex(computed) + ")"));
+          }
+        }
         state.failures.push_back(failure);
       }
       reader.consume(']');
     } else {
-      reader.fail();
+      reader.fail("unknown checkpoint key \"" + key + "\"");
     }
   }
   reader.consume('}');
+  if (reader.ok() && !reader.atEnd()) {
+    reader.fail("trailing bytes after the checkpoint object");
+  }
   if (!reader.ok()) {
-    return std::nullopt;
+    return makeUnexpected(readerError(reader));
   }
   return state;
+}
+
+std::optional<SweepCheckpoint> SweepCheckpoint::parse(
+    const std::string& json) {
+  Expected<SweepCheckpoint, CheckpointError> result = parseChecked(json);
+  if (!result) {
+    return std::nullopt;
+  }
+  return std::move(*result);
 }
 
 bool SweepCheckpoint::save(const std::string& path) const {
@@ -317,6 +440,7 @@ bool SweepCheckpoint::save(const std::string& path) const {
       return false;
     }
     out << toJson();
+    out.flush();
     if (!out) {
       return false;
     }
@@ -328,14 +452,59 @@ bool SweepCheckpoint::save(const std::string& path) const {
   return true;
 }
 
-std::optional<SweepCheckpoint> SweepCheckpoint::load(const std::string& path) {
-  std::ifstream in(path);
+Expected<SweepCheckpoint, CheckpointError> SweepCheckpoint::loadChecked(
+    const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) {
+    CheckpointError err;
+    err.kind = CheckpointErrorKind::kMissing;
+    err.detail = "no checkpoint at " + path;
+    return makeUnexpected(err);
+  }
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return std::nullopt;
+    CheckpointError err;
+    err.kind = CheckpointErrorKind::kIoError;
+    err.detail = "cannot open " + path;
+    return makeUnexpected(err);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse(buffer.str());
+  if (in.bad()) {
+    CheckpointError err;
+    err.kind = CheckpointErrorKind::kIoError;
+    err.detail = "read failed on " + path;
+    return makeUnexpected(err);
+  }
+  return parseChecked(buffer.str());
+}
+
+Expected<SweepCheckpoint, CheckpointError> SweepCheckpoint::loadOrQuarantine(
+    const std::string& path) {
+  Expected<SweepCheckpoint, CheckpointError> result = loadChecked(path);
+  if (result) {
+    return result;
+  }
+  CheckpointError err = result.error();
+  // Only parse-shaped failures prove the *file* is bad; a missing file is
+  // a fresh start and an I/O error may be transient — neither is evidence
+  // worth preserving.
+  if (err.kind != CheckpointErrorKind::kMissing &&
+      err.kind != CheckpointErrorKind::kIoError) {
+    const std::string dest = path + ".corrupt";
+    if (std::rename(path.c_str(), dest.c_str()) == 0) {
+      err.quarantinedTo = dest;
+    }
+  }
+  return makeUnexpected(std::move(err));
+}
+
+std::optional<SweepCheckpoint> SweepCheckpoint::load(const std::string& path) {
+  Expected<SweepCheckpoint, CheckpointError> result = loadChecked(path);
+  if (!result) {
+    return std::nullopt;
+  }
+  return std::move(*result);
 }
 
 }  // namespace occm::analysis

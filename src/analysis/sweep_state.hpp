@@ -6,13 +6,40 @@
 // header holds the structured failure record runSweep emits and the
 // JSON checkpoint that lets an interrupted sweep resume without
 // re-simulating completed core counts.
+//
+// Checkpoint format v2 (this PR): a "version" header plus a CRC-32 per
+// record, computed over a canonical field encoding, so bytes damaged at
+// rest (bit rot, mid-write kill of a non-atomic copy, hand editing) are
+// detected instead of silently skewing a resumed sweep. Loading is
+// tolerant: truncated/garbage/version-skewed/CRC-failed files produce a
+// typed CheckpointError naming the byte offset, and loadOrQuarantine
+// renames the bad file to <path>.corrupt so a fresh start never fights
+// the same bytes twice. Version-1 files (no header, no CRCs) still load.
 
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/expected.hpp"
+
 namespace occm::analysis {
+
+/// How a sweep run came to fail.
+enum class RunFailureKind : std::uint8_t {
+  kException,  ///< the run (or a beforeRun hook) threw
+  kTimeout,    ///< per-run deadline or cycle budget fired
+  kCancelled,  ///< whole-sweep cancellation observed mid-run
+};
+
+[[nodiscard]] constexpr const char* toString(RunFailureKind kind) noexcept {
+  switch (kind) {
+    case RunFailureKind::kException: return "exception";
+    case RunFailureKind::kTimeout: return "timeout";
+    case RunFailureKind::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
 
 /// One core count that misbehaved during a sweep: either it eventually
 /// recovered on a seed-perturbed retry, or it exhausted its attempts and
@@ -25,6 +52,9 @@ struct RunFailure {
   /// Resolved sweep pool size when the failure was recorded (1 = serial);
   /// lets a partially-merged parallel sweep be diagnosed from its records.
   int poolSize = 1;
+  /// Timeouts and cancellations are lifecycle outcomes, not retried, and
+  /// never persisted to the checkpoint (a resume should re-attempt them).
+  RunFailureKind kind = RunFailureKind::kException;
 };
 
 /// Lightweight record of one completed run — exactly what the model fit
@@ -35,12 +65,59 @@ struct RunRecord {
   double totalCycles = 0.0;
   double stallCycles = 0.0;
   double makespan = 0.0;
+  // Everything a restored run needs to reproduce its CSV row and fault
+  // counters byte-for-byte. Absent in v1 checkpoints (restored as 0).
+  double llcMisses = 0.0;
+  double coherenceMisses = 0.0;
+  double writebacks = 0.0;
+  double reroutedRequests = 0.0;
+  double faultRetries = 0.0;
+  double backgroundRequests = 0.0;
+  double throttledCycles = 0.0;
+};
+
+/// Why a checkpoint failed to load.
+enum class CheckpointErrorKind : std::uint8_t {
+  kMissing,      ///< no file at the path — a fresh start, not corruption
+  kIoError,      ///< the file exists but could not be read
+  kTruncated,    ///< the bytes end mid-structure
+  kSyntax,       ///< the bytes deviate from the format
+  kVersionSkew,  ///< a format version this build does not understand
+  kCrcMismatch,  ///< a record's CRC-32 does not match its fields
+};
+
+[[nodiscard]] constexpr const char* toString(CheckpointErrorKind kind) noexcept {
+  switch (kind) {
+    case CheckpointErrorKind::kMissing: return "missing";
+    case CheckpointErrorKind::kIoError: return "io-error";
+    case CheckpointErrorKind::kTruncated: return "truncated";
+    case CheckpointErrorKind::kSyntax: return "syntax";
+    case CheckpointErrorKind::kVersionSkew: return "version-skew";
+    case CheckpointErrorKind::kCrcMismatch: return "crc-mismatch";
+  }
+  return "unknown";
+}
+
+/// Typed diagnosis of a checkpoint that could not be trusted.
+struct CheckpointError {
+  CheckpointErrorKind kind = CheckpointErrorKind::kSyntax;
+  /// Byte offset of the first deviation (parse-shaped kinds only).
+  std::size_t byteOffset = 0;
+  std::string detail;
+  /// Where loadOrQuarantine moved the bad file (empty if not quarantined).
+  std::string quarantinedTo;
+
+  /// "corrupt checkpoint (truncated) at byte 117: unexpected end ..."
+  [[nodiscard]] std::string message() const;
 };
 
 /// On-disk sweep state: an identity header (so a checkpoint from a
 /// different program/machine/seed is never silently reused) plus the
 /// completed runs and recorded failures.
 struct SweepCheckpoint {
+  /// Newest format this build reads and the one it always writes.
+  static constexpr int kFormatVersion = 2;
+
   std::string program;
   std::string machine;
   std::uint64_t seed = 0;
@@ -55,7 +132,13 @@ struct SweepCheckpoint {
   [[nodiscard]] const RunRecord* find(int cores) const;
 
   [[nodiscard]] std::string toJson() const;
-  /// Parses what toJson produced; nullopt on malformed input.
+
+  /// Parses what toJson produced (format v2, or legacy v1 without the
+  /// version header and CRCs). Returns a typed error naming the byte
+  /// offset of the first deviation; never throws, never UB on bad bytes.
+  [[nodiscard]] static Expected<SweepCheckpoint, CheckpointError> parseChecked(
+      const std::string& json);
+  /// Convenience wrapper over parseChecked; nullopt on any error.
   [[nodiscard]] static std::optional<SweepCheckpoint> parse(
       const std::string& json);
 
@@ -63,6 +146,18 @@ struct SweepCheckpoint {
   /// Returns false on I/O failure (checkpointing is best-effort; a sweep
   /// never aborts because its checkpoint could not be written).
   bool save(const std::string& path) const;
+
+  /// Reads and parses `path` with a typed diagnosis: kMissing when the
+  /// file is absent, kIoError when unreadable, parse kinds otherwise.
+  [[nodiscard]] static Expected<SweepCheckpoint, CheckpointError> loadChecked(
+      const std::string& path);
+  /// loadChecked, plus quarantine: a file that exists but cannot be
+  /// trusted (truncated/garbage/version-skew/CRC mismatch) is renamed to
+  /// `path + ".corrupt"` (error.quarantinedTo names the destination) so
+  /// the caller can fall back to a fresh start without re-tripping on —
+  /// or silently overwriting — the evidence.
+  [[nodiscard]] static Expected<SweepCheckpoint, CheckpointError>
+  loadOrQuarantine(const std::string& path);
   /// nullopt when the file is absent or unparsable.
   [[nodiscard]] static std::optional<SweepCheckpoint> load(
       const std::string& path);

@@ -51,9 +51,20 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::future<void> future = packaged.get_future();
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    ++blockedSubmitters_;
     notFull_.wait(lock,
                   [this] { return queue_.size() < capacity_ || stopping_; });
-    OCCM_REQUIRE_MSG(!stopping_, "submit on a stopping ThreadPool");
+    --blockedSubmitters_;
+    if (stopping_) {
+      // cancel() waits until blockedSubmitters_ drops to zero, so a
+      // submitter woken here has fully left the queue wait by the time a
+      // cancel() -> destroy sequence joins the workers.
+      const bool wasCancelled = cancelled_;
+      submittersIdle_.notify_all();
+      lock.unlock();
+      OCCM_REQUIRE_MSG(!wasCancelled, "submit on a cancelled ThreadPool");
+      OCCM_REQUIRE_MSG(false, "submit on a stopping ThreadPool");
+    }
     queue_.push_back(std::move(packaged));
   }
   notEmpty_.notify_one();
@@ -76,6 +87,30 @@ bool ThreadPool::trySubmit(std::function<void()> task,
   }
   notEmpty_.notify_one();
   return true;
+}
+
+void ThreadPool::cancel() {
+  // Move the queued tasks out under the lock but destroy them outside it:
+  // ~packaged_task publishes broken_promise to each future, and waking
+  // those waiters is not work to do while holding the pool mutex.
+  std::deque<std::packaged_task<void()>> discarded;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+    cancelled_ = true;
+    discarded.swap(queue_);
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+    // Hold the door until every submitter blocked on backpressure has
+    // observed the cancellation and left the wait; after that, destroying
+    // the pool cannot race a submit() that is still inside it.
+    submittersIdle_.wait(lock, [this] { return blockedSubmitters_ == 0; });
+  }
+}
+
+bool ThreadPool::cancelled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cancelled_;
 }
 
 std::size_t ThreadPool::queued() const {

@@ -17,6 +17,14 @@
 //    (backpressure towards producers), trySubmit() refuses instead; both
 //    keep memory proportional to workers + capacity, not to the number of
 //    tasks a producer can dream up.
+//  - Cancellation is cooperative and cannot deadlock shutdown. cancel()
+//    discards every queued-but-unstarted task (their futures report
+//    broken_promise), wakes every submitter blocked on backpressure (they
+//    throw a typed ContractViolation instead of queueing), and lets
+//    in-flight tasks finish. cancel() returns only after every blocked
+//    submit() has left the queue's wait, so the well-ordered sequence
+//    cancel() -> ~ThreadPool() can never join workers while a submitter
+//    still touches pool state.
 
 #include <condition_variable>
 #include <cstddef>
@@ -61,7 +69,8 @@ class ThreadPool {
 
   /// Submits a task, blocking while the queue is at capacity. The future
   /// becomes ready when the task finishes and rethrows anything the task
-  /// threw. Throws ContractViolation if the pool is shutting down.
+  /// threw. Throws ContractViolation if the pool is shutting down or was
+  /// cancelled (including while blocked on backpressure).
   std::future<void> submit(std::function<void()> task);
 
   /// Non-blocking submit: returns false — leaving the task unqueued —
@@ -69,6 +78,16 @@ class ThreadPool {
   /// success, stores the task's future into *future when it is non-null.
   [[nodiscard]] bool trySubmit(std::function<void()> task,
                                std::future<void>* future = nullptr);
+
+  /// Cooperative cancellation: discards every queued task (their futures
+  /// report std::future_error/broken_promise), wakes submitters blocked
+  /// on backpressure (they throw), and lets tasks already running finish.
+  /// Blocks until no submit() is inside the queue wait, so destroying the
+  /// pool right after cancel() is race-free. Idempotent; thread-safe.
+  void cancel();
+
+  /// True once cancel() has been called.
+  [[nodiscard]] bool cancelled() const;
 
   /// Tasks queued but not yet picked up by a worker.
   [[nodiscard]] std::size_t queued() const;
@@ -79,10 +98,13 @@ class ThreadPool {
   mutable std::mutex mutex_;
   std::condition_variable notEmpty_;
   std::condition_variable notFull_;
+  std::condition_variable submittersIdle_;
   std::deque<std::packaged_task<void()>> queue_;
   std::vector<std::thread> workers_;
   std::size_t capacity_ = 0;
+  std::size_t blockedSubmitters_ = 0;
   bool stopping_ = false;
+  bool cancelled_ = false;
 };
 
 }  // namespace occm::exec

@@ -1,0 +1,44 @@
+#pragma once
+
+// JSON persistence for fault::FaultPlan, so scripted fault scenarios can
+// be saved next to a sweep's checkpoint and replayed byte-identically by
+// a later invocation (fault_lab, resilience tests).
+//
+// Loading is hardened for untrusted bytes: planFromJson never asserts or
+// crashes on truncated/garbage input — it returns a typed PlanParseError
+// naming the byte offset of the first deviation, and semantic violations
+// (an unknown kind, a window with start >= end, an out-of-range
+// magnitude) are funneled through the same typed error by re-validating
+// every parsed event against the FaultPlan builder contracts.
+
+#include <string>
+
+#include "common/expected.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace occm::fault {
+
+/// Why a serialized fault plan could not be loaded.
+struct PlanParseError {
+  /// Byte offset of the first deviation (0 for semantic errors detected
+  /// after the bytes parsed cleanly).
+  std::size_t byteOffset = 0;
+  std::string detail;
+  /// True when the bytes ran out mid-structure (vs being garbage).
+  bool truncated = false;
+
+  [[nodiscard]] std::string message() const;
+};
+
+/// Serializes the plan's events (versioned header, one JSON object per
+/// event). Round-trips exactly: planFromJson(toJson(p)) reproduces p's
+/// event list.
+[[nodiscard]] std::string toJson(const FaultPlan& plan);
+
+/// Parses what toJson produced. Every failure — truncation, garbage,
+/// unknown kinds, events that violate the builder contracts — is a typed
+/// PlanParseError; no exception escapes, no crash on any byte sequence.
+[[nodiscard]] Expected<FaultPlan, PlanParseError> planFromJson(
+    const std::string& json);
+
+}  // namespace occm::fault

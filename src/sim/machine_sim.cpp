@@ -382,8 +382,27 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
     }
   };
 
+  // Lifecycle guards, hoisted so the hot loop pays one predictable branch
+  // each: a cycle budget aborts deterministically (same budget, same run,
+  // same abort event everywhere); a cancellation token aborts at the next
+  // event boundary after the stop request lands.
+  const Cycles cycleBudget = config_.cycleBudget;
+  const bool pollCancel = config_.cancel.valid();
+
   while (!events.empty()) {
     const Event ev = events.top();
+    if (cycleBudget != 0 && ev.time > cycleBudget) {
+      throw RunAborted(AbortReason::kCycleBudget, ev.time,
+                       "simulation exceeded its cycle budget of " +
+                           std::to_string(cycleBudget) +
+                           " cycles (next event at cycle " +
+                           std::to_string(ev.time) + ")");
+    }
+    if (pollCancel && config_.cancel.stopRequested()) {
+      throw RunAborted(AbortReason::kCancelled, ev.time,
+                       "run cancelled at simulated cycle " +
+                           std::to_string(ev.time));
+    }
     events.pop();
     CoreState& core = cores[static_cast<std::size_t>(ev.core)];
     OCCM_ASSERT(core.now <= ev.time || ev.kind == EventKind::kIssue);
@@ -487,6 +506,21 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
   }
   if (runTrace != nullptr) {
     memory.setObserver(nullptr);
+    // Degraded-mode counters ride into the metric registry (and from
+    // there into CSV exports and Chrome counter tracks) so a faulted run
+    // is diagnosable from its observability payload alone. Only faulted
+    // runs carry these series — a healthy run's export is unchanged.
+    if (fe != nullptr && hooks->metricsOn()) {
+      const Cycles at = profile.makespan == 0 ? 0 : profile.makespan - 1;
+      runTrace->metrics.gauge("fault.rerouted", "requests")
+          .record(at, static_cast<double>(profile.reroutedRequests));
+      runTrace->metrics.gauge("fault.retries", "attempts")
+          .record(at, static_cast<double>(profile.faultRetries));
+      runTrace->metrics.gauge("fault.background", "requests")
+          .record(at, static_cast<double>(profile.backgroundRequests));
+      runTrace->metrics.gauge("fault.throttled_cycles", "cycles")
+          .record(at, static_cast<double>(profile.throttledCycles));
+    }
     runTrace->metrics.finalize(profile.makespan);
     hooks->deriveUtilization(spec.channelsPerController);
     profile.trace = std::move(runTrace);

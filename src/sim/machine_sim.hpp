@@ -32,6 +32,7 @@
 #include <span>
 #include <string>
 
+#include "common/cancellation.hpp"
 #include "common/types.hpp"
 #include "fault/fault_plan.hpp"
 #include "mem/memory_system.hpp"
@@ -68,6 +69,16 @@ struct SimConfig {
   /// cache-resident would run its whole thread in one turn and its cache/
   /// coherence state would never interleave with the other cores'.
   Cycles syncHorizon = 5'000;
+  /// Simulated-cycle budget: the run aborts with RunAborted
+  /// (AbortReason::kCycleBudget) as soon as the next event to execute is
+  /// scheduled past this cycle. 0 = unlimited. Deterministic: the same
+  /// budget aborts the same run at the same event everywhere.
+  Cycles cycleBudget = 0;
+  /// Cooperative cancellation: polled once per event-loop turn (the
+  /// deterministic cancellation point); when a stop is requested the run
+  /// unwinds with RunAborted (AbortReason::kCancelled). A default token
+  /// never fires and costs one predictable branch per event.
+  CancellationToken cancel;
   std::uint64_t seed = 7;
 };
 

@@ -1,0 +1,331 @@
+// Property-style corruption suite: seeded random mutations (truncation,
+// bit flips, chunk duplication, chunk deletion, byte insertion) over the
+// three persisted formats — sweep checkpoints, sweep CSV tables and
+// serialized fault plans. Every mutated input must produce a typed error
+// or a cleanly parsed value; never a crash, an assert, or an escaped
+// exception. A sample of mutants additionally goes through the on-disk
+// loadOrQuarantine path to audit the quarantine rename.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/csv.hpp"
+#include "analysis/sweep_state.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_plan_io.hpp"
+
+namespace occm::analysis {
+namespace {
+
+/// One seeded structural mutation of `text`.
+std::string mutate(const std::string& text, Rng& rng) {
+  std::string out = text;
+  switch (rng.next() % 5) {
+    case 0: {  // truncate at a random byte (mid-write kill)
+      out.resize(rng.next() % (out.size() + 1));
+      break;
+    }
+    case 1: {  // flip one bit (at-rest corruption)
+      if (!out.empty()) {
+        const std::size_t at = rng.next() % out.size();
+        const unsigned char bit = static_cast<unsigned char>(1U << (rng.next() % 8));
+        out[at] = static_cast<char>(static_cast<unsigned char>(out[at]) ^ bit);
+      }
+      break;
+    }
+    case 2: {  // duplicate a random chunk (botched append / double write)
+      if (!out.empty()) {
+        const std::size_t from = rng.next() % out.size();
+        const std::size_t len = 1 + rng.next() % 64;
+        out.insert(rng.next() % (out.size() + 1),
+                   out.substr(from, std::min(len, out.size() - from)));
+      }
+      break;
+    }
+    case 3: {  // delete a random chunk
+      if (!out.empty()) {
+        const std::size_t from = rng.next() % out.size();
+        const std::size_t len = 1 + rng.next() % 32;
+        out.erase(from, std::min(len, out.size() - from));
+      }
+      break;
+    }
+    default: {  // insert a random byte
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(
+                                   rng.next() % (out.size() + 1)),
+                 static_cast<char>(rng.next() & 0xFF));
+      break;
+    }
+  }
+  return out;
+}
+
+SweepCheckpoint sampleCheckpoint() {
+  SweepCheckpoint ckpt;
+  ckpt.program = "cg.S";
+  ckpt.machine = "test-numa-4";
+  ckpt.seed = 0xDEADBEEFCAFEF00DULL;
+  ckpt.threads = 4;
+  ckpt.runs.push_back({1, 1.25e6, 3.5e5, 1.25e6});
+  ckpt.runs.push_back({2, 1.5e6, 5.0e5, 7.6e5});
+  ckpt.runs.push_back({4, 2.25e6, 9.1e5, 6.0e5});
+  ckpt.failures.push_back({3, 2, "synthetic \"quoted\" crash\n", true, 4,
+                           RunFailureKind::kException});
+  return ckpt;
+}
+
+std::string sampleSweepCsv() {
+  SweepResult sweep;
+  for (int n : {1, 2, 4}) {
+    perf::RunProfile p;
+    p.activeCores = n;
+    p.counters.totalCycles = static_cast<Cycles>(1'000'000 * n);
+    p.counters.stallCycles = static_cast<Cycles>(300'000 * n);
+    p.makespan = static_cast<Cycles>(1'000'000 / n);
+    sweep.profiles.push_back(p);
+  }
+  return sweepToCsv(sweep);
+}
+
+std::string sampleFaultPlanJson() {
+  fault::FaultPlan plan;
+  plan.controllerOutage(1, 20'000, 60'000)
+      .controllerDegrade(0, 10'000, 30'000, 2.5)
+      .coreThrottle(2, 5'000, 15'000, 3.0)
+      .eccSpike(0, 70'000, 90'000, 0.05, 200)
+      .backgroundTraffic(1, 40'000, 80'000, 512);
+  return fault::toJson(plan);
+}
+
+TEST(CorruptionSuite, CheckpointMutationsNeverCrashOrSilentlyMisparse) {
+  const std::string pristine = sampleCheckpoint().toJson();
+  ASSERT_TRUE(SweepCheckpoint::parseChecked(pristine).hasValue());
+  Rng rng(0x5EED0001);
+  int typedErrors = 0;
+  for (int i = 0; i < 120; ++i) {
+    const std::string mutant = mutate(pristine, rng);
+    try {
+      const auto result = SweepCheckpoint::parseChecked(mutant);
+      if (result.hasValue()) {
+        // A mutant that still parses must be internally consistent: its
+        // re-serialization round-trips (no silent half-parsed state).
+        const auto again = SweepCheckpoint::parseChecked(result->toJson());
+        EXPECT_TRUE(again.hasValue()) << "mutation " << i;
+      } else {
+        ++typedErrors;
+        EXPECT_FALSE(result.error().message().empty());
+      }
+    } catch (...) {
+      ADD_FAILURE() << "parseChecked threw on mutation " << i << ": "
+                    << mutant.substr(0, 120);
+    }
+  }
+  // Structural mutations overwhelmingly break the format; if nearly all
+  // of them still "parsed", the checker is vacuous.
+  EXPECT_GT(typedErrors, 60) << "suspiciously tolerant parser";
+}
+
+TEST(CorruptionSuite, CheckpointBitFlipsInValuesAreCaughtByCrc) {
+  // Target digits specifically: flip one numeric character inside a run
+  // record. The JSON stays syntactically valid, so only the per-record
+  // CRC can catch it.
+  const std::string pristine = sampleCheckpoint().toJson();
+  const std::size_t runsAt = pristine.find("\"runs\"");
+  ASSERT_NE(runsAt, std::string::npos);
+  Rng rng(0x5EED0002);
+  int caught = 0;
+  int attempts = 0;
+  for (std::size_t at = runsAt; at < pristine.size() && attempts < 40; ++at) {
+    const char c = pristine[at];
+    if (c < '0' || c > '9') {
+      continue;
+    }
+    ++attempts;
+    std::string mutant = pristine;
+    mutant[at] = c == '9' ? '0' : static_cast<char>(c + 1);
+    const auto result = SweepCheckpoint::parseChecked(mutant);
+    if (!result.hasValue()) {
+      ++caught;
+      EXPECT_NE(result.error().kind, CheckpointErrorKind::kIoError);
+    }
+  }
+  // Every single-digit change lands in a value or a CRC field; both must
+  // fail the record's checksum (a changed "cores" key digit would change
+  // the payload too). Nothing may parse as a silently different sweep.
+  EXPECT_EQ(caught, attempts);
+}
+
+TEST(CorruptionSuite, SweepCsvMutationsYieldTypedErrorsOrValidRows) {
+  const std::string pristine = sampleSweepCsv();
+  ASSERT_TRUE(parseSweepCsv(pristine).hasValue());
+  Rng rng(0x5EED0003);
+  for (int i = 0; i < 100; ++i) {
+    const std::string mutant = mutate(pristine, rng);
+    try {
+      const auto result = parseSweepCsv(mutant);
+      if (!result.hasValue()) {
+        EXPECT_GT(result.error().line, 0u);
+        EXPECT_FALSE(result.error().message().empty());
+      } else {
+        for (const SweepCsvRow& row : *result) {
+          EXPECT_GE(row.cores, 1);  // validated shape, not garbage
+          EXPECT_GE(row.totalCycles, 0.0);
+        }
+      }
+    } catch (...) {
+      ADD_FAILURE() << "parseSweepCsv threw on mutation " << i;
+    }
+  }
+}
+
+TEST(CorruptionSuite, FaultPlanMutationsYieldTypedErrorsOrValidPlans) {
+  const std::string pristine = sampleFaultPlanJson();
+  const auto roundTrip = fault::planFromJson(pristine);
+  ASSERT_TRUE(roundTrip.hasValue()) << roundTrip.error().message();
+  ASSERT_EQ(fault::toJson(*roundTrip), pristine);
+  Rng rng(0x5EED0004);
+  for (int i = 0; i < 100; ++i) {
+    const std::string mutant = mutate(pristine, rng);
+    try {
+      const auto result = fault::planFromJson(mutant);
+      if (!result.hasValue()) {
+        EXPECT_FALSE(result.error().message().empty());
+      } else {
+        // A surviving plan must satisfy the builder contracts (the loader
+        // replays events through them), so every window is well-formed.
+        for (const fault::FaultEvent& e : result->events()) {
+          EXPECT_LT(e.start, e.end);
+        }
+      }
+    } catch (...) {
+      ADD_FAILURE() << "planFromJson threw on mutation " << i;
+    }
+  }
+}
+
+TEST(CorruptionSuite, OnDiskMutantsQuarantineAndFreshStart) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "occm_corrupt_probe.json")
+          .string();
+  const std::string pristine = sampleCheckpoint().toJson();
+  Rng rng(0x5EED0005);
+  for (int i = 0; i < 24; ++i) {
+    const std::string mutant = mutate(pristine, rng);
+    std::filesystem::remove(path + ".corrupt");
+    {
+      std::ofstream out(path, std::ios::trunc | std::ios::binary);
+      out << mutant;
+    }
+    const auto result = SweepCheckpoint::loadOrQuarantine(path);
+    if (result.hasValue()) {
+      // Still-parsable mutant: the file must be left in place untouched.
+      EXPECT_TRUE(std::filesystem::exists(path));
+      EXPECT_FALSE(std::filesystem::exists(path + ".corrupt"));
+    } else {
+      EXPECT_NE(result.error().kind, CheckpointErrorKind::kMissing);
+      EXPECT_EQ(result.error().quarantinedTo, path + ".corrupt");
+      EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+      EXPECT_FALSE(std::filesystem::exists(path));
+      EXPECT_NE(result.error().message().find("quarantined"),
+                std::string::npos);
+    }
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".corrupt");
+
+  // Missing files are a fresh start, not corruption: no quarantine.
+  const auto missing = SweepCheckpoint::loadOrQuarantine(path);
+  ASSERT_FALSE(missing.hasValue());
+  EXPECT_EQ(missing.error().kind, CheckpointErrorKind::kMissing);
+  EXPECT_TRUE(missing.error().quarantinedTo.empty());
+}
+
+TEST(CorruptionSuite, CheckpointTypedErrorsNameKindAndOffset) {
+  // Truncation vs garbage vs version skew vs CRC mismatch, each with a
+  // byte offset a human can act on.
+  const std::string pristine = sampleCheckpoint().toJson();
+
+  const auto truncated =
+      SweepCheckpoint::parseChecked(pristine.substr(0, pristine.size() / 2));
+  ASSERT_FALSE(truncated.hasValue());
+  EXPECT_EQ(truncated.error().kind, CheckpointErrorKind::kTruncated);
+
+  const auto garbage = SweepCheckpoint::parseChecked("][ nonsense");
+  ASSERT_FALSE(garbage.hasValue());
+  EXPECT_EQ(garbage.error().kind, CheckpointErrorKind::kSyntax);
+  EXPECT_EQ(garbage.error().byteOffset, 0u);
+
+  std::string skewed = pristine;
+  const std::size_t vAt = skewed.find("\"version\": 2");
+  ASSERT_NE(vAt, std::string::npos);
+  skewed.replace(vAt, 12, "\"version\": 9");
+  const auto skew = SweepCheckpoint::parseChecked(skewed);
+  ASSERT_FALSE(skew.hasValue());
+  EXPECT_EQ(skew.error().kind, CheckpointErrorKind::kVersionSkew);
+  EXPECT_NE(skew.error().detail.find("version 9"), std::string::npos);
+
+  std::string flipped = pristine;
+  const std::size_t totalAt = flipped.find("\"totalCycles\": 1250000");
+  ASSERT_NE(totalAt, std::string::npos);
+  flipped.replace(totalAt, 22, "\"totalCycles\": 1250001");
+  const auto crc = SweepCheckpoint::parseChecked(flipped);
+  ASSERT_FALSE(crc.hasValue());
+  EXPECT_EQ(crc.error().kind, CheckpointErrorKind::kCrcMismatch);
+  EXPECT_GT(crc.error().byteOffset, 0u);
+  EXPECT_NE(crc.error().detail.find("crc mismatch"), std::string::npos);
+}
+
+TEST(CorruptionSuite, LegacyV1CheckpointStillLoads) {
+  // A pre-CRC checkpoint: no version header, no crc fields, no kind.
+  const std::string v1 =
+      "{\n"
+      "  \"program\": \"cg.S\",\n"
+      "  \"machine\": \"old-box\",\n"
+      "  \"seed\": \"7\",\n"
+      "  \"threads\": 4,\n"
+      "  \"runs\": [\n"
+      "    {\"cores\": 1, \"totalCycles\": 100, \"stallCycles\": 25, "
+      "\"makespan\": 100},\n"
+      "    {\"cores\": 2, \"totalCycles\": 130, \"stallCycles\": 40, "
+      "\"makespan\": 70}\n"
+      "  ],\n"
+      "  \"failures\": [\n"
+      "    {\"cores\": 3, \"attempts\": 2, \"recovered\": false, "
+      "\"error\": \"boom\"}\n"
+      "  ]\n"
+      "}\n";
+  const auto parsed = SweepCheckpoint::parseChecked(v1);
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error().message();
+  EXPECT_EQ(parsed->runs.size(), 2u);
+  EXPECT_EQ(parsed->failures.size(), 1u);
+  EXPECT_EQ(parsed->failures[0].kind, RunFailureKind::kException);
+  EXPECT_EQ(parsed->failures[0].poolSize, 1);  // pre-parallel default
+  // Re-saving upgrades to v2 with CRCs.
+  const std::string upgraded = parsed->toJson();
+  EXPECT_NE(upgraded.find("\"version\": 2"), std::string::npos);
+  EXPECT_NE(upgraded.find("\"crc\""), std::string::npos);
+  EXPECT_TRUE(SweepCheckpoint::parseChecked(upgraded).hasValue());
+}
+
+TEST(CorruptionSuite, CheckpointRoundTripsAllFailureKinds) {
+  SweepCheckpoint ckpt = sampleCheckpoint();
+  ckpt.failures.push_back({5, 1, "over budget", false, 2,
+                           RunFailureKind::kTimeout});
+  ckpt.failures.push_back({6, 1, "ctrl-c", false, 2,
+                           RunFailureKind::kCancelled});
+  const auto back = SweepCheckpoint::parseChecked(ckpt.toJson());
+  ASSERT_TRUE(back.hasValue()) << back.error().message();
+  ASSERT_EQ(back->failures.size(), 3u);
+  EXPECT_EQ(back->failures[0].kind, RunFailureKind::kException);
+  EXPECT_EQ(back->failures[1].kind, RunFailureKind::kTimeout);
+  EXPECT_EQ(back->failures[2].kind, RunFailureKind::kCancelled);
+  EXPECT_EQ(back->toJson(), ckpt.toJson());
+}
+
+}  // namespace
+}  // namespace occm::analysis

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -150,6 +152,122 @@ TEST(ThreadPool, NullTaskIsAContractViolation) {
 TEST(ResolveWorkerCount, PositiveRequestPassesThrough) {
   EXPECT_EQ(resolveWorkerCount(3), 3);
   EXPECT_EQ(resolveWorkerCount(1), 1);
+}
+
+TEST(ThreadPoolCancel, CancelDiscardsQueuedTasksAsBrokenPromise) {
+  ThreadPool pool({1, 4});
+  std::promise<void> gatePromise;
+  std::shared_future<void> gate = gatePromise.get_future().share();
+  std::atomic<bool> ranQueued{false};
+
+  std::future<void> running = pool.submit([gate] { gate.wait(); });
+  // Wait for the worker to pick up the gated task so the next submit is
+  // guaranteed to sit in the queue, not on a worker.
+  while (pool.queued() != 0) {
+    std::this_thread::yield();
+  }
+  std::future<void> queued = pool.submit([&ranQueued] { ranQueued = true; });
+
+  pool.cancel();
+  EXPECT_TRUE(pool.cancelled());
+  try {
+    queued.get();
+    FAIL() << "expected broken_promise";
+  } catch (const std::future_error& e) {
+    EXPECT_EQ(e.code(), std::make_error_code(std::future_errc::broken_promise));
+  }
+  EXPECT_FALSE(ranQueued.load());
+
+  // The in-flight task is allowed to finish normally.
+  gatePromise.set_value();
+  running.get();
+}
+
+TEST(ThreadPoolCancel, CancelWakesBlockedSubmitterWithoutDeadlock) {
+  // Regression for the shutdown-ordering race: a submitter blocked on
+  // backpressure while cancel() runs must observe the cancellation, throw
+  // a typed error and fully leave the pool before cancel() returns —
+  // otherwise a cancel() -> destroy sequence joins workers while the
+  // submitter still touches pool state (tsan catches the use-after-free).
+  auto pool = std::make_unique<ThreadPool>(ThreadPoolConfig{1, 1});
+  std::promise<void> gatePromise;
+  std::shared_future<void> gate = gatePromise.get_future().share();
+
+  std::future<void> running = pool->submit([gate] { gate.wait(); });
+  while (pool->queued() != 0) {
+    std::this_thread::yield();  // worker holds the gated task
+  }
+  std::future<void> queued = pool->submit([] {});  // fills capacity-1 queue
+
+  std::atomic<bool> submitterThrew{false};
+  std::thread producer([&] {
+    try {
+      (void)pool->submit([] {});  // blocks: queue full
+    } catch (const ContractViolation& e) {
+      EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+      submitterThrew = true;
+    }
+  });
+  // Let the producer reach the backpressure wait before cancelling. The
+  // sleep only widens the race window; correctness never depends on it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  pool->cancel();  // must wake the producer and wait for it to leave
+  producer.join();
+  EXPECT_TRUE(submitterThrew.load());
+
+  EXPECT_THROW((void)queued.get(), std::future_error);
+  EXPECT_FALSE(pool->trySubmit([] {}));
+
+  gatePromise.set_value();
+  running.get();
+  pool.reset();  // destroy immediately after cancel: the race under test
+}
+
+TEST(ThreadPoolCancel, CancelIsIdempotentAndSubmitAfterCancelThrows) {
+  ThreadPool pool({2, 4});
+  pool.cancel();
+  pool.cancel();  // second cancel is a no-op
+  EXPECT_TRUE(pool.cancelled());
+  try {
+    (void)pool.submit([] {});
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+  }
+  EXPECT_FALSE(pool.trySubmit([] {}));
+}
+
+TEST(ThreadPoolCancel, ManyProducersAllObserveCancellation) {
+  // Stress the cancel/backpressure interaction: several producers hammer
+  // a tiny queue while cancel() lands; every producer must exit via a
+  // completed future or a typed throw — never hang.
+  auto pool = std::make_unique<ThreadPool>(ThreadPoolConfig{2, 2});
+  std::atomic<int> typedThrows{0};
+  std::atomic<int> submitted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 64; ++i) {
+        try {
+          (void)pool->submit(
+              [] { std::this_thread::sleep_for(std::chrono::microseconds(50)); });
+          submitted.fetch_add(1);
+        } catch (const ContractViolation&) {
+          typedThrows.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  pool->cancel();
+  for (std::thread& p : producers) {
+    p.join();
+  }
+  EXPECT_GE(submitted.load(), 0);
+  pool.reset();  // destruction right after cancel must not deadlock
 }
 
 TEST(ResolveWorkerCount, ZeroFallsBackToEnvThenHardware) {
