@@ -7,7 +7,7 @@
 //   4. Print measured vs. modelled omega(n) and the mean relative error.
 //
 // Usage: contention_sweep [program.class] [--workers=N] [--deadline=SECONDS]
-//        [--budget-cycles=N] [--checkpoint=PATH]
+//        [--budget-cycles=N] [--checkpoint=PATH] [--isolate] [--mem-limit=MB]
 // (default CG.C, pool size from OCCM_SWEEP_WORKERS or hardware concurrency)
 //
 // Lifecycle controls: --deadline caps each run's wall time and
@@ -16,9 +16,16 @@
 // the sweep gracefully: in-flight runs wind down at their next cancellation
 // point, a valid checkpoint is flushed (with --checkpoint), and rerunning
 // the same command resumes from it.
+//
+// Crash containment: --isolate forks every attempt into its own process,
+// so a crashing run is recorded as RunFailure{crash} (signal, rlimit,
+// stderr tail) instead of killing the sweep; successful runs stay
+// bit-identical to the in-process path. --mem-limit=MB adds a per-attempt
+// RLIMIT_AS budget (implies --isolate).
 
 #include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,6 +79,8 @@ int main(int argc, char** argv) {
   double deadline = 0.0;
   Cycles budgetCycles = 0;
   std::string checkpointPath;
+  bool isolate = false;
+  std::uint64_t memLimitMb = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -90,12 +99,23 @@ int main(int argc, char** argv) {
       checkpointPath = arg.substr(13);
       continue;
     }
+    if (arg == "--isolate") {
+      isolate = true;
+      continue;
+    }
+    if (arg.rfind("--mem-limit=", 0) == 0) {
+      // Per-attempt RLIMIT_AS budget in MiB; only meaningful for a
+      // forked child, so it implies --isolate.
+      memLimitMb = std::strtoull(arg.c_str() + 12, nullptr, 10);
+      isolate = true;
+      continue;
+    }
     const auto dot = arg.find('.');
     if (dot == std::string::npos) {
       std::fprintf(stderr,
                    "usage: %s [program.class] [--workers=N] "
                    "[--deadline=SECONDS] [--budget-cycles=N] "
-                   "[--checkpoint=PATH]\n",
+                   "[--checkpoint=PATH] [--isolate] [--mem-limit=MB]\n",
                    argv[0]);
       return 1;
     }
@@ -110,6 +130,8 @@ int main(int argc, char** argv) {
   config.limits.wallSeconds = deadline;
   config.limits.cycleBudget = budgetCycles;
   config.checkpointPath = checkpointPath;
+  config.isolation.enabled = isolate;
+  config.isolation.memoryBytes = memLimitMb << 20;
   config.cancel = gStop.token();
   std::signal(SIGINT, onSigint);
 

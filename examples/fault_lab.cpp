@@ -15,15 +15,21 @@
 // harness relies on.
 //
 // Usage: fault_lab [program.class] [--workers=N] [--deadline=SECONDS]
+//        [--isolate] [--mem-limit=MB]
 // (default CG.S)
 //
 // --deadline caps each run's wall time: an overrunning scenario is
 // reported as a timeout while the remaining scenarios still execute.
 // Ctrl-C stops gracefully between cancellation points instead of killing
-// the process mid-scenario.
+// the process mid-scenario. --isolate forks each attempt so a crashing
+// scenario is contained as RunFailure{crash} (required for any plan with
+// crash-injection events) and appends a deterministic crash-injection
+// scenario to the lab; --mem-limit=MB adds a per-attempt RLIMIT_AS
+// budget and implies --isolate.
 
 #include <algorithm>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -47,7 +53,9 @@ struct Scenario {
 
 /// Builds the scenario list with windows positioned relative to the
 /// baseline max-core makespan, so every fault actually overlaps the run.
-std::vector<Scenario> makeScenarios(occm::Cycles makespan) {
+/// `withCrash` appends a crash-injection scenario — only offered under
+/// --isolate, because runSweep refuses crash plans in-process.
+std::vector<Scenario> makeScenarios(occm::Cycles makespan, bool withCrash) {
   using occm::Cycles;
   const Cycles q1 = makespan / 4;
   const Cycles q3 = 3 * (makespan / 4);
@@ -79,6 +87,13 @@ std::vector<Scenario> makeScenarios(occm::Cycles makespan) {
     occm::fault::FaultPlan plan;
     plan.backgroundTraffic(0, q1, q3, 400);
     scenarios.push_back({"background(node0)", plan});
+  }
+  if (withCrash) {
+    // Every run of this scenario segfaults mid-simulation; isolation
+    // contains each death as RunFailure{crash} and the lab moves on.
+    occm::fault::FaultPlan plan;
+    plan.crashSegv(q1);
+    scenarios.push_back({"crash(segv,all runs)", plan});
   }
   return scenarios;
 }
@@ -115,6 +130,8 @@ int main(int argc, char** argv) {
   workload.problemClass = workloads::ProblemClass::kS;
   int workers = 0;  // 0 = OCCM_SWEEP_WORKERS or hardware concurrency
   double deadline = 0.0;
+  bool isolate = false;
+  std::uint64_t memLimitMb = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -125,11 +142,20 @@ int main(int argc, char** argv) {
       deadline = std::atof(arg.c_str() + 11);
       continue;
     }
+    if (arg == "--isolate") {
+      isolate = true;
+      continue;
+    }
+    if (arg.rfind("--mem-limit=", 0) == 0) {
+      memLimitMb = std::strtoull(arg.c_str() + 12, nullptr, 10);
+      isolate = true;
+      continue;
+    }
     const auto dot = arg.find('.');
     if (dot == std::string::npos) {
       std::fprintf(stderr,
                    "usage: %s [program.class] [--workers=N] "
-                   "[--deadline=SECONDS]\n",
+                   "[--deadline=SECONDS] [--isolate] [--mem-limit=MB]\n",
                    argv[0]);
       return 1;
     }
@@ -142,6 +168,8 @@ int main(int argc, char** argv) {
   config.workload = workload;
   config.parallel.workers = workers;
   config.limits.wallSeconds = deadline;
+  config.isolation.enabled = isolate;
+  config.isolation.memoryBytes = memLimitMb << 20;
   config.cancel = gStop.token();
   std::signal(SIGINT, onSigint);
   const model::MachineShape shape = model::shapeOf(config.machine);
@@ -170,7 +198,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-22s %9s %9s %12s %12s  %s\n", "scenario", "omega(13)",
               "omega(24)", "mu/r", "L/r", "degraded-mode counters");
-  for (const Scenario& scenario : makeScenarios(makespan)) {
+  for (const Scenario& scenario : makeScenarios(makespan, isolate)) {
     analysis::SweepConfig run = config;
     run.sim.faultPlan = scenario.plan;
     const analysis::SweepResult sweep = analysis::runSweep(run);

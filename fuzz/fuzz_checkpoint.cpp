@@ -1,0 +1,26 @@
+// Fuzzes SweepCheckpoint::parse — the loader that re-ingests whatever a
+// previous (possibly crashed) invocation left on disk. Arbitrary bytes
+// must parse or be rejected, never crash; anything that parses must be a
+// serialize/reparse fixed point.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/sweep_state.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using occm::analysis::SweepCheckpoint;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const auto parsed = SweepCheckpoint::parse(text);
+  if (parsed.has_value()) {
+    const std::string json = parsed->toJson();
+    const auto again = SweepCheckpoint::parse(json);
+    if (!again.has_value() || again->toJson() != json) {
+      std::abort();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fuzzes fault::planFromJson — scripted fault scenarios are loaded from
+// files next to a sweep's checkpoint, so the parser must turn any byte
+// sequence into a plan or a typed PlanParseError without crashing, and
+// accepted plans must round-trip byte-identically.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "fault/fault_plan_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace occm::fault;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const auto plan = planFromJson(text);
+  if (plan.hasValue()) {
+    const std::string json = toJson(plan.value());
+    const auto again = planFromJson(json);
+    if (!again.hasValue() || toJson(again.value()) != json) {
+      std::abort();
+    }
+  } else {
+    (void)plan.error().message();
+  }
+  return 0;
+}

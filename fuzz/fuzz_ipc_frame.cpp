@@ -1,0 +1,43 @@
+// Fuzzes the isolation-mode wire format end to end: decodeFrame on
+// arbitrary bytes (must yield a payload or a typed IpcError, never crash)
+// and decodeChildMessage on the same bytes. Successful decodes are pinned
+// to canonical form: a frame that decodes must be exactly what
+// encodeFrame(payload) produces, and a message that decodes must be a
+// re-encode fixed point.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "exec/ipc.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace occm::exec;
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+
+  const auto frame = decodeFrame(bytes);
+  if (frame.hasValue()) {
+    // decodeFrame rejects trailing bytes, so acceptance means the input
+    // is the one canonical encoding of its payload.
+    if (encodeFrame(frame.value()) != bytes) {
+      std::abort();
+    }
+  } else {
+    (void)frame.error().message();
+  }
+
+  const auto message = decodeChildMessage(bytes);
+  if (message.hasValue()) {
+    const std::string reencoded = encodeChildMessage(message.value());
+    const auto again = decodeChildMessage(reencoded);
+    if (!again.hasValue() ||
+        encodeChildMessage(again.value()) != reencoded) {
+      std::abort();
+    }
+  } else {
+    (void)message.error().message();
+  }
+  return 0;
+}

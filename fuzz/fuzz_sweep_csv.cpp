@@ -1,0 +1,26 @@
+// Fuzzes analysis::parseSweepCsv — exported sweep tables get re-ingested
+// by plotting and comparison tooling, so the strict-shape parser must
+// reject or accept any byte sequence without crashing.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/csv.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto rows = occm::analysis::parseSweepCsv(text);
+  if (rows.hasValue()) {
+    // Strict shape validation promised cores >= 1 on every accepted row.
+    for (const auto& row : rows.value()) {
+      if (row.cores < 1) {
+        std::abort();
+      }
+    }
+  } else {
+    (void)rows.error().message();
+  }
+  return 0;
+}

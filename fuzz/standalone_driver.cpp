@@ -1,0 +1,31 @@
+// Replay driver for toolchains without libFuzzer (gcc): feeds each argv
+// file to LLVMFuzzerTestOneInput so corpus and regression inputs replay
+// on any compiler. `clang -fsanitize=fuzzer` provides its own main and
+// this file is not built there.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    (void)LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++replayed;
+  }
+  std::printf("replayed %d input(s) without crashing\n", replayed);
+  return 0;
+}

@@ -16,6 +16,7 @@
 
 #include "common/cancellation.hpp"
 #include "common/error.hpp"
+#include "exec/process_runner.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace occm::analysis {
@@ -200,6 +201,22 @@ class ArmedDeadline {
   std::size_t slot_;
 };
 
+/// Checkpoint row for a completed profile — shared by the in-process and
+/// isolated attempt paths so both persist byte-identical records.
+RunRecord makeRunRecord(const perf::RunProfile& profile, int cores) {
+  return RunRecord{cores,
+                   profile.totalCyclesD(),
+                   static_cast<double>(profile.counters.stallCycles),
+                   static_cast<double>(profile.makespan),
+                   static_cast<double>(profile.counters.llcMisses),
+                   static_cast<double>(profile.coherenceMisses),
+                   static_cast<double>(profile.writebacks),
+                   static_cast<double>(profile.reroutedRequests),
+                   static_cast<double>(profile.faultRetries),
+                   static_cast<double>(profile.backgroundRequests),
+                   static_cast<double>(profile.throttledCycles)};
+}
+
 /// Runs one core count to completion: restore from the checkpoint when
 /// possible, otherwise attempt (with seed-perturbed retries) until a
 /// profile or a permanent failure. Builds a private workload instance and
@@ -264,35 +281,97 @@ TaskOutcome runSweepTask(const SweepConfig& config,
       simConfig.seed =
           config.sim.seed + static_cast<std::uint64_t>(attempt) * kSeedStep;
       simConfig.cycleBudget = config.limits.cycleBudget;
-      if (watchdog.active()) {
-        simConfig.cancel = watchdog.tokenFor(slot);
+      if (config.isolation.enabled) {
+        // Isolated attempt: the child rebuilds the workload and simulator
+        // from the same seeds (bit-identical inputs, bit-identical
+        // profile); the parent-side token cannot cross the fork, so the
+        // supervisor polls it and SIGKILLs the child instead of the
+        // simulator unwinding cooperatively. The deterministic cycle
+        // budget still aborts inside the child.
+        exec::ProcessRunnerConfig runnerConfig;
+        runnerConfig.limits.memoryBytes = config.isolation.memoryBytes;
+        runnerConfig.limits.cpuSeconds = config.isolation.cpuSeconds;
+        runnerConfig.stderrTailBytes = config.isolation.stderrTailBytes;
+        if (watchdog.active()) {
+          runnerConfig.cancel = watchdog.tokenFor(slot);
+        }
+        exec::ChildOutcome child = exec::runInChild(
+            [&config, &spec, &simConfig, cores] {
+              workloads::WorkloadInstance instance =
+                  workloads::makeWorkload(spec);
+              sim::MachineSim simulator(config.machine, simConfig);
+              return simulator.run(instance.threads, cores, instance.name);
+            },
+            runnerConfig);
+        failure.attempts = attempt + 1;
+        switch (child.status) {
+          case exec::ChildStatus::kOk:
+            if (attempt > 0) {
+              failure.recovered = true;
+              outcome.failure = failure;
+            }
+            outcome.record = makeRunRecord(child.profile, cores);
+            outcome.profile = std::move(child.profile);
+            return outcome;
+          case exec::ChildStatus::kException:
+            // Same retry semantics as an in-process throw; clear any
+            // crash detail a previous attempt left behind.
+            failure.error = std::move(child.error);
+            failure.kind = RunFailureKind::kException;
+            failure.signal = 0;
+            failure.rlimit.clear();
+            failure.stderrTail.clear();
+            break;
+          case exec::ChildStatus::kAborted: {
+            failure.error = std::move(child.error);
+            const bool overran =
+                child.abortReason == AbortReason::kCycleBudget ||
+                watchdog.timedOut(slot);
+            failure.kind = overran ? RunFailureKind::kTimeout
+                                   : RunFailureKind::kCancelled;
+            outcome.failure = failure;
+            return outcome;
+          }
+          case exec::ChildStatus::kKilled:
+            // The supervisor SIGKILLed on the token: same deadline /
+            // sweep-stop classification as a cooperative unwind.
+            failure.error = std::move(child.error);
+            failure.kind = watchdog.timedOut(slot)
+                               ? RunFailureKind::kTimeout
+                               : RunFailureKind::kCancelled;
+            outcome.failure = failure;
+            return outcome;
+          case exec::ChildStatus::kCrash:
+            // Crash containment: keep the evidence (signal, rlimit,
+            // stderr tail) and retry under the perturbed seed, exactly
+            // like an exception.
+            failure.error = std::move(child.error);
+            failure.kind = RunFailureKind::kCrash;
+            failure.signal = child.signal;
+            failure.rlimit = std::move(child.rlimit);
+            failure.stderrTail = std::move(child.stderrTail);
+            break;
+        }
+      } else {
+        if (watchdog.active()) {
+          simConfig.cancel = watchdog.tokenFor(slot);
+        }
+        // A fresh instance per task (not a shared reset one): building
+        // from the same spec seed yields bit-identical streams, and
+        // private streams are what lets tasks run concurrently at all.
+        workloads::WorkloadInstance instance = workloads::makeWorkload(spec);
+        sim::MachineSim simulator(config.machine, simConfig);
+        perf::RunProfile profile =
+            simulator.run(instance.threads, cores, instance.name);
+        failure.attempts = attempt + 1;
+        if (attempt > 0) {
+          failure.recovered = true;
+          outcome.failure = failure;
+        }
+        outcome.record = makeRunRecord(profile, cores);
+        outcome.profile = std::move(profile);
+        return outcome;
       }
-      // A fresh instance per task (not a shared reset one): building from
-      // the same spec seed yields bit-identical streams, and private
-      // streams are what lets tasks run concurrently at all.
-      workloads::WorkloadInstance instance = workloads::makeWorkload(spec);
-      sim::MachineSim simulator(config.machine, simConfig);
-      perf::RunProfile profile =
-          simulator.run(instance.threads, cores, instance.name);
-      failure.attempts = attempt + 1;
-      if (attempt > 0) {
-        failure.recovered = true;
-        outcome.failure = failure;
-      }
-      outcome.record = RunRecord{
-          cores,
-          profile.totalCyclesD(),
-          static_cast<double>(profile.counters.stallCycles),
-          static_cast<double>(profile.makespan),
-          static_cast<double>(profile.counters.llcMisses),
-          static_cast<double>(profile.coherenceMisses),
-          static_cast<double>(profile.writebacks),
-          static_cast<double>(profile.reroutedRequests),
-          static_cast<double>(profile.faultRetries),
-          static_cast<double>(profile.backgroundRequests),
-          static_cast<double>(profile.throttledCycles)};
-      outcome.profile = std::move(profile);
-      return outcome;
     } catch (const RunAborted& e) {
       // Lifecycle outcomes are terminal: a timed-out run would time out
       // again and a cancelled sweep wants to wind down, so neither is
@@ -310,6 +389,10 @@ TaskOutcome runSweepTask(const SweepConfig& config,
     } catch (const std::exception& e) {
       failure.error = e.what();
       failure.attempts = attempt + 1;
+      failure.kind = RunFailureKind::kException;
+      failure.signal = 0;
+      failure.rlimit.clear();
+      failure.stderrTail.clear();
     }
     if (config.cancel.stopRequested()) {
       // Stop requested between attempts: don't burn retries on a sweep
@@ -356,8 +439,11 @@ class CheckpointWriter {
       // Timeouts and cancellations are lifecycle outcomes of *this*
       // invocation: persisting them would pile up stale records across
       // resumes that are expected to re-attempt those core counts.
+      // Exceptions and crashes are evidence about the run itself, so
+      // both persist.
       if (outcome.failure.has_value() &&
-          outcome.failure->kind == RunFailureKind::kException) {
+          (outcome.failure->kind == RunFailureKind::kException ||
+           outcome.failure->kind == RunFailureKind::kCrash)) {
         snapshot.failures.push_back(*outcome.failure);
       }
     }
@@ -488,6 +574,15 @@ SweepResult runSweep(const SweepConfig& config) {
   OCCM_REQUIRE_MSG(
       workloads::classValidFor(spec.program, spec.problemClass),
       "problem class not valid for this program");
+  OCCM_REQUIRE_MSG(!config.isolation.enabled ||
+                       exec::processIsolationSupported(),
+                   "process isolation is not supported on this platform");
+  // An injected crash executed in-process would take down the harness
+  // itself — exactly what isolation exists to contain.
+  OCCM_REQUIRE_MSG(!config.sim.faultPlan.hasCrash() ||
+                       config.isolation.enabled,
+                   "crash-injection fault plans require "
+                   "SweepConfig::isolation.enabled");
   std::vector<int> coreCounts = config.coreCounts;
   if (coreCounts.empty()) {
     for (int n = 1; n <= config.machine.logicalCores(); ++n) {

@@ -34,6 +34,29 @@ struct ParallelSweepConfig {
   int workers = 0;
 };
 
+/// Process isolation for sweep attempts (exec/process_runner). Off by
+/// default: every attempt then runs in-process, exactly as before. When
+/// enabled, each attempt forks a child that rebuilds the workload and
+/// simulator from the same seeds and ships its RunProfile back over a
+/// CRC-checked pipe frame — so a segfault, abort, or rlimit death takes
+/// out one attempt (recorded as RunFailure{kind = kCrash}, retried and
+/// checkpointed like an exception) instead of the whole sweep, and
+/// successful runs stay bit-identical to the in-process path at any pool
+/// size. Cost: a fork per attempt, and RunProfile::trace is not shipped
+/// back (traces stay a single-process feature). Crash-injection fault
+/// plans (FaultPlan::hasCrash()) require this mode.
+struct IsolationConfig {
+  bool enabled = false;
+  /// RLIMIT_AS per attempt; allocation failure under the budget is
+  /// reported as kCrash with rlimit = "address-space". 0 = no limit.
+  std::uint64_t memoryBytes = 0;
+  /// RLIMIT_CPU per attempt; overrun dies on SIGXCPU, reported as kCrash
+  /// with rlimit = "cpu". 0 = no limit.
+  std::uint64_t cpuSeconds = 0;
+  /// Bytes of the child's stderr tail captured into RunFailure records.
+  std::size_t stderrTailBytes = 4096;
+};
+
 /// Per-run lifecycle limits. A run that exceeds either bound is recorded
 /// as RunFailure{kind = kTimeout} (not retried, never checkpointed) and
 /// the sweep continues with the remaining core counts.
@@ -74,6 +97,9 @@ struct SweepConfig {
   ParallelSweepConfig parallel;
   /// Per-run wall/cycle limits (see SweepLimits). Defaults are unlimited.
   SweepLimits limits;
+  /// Per-attempt process isolation and resource budgets (see
+  /// IsolationConfig). Off by default.
+  IsolationConfig isolation;
   /// Whole-sweep graceful stop. When the token reports a stop request
   /// (watchdog relays it to every in-flight run's cancellation point),
   /// runs not yet started are left pending — no failure record, so a

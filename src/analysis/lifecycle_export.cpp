@@ -15,17 +15,28 @@ obs::RunTracePtr lifecycleTrace(const SweepResult& sweep) {
   double exceptions = 0.0;
   double timeouts = 0.0;
   double cancelled = 0.0;
+  double crashes = 0.0;
   for (std::size_t i = 0; i < sweep.failures.size(); ++i) {
     const RunFailure& f = sweep.failures[i];
     trace->events.setTrackName(f.cores, "n = " + std::to_string(f.cores));
-    trace->events.instant(std::string(toString(f.kind)) +
-                              (f.recovered ? " (recovered)" : "") + ": " +
-                              f.error,
-                          "lifecycle", f.cores, static_cast<Cycles>(i));
+    std::string label = std::string(toString(f.kind)) +
+                        (f.recovered ? " (recovered)" : "");
+    if (f.kind == RunFailureKind::kCrash) {
+      // Crash records carry their forensics inline: signal, the limit
+      // that explains the death, and whether a stderr tail was captured.
+      label += " [signal " + std::to_string(f.signal);
+      if (!f.rlimit.empty()) {
+        label += ", rlimit " + f.rlimit;
+      }
+      label += f.stderrTail.empty() ? ", no stderr tail]" : ", stderr tail]";
+    }
+    trace->events.instant(label + ": " + f.error, "lifecycle", f.cores,
+                          static_cast<Cycles>(i));
     switch (f.kind) {
       case RunFailureKind::kException: exceptions += 1.0; break;
       case RunFailureKind::kTimeout: timeouts += 1.0; break;
       case RunFailureKind::kCancelled: cancelled += 1.0; break;
+      case RunFailureKind::kCrash: crashes += 1.0; break;
     }
   }
   trace->metrics.gauge("sweep.failures.exception", "runs")
@@ -33,6 +44,7 @@ obs::RunTracePtr lifecycleTrace(const SweepResult& sweep) {
   trace->metrics.gauge("sweep.failures.timeout", "runs").record(0, timeouts);
   trace->metrics.gauge("sweep.failures.cancelled", "runs")
       .record(0, cancelled);
+  trace->metrics.gauge("sweep.failures.crash", "runs").record(0, crashes);
   trace->metrics.finalize(end);
   return trace;
 }

@@ -7,6 +7,11 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "common/crc32.hpp"
 #include "common/json_reader.hpp"
 
@@ -78,6 +83,16 @@ std::string failurePayload(const RunFailure& f) {
   out += toString(f.kind);
   out += '|';
   out += f.error;
+  // Crash detail joins the payload only for crash records, so the CRCs
+  // of every record an existing v2 file can contain are unchanged.
+  if (f.kind == RunFailureKind::kCrash) {
+    out += '|';
+    out += std::to_string(f.signal);
+    out += '|';
+    out += f.rlimit;
+    out += '|';
+    out += f.stderrTail;
+  }
   return out;
 }
 
@@ -104,7 +119,7 @@ bool parseCrcHex(const std::string& text, std::uint32_t* out) {
 bool parseFailureKind(const std::string& text, RunFailureKind* out) {
   for (const RunFailureKind kind :
        {RunFailureKind::kException, RunFailureKind::kTimeout,
-        RunFailureKind::kCancelled}) {
+        RunFailureKind::kCancelled, RunFailureKind::kCrash}) {
     if (text == toString(kind)) {
       *out = kind;
       return true;
@@ -204,8 +219,13 @@ std::string SweepCheckpoint::toJson() const {
     out << "    {\"cores\": " << f.cores << ", \"attempts\": " << f.attempts
         << ", \"recovered\": " << (f.recovered ? "true" : "false")
         << ", \"poolSize\": " << f.poolSize
-        << ", \"kind\": \"" << toString(f.kind) << "\""
-        << ", \"error\": \"" << jsonEscape(f.error) << "\""
+        << ", \"kind\": \"" << toString(f.kind) << "\"";
+    if (f.kind == RunFailureKind::kCrash) {
+      out << ", \"signal\": " << f.signal
+          << ", \"rlimit\": \"" << jsonEscape(f.rlimit) << "\""
+          << ", \"stderrTail\": \"" << jsonEscape(f.stderrTail) << "\"";
+    }
+    out << ", \"error\": \"" << jsonEscape(f.error) << "\""
         << ", \"crc\": \"" << crcHex(crc32(failurePayload(f))) << "\"}";
   }
   out << (failures.empty() ? "]\n" : "\n  ]\n");
@@ -378,6 +398,14 @@ Expected<SweepCheckpoint, CheckpointError> SweepCheckpoint::parseChecked(
             if (reader.ok() && !parseFailureKind(kindText, &failure.kind)) {
               reader.fail("unknown failure kind \"" + kindText + "\"");
             }
+          } else if (field == "signal") {
+            // Present only on crash records (format v2, crash-capable
+            // builds); absent fields keep their zero defaults.
+            failure.signal = static_cast<int>(reader.parseNumber());
+          } else if (field == "rlimit") {
+            failure.rlimit = reader.parseString();
+          } else if (field == "stderrTail") {
+            failure.stderrTail = reader.parseString();
           } else if (field == "error") {
             failure.error = reader.parseString();
           } else if (field == "crc") {
@@ -434,12 +462,57 @@ std::optional<SweepCheckpoint> SweepCheckpoint::parse(
 
 bool SweepCheckpoint::save(const std::string& path) const {
   const std::string tmp = path + ".tmp";
+  const std::string body = toJson();
+#if defined(__unix__) || defined(__APPLE__)
+  // Durable variant of write-temp-then-rename: fsync the temp file before
+  // the rename (so the rename can never expose a hole) and fsync the
+  // containing directory after it (the rename itself lives in directory
+  // metadata; without this a machine crash right after save() can roll
+  // the path back to the previous — or no — checkpoint).
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < body.size()) {
+    const ssize_t n =
+        ::write(fd, body.data() + written, body.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash + 1);
+  const int dirFd = ::open(dir.c_str(), O_RDONLY);
+  if (dirFd >= 0) {
+    // Best-effort: some filesystems reject directory fsync; the rename
+    // already succeeded, so refusal does not fail the save.
+    ::fsync(dirFd);
+    ::close(dirFd);
+  }
+  return true;
+#else
   {
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
       return false;
     }
-    out << toJson();
+    out << body;
     out.flush();
     if (!out) {
       return false;
@@ -450,6 +523,7 @@ bool SweepCheckpoint::save(const std::string& path) const {
     return false;
   }
   return true;
+#endif
 }
 
 Expected<SweepCheckpoint, CheckpointError> SweepCheckpoint::loadChecked(

@@ -30,6 +30,7 @@ enum class RunFailureKind : std::uint8_t {
   kException,  ///< the run (or a beforeRun hook) threw
   kTimeout,    ///< per-run deadline or cycle budget fired
   kCancelled,  ///< whole-sweep cancellation observed mid-run
+  kCrash,      ///< isolated child died hard: signal, rlimit, bad frame
 };
 
 [[nodiscard]] constexpr const char* toString(RunFailureKind kind) noexcept {
@@ -37,6 +38,7 @@ enum class RunFailureKind : std::uint8_t {
     case RunFailureKind::kException: return "exception";
     case RunFailureKind::kTimeout: return "timeout";
     case RunFailureKind::kCancelled: return "cancelled";
+    case RunFailureKind::kCrash: return "crash";
   }
   return "unknown";
 }
@@ -54,7 +56,17 @@ struct RunFailure {
   int poolSize = 1;
   /// Timeouts and cancellations are lifecycle outcomes, not retried, and
   /// never persisted to the checkpoint (a resume should re-attempt them).
+  /// Crashes behave like exceptions: retried, and persisted so a resumed
+  /// sweep keeps the evidence.
   RunFailureKind kind = RunFailureKind::kException;
+  /// kCrash only: signal that terminated the isolated child (0 = the
+  /// child exited with a nonzero status instead).
+  int signal = 0;
+  /// kCrash only: resource limit that explains the death —
+  /// "address-space" (RLIMIT_AS) or "cpu" (RLIMIT_CPU) — or empty.
+  std::string rlimit;
+  /// kCrash only: bounded, printable-ASCII tail of the child's stderr.
+  std::string stderrTail;
 };
 
 /// Lightweight record of one completed run — exactly what the model fit
@@ -142,9 +154,12 @@ struct SweepCheckpoint {
   [[nodiscard]] static std::optional<SweepCheckpoint> parse(
       const std::string& json);
 
-  /// Atomic write: temp file in the same directory, then rename.
-  /// Returns false on I/O failure (checkpointing is best-effort; a sweep
-  /// never aborts because its checkpoint could not be written).
+  /// Atomic, durable write: temp file in the same directory, fsync,
+  /// rename, then fsync of the containing directory — so a machine crash
+  /// immediately after save() cannot roll the file back to the previous
+  /// (or no) checkpoint. Returns false on I/O failure (checkpointing is
+  /// best-effort; a sweep never aborts because its checkpoint could not
+  /// be written).
   bool save(const std::string& path) const;
 
   /// Reads and parses `path` with a typed diagnosis: kMissing when the

@@ -1,0 +1,75 @@
+#pragma once
+
+// Pipe IPC between an isolated sweep child and its supervisor: one
+// length-prefixed, CRC-checked binary frame carrying the attempt's result
+// (the full perf::RunProfile on success, or the typed failure the child
+// caught). The encoding is fixed-width little-endian, so a frame produced
+// by the forked child is decoded bit-exactly by the parent — the
+// foundation of the isolation mode's "successful runs are bit-identical
+// to in-process runs" guarantee (DESIGN.md §11).
+//
+// The decoder is hardened against arbitrary bytes: every read is
+// bounds-checked, counts and string lengths are capped, and any deviation
+// produces a typed IpcError naming the byte offset — never a throw, never
+// UB. fuzz/fuzz_ipc_frame.cpp drives it with libFuzzer.
+//
+// Not serialized: RunProfile::trace (the observability payload). A child
+// ships counters, per-core sets, controller stats, miss windows and fault
+// epochs; traces stay a single-process feature (documented on
+// IsolationConfig).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/expected.hpp"
+#include "perf/run_profile.hpp"
+
+namespace occm::exec {
+
+/// Typed diagnosis of bytes that are not a valid frame or message.
+struct IpcError {
+  std::size_t byteOffset = 0;  ///< offset of the first deviation
+  std::string detail;
+  bool truncated = false;  ///< the bytes end mid-structure
+
+  /// "corrupt ipc frame (truncated) at byte 12: ..."
+  [[nodiscard]] std::string message() const;
+};
+
+/// What one isolated attempt reports back over the pipe.
+struct ChildMessage {
+  enum class Kind : std::uint8_t {
+    kProfile = 1,    ///< the run completed; `profile` is the result
+    kException = 2,  ///< the run threw; `error` is what()
+    kAborted = 3,    ///< RunAborted unwound the run (budget/cancel)
+  };
+
+  Kind kind = Kind::kException;
+  perf::RunProfile profile;  ///< kProfile only
+  std::string error;         ///< kException / kAborted
+  /// kAborted only: the AbortReason's numeric value and the cycle it
+  /// fired at, so the parent can rethrow an equivalent RunAborted.
+  std::uint8_t abortReason = 0;
+  std::uint64_t abortCycle = 0;
+};
+
+/// Serializes a message payload (no frame header; see encodeFrame).
+[[nodiscard]] std::string encodeChildMessage(const ChildMessage& message);
+
+/// Decodes what encodeChildMessage produced. Bounds-checked on every
+/// field; arbitrary bytes yield a typed error, never a crash.
+[[nodiscard]] Expected<ChildMessage, IpcError> decodeChildMessage(
+    std::string_view payload);
+
+/// Wraps a payload in the wire frame: magic, u32 length, payload bytes,
+/// u32 CRC-32 of the payload.
+[[nodiscard]] std::string encodeFrame(std::string_view payload);
+
+/// Validates and strips the frame around exactly one payload (the
+/// supervisor reads the pipe to EOF first, so trailing bytes are an
+/// error). Checks magic, length and CRC.
+[[nodiscard]] Expected<std::string, IpcError> decodeFrame(
+    std::string_view bytes);
+
+}  // namespace occm::exec

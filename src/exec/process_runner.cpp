@@ -1,0 +1,383 @@
+#include "exec/process_runner.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define OCCM_HAS_FORK 1
+#else
+#define OCCM_HAS_FORK 0
+#endif
+
+#if OCCM_HAS_FORK
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "common/error.hpp"
+#include "exec/ipc.hpp"
+#include "fault/crash_injection.hpp"
+
+namespace occm::exec {
+
+bool processIsolationSupported() noexcept { return OCCM_HAS_FORK != 0; }
+
+#if OCCM_HAS_FORK
+
+namespace {
+
+/// Hard cap on the bytes the supervisor will buffer from the result pipe:
+/// a real profile is kilobytes; anything past this is a protocol
+/// violation, not a result.
+constexpr std::size_t kMaxResultBytes = std::size_t{64} << 20;
+
+/// Supervisor poll cadence while the child runs. Bounds how stale the
+/// cancellation token can get before the SIGKILL lands.
+constexpr int kPollMillis = 20;
+
+/// new-handler installed in the child under a memory budget: allocation
+/// failure must read as "the budget killed it", not as a generic
+/// exception a retry might clear. Async-signal-shaped on purpose — plain
+/// write(2) then abort; allocation has already failed, so nothing here
+/// may allocate.
+void oomAbortHandler() {
+  const char prefix[] = "occm: allocation failed: ";
+  // Failed writes change nothing about the abort; the marker is
+  // best-effort diagnosis.
+  ssize_t ignored = ::write(STDERR_FILENO, prefix, sizeof prefix - 1);
+  ignored = ::write(STDERR_FILENO, fault::kOutOfMemoryMarker,
+                    std::strlen(fault::kOutOfMemoryMarker));
+  ignored = ::write(STDERR_FILENO, "\n", 1);
+  static_cast<void>(ignored);
+  std::abort();
+}
+
+void applyLimit(int resource, std::uint64_t value) {
+  if (value == 0) {
+    return;
+  }
+  struct rlimit limit;
+  limit.rlim_cur = static_cast<rlim_t>(value);
+  limit.rlim_max = static_cast<rlim_t>(value);
+  // Best-effort: a host that refuses the limit still runs the work, just
+  // unbudgeted (the supervisor's classification only triggers on death).
+  ::setrlimit(resource, &limit);
+}
+
+bool writeAll(int fd, const std::string& bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Child side: apply limits, run the work, frame the outcome, _exit.
+/// Never returns to the caller's stack; _exit (not exit) skips atexit
+/// handlers and parent-inherited stdio flushes.
+[[noreturn]] void childMain(int resultFd,
+                            const std::function<perf::RunProfile()>& work,
+                            const ResourceLimits& limits) {
+  applyLimit(RLIMIT_AS, limits.memoryBytes);
+  applyLimit(RLIMIT_CPU, limits.cpuSeconds);
+  if (limits.memoryBytes > 0) {
+    std::set_new_handler(oomAbortHandler);
+  }
+  ChildMessage message;
+  try {
+    message.profile = work();
+    message.kind = ChildMessage::Kind::kProfile;
+  } catch (const RunAborted& aborted) {
+    message.kind = ChildMessage::Kind::kAborted;
+    message.error = aborted.what();
+    message.abortReason = static_cast<std::uint8_t>(aborted.reason());
+    message.abortCycle = aborted.atCycle();
+  } catch (const std::exception& e) {
+    message.kind = ChildMessage::Kind::kException;
+    message.error = e.what();
+  } catch (...) {
+    message.kind = ChildMessage::Kind::kException;
+    message.error = "unknown exception escaped the isolated run";
+  }
+  const std::string frame = encodeFrame(encodeChildMessage(message));
+  writeAll(resultFd, frame);
+  ::close(resultFd);
+  ::_exit(0);
+}
+
+/// Non-printable bytes in a crash tail (sanitizer hex dumps, torn UTF-8)
+/// become '.' so the tail embeds safely in JSON checkpoints and CSV.
+std::string sanitizeTail(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '\n' || c == '\t' || (byte >= 0x20 && byte < 0x7F)) {
+      out.push_back(c);
+    } else {
+      out.push_back('.');
+    }
+  }
+  return out;
+}
+
+const char* signalName(int sig) {
+  switch (sig) {
+    case SIGABRT: return "SIGABRT";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    default: return "signal";
+  }
+}
+
+}  // namespace
+
+ChildOutcome runInChild(const std::function<perf::RunProfile()>& work,
+                        const ProcessRunnerConfig& config) {
+  OCCM_REQUIRE_MSG(static_cast<bool>(work),
+                   "runInChild needs a work function");
+  int resultPipe[2];
+  int errPipe[2];
+  OCCM_REQUIRE_MSG(::pipe(resultPipe) == 0,
+                   "pipe() failed for the isolation result channel");
+  if (::pipe(errPipe) != 0) {
+    ::close(resultPipe[0]);
+    ::close(resultPipe[1]);
+    throw ContractViolation("pipe() failed for the isolation stderr channel");
+  }
+  // fork() duplicates only the calling thread. The child runs the work
+  // single-threaded and _exits, so inherited locks and pool state in
+  // other threads never matter; glibc's atfork handlers keep malloc
+  // usable in the child.
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(resultPipe[0]);
+    ::close(resultPipe[1]);
+    ::close(errPipe[0]);
+    ::close(errPipe[1]);
+    throw ContractViolation("fork() failed for the isolated attempt");
+  }
+  if (pid == 0) {
+    ::close(resultPipe[0]);
+    ::close(errPipe[0]);
+    // The child's stderr *is* the capture channel; whatever the run (or
+    // its death throes — sanitizer reports, abort messages) writes lands
+    // in the supervisor's bounded tail.
+    ::dup2(errPipe[1], STDERR_FILENO);
+    ::close(errPipe[1]);
+    childMain(resultPipe[1], work, config.limits);
+  }
+
+  ::close(resultPipe[1]);
+  ::close(errPipe[1]);
+
+  std::string resultBytes;
+  std::string tail;
+  bool resultOverflow = false;
+  bool killedByUs = false;
+  bool resultOpen = true;
+  bool errOpen = true;
+
+  auto killChild = [&] {
+    if (!killedByUs) {
+      ::kill(pid, SIGKILL);
+      killedByUs = true;
+    }
+  };
+
+  char buffer[4096];
+  while (resultOpen || errOpen) {
+    if (config.cancel.stopRequested()) {
+      killChild();
+    }
+    struct pollfd fds[2];
+    nfds_t count = 0;
+    int resultIndex = -1;
+    int errIndex = -1;
+    if (resultOpen) {
+      fds[count].fd = resultPipe[0];
+      fds[count].events = POLLIN;
+      fds[count].revents = 0;
+      resultIndex = static_cast<int>(count++);
+    }
+    if (errOpen) {
+      fds[count].fd = errPipe[0];
+      fds[count].events = POLLIN;
+      fds[count].revents = 0;
+      errIndex = static_cast<int>(count++);
+    }
+    const int ready = ::poll(fds, count, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (ready == 0) {
+      continue;
+    }
+    auto drain = [&](int index, bool* open, bool isResult) {
+      if (index < 0 ||
+          (fds[index].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        return;
+      }
+      const int fd = fds[index].fd;
+      const ssize_t n = ::read(fd, buffer, sizeof buffer);
+      if (n > 0) {
+        const auto got = static_cast<std::size_t>(n);
+        if (isResult) {
+          if (resultBytes.size() + got > kMaxResultBytes) {
+            resultOverflow = true;
+          } else {
+            resultBytes.append(buffer, got);
+          }
+        } else {
+          tail.append(buffer, got);
+          if (tail.size() > config.stderrTailBytes) {
+            tail.erase(0, tail.size() - config.stderrTailBytes);
+          }
+        }
+        return;
+      }
+      if (n == 0 || errno != EINTR) {
+        *open = false;
+      }
+    };
+    drain(resultIndex, &resultOpen, /*isResult=*/true);
+    drain(errIndex, &errOpen, /*isResult=*/false);
+  }
+  ::close(resultPipe[0]);
+  ::close(errPipe[0]);
+
+  // Both pipes are at EOF, so the child is exiting (or already dead);
+  // WNOHANG keeps the supervisor responsive to a late cancellation in
+  // the window where a pathological child closed its fds but lingers.
+  int status = 0;
+  for (;;) {
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid) {
+      break;
+    }
+    if (reaped < 0 && errno != EINTR) {
+      break;  // nothing left to reap (ECHILD); decode what we have
+    }
+    if (config.cancel.stopRequested()) {
+      killChild();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(kPollMillis));
+  }
+
+  ChildOutcome outcome;
+  outcome.stderrTail = sanitizeTail(tail);
+  const bool exited = WIFEXITED(status);
+  const bool signalled = WIFSIGNALED(status);
+  const int exitCode = exited ? WEXITSTATUS(status) : -1;
+  const int deathSignal = signalled ? WTERMSIG(status) : 0;
+
+  if (exited && exitCode == 0 && !resultOverflow) {
+    // Clean exit: the frame is authoritative.
+    auto payload = decodeFrame(resultBytes);
+    if (!payload) {
+      outcome.status = ChildStatus::kCrash;
+      outcome.exitCode = exitCode;
+      outcome.error = "child exited cleanly but its result frame is "
+                      "invalid: " + payload.error().message();
+      return outcome;
+    }
+    auto message = decodeChildMessage(*payload);
+    if (!message) {
+      outcome.status = ChildStatus::kCrash;
+      outcome.exitCode = exitCode;
+      outcome.error = "child exited cleanly but its result message is "
+                      "invalid: " + message.error().message();
+      return outcome;
+    }
+    switch (message->kind) {
+      case ChildMessage::Kind::kProfile:
+        outcome.status = ChildStatus::kOk;
+        outcome.profile = std::move(message->profile);
+        break;
+      case ChildMessage::Kind::kException:
+        outcome.status = ChildStatus::kException;
+        outcome.error = std::move(message->error);
+        break;
+      case ChildMessage::Kind::kAborted:
+        outcome.status = ChildStatus::kAborted;
+        outcome.error = std::move(message->error);
+        outcome.abortReason =
+            message->abortReason ==
+                    static_cast<std::uint8_t>(AbortReason::kCycleBudget)
+                ? AbortReason::kCycleBudget
+                : AbortReason::kCancelled;
+        outcome.abortCycle = message->abortCycle;
+        break;
+    }
+    return outcome;
+  }
+
+  if (killedByUs) {
+    outcome.status = ChildStatus::kKilled;
+    outcome.signal = SIGKILL;
+    outcome.error = "isolated run killed by the supervisor "
+                    "(cancellation or deadline)";
+    return outcome;
+  }
+
+  outcome.status = ChildStatus::kCrash;
+  outcome.signal = deathSignal;
+  outcome.exitCode = exitCode;
+  if (deathSignal == SIGXCPU) {
+    outcome.rlimit = "cpu";
+  } else if (outcome.stderrTail.find(fault::kOutOfMemoryMarker) !=
+             std::string::npos) {
+    outcome.rlimit = "address-space";
+  }
+  if (resultOverflow) {
+    outcome.error = "child flooded the result pipe past " +
+                    std::to_string(kMaxResultBytes) + " bytes";
+  } else if (signalled) {
+    outcome.error = "child terminated by signal " +
+                    std::to_string(deathSignal) + " (" +
+                    signalName(deathSignal) + ")";
+  } else {
+    outcome.error =
+        "child exited with status " + std::to_string(exitCode);
+  }
+  if (!outcome.rlimit.empty()) {
+    outcome.error += " after exceeding its " + outcome.rlimit + " limit";
+  }
+  return outcome;
+}
+
+#else  // !OCCM_HAS_FORK
+
+ChildOutcome runInChild(const std::function<perf::RunProfile()>& /*work*/,
+                        const ProcessRunnerConfig& /*config*/) {
+  throw ContractViolation(
+      "process isolation (fork) is not supported on this platform");
+}
+
+#endif
+
+}  // namespace occm::exec

@@ -1,0 +1,61 @@
+#include "fault/crash_injection.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace occm::fault {
+
+namespace {
+
+// The null store goes through a volatile global so no compiler can prove
+// the dereference and "optimize" the crash into something else.
+volatile std::uintptr_t gCrashAddress = 0;
+
+}  // namespace
+
+void executeInjectedCrash(FaultKind kind, Cycles atCycle) {
+  OCCM_REQUIRE_MSG(isCrashKind(kind), "not a crash-injection fault kind");
+  std::fprintf(stderr, "occm: injected crash (%s) at simulated cycle %llu\n",
+               toString(kind),
+               static_cast<unsigned long long>(atCycle));
+  std::fflush(stderr);
+  switch (kind) {
+    case FaultKind::kCrashSegv: {
+      auto* target = reinterpret_cast<volatile int*>(gCrashAddress);
+      *target = 42;  // SIGSEGV (or a sanitizer's report-and-exit)
+      break;
+    }
+    case FaultKind::kCrashOom: {
+      // Touch every page so the allocation really consumes address space
+      // and commit; under an RLIMIT_AS budget operator new eventually
+      // fails and the catch below turns it into a marked abort.
+      try {
+        std::vector<char*> hoard;
+        constexpr std::size_t kChunk = std::size_t{8} << 20;
+        for (;;) {
+          char* chunk = new char[kChunk];
+          std::memset(chunk, 0x5A, kChunk);
+          hoard.push_back(chunk);
+        }
+      } catch (const std::bad_alloc&) {
+        std::fprintf(stderr, "occm: injected oom: %s\n", kOutOfMemoryMarker);
+        std::fflush(stderr);
+      }
+      break;
+    }
+    case FaultKind::kCrashAbort:
+    default:
+      break;
+  }
+  // kCrashAbort lands here directly; the other kinds only reach it when
+  // their primary mechanism was absorbed (sanitizer handlers, no rlimit).
+  std::abort();
+}
+
+}  // namespace occm::fault

@@ -1,0 +1,34 @@
+#pragma once
+
+// Execution side of the FaultPlan crash kinds (kCrashAbort / kCrashSegv /
+// kCrashOom): deterministic hard process death at a scripted simulated
+// cycle. The simulator calls executeInjectedCrash at its event-loop
+// boundary — the same deterministic point budgets and cancellation use —
+// so the same plan kills the same run at the same event on every machine,
+// seed and pool size.
+//
+// These crashes are only survivable under process isolation
+// (exec::runInChild): the supervisor decodes the death into a structured
+// RunFailure{kind = crash} while the rest of the sweep continues. Running
+// a crash plan in-process kills the whole harness, which is why
+// analysis::runSweep refuses crash plans without isolation enabled.
+
+#include "common/types.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace occm::fault {
+
+/// Marker written to stderr before an injected (or budget-triggered) OOM
+/// abort; the supervisor matches it to classify the crash as an
+/// address-space rlimit hit rather than a plain SIGABRT.
+inline constexpr char kOutOfMemoryMarker[] =
+    "memory budget (RLIMIT_AS) exceeded";
+
+/// Kills the current process in the way `kind` prescribes, after writing
+/// a one-line diagnostic (with the cycle) to stderr. Requires
+/// isCrashKind(kind). Never returns: abort raises SIGABRT, segv dies on a
+/// null store, and oom allocates until the address-space budget ends the
+/// process (or aborts with kOutOfMemoryMarker when allocation fails).
+[[noreturn]] void executeInjectedCrash(FaultKind kind, Cycles atCycle);
+
+}  // namespace occm::fault

@@ -58,6 +58,12 @@ FaultEngine::FaultEngine(const FaultPlan& plan,
         }
         break;
       }
+      case FaultKind::kCrashAbort:
+      case FaultKind::kCrashSegv:
+      case FaultKind::kCrashOom:
+        // Crash injections kill the run *process*, not the memory system;
+        // MachineSim executes them directly at its event-loop boundary.
+        break;
     }
   }
 

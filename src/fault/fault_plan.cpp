@@ -65,9 +65,63 @@ FaultPlan& FaultPlan::backgroundTraffic(NodeId node, Cycles start, Cycles end,
   return *this;
 }
 
+FaultPlan& FaultPlan::crashAbort(Cycles atCycle, int activeCores) {
+  OCCM_REQUIRE_MSG(activeCores >= 0,
+                   "crash active-core filter must be >= 0 (0 = every run)");
+  events_.push_back(
+      {FaultKind::kCrashAbort, activeCores, atCycle, atCycle + 1, 1.0, 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crashSegv(Cycles atCycle, int activeCores) {
+  OCCM_REQUIRE_MSG(activeCores >= 0,
+                   "crash active-core filter must be >= 0 (0 = every run)");
+  events_.push_back(
+      {FaultKind::kCrashSegv, activeCores, atCycle, atCycle + 1, 1.0, 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crashOom(Cycles atCycle, int activeCores) {
+  OCCM_REQUIRE_MSG(activeCores >= 0,
+                   "crash active-core filter must be >= 0 (0 = every run)");
+  events_.push_back(
+      {FaultKind::kCrashOom, activeCores, atCycle, atCycle + 1, 1.0, 0, 0});
+  return *this;
+}
+
+bool FaultPlan::hasCrash() const noexcept {
+  for (const FaultEvent& e : events_) {
+    if (isCrashKind(e.kind)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const FaultEvent* FaultPlan::firstCrash(int activeCores) const noexcept {
+  const FaultEvent* best = nullptr;
+  for (const FaultEvent& e : events_) {
+    if (!isCrashKind(e.kind)) {
+      continue;
+    }
+    if (e.target != 0 && e.target != activeCores) {
+      continue;
+    }
+    if (best == nullptr || e.start < best->start) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
 void FaultPlan::validate(int controllers, int cores,
                          std::span<const NodeId> activeNodes) const {
   for (const FaultEvent& e : events_) {
+    if (isCrashKind(e.kind)) {
+      // A crash event's target is an active-core-count filter, not a
+      // machine resource — nothing machine-dependent to check.
+      continue;
+    }
     const bool coreFault = e.kind == FaultKind::kCoreThrottle;
     const std::int32_t limit = coreFault ? cores : controllers;
     OCCM_REQUIRE_MSG(e.target < limit,

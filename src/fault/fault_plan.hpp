@@ -27,6 +27,12 @@ enum class FaultKind : std::uint8_t {
   kCoreThrottle,       ///< thermal throttle: core work cycles stretched
   kEccSpike,           ///< probabilistic ECC-retry latency added per request
   kBackgroundTraffic,  ///< periodic interfering transfers at one controller
+  // Crash injections: the run *process* dies at a scripted cycle. These
+  // exist to exercise the supervised (process-isolated) sweep path
+  // end-to-end; a sweep refuses a crash plan unless isolation is enabled.
+  kCrashAbort,  ///< std::abort() at the scripted cycle (SIGABRT)
+  kCrashSegv,   ///< null-pointer store at the scripted cycle (SIGSEGV)
+  kCrashOom,    ///< allocate until the memory budget kills the process
 };
 
 [[nodiscard]] constexpr const char* toString(FaultKind kind) noexcept {
@@ -36,14 +42,25 @@ enum class FaultKind : std::uint8_t {
     case FaultKind::kCoreThrottle: return "core-throttle";
     case FaultKind::kEccSpike: return "ecc-spike";
     case FaultKind::kBackgroundTraffic: return "background-traffic";
+    case FaultKind::kCrashAbort: return "crash-abort";
+    case FaultKind::kCrashSegv: return "crash-segv";
+    case FaultKind::kCrashOom: return "crash-oom";
   }
   return "unknown";
+}
+
+/// True for the fault kinds that kill the run process (see above).
+[[nodiscard]] constexpr bool isCrashKind(FaultKind kind) noexcept {
+  return kind == FaultKind::kCrashAbort || kind == FaultKind::kCrashSegv ||
+         kind == FaultKind::kCrashOom;
 }
 
 /// One scripted fault window [start, end) in simulated cycles.
 struct FaultEvent {
   FaultKind kind = FaultKind::kControllerOutage;
-  /// NodeId for controller faults, CoreId for throttle windows.
+  /// NodeId for controller faults, CoreId for throttle windows. For crash
+  /// kinds: the active-core count the crash applies to (0 = every run),
+  /// so a sweep-wide plan can kill exactly one of its core counts.
   std::int32_t target = 0;
   Cycles start = 0;
   Cycles end = 0;
@@ -83,10 +100,31 @@ class FaultPlan {
   FaultPlan& backgroundTraffic(NodeId node, Cycles start, Cycles end,
                                Cycles period);
 
+  /// The run process calls std::abort() at the first simulated event at
+  /// or past `atCycle` — deterministic across machines, seeds and pool
+  /// sizes. `activeCores` restricts the crash to runs with exactly that
+  /// active-core count (0 = every run). Requires process isolation when
+  /// used through runSweep.
+  FaultPlan& crashAbort(Cycles atCycle, int activeCores = 0);
+
+  /// As crashAbort, but dies on a null-pointer store (SIGSEGV).
+  FaultPlan& crashSegv(Cycles atCycle, int activeCores = 0);
+
+  /// As crashAbort, but allocates until the process's memory budget
+  /// (RLIMIT_AS in an isolated child) kills it.
+  FaultPlan& crashOom(Cycles atCycle, int activeCores = 0);
+
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
   }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// True when the plan contains any crash-injection event.
+  [[nodiscard]] bool hasCrash() const noexcept;
+
+  /// Earliest crash event that applies to a run with `activeCores` active
+  /// cores (matching target, or target 0 = any); nullptr when none does.
+  [[nodiscard]] const FaultEvent* firstCrash(int activeCores) const noexcept;
 
   /// Machine-dependent validation: targets in range, and controller
   /// outages never cover every active controller at once (the memory

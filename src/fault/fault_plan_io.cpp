@@ -23,7 +23,8 @@ bool parseKind(const std::string& text, FaultKind* out) {
   for (const FaultKind kind :
        {FaultKind::kControllerOutage, FaultKind::kControllerDegrade,
         FaultKind::kCoreThrottle, FaultKind::kEccSpike,
-        FaultKind::kBackgroundTraffic}) {
+        FaultKind::kBackgroundTraffic, FaultKind::kCrashAbort,
+        FaultKind::kCrashSegv, FaultKind::kCrashOom}) {
     if (text == toString(kind)) {
       *out = kind;
       return true;
@@ -70,6 +71,15 @@ bool appendEvent(FaultPlan& plan, const FaultEvent& e, std::string* detail) {
         return true;
       case FaultKind::kBackgroundTraffic:
         plan.backgroundTraffic(e.target, e.start, e.end, e.period);
+        return true;
+      case FaultKind::kCrashAbort:
+        plan.crashAbort(e.start, e.target);
+        return true;
+      case FaultKind::kCrashSegv:
+        plan.crashSegv(e.start, e.target);
+        return true;
+      case FaultKind::kCrashOom:
+        plan.crashOom(e.start, e.target);
         return true;
     }
     *detail = "unknown fault kind value";

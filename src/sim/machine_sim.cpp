@@ -9,6 +9,7 @@
 #include "cache/hierarchy.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "fault/crash_injection.hpp"
 #include "fault/fault_engine.hpp"
 #include "perf/miss_sampler.hpp"
 
@@ -388,9 +389,19 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
   // event boundary after the stop request lands.
   const Cycles cycleBudget = config_.cycleBudget;
   const bool pollCancel = config_.cancel.valid();
+  // Deterministic crash injection (fault::FaultPlan::crash*): the process
+  // dies at the first event boundary at or past the scripted cycle — the
+  // same event on every machine and pool size — so crash-containment
+  // paths are testable on demand. Filtered by active core count so a
+  // sweep-wide plan can kill exactly one of its runs.
+  const fault::FaultEvent* crash =
+      config_.faultPlan.firstCrash(activeCores);
 
   while (!events.empty()) {
     const Event ev = events.top();
+    if (crash != nullptr && ev.time >= crash->start) {
+      fault::executeInjectedCrash(crash->kind, ev.time);
+    }
     if (cycleBudget != 0 && ev.time > cycleBudget) {
       throw RunAborted(AbortReason::kCycleBudget, ev.time,
                        "simulation exceeded its cycle budget of " +

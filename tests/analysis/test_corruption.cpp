@@ -75,7 +75,7 @@ SweepCheckpoint sampleCheckpoint() {
   ckpt.runs.push_back({2, 1.5e6, 5.0e5, 7.6e5});
   ckpt.runs.push_back({4, 2.25e6, 9.1e5, 6.0e5});
   ckpt.failures.push_back({3, 2, "synthetic \"quoted\" crash\n", true, 4,
-                           RunFailureKind::kException});
+                           RunFailureKind::kException, 0, "", ""});
   return ckpt;
 }
 
@@ -315,15 +315,23 @@ TEST(CorruptionSuite, LegacyV1CheckpointStillLoads) {
 TEST(CorruptionSuite, CheckpointRoundTripsAllFailureKinds) {
   SweepCheckpoint ckpt = sampleCheckpoint();
   ckpt.failures.push_back({5, 1, "over budget", false, 2,
-                           RunFailureKind::kTimeout});
+                           RunFailureKind::kTimeout, 0, "", ""});
   ckpt.failures.push_back({6, 1, "ctrl-c", false, 2,
-                           RunFailureKind::kCancelled});
+                           RunFailureKind::kCancelled, 0, "", ""});
+  ckpt.failures.push_back({7, 2, "child terminated by signal 11", false, 2,
+                           RunFailureKind::kCrash, 11, "address-space",
+                           "occm: injected crash\nSegmentation fault"});
   const auto back = SweepCheckpoint::parseChecked(ckpt.toJson());
   ASSERT_TRUE(back.hasValue()) << back.error().message();
-  ASSERT_EQ(back->failures.size(), 3u);
+  ASSERT_EQ(back->failures.size(), 4u);
   EXPECT_EQ(back->failures[0].kind, RunFailureKind::kException);
   EXPECT_EQ(back->failures[1].kind, RunFailureKind::kTimeout);
   EXPECT_EQ(back->failures[2].kind, RunFailureKind::kCancelled);
+  EXPECT_EQ(back->failures[3].kind, RunFailureKind::kCrash);
+  EXPECT_EQ(back->failures[3].signal, 11);
+  EXPECT_EQ(back->failures[3].rlimit, "address-space");
+  EXPECT_EQ(back->failures[3].stderrTail,
+            "occm: injected crash\nSegmentation fault");
   EXPECT_EQ(back->toJson(), ckpt.toJson());
 }
 

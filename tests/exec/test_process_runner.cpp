@@ -1,0 +1,365 @@
+// Crash-containment tests for the process isolation runner: the IPC frame
+// codec round-trips a fully populated RunProfile bit-exactly and rejects
+// corrupt bytes with typed errors, and runInChild decodes every way a
+// child can end — clean profile, exception, signal death (SIGKILL /
+// SIGSEGV / abort), RLIMIT_AS exhaustion, supervisor kill — into a
+// structured ChildOutcome without ever crashing the parent.
+//
+// Sanitizers change crash signatures (asan intercepts SIGSEGV and turns
+// it into a nonzero exit; RLIMIT_AS fights the shadow mappings), so
+// exact-signal assertions relax and the OOM test skips under them.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.hpp"
+#include "exec/ipc.hpp"
+#include "exec/process_runner.hpp"
+#include "fault/crash_injection.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define OCCM_UNDER_SANITIZER 1
+#endif
+#if !defined(OCCM_UNDER_SANITIZER) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define OCCM_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef OCCM_UNDER_SANITIZER
+#define OCCM_UNDER_SANITIZER 0
+#endif
+
+namespace occm::exec {
+namespace {
+
+/// A profile with every serialized field populated with a distinctive
+/// value, so a codec that drops or reorders a field cannot round-trip.
+perf::RunProfile sampleProfile() {
+  perf::RunProfile p;
+  p.program = "CG.S";
+  p.machine = "test-numa-4 \"quoted\"\n";
+  p.threads = 4;
+  p.activeCores = 3;
+  p.counters = {101, 17, 4242, 99};
+  p.perCore.push_back({11, 3, 40, 5});
+  p.perCore.push_back({0, 0, 0, 0});
+  p.perCore.push_back({90, 14, 4202, 94});
+  p.coherenceMisses = 7;
+  p.writebacks = 13;
+  p.contextSwitches = 2;
+  p.makespan = 98;
+  mem::ControllerStats stats;
+  stats.requests = 1;
+  stats.writebacks = 2;
+  stats.remoteRequests = 3;
+  stats.rowHits = 4;
+  stats.rowMisses = 5;
+  stats.busyCycles = 6;
+  stats.totalWait = 7;
+  stats.totalService = 8;
+  stats.reroutedAway = 9;
+  stats.absorbed = 10;
+  stats.retryAttempts = 11;
+  stats.eccRetries = 12;
+  stats.background = 13;
+  p.controllerStats.push_back(stats);
+  p.channelsPerController = 2;
+  p.missWindows = {5, 0, 12};
+  p.samplerWindowCycles = 13'350;
+  p.faultEpochs.push_back({"controller-outage", 1, 20'000, 60'000, 1.0});
+  p.faultEpochs.push_back({"ecc-spike", 0, 70'000, 90'000, 0.05});
+  p.reroutedRequests = 21;
+  p.faultRetries = 22;
+  p.backgroundRequests = 23;
+  p.throttledCycles = 24;
+  return p;
+}
+
+void expectCountersEq(const perf::CounterSet& a, const perf::CounterSet& b) {
+  EXPECT_EQ(a.totalCycles, b.totalCycles);
+  EXPECT_EQ(a.stallCycles, b.stallCycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.llcMisses, b.llcMisses);
+}
+
+void expectProfilesEq(const perf::RunProfile& a, const perf::RunProfile& b) {
+  EXPECT_EQ(a.program, b.program);
+  EXPECT_EQ(a.machine, b.machine);
+  EXPECT_EQ(a.threads, b.threads);
+  EXPECT_EQ(a.activeCores, b.activeCores);
+  expectCountersEq(a.counters, b.counters);
+  ASSERT_EQ(a.perCore.size(), b.perCore.size());
+  for (std::size_t i = 0; i < a.perCore.size(); ++i) {
+    expectCountersEq(a.perCore[i], b.perCore[i]);
+  }
+  EXPECT_EQ(a.coherenceMisses, b.coherenceMisses);
+  EXPECT_EQ(a.writebacks, b.writebacks);
+  EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+  EXPECT_EQ(a.makespan, b.makespan);
+  ASSERT_EQ(a.controllerStats.size(), b.controllerStats.size());
+  for (std::size_t i = 0; i < a.controllerStats.size(); ++i) {
+    const mem::ControllerStats& x = a.controllerStats[i];
+    const mem::ControllerStats& y = b.controllerStats[i];
+    EXPECT_EQ(x.requests, y.requests);
+    EXPECT_EQ(x.writebacks, y.writebacks);
+    EXPECT_EQ(x.remoteRequests, y.remoteRequests);
+    EXPECT_EQ(x.rowHits, y.rowHits);
+    EXPECT_EQ(x.rowMisses, y.rowMisses);
+    EXPECT_EQ(x.busyCycles, y.busyCycles);
+    EXPECT_EQ(x.totalWait, y.totalWait);
+    EXPECT_EQ(x.totalService, y.totalService);
+    EXPECT_EQ(x.reroutedAway, y.reroutedAway);
+    EXPECT_EQ(x.absorbed, y.absorbed);
+    EXPECT_EQ(x.retryAttempts, y.retryAttempts);
+    EXPECT_EQ(x.eccRetries, y.eccRetries);
+    EXPECT_EQ(x.background, y.background);
+  }
+  EXPECT_EQ(a.channelsPerController, b.channelsPerController);
+  EXPECT_EQ(a.missWindows, b.missWindows);
+  EXPECT_EQ(a.samplerWindowCycles, b.samplerWindowCycles);
+  ASSERT_EQ(a.faultEpochs.size(), b.faultEpochs.size());
+  for (std::size_t i = 0; i < a.faultEpochs.size(); ++i) {
+    EXPECT_EQ(a.faultEpochs[i].kind, b.faultEpochs[i].kind);
+    EXPECT_EQ(a.faultEpochs[i].target, b.faultEpochs[i].target);
+    EXPECT_EQ(a.faultEpochs[i].start, b.faultEpochs[i].start);
+    EXPECT_EQ(a.faultEpochs[i].end, b.faultEpochs[i].end);
+    EXPECT_EQ(a.faultEpochs[i].magnitude, b.faultEpochs[i].magnitude);
+  }
+  EXPECT_EQ(a.reroutedRequests, b.reroutedRequests);
+  EXPECT_EQ(a.faultRetries, b.faultRetries);
+  EXPECT_EQ(a.backgroundRequests, b.backgroundRequests);
+  EXPECT_EQ(a.throttledCycles, b.throttledCycles);
+}
+
+TEST(IpcCodec, FrameRoundTripsArbitraryPayloads) {
+  for (const std::string& payload :
+       {std::string(), std::string("x"), std::string(1000, '\0'),
+        std::string("binary\x01\xff\n bytes")}) {
+    const std::string frame = encodeFrame(payload);
+    const auto back = decodeFrame(frame);
+    ASSERT_TRUE(back.hasValue()) << back.error().message();
+    EXPECT_EQ(*back, payload);
+  }
+}
+
+TEST(IpcCodec, FrameRejectsCorruptBytesWithTypedErrors) {
+  const std::string frame = encodeFrame("the payload");
+
+  // Truncation at every prefix length fails without UB.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    const auto r = decodeFrame(frame.substr(0, len));
+    EXPECT_FALSE(r.hasValue()) << "prefix of " << len << " bytes";
+  }
+  // Trailing garbage is an error: the pipe carries exactly one frame.
+  EXPECT_FALSE(decodeFrame(frame + "x").hasValue());
+  // Bad magic.
+  std::string bad = frame;
+  bad[0] = 'X';
+  EXPECT_FALSE(decodeFrame(bad).hasValue());
+  // Flipped payload bit -> CRC mismatch, and the message names the crc.
+  bad = frame;
+  bad[9] = static_cast<char>(bad[9] ^ 0x01);
+  const auto r = decodeFrame(bad);
+  ASSERT_FALSE(r.hasValue());
+  EXPECT_NE(r.error().message().find("crc"), std::string::npos)
+      << r.error().message();
+}
+
+TEST(IpcCodec, ChildMessageRoundTripsFullProfile) {
+  ChildMessage message;
+  message.kind = ChildMessage::Kind::kProfile;
+  message.profile = sampleProfile();
+  const auto back = decodeChildMessage(encodeChildMessage(message));
+  ASSERT_TRUE(back.hasValue()) << back.error().message();
+  EXPECT_EQ(back->kind, ChildMessage::Kind::kProfile);
+  expectProfilesEq(back->profile, message.profile);
+}
+
+TEST(IpcCodec, ChildMessageRoundTripsExceptionAndAbort) {
+  ChildMessage error;
+  error.kind = ChildMessage::Kind::kException;
+  error.error = "what() with\nnewlines and \"quotes\"";
+  auto back = decodeChildMessage(encodeChildMessage(error));
+  ASSERT_TRUE(back.hasValue());
+  EXPECT_EQ(back->kind, ChildMessage::Kind::kException);
+  EXPECT_EQ(back->error, error.error);
+
+  ChildMessage aborted;
+  aborted.kind = ChildMessage::Kind::kAborted;
+  aborted.error = "budget blown";
+  aborted.abortReason = static_cast<std::uint8_t>(AbortReason::kCycleBudget);
+  aborted.abortCycle = 123'456'789ULL;
+  back = decodeChildMessage(encodeChildMessage(aborted));
+  ASSERT_TRUE(back.hasValue());
+  EXPECT_EQ(back->kind, ChildMessage::Kind::kAborted);
+  EXPECT_EQ(back->abortReason, aborted.abortReason);
+  EXPECT_EQ(back->abortCycle, aborted.abortCycle);
+}
+
+TEST(IpcCodec, ChildMessageRejectsTruncationEverywhere) {
+  ChildMessage message;
+  message.kind = ChildMessage::Kind::kProfile;
+  message.profile = sampleProfile();
+  const std::string payload = encodeChildMessage(message);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const auto r = decodeChildMessage(payload.substr(0, len));
+    EXPECT_FALSE(r.hasValue()) << "prefix of " << len << " bytes";
+  }
+}
+
+TEST(ProcessRunner, IsolationIsSupportedOnThisPlatform) {
+  // The whole suite targets POSIX; if this fails, every skip below is
+  // hiding a porting problem, so fail loudly instead.
+  EXPECT_TRUE(processIsolationSupported());
+}
+
+TEST(ProcessRunner, ShipsProfileBackBitExact) {
+  const ChildOutcome outcome =
+      runInChild([] { return sampleProfile(); });
+  ASSERT_EQ(outcome.status, ChildStatus::kOk) << outcome.error;
+  expectProfilesEq(outcome.profile, sampleProfile());
+  EXPECT_EQ(outcome.signal, 0);
+}
+
+TEST(ProcessRunner, PropagatesExceptionsAsData) {
+  const ChildOutcome outcome = runInChild([]() -> perf::RunProfile {
+    throw std::runtime_error("boom in the child");
+  });
+  EXPECT_EQ(outcome.status, ChildStatus::kException);
+  EXPECT_NE(outcome.error.find("boom in the child"), std::string::npos);
+}
+
+TEST(ProcessRunner, PropagatesRunAbortedAsData) {
+  const ChildOutcome outcome = runInChild([]() -> perf::RunProfile {
+    throw RunAborted(AbortReason::kCycleBudget, 4242, "over budget");
+  });
+  EXPECT_EQ(outcome.status, ChildStatus::kAborted);
+  EXPECT_EQ(outcome.abortReason, AbortReason::kCycleBudget);
+  EXPECT_EQ(outcome.abortCycle, 4242u);
+  EXPECT_NE(outcome.error.find("over budget"), std::string::npos);
+}
+
+TEST(ProcessRunner, ReportsSigkillDeath) {
+  // SIGKILL cannot be caught by any runtime (sanitizers included), so the
+  // expectation holds everywhere.
+  const ChildOutcome outcome = runInChild([]() -> perf::RunProfile {
+    std::raise(SIGKILL);
+    return {};
+  });
+  EXPECT_EQ(outcome.status, ChildStatus::kCrash);
+  EXPECT_EQ(outcome.signal, SIGKILL);
+  EXPECT_TRUE(outcome.rlimit.empty()) << outcome.rlimit;
+  EXPECT_NE(outcome.error.find("SIGKILL"), std::string::npos)
+      << outcome.error;
+}
+
+TEST(ProcessRunner, ReportsSegfaultDeath) {
+  const ChildOutcome outcome = runInChild([]() -> perf::RunProfile {
+    // Through a volatile so no compiler proves (and rejects) the trap.
+    volatile int* target = nullptr;
+    *target = 42;
+    return {};
+  });
+  EXPECT_EQ(outcome.status, ChildStatus::kCrash) << outcome.error;
+#if !OCCM_UNDER_SANITIZER
+  EXPECT_EQ(outcome.signal, SIGSEGV) << outcome.error;
+#endif
+}
+
+TEST(ProcessRunner, ReportsAbortDeath) {
+  const ChildOutcome outcome = runInChild([]() -> perf::RunProfile {
+    std::fprintf(stderr, "dying on purpose\n");
+    std::abort();
+  });
+  EXPECT_EQ(outcome.status, ChildStatus::kCrash);
+#if !OCCM_UNDER_SANITIZER
+  EXPECT_EQ(outcome.signal, SIGABRT) << outcome.error;
+#endif
+  // abort() without the OOM marker must not read as a memory-budget kill.
+  EXPECT_TRUE(outcome.rlimit.empty()) << outcome.rlimit;
+  EXPECT_NE(outcome.stderrTail.find("dying on purpose"), std::string::npos)
+      << outcome.stderrTail;
+}
+
+TEST(ProcessRunner, MemoryBudgetDeathIsClassifiedAsAddressSpace) {
+#if OCCM_UNDER_SANITIZER
+  GTEST_SKIP() << "RLIMIT_AS fights sanitizer shadow mappings";
+#else
+  ProcessRunnerConfig config;
+  config.limits.memoryBytes = std::uint64_t{256} << 20;
+  const ChildOutcome outcome = runInChild(
+      []() -> perf::RunProfile {
+        // Touch every allocation so the address space genuinely fills.
+        std::vector<char*> hoard;
+        for (;;) {
+          char* block = new char[8 << 20];
+          std::memset(block, 0x5A, 8 << 20);
+          hoard.push_back(block);
+        }
+      },
+      config);
+  EXPECT_EQ(outcome.status, ChildStatus::kCrash) << outcome.error;
+  EXPECT_EQ(outcome.rlimit, "address-space") << outcome.error;
+  EXPECT_NE(outcome.stderrTail.find(fault::kOutOfMemoryMarker),
+            std::string::npos)
+      << outcome.stderrTail;
+#endif
+}
+
+TEST(ProcessRunner, StderrTailKeepsLastBytesSanitized) {
+  ProcessRunnerConfig config;
+  config.stderrTailBytes = 64;
+  const ChildOutcome outcome = runInChild(
+      []() -> perf::RunProfile {
+        for (int i = 0; i < 1000; ++i) {
+          std::fprintf(stderr, "line %04d\n", i);
+        }
+        std::fprintf(stderr, "\x01\x02 the final words");
+        std::fflush(stderr);
+        std::abort();
+      },
+      config);
+  EXPECT_EQ(outcome.status, ChildStatus::kCrash);
+  EXPECT_LE(outcome.stderrTail.size(), 64u);
+  // The tail keeps the *last* bytes written...
+  EXPECT_NE(outcome.stderrTail.find("the final words"), std::string::npos)
+      << outcome.stderrTail;
+  // ...not the first, and control bytes arrive sanitized to '.'.
+  EXPECT_EQ(outcome.stderrTail.find("line 0000"), std::string::npos);
+  EXPECT_EQ(outcome.stderrTail.find('\x01'), std::string::npos);
+  EXPECT_NE(outcome.stderrTail.find(". the final words"), std::string::npos)
+      << outcome.stderrTail;
+}
+
+TEST(ProcessRunner, SupervisorKillsChildWhenTokenFires) {
+  CancellationSource stop;
+  ProcessRunnerConfig config;
+  config.cancel = stop.token();
+  std::thread trigger([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.requestStop();
+  });
+  const ChildOutcome outcome = runInChild(
+      []() -> perf::RunProfile {
+        // Without the supervisor's SIGKILL this child would outlive any
+        // reasonable test timeout.
+        std::this_thread::sleep_for(std::chrono::seconds(300));
+        return {};
+      },
+      config);
+  trigger.join();
+  EXPECT_EQ(outcome.status, ChildStatus::kKilled) << outcome.error;
+  EXPECT_EQ(outcome.signal, SIGKILL);
+}
+
+}  // namespace
+}  // namespace occm::exec
