@@ -34,7 +34,7 @@ void report(const std::string& label, double omega, double baseline) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::parseWorkers(argc, argv);
+  bench::parseBenchArgs(argc, argv);
   using topology::MachineSpec;
   const MachineSpec base = topology::intelNuma24();
   const sim::SimConfig defaults;

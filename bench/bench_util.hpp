@@ -25,24 +25,89 @@ inline int& sweepWorkers() {
   return workers;
 }
 
-/// Parses an optional `--workers=N` argument (every driver's only flag)
-/// into sweepWorkers(); N >= 1. Other arguments are left untouched.
-inline void parseWorkers(int argc, char** argv) {
+/// Command-line arguments shared by every bench driver. Drivers that only
+/// need the pool size may ignore the returned struct — parseBenchArgs
+/// also stores workers into sweepWorkers().
+struct BenchArgs {
+  int workers = 0;       ///< sweep pool size; 0 resolves via env/hardware
+  int repeats = 0;       ///< measured repeats; 0 = driver default
+  int warmup = -1;       ///< warmup repeats; -1 = driver default
+  bool quick = false;    ///< reduced CI grid (perf_baseline)
+  std::string jsonPath;  ///< BENCH_*.json output path; empty = none
+};
+
+/// Strict shared argument parser: accepts --workers=N, --repeats=N,
+/// --warmup=N, --json=PATH, --quick and --help, and *errors out* (usage
+/// on stderr, exit code 2) on anything unrecognized or malformed —
+/// replacing the old parseWorkers, which silently ignored every flag it
+/// did not know, typos included.
+inline BenchArgs parseBenchArgs(int argc, char** argv) {
+  const auto usage = [&](std::FILE* to) {
+    std::fprintf(
+        to,
+        "usage: %s [--workers=N] [--repeats=N] [--warmup=N] [--json=PATH] "
+        "[--quick]\n"
+        "  --workers=N  sweep pool size (default: OCCM_SWEEP_WORKERS or "
+        "hardware concurrency)\n"
+        "  --repeats=N  measured repeats per grid point (default: driver)\n"
+        "  --warmup=N   discarded warmup repeats (default: driver)\n"
+        "  --json=PATH  write a BENCH_*.json report to PATH\n"
+        "  --quick      reduced grid for CI smoke runs\n",
+        argc > 0 ? argv[0] : "bench");
+  };
+  const auto die = [&](const std::string& why) {
+    std::fprintf(stderr, "error: %s\n", why.c_str());
+    usage(stderr);
+    std::exit(2);
+  };
+  // Positive-integer flag value; dies on garbage, zero or trailing bytes.
+  const auto intValue = [&](const std::string& arg, std::size_t eq) {
+    const std::string digits = arg.substr(eq + 1);
+    char* end = nullptr;
+    const long value = std::strtol(digits.c_str(), &end, 10);
+    if (digits.empty() || *end != '\0' || value < 1 || value > 1 << 20) {
+      die("bad value in \"" + arg + "\" (want an integer >= 1)");
+    }
+    return static_cast<int>(value);
+  };
+  BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    constexpr const char* kFlag = "--workers=";
-    if (arg.rfind(kFlag, 0) == 0) {
-      const int value = std::atoi(arg.c_str() + std::string(kFlag).size());
-      if (value >= 1) {
-        sweepWorkers() = value;
-      } else {
-        std::fprintf(stderr, "ignoring bad %sN (N must be >= 1): %s\n",
-                     kFlag, arg.c_str());
+    const std::size_t eq = arg.find('=');
+    const std::string flag = arg.substr(0, eq);
+    if (flag == "--help" || flag == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else if (flag == "--quick") {
+      if (eq != std::string::npos) {
+        die("--quick takes no value: \"" + arg + "\"");
       }
+      args.quick = true;
+    } else if (flag == "--workers" || flag == "--repeats" ||
+               flag == "--warmup" || flag == "--json") {
+      if (eq == std::string::npos) {
+        die("\"" + arg + "\" needs a value: " + flag + "=...");
+      }
+      if (flag == "--json") {
+        args.jsonPath = arg.substr(eq + 1);
+        if (args.jsonPath.empty()) {
+          die("--json needs a non-empty path");
+        }
+      } else if (flag == "--workers") {
+        args.workers = intValue(arg, eq);
+      } else if (flag == "--repeats") {
+        args.repeats = intValue(arg, eq);
+      } else {
+        args.warmup = intValue(arg, eq);
+      }
+    } else {
+      die("unrecognized argument \"" + arg + "\"");
     }
   }
+  sweepWorkers() = args.workers;
   std::printf("sweep pool size: %d\n",
               exec::resolveWorkerCount(sweepWorkers()));
+  return args;
 }
 
 /// The five NPB dwarfs of Table I, in the paper's row order.

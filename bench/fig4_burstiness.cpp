@@ -54,7 +54,7 @@ void profileOne(const topology::MachineSpec& machine,
 }  // namespace
 
 int main(int argc, char** argv) {
-  occm::bench::parseWorkers(argc, argv);
+  occm::bench::parseBenchArgs(argc, argv);
   using occm::workloads::ProblemClass;
   using occm::workloads::Program;
   const auto machine = occm::topology::intelNuma24();

@@ -50,7 +50,7 @@ void runMachine(const topology::MachineSpec& machine) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  occm::bench::parseWorkers(argc, argv);
+  occm::bench::parseBenchArgs(argc, argv);
   for (const auto& machine : occm::topology::paperMachines()) {
     runMachine(machine);
   }

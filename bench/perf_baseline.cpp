@@ -1,0 +1,240 @@
+// perf_baseline: the simulator's self-benchmark — the source of the
+// checked-in BENCH_baseline.json throughput trajectory.
+//
+// Runs a (workload x topology x pool size) grid of sweeps; each grid cell
+// is timed over `--repeats` measured repeats after `--warmup` discarded
+// ones and reported as median/IQR/min/max wall time plus the derived
+// simulated-cycles/sec and requests/sec. Before anything is reported the
+// harness *verifies determinism*: within a cell every repeat must produce
+// the same CRC-32 fingerprint of the sweep's CSV, across the cell's pool
+// sizes the fingerprints must match, and a control run with the
+// self-profiler detached must match too — profiling and parallelism are
+// observers, never inputs (DESIGN.md §12).
+//
+// --quick runs the small test-topology cells only (CI smoke); the full
+// grid is a superset, so a quick run's fingerprints can be checked
+// against the checked-in baseline via scripts/bench_compare.py.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/csv.hpp"
+#include "bench_util.hpp"
+#include "common/crc32.hpp"
+#include "obs/profiler.hpp"
+#include "perf/bench_record.hpp"
+#include "topology/presets.hpp"
+
+namespace {
+
+using namespace occm;
+
+struct GridCell {
+  workloads::Program program;
+  workloads::ProblemClass problemClass;
+  std::string topology;  ///< preset name, as recorded in the JSON
+  bool quick;            ///< part of the CI smoke grid
+};
+
+topology::MachineSpec presetByName(const std::string& name) {
+  if (name == "testUma4") {
+    return topology::testUma4();
+  }
+  if (name == "testNuma4") {
+    return topology::testNuma4();
+  }
+  if (name == "intelUma8") {
+    return topology::intelUma8();
+  }
+  if (name == "intelNuma24") {
+    return topology::intelNuma24();
+  }
+  OCCM_REQUIRE_MSG(false, "unknown topology preset: " + name);
+}
+
+/// The benchmark grid. Quick cells use the tiny test machines (seconds in
+/// CI); full cells add the paper's machines. Every quick cell is also in
+/// the full baseline, which is what lets bench_compare.py check a CI
+/// quick run's fingerprints against the checked-in full report.
+std::vector<GridCell> gridCells(bool quickOnly) {
+  std::vector<GridCell> cells;
+  for (const workloads::Program p :
+       {workloads::Program::kEP, workloads::Program::kIS,
+        workloads::Program::kCG}) {
+    for (const char* topo : {"testUma4", "testNuma4"}) {
+      cells.push_back({p, workloads::ProblemClass::kS, topo, true});
+    }
+  }
+  if (!quickOnly) {
+    for (const workloads::Program p :
+         {workloads::Program::kEP, workloads::Program::kIS,
+          workloads::Program::kCG}) {
+      for (const char* topo : {"intelUma8", "intelNuma24"}) {
+        cells.push_back({p, workloads::ProblemClass::kW, topo, false});
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<int> coreCountsFor(const topology::MachineSpec& machine) {
+  std::vector<int> counts;
+  for (const int n : {1, 2, 4, 8}) {
+    if (n <= machine.logicalCores()) {
+      counts.push_back(n);
+    }
+  }
+  return counts;
+}
+
+/// One sweep of the cell. The profiler (nullable) observes host time;
+/// the returned sweep is the simulated result.
+analysis::SweepResult runCell(const GridCell& cell,
+                              const topology::MachineSpec& machine,
+                              int poolSize, obs::Profiler* profiler) {
+  analysis::SweepConfig config;
+  config.machine = machine;
+  config.workload.program = cell.program;
+  config.workload.problemClass = cell.problemClass;
+  config.coreCounts = coreCountsFor(machine);
+  config.parallel.workers = poolSize;
+  config.sim.profiler = profiler;
+  analysis::SweepResult sweep = analysis::runSweep(config);
+  OCCM_REQUIRE_MSG(sweep.failures.empty(),
+                   "baseline sweep must not have failures: " +
+                       sweep.diagnostics());
+  return sweep;
+}
+
+std::uint32_t fingerprintOf(const analysis::SweepResult& sweep) {
+  return crc32(analysis::sweepToCsv(sweep));
+}
+
+std::string compilerString() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string buildTypeString() {
+#if defined(NDEBUG)
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = occm::bench::parseBenchArgs(argc, argv);
+  const int repeats = args.repeats > 0 ? args.repeats : (args.quick ? 2 : 5);
+  const int warmup = args.warmup >= 0 ? args.warmup : 1;
+
+  perf::BenchReport report;
+  report.quick = args.quick;
+  report.repeats = repeats;
+  report.warmup = warmup;
+  report.compiler = compilerString();
+  report.buildType = buildTypeString();
+  report.obsEnabled = obs::kCompiledIn;
+  report.hardwareThreads =
+      static_cast<int>(std::thread::hardware_concurrency());
+
+  bench::printHeading("perf_baseline: simulator throughput grid (" +
+                      std::string(args.quick ? "quick" : "full") +
+                      ", repeats=" + std::to_string(repeats) +
+                      ", warmup=" + std::to_string(warmup) + ")");
+
+  const std::vector<int> poolSizes =
+      args.quick ? std::vector<int>{1, 2} : std::vector<int>{1, 4};
+
+  for (const GridCell& cell : gridCells(args.quick)) {
+    const topology::MachineSpec machine = presetByName(cell.topology);
+    const std::string name =
+        workloads::workloadName(cell.program, cell.problemClass);
+
+    // Determinism control: the same cell, serial, with no profiler.
+    const std::uint32_t unprofiled =
+        fingerprintOf(runCell(cell, machine, 1, nullptr));
+
+    for (const int poolSize : poolSizes) {
+      obs::Profiler profiler;
+      std::uint32_t fingerprint = 0;
+      std::uint64_t simCycles = 0;
+      std::uint64_t requests = 0;
+      int coreCountsRun = 0;
+      std::vector<double> wallMsSamples;
+      for (int rep = 0; rep < warmup + repeats; ++rep) {
+        const bool measured = rep >= warmup;
+        const std::uint64_t t0 = obs::steadyNowNs();
+        const analysis::SweepResult sweep =
+            runCell(cell, machine, poolSize, measured ? &profiler : nullptr);
+        const std::uint64_t wallNs = obs::steadyNowNs() - t0;
+        const std::uint32_t fp = fingerprintOf(sweep);
+        OCCM_REQUIRE_MSG(fp == unprofiled,
+                         "fingerprint diverged from the unprofiled serial "
+                         "control in " + name + "@" + cell.topology +
+                         " at pool size " + std::to_string(poolSize) +
+                         " — profiling or the pool changed the result");
+        if (!measured) {
+          continue;
+        }
+        wallMsSamples.push_back(static_cast<double>(wallNs) / 1e6);
+        fingerprint = fp;
+        simCycles = 0;
+        requests = 0;
+        coreCountsRun = static_cast<int>(sweep.profiles.size());
+        for (const perf::RunProfile& p : sweep.profiles) {
+          simCycles += p.counters.totalCycles;
+          for (const mem::ControllerStats& c : p.controllerStats) {
+            requests += c.requests;
+          }
+        }
+      }
+
+      perf::BenchPoint point;
+      point.program = name;
+      point.topology = cell.topology;
+      point.poolSize = poolSize;
+      point.coreCountsRun = coreCountsRun;
+      point.repeats = repeats;
+      point.fingerprint = fingerprint;
+      point.simCycles = simCycles;
+      point.requests = requests;
+      point.wallMs = perf::summarizeSamples(wallMsSamples);
+      const double medianSec = point.wallMs.median / 1e3;
+      if (medianSec > 0.0) {
+        point.simCyclesPerSec =
+            static_cast<double>(simCycles) / medianSec;
+        point.requestsPerSec = static_cast<double>(requests) / medianSec;
+      }
+      for (const obs::PhaseSnapshot& phase : profiler.phases()) {
+        point.phases.push_back(
+            {phase.name, phase.calls, phase.wallNs, phase.cpuNs});
+      }
+      report.points.push_back(point);
+
+      std::printf(
+          "%-6s %-12s pool=%d  fp=%08x  wall %8.2f ms (iqr %6.2f)  "
+          "%10.3g simcyc/s  %10.3g req/s\n",
+          name.c_str(), cell.topology.c_str(), poolSize, fingerprint,
+          point.wallMs.median, point.wallMs.iqr, point.simCyclesPerSec,
+          point.requestsPerSec);
+    }
+  }
+
+  if (!args.jsonPath.empty()) {
+    analysis::writeFile(args.jsonPath, perf::toJson(report));
+    std::printf("\nwrote %zu point(s) to %s\n", report.points.size(),
+                args.jsonPath.c_str());
+  }
+  return 0;
+}

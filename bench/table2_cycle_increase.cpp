@@ -75,7 +75,7 @@ void runSize(bool large) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  occm::bench::parseWorkers(argc, argv);
+  occm::bench::parseBenchArgs(argc, argv);
   occm::bench::printHeading(
       "Table II — normalized increase in number of cycles, "
       "(C(n) - C(1)) / C(1)");

@@ -29,7 +29,7 @@ constexpr PaperR2 kPaper[] = {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::parseWorkers(argc, argv);
+  bench::parseBenchArgs(argc, argv);
   using workloads::ProblemClass;
   using workloads::Program;
   const std::vector<Program> programs = {Program::kEP, Program::kIS,

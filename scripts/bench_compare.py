@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Validate and compare BENCH_*.json reports (see DESIGN.md section 12).
+
+Usage:
+  bench_compare.py REPORT.json
+      Validate the schema of one report.
+  bench_compare.py BASELINE.json CURRENT.json [--threshold=0.25]
+      [--strict-perf]
+      Validate both reports, then compare every grid point present in
+      both (matched on program/topology/pool_size):
+        - fingerprints and the deterministic totals (sim_cycles,
+          requests, core_counts_run) must match exactly -> hard error;
+        - median wall time regressing by more than --threshold (fraction,
+          default 0.25) is reported; a warning by default (the two
+          reports usually come from different hosts), a hard error with
+          --strict-perf.
+
+Exit codes: 0 ok, 1 validation/comparison failure, 2 usage error.
+Stdlib only; no third-party dependencies.
+"""
+
+import json
+import sys
+
+SCHEMA = "occm-bench-v1"
+
+REPORT_KEYS = {
+    "schema": str,
+    "generator": str,
+    "quick": bool,
+    "repeats": int,
+    "warmup": int,
+    "compiler": str,
+    "build_type": str,
+    "obs_enabled": bool,
+    "hardware_threads": int,
+    "points": list,
+}
+
+POINT_KEYS = {
+    "program": str,
+    "topology": str,
+    "pool_size": int,
+    "core_counts_run": int,
+    "repeats": int,
+    "fingerprint": str,
+    "sim_cycles": int,
+    "requests": int,
+    "wall_ms": dict,
+    "sim_cycles_per_sec": (int, float),
+    "requests_per_sec": (int, float),
+    "phases": list,
+}
+
+STAT_KEYS = {"median", "iqr", "min", "max"}
+
+PHASE_KEYS = {
+    "name": str,
+    "calls": int,
+    "wall_ns": int,
+    "cpu_ns": int,
+}
+
+
+def fail(message):
+    print("error: " + message, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_keys(obj, spec, where):
+    for key, kind in spec.items():
+        if key not in obj:
+            fail("%s: missing key %r" % (where, key))
+        value = obj[key]
+        # bool is an int subclass in Python; reject it where int is meant.
+        if kind is int and isinstance(value, bool):
+            fail("%s: key %r must be an integer, got a boolean" % (where, key))
+        if not isinstance(value, kind):
+            fail("%s: key %r has the wrong type (%s)"
+                 % (where, key, type(value).__name__))
+    for key in obj:
+        if key not in spec:
+            fail("%s: unknown key %r" % (where, key))
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as err:
+        fail("%s: %s" % (path, err))
+    if not isinstance(report, dict):
+        fail("%s: top level is not an object" % path)
+    check_keys(report, REPORT_KEYS, path)
+    if report["schema"] != SCHEMA:
+        fail("%s: schema is %r, want %r" % (path, report["schema"], SCHEMA))
+    seen = set()
+    for i, point in enumerate(report["points"]):
+        where = "%s points[%d]" % (path, i)
+        if not isinstance(point, dict):
+            fail(where + ": not an object")
+        check_keys(point, POINT_KEYS, where)
+        fp = point["fingerprint"]
+        if len(fp) != 8 or any(c not in "0123456789abcdef" for c in fp):
+            fail(where + ": fingerprint is not 8 lowercase hex digits")
+        if set(point["wall_ms"]) != STAT_KEYS:
+            fail(where + ": wall_ms must have exactly the keys "
+                 + "/".join(sorted(STAT_KEYS)))
+        for value in point["wall_ms"].values():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(where + ": wall_ms values must be numbers")
+        for j, phase in enumerate(point["phases"]):
+            check_keys(phase, PHASE_KEYS, "%s phases[%d]" % (where, j))
+        key = (point["program"], point["topology"], point["pool_size"])
+        if key in seen:
+            fail(where + (": duplicate grid point %r" % (key,)))
+        seen.add(key)
+    return report
+
+
+def point_index(report):
+    return {(p["program"], p["topology"], p["pool_size"]): p
+            for p in report["points"]}
+
+
+def compare(baseline, current, threshold, strict_perf):
+    base_points = point_index(baseline)
+    cur_points = point_index(current)
+    common = sorted(set(base_points) & set(cur_points))
+    if not common:
+        fail("the two reports share no grid points; nothing was compared")
+
+    errors = 0
+    regressions = 0
+    for key in common:
+        name = "%s@%s/pool%d" % key
+        base, cur = base_points[key], cur_points[key]
+        for field in ("fingerprint", "sim_cycles", "requests",
+                      "core_counts_run"):
+            if base[field] != cur[field]:
+                print("FAIL %s: %s differs (baseline %r, current %r) — "
+                      "deterministic output changed"
+                      % (name, field, base[field], cur[field]))
+                errors += 1
+        base_ms = base["wall_ms"]["median"]
+        cur_ms = cur["wall_ms"]["median"]
+        if base_ms > 0 and cur_ms > base_ms * (1.0 + threshold):
+            ratio = cur_ms / base_ms - 1.0
+            print("%s %s: median wall %.2f ms -> %.2f ms (+%.0f%%, "
+                  "threshold %.0f%%)"
+                  % ("FAIL" if strict_perf else "WARN", name, base_ms,
+                     cur_ms, 100.0 * ratio, 100.0 * threshold))
+            regressions += 1
+
+    print("compared %d common point(s): %d determinism error(s), "
+          "%d wall-time regression(s)" % (len(common), errors, regressions))
+    if errors or (strict_perf and regressions):
+        sys.exit(1)
+
+
+def main(argv):
+    paths = []
+    threshold = 0.25
+    strict_perf = False
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            try:
+                threshold = float(arg.split("=", 1)[1])
+            except ValueError:
+                print("bad --threshold value", file=sys.stderr)
+                sys.exit(2)
+            if not 0.0 < threshold < 10.0:
+                print("--threshold must be in (0, 10)", file=sys.stderr)
+                sys.exit(2)
+        elif arg == "--strict-perf":
+            strict_perf = True
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        else:
+            paths.append(arg)
+    if len(paths) not in (1, 2):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    reports = [validate(path) for path in paths]
+    for path in paths:
+        print("ok: %s validates against %s" % (path, SCHEMA))
+    if len(reports) == 2:
+        compare(reports[0], reports[1], threshold, strict_perf)
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -127,6 +127,27 @@ std::string failuresToCsv(const SweepResult& sweep) {
   return out;
 }
 
+std::string poolStatsToCsv(const exec::ThreadPoolStats& stats) {
+  std::string out = csvRow({"scope", "metric", "value"});
+  if (stats.workers.empty()) {
+    return out;  // serial sweep (or obs compiled out): nothing to report
+  }
+  out += csvRow({"pool", "workers", std::to_string(stats.workers.size())});
+  out += csvRow({"pool", "submitted", std::to_string(stats.submitted)});
+  out += csvRow(
+      {"pool", "submit_block_ns", std::to_string(stats.submitBlockNs)});
+  out += csvRow(
+      {"pool", "max_queue_depth", std::to_string(stats.maxQueueDepth)});
+  for (std::size_t i = 0; i < stats.workers.size(); ++i) {
+    const exec::WorkerStats& w = stats.workers[i];
+    const std::string scope = "worker" + std::to_string(i);
+    out += csvRow({scope, "tasks", std::to_string(w.tasks)});
+    out += csvRow({scope, "busy_ns", std::to_string(w.busyNs)});
+    out += csvRow({scope, "queue_wait_ns", std::to_string(w.queueWaitNs)});
+  }
+  return out;
+}
+
 namespace {
 
 /// Splits one CSV line on bare commas. sweepToCsv never quotes (every

@@ -42,6 +42,14 @@ namespace occm::analysis {
 /// visible in the same export pipeline as the completed ones.
 [[nodiscard]] std::string failuresToCsv(const SweepResult& sweep);
 
+/// End-of-sweep ThreadPool telemetry -> tidy CSV: one (scope, metric,
+/// value) row per statistic — pool-wide rows (scope "pool": submitted,
+/// submit_block_ns, max_queue_depth) then per-worker rows (scope
+/// "worker0"...: tasks, busy_ns, queue_wait_ns). Header-only when the
+/// sweep ran serially or the observability layer is compiled out. Values
+/// are host-time: do not fingerprint them.
+[[nodiscard]] std::string poolStatsToCsv(const exec::ThreadPoolStats& stats);
+
 /// Why a sweep CSV could not be re-ingested.
 struct CsvError {
   std::size_t line = 0;  ///< 1-based line of the first deviation

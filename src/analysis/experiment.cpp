@@ -7,6 +7,7 @@
 #include <deque>
 #include <exception>
 #include <future>
+#include <iomanip>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -524,6 +525,32 @@ std::string SweepResult::diagnostics() const {
   if (requestedWorkers > 1) {
     out << ", pool size " << requestedWorkers;
   }
+  if (!poolStats.workers.empty() && poolStats.totalTasks() > 0) {
+    // Parallel-efficiency one-liner: how evenly the pool shared the load
+    // and whether producers ever hit backpressure — readable without
+    // opening a Chrome trace.
+    std::uint64_t busiest = 0;
+    std::uint64_t totalBusyNs = 0;
+    for (const exec::WorkerStats& w : poolStats.workers) {
+      busiest = std::max(busiest, w.busyNs);
+      totalBusyNs += w.busyNs;
+    }
+    out << "\n  pool: " << poolStats.totalTasks() << " task(s) over "
+        << poolStats.workers.size() << " worker(s)";
+    if (busiest > 0) {
+      const double balance =
+          static_cast<double>(totalBusyNs) /
+          (static_cast<double>(busiest) *
+           static_cast<double>(poolStats.workers.size()));
+      out << ", balance " << std::fixed << std::setprecision(2) << balance
+          << std::defaultfloat << std::setprecision(6);
+    }
+    out << ", peak queue depth " << poolStats.maxQueueDepth;
+    if (poolStats.submitBlockNs > 0) {
+      out << ", submit blocked "
+          << poolStats.submitBlockNs / 1'000'000 << " ms";
+    }
+  }
   if (stopped) {
     out << ", stopped early (cancellation requested)";
   }
@@ -615,6 +642,7 @@ SweepResult runSweep(const SweepConfig& config) {
 
   const int maxAttempts = std::max(1, config.maxAttempts);
   const int workers = exec::resolveWorkerCount(config.parallel.workers);
+  exec::ThreadPoolStats poolStats;
 
   std::vector<TaskOutcome> outcomes(coreCounts.size());
   CheckpointWriter checkpoint(config, restoredState, outcomes);
@@ -647,6 +675,9 @@ SweepResult runSweep(const SweepConfig& config) {
     for (std::future<void>& join : joins) {
       join.get();  // tasks catch run failures; nothing should rethrow
     }
+    // Snapshot after every join: all tasks have finished, so the stats
+    // describe the completed sweep, not a racing mid-flight view.
+    poolStats = pool.stats();
   }
 
   // Deterministic merge: request order, independent of completion order.
@@ -654,6 +685,7 @@ SweepResult runSweep(const SweepConfig& config) {
   result.requestedWorkers = workers;
   result.requestedCoreCounts = coreCounts;
   result.checkpointWarning = std::move(checkpointWarning);
+  result.poolStats = std::move(poolStats);
   result.profiles.reserve(coreCounts.size());
   for (TaskOutcome& outcome : outcomes) {
     result.stopped = result.stopped || outcome.skipped;

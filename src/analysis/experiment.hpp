@@ -11,6 +11,7 @@
 #include "analysis/sweep_state.hpp"
 #include "common/cancellation.hpp"
 #include "core/contention_model.hpp"
+#include "exec/thread_pool.hpp"
 #include "perf/run_profile.hpp"
 #include "sim/machine_sim.hpp"
 #include "topology/machine_spec.hpp"
@@ -133,6 +134,12 @@ struct SweepResult {
   /// trusted (CheckpointError::message()); the bad file was quarantined
   /// to `<path>.corrupt` and the sweep started fresh.
   std::string checkpointWarning;
+  /// End-of-sweep pool telemetry (tasks per worker, queue-wait/busy time,
+  /// submit backpressure, queue occupancy) captured just before the pool
+  /// is torn down. workers is empty on the serial path and when the
+  /// observability layer is compiled out. Host-time only — two sweeps with
+  /// identical simulated output may differ here.
+  exec::ThreadPoolStats poolStats;
 
   /// Measured points (cores, total cycles) for the model.
   [[nodiscard]] std::vector<model::MeasuredPoint> points() const;

@@ -243,6 +243,12 @@ void putProfile(std::string& out, const perf::RunProfile& profile) {
   putU64(out, profile.faultRetries);
   putU64(out, profile.backgroundRequests);
   putU64(out, profile.throttledCycles);
+  putU64(out, profile.hotPath.eventsPopped);
+  putU64(out, profile.hotPath.eventsPushed);
+  putU64(out, profile.hotPath.maxEventQueueDepth);
+  putU64(out, profile.hotPath.advanceTurns);
+  putU64(out, profile.hotPath.issueTurns);
+  putU64(out, profile.hotPath.controllerTicks);
 }
 
 perf::RunProfile readProfile(Reader& in) {
@@ -284,6 +290,12 @@ perf::RunProfile readProfile(Reader& in) {
   profile.faultRetries = in.u64();
   profile.backgroundRequests = in.u64();
   profile.throttledCycles = in.u64();
+  profile.hotPath.eventsPopped = in.u64();
+  profile.hotPath.eventsPushed = in.u64();
+  profile.hotPath.maxEventQueueDepth = in.u64();
+  profile.hotPath.advanceTurns = in.u64();
+  profile.hotPath.issueTurns = in.u64();
+  profile.hotPath.controllerTicks = in.u64();
   return profile;
 }
 

@@ -1,9 +1,11 @@
 #include "exec/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/profiler.hpp"
 
 namespace occm::exec {
 
@@ -22,14 +24,25 @@ int resolveWorkerCount(int requested) {
   return hardware == 0 ? 1 : static_cast<int>(hardware);
 }
 
-ThreadPool::ThreadPool(ThreadPoolConfig config) {
+ThreadPool::ThreadPool(ThreadPoolConfig config)
+    : queueOccupancy_(
+          std::max<Cycles>(1, static_cast<Cycles>(config.occupancyWindowNs)),
+          obs::MetricKind::kGauge) {
   const int workerCount = resolveWorkerCount(config.workers);
   capacity_ = config.queueCapacity != 0
                   ? config.queueCapacity
                   : static_cast<std::size_t>(workerCount) * 2;
+  if constexpr (obs::kCompiledIn) {
+    epochNs_ = obs::steadyNowNs();
+  }
+  // Slots must exist before the first worker can touch them.
+  for (int i = 0; i < workerCount; ++i) {
+    slots_.emplace_back();
+  }
   workers_.reserve(static_cast<std::size_t>(workerCount));
   for (int i = 0; i < workerCount; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back(
+        [this, i] { workerLoop(static_cast<std::size_t>(i)); });
   }
 }
 
@@ -45,16 +58,37 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::recordOccupancyLocked() {
+  if constexpr (obs::kCompiledIn) {
+    queueOccupancy_.record(
+        static_cast<Cycles>(obs::steadyNowNs() - epochNs_),
+        static_cast<double>(queue_.size()));
+  }
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   OCCM_REQUIRE_MSG(task != nullptr, "null task");
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
     std::unique_lock<std::mutex> lock(mutex_);
+    // Backpressure telemetry: read the clock only when this submit will
+    // actually block, so the uncontended path stays clock-free.
+    std::uint64_t blockStartNs = 0;
+    if constexpr (obs::kCompiledIn) {
+      if (queue_.size() >= capacity_ && !stopping_) {
+        blockStartNs = obs::steadyNowNs();
+      }
+    }
     ++blockedSubmitters_;
     notFull_.wait(lock,
                   [this] { return queue_.size() < capacity_ || stopping_; });
     --blockedSubmitters_;
+    if constexpr (obs::kCompiledIn) {
+      if (blockStartNs != 0) {
+        submitBlockNs_ += obs::steadyNowNs() - blockStartNs;
+      }
+    }
     if (stopping_) {
       // cancel() waits until blockedSubmitters_ drops to zero, so a
       // submitter woken here has fully left the queue wait by the time a
@@ -65,7 +99,16 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
       OCCM_REQUIRE_MSG(!wasCancelled, "submit on a cancelled ThreadPool");
       OCCM_REQUIRE_MSG(false, "submit on a stopping ThreadPool");
     }
-    queue_.push_back(std::move(packaged));
+    Entry entry{std::move(packaged), 0};
+    if constexpr (obs::kCompiledIn) {
+      entry.enqueueNs = obs::steadyNowNs();
+      ++submitted_;
+    }
+    queue_.push_back(std::move(entry));
+    if constexpr (obs::kCompiledIn) {
+      maxQueueDepth_ = std::max<std::uint64_t>(maxQueueDepth_, queue_.size());
+      recordOccupancyLocked();
+    }
   }
   notEmpty_.notify_one();
   return future;
@@ -83,7 +126,16 @@ bool ThreadPool::trySubmit(std::function<void()> task,
     if (future != nullptr) {
       *future = packaged.get_future();
     }
-    queue_.push_back(std::move(packaged));
+    Entry entry{std::move(packaged), 0};
+    if constexpr (obs::kCompiledIn) {
+      entry.enqueueNs = obs::steadyNowNs();
+      ++submitted_;
+    }
+    queue_.push_back(std::move(entry));
+    if constexpr (obs::kCompiledIn) {
+      maxQueueDepth_ = std::max<std::uint64_t>(maxQueueDepth_, queue_.size());
+      recordOccupancyLocked();
+    }
   }
   notEmpty_.notify_one();
   return true;
@@ -93,12 +145,13 @@ void ThreadPool::cancel() {
   // Move the queued tasks out under the lock but destroy them outside it:
   // ~packaged_task publishes broken_promise to each future, and waking
   // those waiters is not work to do while holding the pool mutex.
-  std::deque<std::packaged_task<void()>> discarded;
+  std::deque<Entry> discarded;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     stopping_ = true;
     cancelled_ = true;
     discarded.swap(queue_);
+    recordOccupancyLocked();
     notEmpty_.notify_all();
     notFull_.notify_all();
     // Hold the door until every submitter blocked on backpressure has
@@ -118,20 +171,52 @@ std::size_t ThreadPool::queued() const {
   return queue_.size();
 }
 
-void ThreadPool::workerLoop() {
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats out;
+  if constexpr (!obs::kCompiledIn) {
+    return out;  // nothing was recorded; keep the documented empty shape
+  }
+  out.workers.reserve(slots_.size());
+  for (const WorkerSlot& slot : slots_) {
+    out.workers.push_back(
+        {slot.tasks.load(std::memory_order_relaxed),
+         slot.busyNs.load(std::memory_order_relaxed),
+         slot.queueWaitNs.load(std::memory_order_relaxed)});
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.submitted = submitted_;
+  out.submitBlockNs = submitBlockNs_;
+  out.maxQueueDepth = maxQueueDepth_;
+  out.queueOccupancy = queueOccupancy_;
+  return out;
+}
+
+void ThreadPool::workerLoop(std::size_t slot) {
   while (true) {
-    std::packaged_task<void()> task;
+    Entry entry;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       notEmpty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
       if (queue_.empty()) {
         return;  // stopping and drained
       }
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
+      recordOccupancyLocked();
     }
     notFull_.notify_one();
-    task();  // packaged_task captures anything the task throws
+    if constexpr (obs::kCompiledIn) {
+      WorkerSlot& mine = slots_[slot];
+      const std::uint64_t startNs = obs::steadyNowNs();
+      mine.queueWaitNs.fetch_add(startNs - entry.enqueueNs,
+                                 std::memory_order_relaxed);
+      mine.tasks.fetch_add(1, std::memory_order_relaxed);
+      entry.task();  // packaged_task captures anything the task throws
+      mine.busyNs.fetch_add(obs::steadyNowNs() - startNs,
+                            std::memory_order_relaxed);
+    } else {
+      entry.task();  // packaged_task captures anything the task throws
+    }
   }
 }
 

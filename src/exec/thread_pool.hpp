@@ -26,14 +26,18 @@
 //    cancel() -> ~ThreadPool() can never join workers while a submitter
 //    still touches pool state.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/time_series.hpp"
 
 namespace occm::exec {
 
@@ -49,6 +53,44 @@ struct ThreadPoolConfig {
   /// Bounded queue capacity (tasks waiting, excluding ones already
   /// running); 0 means 2x the worker count.
   std::size_t queueCapacity = 0;
+  /// Bucket width (host ns) of the queue-occupancy time series in
+  /// ThreadPoolStats. The series grows one bucket per window of pool
+  /// lifetime that sees a queue transition, so the default 1 ms suits
+  /// pools that live for seconds to minutes (a sweep), not daemons.
+  std::uint64_t occupancyWindowNs = 1'000'000;
+};
+
+/// Telemetry of one worker thread (host nanoseconds). All zeros when the
+/// observability layer is compiled out.
+struct WorkerStats {
+  std::uint64_t tasks = 0;        ///< tasks this worker ran
+  std::uint64_t busyNs = 0;       ///< wall time spent inside task bodies
+  std::uint64_t queueWaitNs = 0;  ///< submit-to-pickup latency, summed
+};
+
+/// End-of-life (or live) telemetry snapshot of a ThreadPool — the
+/// parallel-efficiency picture: who did the work (per-worker task counts
+/// and busy time), how long tasks sat queued, how often producers hit
+/// backpressure, and how full the queue ran over time. Host-time only;
+/// never feeds back into simulated results. Empty/zero with
+/// OCCM_ENABLE_OBS=OFF (the pool then takes no clock reads at all).
+struct ThreadPoolStats {
+  std::vector<WorkerStats> workers;
+  std::uint64_t submitted = 0;      ///< tasks accepted (submit + trySubmit)
+  std::uint64_t submitBlockNs = 0;  ///< total backpressure wait in submit()
+  std::uint64_t maxQueueDepth = 0;  ///< peak tasks waiting in the queue
+  /// Queue depth over host time since pool construction (gauge, sampled
+  /// at every enqueue/dequeue; 1 "cycle" = 1 ns).
+  obs::TimeSeries queueOccupancy{1, obs::MetricKind::kGauge};
+
+  /// Sum of tasks over workers (== tasks completed + tasks running).
+  [[nodiscard]] std::uint64_t totalTasks() const noexcept {
+    std::uint64_t total = 0;
+    for (const WorkerStats& w : workers) {
+      total += w.tasks;
+    }
+    return total;
+  }
 };
 
 class ThreadPool {
@@ -92,19 +134,49 @@ class ThreadPool {
   /// Tasks queued but not yet picked up by a worker.
   [[nodiscard]] std::size_t queued() const;
 
+  /// Telemetry snapshot (see ThreadPoolStats). Safe to call while the
+  /// pool is running; a worker mid-task shows its current task counted
+  /// with the busy time accrued so far excluded.
+  [[nodiscard]] ThreadPoolStats stats() const;
+
  private:
-  void workerLoop();
+  /// One queued task plus the host time it was accepted (0 when the
+  /// observability layer is compiled out).
+  struct Entry {
+    std::packaged_task<void()> task;
+    std::uint64_t enqueueNs = 0;
+  };
+
+  /// Per-worker telemetry slot. Relaxed atomics: each worker writes only
+  /// its own slot; stats() reads concurrently and tolerates staleness.
+  struct WorkerSlot {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busyNs{0};
+    std::atomic<std::uint64_t> queueWaitNs{0};
+  };
+
+  void workerLoop(std::size_t slot);
+  /// Records a queue-depth sample; callers hold mutex_.
+  void recordOccupancyLocked();
 
   mutable std::mutex mutex_;
   std::condition_variable notEmpty_;
   std::condition_variable notFull_;
   std::condition_variable submittersIdle_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Entry> queue_;
   std::vector<std::thread> workers_;
   std::size_t capacity_ = 0;
   std::size_t blockedSubmitters_ = 0;
   bool stopping_ = false;
   bool cancelled_ = false;
+
+  // Telemetry (all behind obs::kCompiledIn at the recording sites).
+  std::uint64_t epochNs_ = 0;  ///< pool construction time (host ns)
+  std::deque<WorkerSlot> slots_;  ///< deque: stable refs, immovable atomics
+  std::uint64_t submitted_ = 0;       ///< guarded by mutex_
+  std::uint64_t submitBlockNs_ = 0;   ///< guarded by mutex_
+  std::uint64_t maxQueueDepth_ = 0;   ///< guarded by mutex_
+  obs::TimeSeries queueOccupancy_;    ///< guarded by mutex_
 };
 
 }  // namespace occm::exec

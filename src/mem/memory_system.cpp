@@ -62,6 +62,7 @@ Cycles MemorySystem::reserveLink(NodeId a, NodeId b, int hops, Cycles arrival,
   const auto n = static_cast<std::size_t>(topo_.spec().controllers());
   Link& link = links_[static_cast<std::size_t>(a) * n +
                       static_cast<std::size_t>(b)];
+  ++reservationOps_;
   const Cycles start = std::max(arrival, link.freeAt);
   // Longer paths occupy more link segments; charge occupancy per hop.
   link.freeAt = start + static_cast<Cycles>(transfers) *
@@ -72,6 +73,7 @@ Cycles MemorySystem::reserveLink(NodeId a, NodeId b, int hops, Cycles arrival,
 
 MemorySystem::ChannelGrant MemorySystem::reserveChannel(
     Controller& controller, Addr addr, Cycles arrival) {
+  ++reservationOps_;
   const auto& spec = topo_.spec();
   const Addr row = addr / spec.rowBytes;
   // Address-striped channel and bank: rows interleave over channels, then
@@ -159,6 +161,7 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
 
   // UMA: the per-socket front-side bus is a first queueing stage.
   if (!buses_.empty()) {
+    ++reservationOps_;
     Bus& bus = buses_[static_cast<std::size_t>(topo_.location(core).socket)];
     const Cycles busStart = std::max(arrival, bus.freeAt);
     bus.freeAt = busStart + spec.busServiceCycles;

@@ -164,6 +164,14 @@ class MemorySystem {
   /// Total demand requests across controllers.
   [[nodiscard]] std::uint64_t totalRequests() const noexcept;
 
+  /// Total queue-resource reservations performed (channel + bus + link),
+  /// across demand requests, writebacks, retries and background traffic.
+  /// A pure function of the simulated schedule — deterministic — and the
+  /// simulator's "controller ticks" hot-path counter.
+  [[nodiscard]] std::uint64_t reservationOps() const noexcept {
+    return reservationOps_;
+  }
+
   /// Attaches (or detaches, with nullptr) a per-transfer observer. The
   /// observer must outlive the memory system or be detached first.
   void setObserver(MemoryObserver* observer) noexcept {
@@ -223,6 +231,7 @@ class MemorySystem {
   Rng rng_;
   MemoryObserver* observer_ = nullptr;
   Cycles lastNow_ = 0;  ///< monotonicity check
+  std::uint64_t reservationOps_ = 0;
 };
 
 }  // namespace occm::mem

@@ -1,0 +1,313 @@
+#include "perf/bench_record.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string_view>
+
+#include "common/json_reader.hpp"
+
+namespace occm::perf {
+
+namespace {
+
+std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// %.17g round-trips every double through the parser exactly.
+std::string fmtDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string fmtHex32(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", value);
+  return buf;
+}
+
+/// Consumes `"key":` (with the preceding `,` handled by the caller) and
+/// fails the reader naming the expected key on mismatch — which is what
+/// makes the parser strict: an unknown or out-of-order key cannot match.
+void expectKey(JsonReader& in, std::string_view key) {
+  const std::string got = in.parseString();
+  if (in.ok() && got != key) {
+    in.fail("expected key \"" + std::string(key) + "\", got \"" + got + "\"");
+  }
+  in.consume(':');
+}
+
+double keyedNumber(JsonReader& in, std::string_view key) {
+  expectKey(in, key);
+  return in.parseNumber();
+}
+
+std::uint64_t keyedU64(JsonReader& in, std::string_view key) {
+  const double value = keyedNumber(in, key);
+  if (in.ok() && (value < 0.0 || value != value ||
+                  value > 9007199254740992.0)) {  // 2^53
+    in.fail("value of \"" + std::string(key) +
+            "\" is not an exact unsigned integer");
+    return 0;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+int keyedInt(JsonReader& in, std::string_view key) {
+  return static_cast<int>(keyedNumber(in, key));
+}
+
+std::string keyedString(JsonReader& in, std::string_view key) {
+  expectKey(in, key);
+  return in.parseString();
+}
+
+bool keyedBool(JsonReader& in, std::string_view key) {
+  expectKey(in, key);
+  return in.parseBool();
+}
+
+std::uint32_t keyedHex32(JsonReader& in, std::string_view key) {
+  const std::string hex = keyedString(in, key);
+  if (!in.ok()) {
+    return 0;
+  }
+  if (hex.size() != 8 ||
+      hex.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    in.fail("value of \"" + std::string(key) +
+            "\" is not an 8-digit lowercase hex fingerprint");
+    return 0;
+  }
+  std::uint32_t value = 0;
+  for (char c : hex) {
+    value = value * 16U +
+            static_cast<std::uint32_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  return value;
+}
+
+void putStat(std::string& out, const char* key, const BenchStat& stat,
+             const char* indent) {
+  out += indent;
+  out += '"';
+  out += key;
+  out += "\": {\"median\": " + fmtDouble(stat.median) +
+         ", \"iqr\": " + fmtDouble(stat.iqr) +
+         ", \"min\": " + fmtDouble(stat.min) +
+         ", \"max\": " + fmtDouble(stat.max) + "}";
+}
+
+BenchStat parseStat(JsonReader& in, std::string_view key) {
+  BenchStat stat;
+  expectKey(in, key);
+  in.consume('{');
+  stat.median = keyedNumber(in, "median");
+  in.consume(',');
+  stat.iqr = keyedNumber(in, "iqr");
+  in.consume(',');
+  stat.min = keyedNumber(in, "min");
+  in.consume(',');
+  stat.max = keyedNumber(in, "max");
+  in.consume('}');
+  return stat;
+}
+
+}  // namespace
+
+BenchStat summarizeSamples(std::vector<double> samples) {
+  BenchStat stat;
+  if (samples.empty()) {
+    return stat;
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  // Linear-interpolation quantile (R type 7): index q = (n - 1) * p.
+  auto quantile = [&](double p) {
+    const double q = static_cast<double>(n - 1) * p;
+    const auto lo = static_cast<std::size_t>(q);
+    const std::size_t hi = std::min(lo + 1, n - 1);
+    const double frac = q - static_cast<double>(lo);
+    return samples[lo] + (samples[hi] - samples[lo]) * frac;
+  };
+  stat.median = quantile(0.5);
+  stat.iqr = n < 4 ? 0.0 : quantile(0.75) - quantile(0.25);
+  stat.min = samples.front();
+  stat.max = samples.back();
+  return stat;
+}
+
+const BenchPoint* BenchReport::find(const std::string& program,
+                                    const std::string& topology,
+                                    int poolSize) const noexcept {
+  for (const BenchPoint& point : points) {
+    if (point.program == program && point.topology == topology &&
+        point.poolSize == poolSize) {
+      return &point;
+    }
+  }
+  return nullptr;
+}
+
+std::string toJson(const BenchReport& report) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string(BenchReport::kSchema) + "\",\n";
+  out += "  \"generator\": \"" + jsonEscape(report.generator) + "\",\n";
+  out += std::string("  \"quick\": ") + (report.quick ? "true" : "false") +
+         ",\n";
+  out += "  \"repeats\": " + std::to_string(report.repeats) + ",\n";
+  out += "  \"warmup\": " + std::to_string(report.warmup) + ",\n";
+  out += "  \"compiler\": \"" + jsonEscape(report.compiler) + "\",\n";
+  out += "  \"build_type\": \"" + jsonEscape(report.buildType) + "\",\n";
+  out += std::string("  \"obs_enabled\": ") +
+         (report.obsEnabled ? "true" : "false") + ",\n";
+  out +=
+      "  \"hardware_threads\": " + std::to_string(report.hardwareThreads) +
+      ",\n";
+  out += "  \"points\": [";
+  for (std::size_t i = 0; i < report.points.size(); ++i) {
+    const BenchPoint& p = report.points[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"program\": \"" + jsonEscape(p.program) + "\",\n";
+    out += "      \"topology\": \"" + jsonEscape(p.topology) + "\",\n";
+    out += "      \"pool_size\": " + std::to_string(p.poolSize) + ",\n";
+    out += "      \"core_counts_run\": " + std::to_string(p.coreCountsRun) +
+           ",\n";
+    out += "      \"repeats\": " + std::to_string(p.repeats) + ",\n";
+    out += "      \"fingerprint\": \"" + fmtHex32(p.fingerprint) + "\",\n";
+    out += "      \"sim_cycles\": " + std::to_string(p.simCycles) + ",\n";
+    out += "      \"requests\": " + std::to_string(p.requests) + ",\n";
+    putStat(out, "wall_ms", p.wallMs, "      ");
+    out += ",\n";
+    out += "      \"sim_cycles_per_sec\": " + fmtDouble(p.simCyclesPerSec) +
+           ",\n";
+    out += "      \"requests_per_sec\": " + fmtDouble(p.requestsPerSec) +
+           ",\n";
+    out += "      \"phases\": [";
+    for (std::size_t j = 0; j < p.phases.size(); ++j) {
+      const BenchPhase& phase = p.phases[j];
+      out += j == 0 ? "\n" : ",\n";
+      out += "        {\"name\": \"" + jsonEscape(phase.name) +
+             "\", \"calls\": " + std::to_string(phase.calls) +
+             ", \"wall_ns\": " + std::to_string(phase.wallNs) +
+             ", \"cpu_ns\": " + std::to_string(phase.cpuNs) + "}";
+    }
+    out += p.phases.empty() ? "]\n" : "\n      ]\n";
+    out += "    }";
+  }
+  out += report.points.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Expected<BenchReport, std::string> parseBenchReport(const std::string& text) {
+  JsonReader in(text);
+  BenchReport report;
+  in.consume('{');
+  const std::string schema = keyedString(in, "schema");
+  if (in.ok() && schema != BenchReport::kSchema) {
+    return makeUnexpected("unsupported bench schema \"" + schema +
+                          "\" (want \"" + BenchReport::kSchema + "\")");
+  }
+  in.consume(',');
+  report.generator = keyedString(in, "generator");
+  in.consume(',');
+  report.quick = keyedBool(in, "quick");
+  in.consume(',');
+  report.repeats = keyedInt(in, "repeats");
+  in.consume(',');
+  report.warmup = keyedInt(in, "warmup");
+  in.consume(',');
+  report.compiler = keyedString(in, "compiler");
+  in.consume(',');
+  report.buildType = keyedString(in, "build_type");
+  in.consume(',');
+  report.obsEnabled = keyedBool(in, "obs_enabled");
+  in.consume(',');
+  report.hardwareThreads = keyedInt(in, "hardware_threads");
+  in.consume(',');
+  expectKey(in, "points");
+  in.consume('[');
+  if (!in.peek(']')) {
+    do {
+      BenchPoint p;
+      in.consume('{');
+      p.program = keyedString(in, "program");
+      in.consume(',');
+      p.topology = keyedString(in, "topology");
+      in.consume(',');
+      p.poolSize = keyedInt(in, "pool_size");
+      in.consume(',');
+      p.coreCountsRun = keyedInt(in, "core_counts_run");
+      in.consume(',');
+      p.repeats = keyedInt(in, "repeats");
+      in.consume(',');
+      p.fingerprint = keyedHex32(in, "fingerprint");
+      in.consume(',');
+      p.simCycles = keyedU64(in, "sim_cycles");
+      in.consume(',');
+      p.requests = keyedU64(in, "requests");
+      in.consume(',');
+      p.wallMs = parseStat(in, "wall_ms");
+      in.consume(',');
+      p.simCyclesPerSec = keyedNumber(in, "sim_cycles_per_sec");
+      in.consume(',');
+      p.requestsPerSec = keyedNumber(in, "requests_per_sec");
+      in.consume(',');
+      expectKey(in, "phases");
+      in.consume('[');
+      if (!in.peek(']')) {
+        do {
+          BenchPhase phase;
+          in.consume('{');
+          phase.name = keyedString(in, "name");
+          in.consume(',');
+          phase.calls = keyedU64(in, "calls");
+          in.consume(',');
+          phase.wallNs = keyedU64(in, "wall_ns");
+          in.consume(',');
+          phase.cpuNs = keyedU64(in, "cpu_ns");
+          in.consume('}');
+          p.phases.push_back(std::move(phase));
+        } while (in.ok() && in.peek(',') && in.consume(','));
+      }
+      in.consume(']');
+      in.consume('}');
+      report.points.push_back(std::move(p));
+    } while (in.ok() && in.peek(',') && in.consume(','));
+  }
+  in.consume(']');
+  in.consume('}');
+  if (in.ok() && !in.atEnd()) {
+    in.fail("trailing bytes after the report object");
+  }
+  if (!in.ok()) {
+    return makeUnexpected("corrupt bench report at byte " +
+                          std::to_string(in.errorOffset()) + ": " +
+                          in.errorDetail());
+  }
+  return report;
+}
+
+}  // namespace occm::perf

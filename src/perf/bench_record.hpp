@@ -1,0 +1,97 @@
+#pragma once
+
+// Schema-versioned benchmark records — the `BENCH_*.json` throughput
+// trajectory. Each file is one BenchReport: host/build metadata plus one
+// BenchPoint per (workload, topology, pool size) grid cell, each carrying
+//  - deterministic quantities (simulated cycles, memory requests, and a
+//    CRC-32 fingerprint of the sweep's CSV) that must be bit-identical
+//    across hosts, pool sizes and profiling on/off, and
+//  - host-time measurements (wall ms as median/IQR/min/max over repeats,
+//    derived simulated-cycles/sec and requests/sec) that are the actual
+//    perf trajectory and are expected to differ between machines.
+//
+// The emitter and parser round-trip exactly (doubles via %.17g), pinned
+// by BenchRecord.JsonRoundTrips; scripts/bench_compare.py consumes the
+// same schema. Bump kSchema on any incompatible change.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace occm::perf {
+
+/// Order statistics of one host-time measurement over N repeats.
+struct BenchStat {
+  double median = 0.0;
+  double iqr = 0.0;  ///< interquartile range (Q3 - Q1); 0 for N < 4
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Median/IQR/min/max of `samples` (values are copied and sorted; median
+/// of an even count averages the middle pair, quartiles interpolate
+/// linearly). Returns zeros for an empty input.
+[[nodiscard]] BenchStat summarizeSamples(std::vector<double> samples);
+
+/// One self-profiler phase rolled into a point (host time, summed over
+/// the point's measured repeats).
+struct BenchPhase {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t wallNs = 0;
+  std::uint64_t cpuNs = 0;
+};
+
+/// One (workload, topology, pool size) grid cell.
+struct BenchPoint {
+  std::string program;   ///< e.g. "CG.C"
+  std::string topology;  ///< preset name, e.g. "intelNuma24"
+  int poolSize = 1;
+  int coreCountsRun = 0;  ///< sweep points per repeat
+  int repeats = 0;        ///< measured repeats (excluding warmup)
+  /// CRC-32 of the sweep's CSV export — the determinism anchor: identical
+  /// across pool sizes, profiling on/off, hosts and repeats.
+  std::uint32_t fingerprint = 0;
+  /// Simulated cycles summed over the sweep's runs (deterministic).
+  std::uint64_t simCycles = 0;
+  /// Off-chip demand requests summed over the sweep's runs (deterministic).
+  std::uint64_t requests = 0;
+  BenchStat wallMs;             ///< host wall time of one repeat
+  double simCyclesPerSec = 0.0; ///< simCycles / median wall seconds
+  double requestsPerSec = 0.0;  ///< requests / median wall seconds
+  std::vector<BenchPhase> phases;
+};
+
+struct BenchReport {
+  /// Schema identifier embedded in every file.
+  static constexpr const char* kSchema = "occm-bench-v1";
+  std::string generator = "perf_baseline";
+  bool quick = false;  ///< CI smoke grid rather than the full baseline
+  int repeats = 0;
+  int warmup = 0;
+  // Host/build metadata (informational; never compared).
+  std::string compiler;
+  std::string buildType;
+  bool obsEnabled = true;
+  int hardwareThreads = 0;
+  std::vector<BenchPoint> points;
+
+  /// Point lookup by (program, topology, poolSize); nullptr when absent.
+  [[nodiscard]] const BenchPoint* find(const std::string& program,
+                                       const std::string& topology,
+                                       int poolSize) const noexcept;
+};
+
+/// Serializes the report as pretty-printed JSON (stable key order,
+/// %.17g doubles — the exact bytes parseBenchReport round-trips).
+[[nodiscard]] std::string toJson(const BenchReport& report);
+
+/// Parses what toJson produced. Strict: schema string must match
+/// BenchReport::kSchema, every key is required, unknown keys are
+/// rejected. The error names the first deviation and its byte offset.
+[[nodiscard]] Expected<BenchReport, std::string> parseBenchReport(
+    const std::string& text);
+
+}  // namespace occm::perf

@@ -26,6 +26,21 @@ struct FaultEpoch {
   double magnitude = 1.0;
 };
 
+/// Simulator-internal hot-path counters of one run: how much machinery the
+/// event loop itself turned, as opposed to what the simulated machine did.
+/// Deterministic (derived purely from the simulated schedule, never from
+/// host time), so two runs of the same configuration agree exactly — which
+/// is also what makes them usable as a cheap structural fingerprint of a
+/// run alongside its architectural counters.
+struct HotPathStats {
+  std::uint64_t eventsPopped = 0;   ///< event-loop turns executed
+  std::uint64_t eventsPushed = 0;   ///< events scheduled (incl. initial)
+  std::uint64_t maxEventQueueDepth = 0;
+  std::uint64_t advanceTurns = 0;   ///< kAdvance events (compute resume)
+  std::uint64_t issueTurns = 0;     ///< kIssue events (off-chip requests)
+  std::uint64_t controllerTicks = 0;  ///< memory-system reservation ops
+};
+
 struct RunProfile {
   std::string program;   ///< e.g. "CG.C"
   std::string machine;   ///< e.g. "Intel NUMA (24 cores, Xeon X5650)"
@@ -43,6 +58,9 @@ struct RunProfile {
   std::uint64_t contextSwitches = 0;
   /// Wall-clock length of the run in cycles (max core finish time).
   Cycles makespan = 0;
+
+  /// Event-loop/memory-system hot-path counters (see HotPathStats).
+  HotPathStats hotPath;
 
   /// Per-controller statistics snapshot.
   std::vector<mem::ControllerStats> controllerStats;

@@ -271,6 +271,21 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
   // making every instrumentation site one predictable branch.
   RunObserver* const hp = hooks ? &*hooks : nullptr;
 
+  // Hot-path counters: plain locals (not atomics, not clock reads), always
+  // accumulated — they are schedule-derived profile data like llcMisses,
+  // deterministic across hosts and pool sizes. Only the *flush* into the
+  // host-time profiler below is an observability feature.
+  perf::HotPathStats hot;
+
+  // Self-profiling: time the whole run under "sim.run" when a profiler is
+  // attached. Compiled out with the rest of the obs layer.
+#if OCCM_OBS_ENABLED
+  std::optional<obs::ScopedPhase> runScope;
+  if (config_.profiler != nullptr) {
+    runScope.emplace(*config_.profiler, config_.profiler->phase("sim.run"));
+  }
+#endif
+
   auto jitteredQuantum = [&]() {
     const double jitter = rng.uniform(0.95, 1.05);
     return static_cast<Cycles>(
@@ -292,6 +307,8 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
     core.quantumEnd = jitteredQuantum();
     events.push({0, seq++, c, EventKind::kAdvance});
   }
+  hot.eventsPushed = events.size();
+  hot.maxEventQueueDepth = events.size();
 
 
   // Advances a core until it blocks on an off-chip request, exhausts its
@@ -307,6 +324,9 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
       }
       if (core.now >= horizon) {
         events.push({core.now, seq++, coreId, EventKind::kAdvance});
+        ++hot.eventsPushed;
+        hot.maxEventQueueDepth =
+            std::max<std::uint64_t>(hot.maxEventQueueDepth, events.size());
         return;
       }
       if (core.now >= core.quantumEnd) {
@@ -378,6 +398,9 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
         core.pendingWriteback = res.writeback;
         core.pendingWritebackLine = res.writebackLine;
         events.push({core.now, seq++, coreId, EventKind::kIssue});
+        ++hot.eventsPushed;
+        hot.maxEventQueueDepth =
+            std::max<std::uint64_t>(hot.maxEventQueueDepth, events.size());
         return;
       }
     }
@@ -415,15 +438,18 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
                            std::to_string(ev.time));
     }
     events.pop();
+    ++hot.eventsPopped;
     CoreState& core = cores[static_cast<std::size_t>(ev.core)];
     OCCM_ASSERT(core.now <= ev.time || ev.kind == EventKind::kIssue);
     switch (ev.kind) {
       case EventKind::kAdvance: {
+        ++hot.advanceTurns;
         core.now = std::max(core.now, ev.time);
         advance(ev.core);
         break;
       }
       case EventKind::kIssue: {
+        ++hot.issueTurns;
         const Cycles now = ev.time;
         if (config_.enableSampler) {
           sampler.record(now);
@@ -467,6 +493,9 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
           }
         }
         events.push({core.now, seq++, ev.core, EventKind::kAdvance});
+        ++hot.eventsPushed;
+        hot.maxEventQueueDepth =
+            std::max<std::uint64_t>(hot.maxEventQueueDepth, events.size());
         break;
       }
     }
@@ -509,6 +538,19 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
           {fault::toString(e.kind), e.target, e.start, e.end, e.magnitude});
     }
   }
+  hot.controllerTicks = memory.reservationOps();
+  profile.hotPath = hot;
+#if OCCM_OBS_ENABLED
+  if (config_.profiler != nullptr) {
+    obs::Profiler& prof = *config_.profiler;
+    prof.counter("sim.events_popped").add(hot.eventsPopped);
+    prof.counter("sim.events_pushed").add(hot.eventsPushed);
+    prof.counter("sim.advance_turns").add(hot.advanceTurns);
+    prof.counter("sim.issue_turns").add(hot.issueTurns);
+    prof.counter("sim.controller_ticks", "reservations")
+        .add(hot.controllerTicks);
+  }
+#endif
   profile.channelsPerController = spec.channelsPerController;
   if (config_.enableSampler) {
     sampler.finalize(profile.makespan);

@@ -1,0 +1,168 @@
+#include "perf/bench_record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace occm::perf {
+namespace {
+
+BenchReport sampleReport() {
+  BenchReport report;
+  report.quick = true;
+  report.repeats = 3;
+  report.warmup = 1;
+  report.compiler = "gcc 13.2.0";
+  report.buildType = "release";
+  report.obsEnabled = true;
+  report.hardwareThreads = 8;
+
+  BenchPoint point;
+  point.program = "CG.S";
+  point.topology = "testNuma4";
+  point.poolSize = 2;
+  point.coreCountsRun = 3;
+  point.repeats = 3;
+  point.fingerprint = 0x08367c52;
+  point.simCycles = 123'456'789;
+  point.requests = 54'321;
+  point.wallMs = {12.5, 0.75, 11.0, 14.25};
+  point.simCyclesPerSec = 9.87654321e9;
+  point.requestsPerSec = 4.345e6;
+  point.phases.push_back({"sim.run", 9, 37'000'000, 36'500'000});
+  report.points.push_back(point);
+
+  BenchPoint second = point;
+  second.program = "EP.S";
+  second.fingerprint = 0x70adbba3;
+  second.phases.clear();
+  report.points.push_back(second);
+  return report;
+}
+
+TEST(BenchRecord, JsonRoundTrips) {
+  const BenchReport report = sampleReport();
+  const std::string json = toJson(report);
+  const Expected<BenchReport, std::string> parsed = parseBenchReport(json);
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error();
+  // Byte-exact round trip: emit(parse(emit(r))) == emit(r) pins both the
+  // emitter's key order and the parser's fidelity (incl. %.17g doubles).
+  EXPECT_EQ(toJson(parsed.value()), json);
+  EXPECT_EQ(parsed.value().points.size(), 2u);
+  EXPECT_EQ(parsed.value().points[0].fingerprint, 0x08367c52u);
+  EXPECT_DOUBLE_EQ(parsed.value().points[0].wallMs.iqr, 0.75);
+  ASSERT_EQ(parsed.value().points[0].phases.size(), 1u);
+  EXPECT_EQ(parsed.value().points[0].phases[0].name, "sim.run");
+}
+
+TEST(BenchRecord, RoundTripsEmptyReportAndEscapes) {
+  BenchReport report;
+  report.compiler = "weird \"quoted\"\\\n\tcompiler";
+  report.buildType = "debug";
+  const Expected<BenchReport, std::string> parsed =
+      parseBenchReport(toJson(report));
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error();
+  EXPECT_EQ(parsed.value().compiler, report.compiler);
+  EXPECT_TRUE(parsed.value().points.empty());
+}
+
+TEST(BenchRecord, RejectsWrongSchema) {
+  std::string json = toJson(sampleReport());
+  const std::string::size_type at = json.find("occm-bench-v1");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, 13, "occm-bench-v9");
+  const Expected<BenchReport, std::string> parsed = parseBenchReport(json);
+  ASSERT_FALSE(parsed.hasValue());
+  EXPECT_NE(parsed.error().find("schema"), std::string::npos);
+}
+
+TEST(BenchRecord, RejectsUnknownOrReorderedKeys) {
+  const std::string json = toJson(sampleReport());
+  // Unknown key where "generator" is expected.
+  std::string unknown = json;
+  const std::string::size_type at = unknown.find("\"generator\"");
+  ASSERT_NE(at, std::string::npos);
+  unknown.replace(at, 11, "\"generater\"");
+  EXPECT_FALSE(parseBenchReport(unknown).hasValue());
+
+  // The parser is positional: swapping two adjacent keys must fail even
+  // though both are known.
+  const std::string::size_type rep = json.find("\"repeats\"");
+  const std::string::size_type war = json.find("\"warmup\"");
+  ASSERT_NE(rep, std::string::npos);
+  ASSERT_NE(war, std::string::npos);
+  ASSERT_LT(rep, war);
+  std::string swapped = json;
+  swapped.replace(war, 8, "\"repeats");
+  swapped.replace(rep, 9, "\"warmup\" ");
+  EXPECT_FALSE(parseBenchReport(swapped).hasValue());
+}
+
+TEST(BenchRecord, RejectsTrailingGarbageAndBadNumbers) {
+  const std::string json = toJson(sampleReport());
+  EXPECT_FALSE(parseBenchReport(json + "x").hasValue());
+  EXPECT_FALSE(parseBenchReport("").hasValue());
+  EXPECT_FALSE(parseBenchReport("[]").hasValue());
+
+  // u64 fields are bounded to 2^53 so every JSON consumer (double-based
+  // ones included) reads them exactly.
+  std::string huge = json;
+  const std::string::size_type cyc = huge.find("\"sim_cycles\": ");
+  ASSERT_NE(cyc, std::string::npos);
+  huge.replace(cyc + 14, 9, "918446744073709551615");
+  const Expected<BenchReport, std::string> parsed = parseBenchReport(huge);
+  ASSERT_FALSE(parsed.hasValue());
+  EXPECT_NE(parsed.error().find("corrupt bench report at byte"),
+            std::string::npos);
+}
+
+TEST(BenchRecord, ErrorsNameTheByteOffset) {
+  std::string json = toJson(sampleReport());
+  const std::string::size_type at = json.find("\"fingerprint\": \"");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at + 16, 8, "NOTHEX!!");
+  const Expected<BenchReport, std::string> parsed = parseBenchReport(json);
+  ASSERT_FALSE(parsed.hasValue());
+  EXPECT_NE(parsed.error().find("corrupt bench report at byte"),
+            std::string::npos);
+  EXPECT_NE(parsed.error().find("fingerprint"), std::string::npos);
+}
+
+TEST(BenchRecord, SummarizeSamplesComputesOrderStats) {
+  // Even count, N >= 4: median averages the middle pair, quartiles
+  // interpolate (R type-7): q1 = 17.5, q3 = 42.5.
+  const BenchStat even = summarizeSamples({40, 10, 50, 20});
+  EXPECT_DOUBLE_EQ(even.median, 30.0);
+  EXPECT_DOUBLE_EQ(even.iqr, 25.0);
+  EXPECT_DOUBLE_EQ(even.min, 10.0);
+  EXPECT_DOUBLE_EQ(even.max, 50.0);
+
+  const BenchStat odd = summarizeSamples({3, 1, 2});
+  EXPECT_DOUBLE_EQ(odd.median, 2.0);
+  EXPECT_DOUBLE_EQ(odd.iqr, 0.0);  // N < 4: IQR suppressed
+  EXPECT_DOUBLE_EQ(odd.min, 1.0);
+  EXPECT_DOUBLE_EQ(odd.max, 3.0);
+
+  const BenchStat one = summarizeSamples({7.5});
+  EXPECT_DOUBLE_EQ(one.median, 7.5);
+  EXPECT_DOUBLE_EQ(one.min, 7.5);
+  EXPECT_DOUBLE_EQ(one.max, 7.5);
+
+  const BenchStat none = summarizeSamples({});
+  EXPECT_DOUBLE_EQ(none.median, 0.0);
+  EXPECT_DOUBLE_EQ(none.max, 0.0);
+}
+
+TEST(BenchRecord, FindMatchesTheFullKey) {
+  const BenchReport report = sampleReport();
+  const BenchPoint* hit = report.find("CG.S", "testNuma4", 2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->fingerprint, 0x08367c52u);
+  EXPECT_EQ(report.find("CG.S", "testNuma4", 4), nullptr);
+  EXPECT_EQ(report.find("CG.S", "testUma4", 2), nullptr);
+  EXPECT_EQ(report.find("FT.S", "testNuma4", 2), nullptr);
+}
+
+}  // namespace
+}  // namespace occm::perf
