@@ -8,6 +8,9 @@
 //
 // Usage: contention_sweep [program.class] [--workers=N] [--deadline=SECONDS]
 //        [--budget-cycles=N] [--checkpoint=PATH] [--isolate] [--mem-limit=MB]
+//        [--listen=PORT] [--grace=SECONDS] [--csv=PATH]
+//        [--connect=HOST:PORT] [--worker-id=NAME] [--straggle-ms=N]
+//        [--max-tasks=N]
 // (default CG.C, pool size from OCCM_SWEEP_WORKERS or hardware concurrency)
 //
 // Lifecycle controls: --deadline caps each run's wall time and
@@ -22,6 +25,14 @@
 // stderr tail) instead of killing the sweep; successful runs stay
 // bit-identical to the in-process path. --mem-limit=MB adds a per-attempt
 // RLIMIT_AS budget (implies --isolate).
+//
+// Distributed sweeps: --listen=PORT turns this process into the fleet
+// coordinator (PORT 0 picks an ephemeral port, printed on stdout), and
+// --connect=HOST:PORT turns it into a worker that executes assigned core
+// counts and reports results back. The merged output is bit-identical to
+// a serial run regardless of fleet size, worker deaths, or re-dispatch
+// order; --csv=PATH writes it with a CRC-32 fingerprint for comparison.
+// --straggle-ms / --max-tasks are fault-drill knobs for smoke tests.
 
 #include <algorithm>
 #include <csignal>
@@ -31,7 +42,10 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/csv.hpp"
+#include "analysis/distributed_sweep.hpp"
 #include "analysis/experiment.hpp"
+#include "common/crc32.hpp"
 #include "core/occm.hpp"
 
 namespace {
@@ -81,6 +95,14 @@ int main(int argc, char** argv) {
   std::string checkpointPath;
   bool isolate = false;
   std::uint64_t memLimitMb = 0;
+  int listenPort = -1;  // -1 = not a coordinator
+  std::string connectHost;
+  int connectPort = 0;
+  std::string workerId = "worker";
+  double grace = 5.0;
+  std::uint64_t straggleMs = 0;
+  std::uint64_t maxTasks = 0;
+  std::string csvPath;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -110,17 +132,78 @@ int main(int argc, char** argv) {
       isolate = true;
       continue;
     }
+    if (arg.rfind("--listen=", 0) == 0) {
+      listenPort = std::atoi(arg.c_str() + 9);  // 0 = ephemeral
+      continue;
+    }
+    if (arg.rfind("--connect=", 0) == 0) {
+      const std::string hostPort = arg.substr(10);
+      const auto colon = hostPort.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect expects HOST:PORT, got '%s'\n",
+                     hostPort.c_str());
+        return 1;
+      }
+      connectHost = hostPort.substr(0, colon);
+      connectPort = std::atoi(hostPort.c_str() + colon + 1);
+      continue;
+    }
+    if (arg.rfind("--worker-id=", 0) == 0) {
+      workerId = arg.substr(12);
+      continue;
+    }
+    if (arg.rfind("--grace=", 0) == 0) {
+      grace = std::atof(arg.c_str() + 8);
+      continue;
+    }
+    if (arg.rfind("--straggle-ms=", 0) == 0) {
+      straggleMs = std::strtoull(arg.c_str() + 14, nullptr, 10);
+      continue;
+    }
+    if (arg.rfind("--max-tasks=", 0) == 0) {
+      maxTasks = std::strtoull(arg.c_str() + 12, nullptr, 10);
+      continue;
+    }
+    if (arg.rfind("--csv=", 0) == 0) {
+      csvPath = arg.substr(6);
+      continue;
+    }
     const auto dot = arg.find('.');
     if (dot == std::string::npos) {
       std::fprintf(stderr,
                    "usage: %s [program.class] [--workers=N] "
                    "[--deadline=SECONDS] [--budget-cycles=N] "
-                   "[--checkpoint=PATH] [--isolate] [--mem-limit=MB]\n",
+                   "[--checkpoint=PATH] [--isolate] [--mem-limit=MB] "
+                   "[--listen=PORT] [--grace=SECONDS] [--csv=PATH] "
+                   "[--connect=HOST:PORT] [--worker-id=NAME] "
+                   "[--straggle-ms=N] [--max-tasks=N]\n",
                    argv[0]);
       return 1;
     }
     workload.program = parseProgram(arg.substr(0, dot));
     workload.problemClass = parseClass(arg.substr(dot + 1));
+  }
+
+  std::signal(SIGINT, onSigint);
+
+  if (!connectHost.empty()) {
+    // Worker mode: execute core counts for a remote coordinator and exit.
+    analysis::SweepWorkerOptions options;
+    options.host = connectHost;
+    options.port = connectPort;
+    options.workerId = workerId;
+    options.isolation.enabled = isolate;
+    options.isolation.memoryBytes = memLimitMb << 20;
+    options.cancel = gStop.token();
+    options.straggleMs = straggleMs;
+    options.maxTasks = maxTasks;
+    const exec::dist::WorkerReport report = analysis::runSweepWorker(options);
+    std::printf("worker '%s': %llu task(s), %llu reconnect(s), stopped: %s\n",
+                workerId.c_str(),
+                static_cast<unsigned long long>(report.tasksCompleted),
+                static_cast<unsigned long long>(report.reconnects),
+                report.stopReason.c_str());
+    return report.ok ? 0 : 1;
   }
 
   analysis::SweepConfig config;
@@ -133,7 +216,16 @@ int main(int argc, char** argv) {
   config.isolation.enabled = isolate;
   config.isolation.memoryBytes = memLimitMb << 20;
   config.cancel = gStop.token();
-  std::signal(SIGINT, onSigint);
+  if (listenPort >= 0) {
+    config.distributed.listen = true;
+    config.distributed.port = listenPort;
+    config.distributed.graceWindowSeconds = grace;
+    config.distributed.onListening = [](int port) {
+      // The smoke script scrapes this line for the ephemeral port.
+      std::printf("coordinator listening on port %d\n", port);
+      std::fflush(stdout);
+    };
+  }
 
   std::printf("Sweeping %s on %s ...\n",
               workloads::workloadName(workload.program, workload.problemClass)
@@ -144,6 +236,21 @@ int main(int argc, char** argv) {
     std::printf("(%u runs restored from checkpoint)\n",
                 static_cast<unsigned>(sweep.restoredRuns));
   }
+  if (sweep.dist.used) {
+    std::printf("fleet: %zu worker(s) seen, %zu task(s) completed remotely, "
+                "%llu re-dispatch(es), %llu speculative, %llu duplicate(s) "
+                "discarded%s\n",
+                sweep.dist.workersSeen, sweep.dist.fleetCompleted,
+                static_cast<unsigned long long>(sweep.dist.leases.redispatches),
+                static_cast<unsigned long long>(
+                    sweep.dist.leases.speculativeLeases),
+                static_cast<unsigned long long>(
+                    sweep.dist.leases.duplicatesDiscarded),
+                sweep.dist.degradedToLocal ? " (degraded to local pool)" : "");
+    if (!sweep.dist.error.empty()) {
+      std::printf("fleet error: %s\n", sweep.dist.error.c_str());
+    }
+  }
   if (sweep.stopped) {
     // Graceful Ctrl-C: completed runs are checkpointed (with --checkpoint);
     // rerunning the same command resumes where this one stopped.
@@ -153,6 +260,19 @@ int main(int argc, char** argv) {
                   checkpointPath.c_str());
     }
     return 130;  // conventional SIGINT exit
+  }
+  if (!csvPath.empty()) {
+    const std::string csv = analysis::sweepToCsv(sweep);
+    std::FILE* out = std::fopen(csvPath.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", csvPath.c_str());
+      return 1;
+    }
+    std::fwrite(csv.data(), 1, csv.size(), out);
+    std::fclose(out);
+    // The fingerprint is what the distributed smoke test compares across
+    // fleet shapes: same bytes <=> same crc.
+    std::printf("csv fingerprint: %08x (%s)\n", crc32(csv), csvPath.c_str());
   }
   if (!sweep.failures.empty()) {
     std::printf("%s\n", sweep.diagnostics().c_str());

@@ -114,15 +114,17 @@ std::string metricsToCsv(const obs::MetricRegistry& metrics,
 std::string failuresToCsv(const SweepResult& sweep) {
   std::string out =
       csvRow({"cores", "attempts", "recovered", "pool_size", "kind", "signal",
-              "rlimit", "has_stderr_tail", "error"});
+              "rlimit", "has_stderr_tail", "worker", "error"});
   for (const RunFailure& f : sweep.failures) {
-    // Crash columns are zero/empty/false for every other kind, so
-    // existing consumers that key on (kind, error) see the same values
-    // one column-lookup away.
+    // Crash columns are zero/empty/false for every other kind, and the
+    // worker column is empty outside the distributed kinds, so existing
+    // consumers that key on (kind, error) see the same values one
+    // column-lookup away.
     out += csvRow({std::to_string(f.cores), std::to_string(f.attempts),
                    f.recovered ? "true" : "false", std::to_string(f.poolSize),
                    toString(f.kind), std::to_string(f.signal), f.rlimit,
-                   f.stderrTail.empty() ? "false" : "true", f.error});
+                   f.stderrTail.empty() ? "false" : "true", f.worker,
+                   f.error});
   }
   return out;
 }

@@ -1,0 +1,88 @@
+#pragma once
+
+// Analysis-side glue of the distributed sweep: maps the sweep's
+// configuration onto the generic exec/distributed fleet (which knows
+// nothing above the exec layer) and back.
+//
+// Coordinator side: runDistributedPhase builds one self-contained JobSpec
+// per unfinished core count, runs the coordinator over them, and converts
+// arriving TaskResults into the same TaskOutcome slots the local pool
+// fills — committed through the caller's checkpoint writer as they land,
+// so a coordinator crash resumes from the checkpoint.
+//
+// Worker side: runSweepWorker connects to a coordinator and executes
+// assigned jobs through analysis/sweep_task's runCoreCountTask — the
+// exact code the local pool runs — which is what makes a fleet's merged
+// output bit-identical to a serial in-process sweep.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "common/cancellation.hpp"
+#include "exec/distributed/protocol.hpp"
+#include "exec/distributed/worker.hpp"
+
+namespace occm::analysis {
+
+/// Builds the self-contained wire job for one core count. `taskId` is the
+/// routing key the coordinator leases by — the caller owns its meaning.
+[[nodiscard]] exec::dist::JobSpec makeJobSpec(
+    const SweepConfig& config, const workloads::WorkloadSpec& spec, int cores,
+    std::uint64_t taskId);
+
+/// Converts a fleet result back into the sweep's per-task outcome. A
+/// result carrying neither profile nor failure (wire noise) becomes a
+/// kFrameCorrupt failure so a settled task always leaves evidence.
+[[nodiscard]] TaskOutcome resultToOutcome(const exec::dist::TaskResult& result,
+                                          int cores);
+
+/// Runs one received job through the shared attempt loop (bit-identical
+/// to the same task run locally). Never throws; malformed jobs — unknown
+/// program, invalid enums, a crash-injection plan without isolation —
+/// come back as exception-kind failures.
+[[nodiscard]] exec::dist::TaskResult runSweepJob(
+    const exec::dist::JobSpec& job, const IsolationConfig& isolation);
+
+/// What the coordinator phase left behind for runSweep to merge.
+struct DistributedPhaseOutcome {
+  DistributedStats stats;
+  /// Fleet evidence (worker-lost / handshake / frame-corrupt), in arrival
+  /// order; appended to SweepResult::failures after the per-task merge.
+  std::vector<RunFailure> incidents;
+  bool cancelled = false;
+};
+
+/// Shards the unsettled entries of `outcomes` (no profile, no failure,
+/// not skipped) across the fleet described by config.distributed. Settled
+/// results are written into `outcomes` and committed via `commit(index)`
+/// in arrival order; unsettled entries are the caller's to run locally.
+[[nodiscard]] DistributedPhaseOutcome runDistributedPhase(
+    const SweepConfig& config, const workloads::WorkloadSpec& spec,
+    const std::vector<int>& coreCounts, std::vector<TaskOutcome>& outcomes,
+    const std::function<void(std::size_t index)>& commit);
+
+/// One worker process's configuration (the `--connect` side).
+struct SweepWorkerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Fleet-unique name; the coordinator keys leases and eviction by it.
+  std::string workerId = "worker";
+  /// Per-attempt process isolation, configured worker-locally (profiles
+  /// are bit-identical with or without it; jobs never carry it).
+  IsolationConfig isolation;
+  std::uint32_t maxConnectAttempts = 10;
+  CancellationToken cancel;
+  /// Test hooks (see exec::dist::WorkerOptions).
+  std::uint64_t straggleMs = 0;
+  std::uint64_t maxTasks = 0;
+};
+
+/// Blocking worker loop: connect, handshake, run assigned jobs, report
+/// results; returns when shut down, cancelled, or disconnected for good.
+[[nodiscard]] exec::dist::WorkerReport runSweepWorker(
+    const SweepWorkerOptions& options);
+
+}  // namespace occm::analysis

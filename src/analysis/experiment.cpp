@@ -15,6 +15,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/distributed_sweep.hpp"
 #include "common/cancellation.hpp"
 #include "common/error.hpp"
 #include "exec/process_runner.hpp"
@@ -55,18 +56,6 @@ std::string pendingSuffix(const SweepResult& sweep) {
   return "; still pending: " + joinCores(cores) + " (sweep pool size " +
          std::to_string(sweep.requestedWorkers) + ")";
 }
-
-/// Everything one (core count) task produces; merged in request order.
-struct TaskOutcome {
-  std::optional<perf::RunProfile> profile;
-  std::optional<RunFailure> failure;  ///< recovered retry or permanent
-  std::optional<RunRecord> record;    ///< checkpoint row for the profile
-  bool restored = false;
-  /// Sweep-level stop observed before the task started: no attempt was
-  /// made, no failure is recorded, and the core count stays pending so a
-  /// resumed sweep re-attempts it.
-  bool skipped = false;
-};
 
 /// One per sweep task: the cancellation source the watchdog (or a relayed
 /// sweep-wide stop) fires into the run, plus the armed deadline for the
@@ -186,225 +175,53 @@ class Watchdog {
   std::thread thread_;
 };
 
-/// Disarms a watchdog slot on every exit path of one attempt.
-class ArmedDeadline {
+/// Adapts one watchdog slot to the RunLifecycle interface the shared
+/// attempt loop (analysis/sweep_task) consumes. The distributed worker
+/// runs the same loop behind a NullLifecycle — lease expiry is the hang
+/// recovery across a fleet.
+class WatchdogLifecycle final : public RunLifecycle {
  public:
-  ArmedDeadline(Watchdog& watchdog, std::size_t slot)
-      : watchdog_(watchdog), slot_(slot) {
-    watchdog_.arm(slot_);
+  WatchdogLifecycle(Watchdog& watchdog, std::size_t slot)
+      : watchdog_(watchdog), slot_(slot) {}
+  void arm() override { watchdog_.arm(slot_); }
+  void disarm() override { watchdog_.disarm(slot_); }
+  [[nodiscard]] bool timedOut() const override {
+    return watchdog_.timedOut(slot_);
   }
-  ~ArmedDeadline() { watchdog_.disarm(slot_); }
-  ArmedDeadline(const ArmedDeadline&) = delete;
-  ArmedDeadline& operator=(const ArmedDeadline&) = delete;
+  [[nodiscard]] CancellationToken token() const override {
+    return watchdog_.tokenFor(slot_);
+  }
+  [[nodiscard]] bool active() const override { return watchdog_.active(); }
 
  private:
   Watchdog& watchdog_;
   std::size_t slot_;
 };
 
-/// Checkpoint row for a completed profile — shared by the in-process and
-/// isolated attempt paths so both persist byte-identical records.
-RunRecord makeRunRecord(const perf::RunProfile& profile, int cores) {
-  return RunRecord{cores,
-                   profile.totalCyclesD(),
-                   static_cast<double>(profile.counters.stallCycles),
-                   static_cast<double>(profile.makespan),
-                   static_cast<double>(profile.counters.llcMisses),
-                   static_cast<double>(profile.coherenceMisses),
-                   static_cast<double>(profile.writebacks),
-                   static_cast<double>(profile.reroutedRequests),
-                   static_cast<double>(profile.faultRetries),
-                   static_cast<double>(profile.backgroundRequests),
-                   static_cast<double>(profile.throttledCycles)};
-}
-
-/// Runs one core count to completion: restore from the checkpoint when
-/// possible, otherwise attempt (with seed-perturbed retries) until a
-/// profile or a permanent failure. Builds a private workload instance and
-/// simulator per attempt, so concurrent tasks share nothing mutable; no
-/// exception escapes.
+/// Runs one core count: restore from the checkpoint when possible,
+/// otherwise hand the shared attempt loop (analysis/sweep_task) a context
+/// built from the sweep's configuration.
 TaskOutcome runSweepTask(const SweepConfig& config,
                          const workloads::WorkloadSpec& spec,
                          const SweepCheckpoint& restoredState, int cores,
                          int maxAttempts, int poolSize, Watchdog& watchdog,
                          std::size_t slot) {
-  TaskOutcome outcome;
-  if (const RunRecord* record = restoredState.find(cores)) {
-    // Restored run: everything the CSV exporter and the determinism
-    // fingerprint read, so a resumed sweep is byte-identical to an
-    // uninterrupted one.
-    perf::RunProfile profile;
-    profile.program = restoredState.program;
-    profile.machine = restoredState.machine;
-    profile.threads = restoredState.threads;
-    profile.activeCores = cores;
-    profile.counters.totalCycles = static_cast<Cycles>(record->totalCycles);
-    profile.counters.stallCycles = static_cast<Cycles>(record->stallCycles);
-    profile.counters.llcMisses =
-        static_cast<std::uint64_t>(record->llcMisses);
-    profile.coherenceMisses =
-        static_cast<std::uint64_t>(record->coherenceMisses);
-    profile.writebacks = static_cast<std::uint64_t>(record->writebacks);
-    profile.reroutedRequests =
-        static_cast<std::uint64_t>(record->reroutedRequests);
-    profile.faultRetries = static_cast<std::uint64_t>(record->faultRetries);
-    profile.backgroundRequests =
-        static_cast<std::uint64_t>(record->backgroundRequests);
-    profile.throttledCycles = static_cast<Cycles>(record->throttledCycles);
-    profile.makespan = static_cast<Cycles>(record->makespan);
-    outcome.profile = std::move(profile);
-    outcome.record = *record;
-    outcome.restored = true;
-    return outcome;
+  if (std::optional<TaskOutcome> restored =
+          restoredOutcome(restoredState, cores)) {
+    return std::move(*restored);
   }
-  if (config.cancel.stopRequested()) {
-    // Graceful stop before the first attempt: stay pending (a resume
-    // re-attempts this core count), record nothing.
-    outcome.skipped = true;
-    return outcome;
-  }
-  RunFailure failure;
-  failure.cores = cores;
-  failure.poolSize = poolSize;
-  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
-    try {
-      // The deadline covers the whole attempt, beforeRun included — a
-      // hook that hangs is exactly the overrun the watchdog exists for.
-      const ArmedDeadline deadline(watchdog, slot);
-      if (config.beforeRun) {
-        config.beforeRun(cores, attempt);
-      }
-      sim::SimConfig simConfig = config.sim;
-      // Retry under a perturbed seed: if the failure was input-shaped
-      // (a pathological arrival pattern), a different deterministic
-      // stream can clear it; attempt 0 keeps the configured seed.
-      constexpr std::uint64_t kSeedStep = 0x9E3779B97F4A7C15ULL;
-      simConfig.seed =
-          config.sim.seed + static_cast<std::uint64_t>(attempt) * kSeedStep;
-      simConfig.cycleBudget = config.limits.cycleBudget;
-      if (config.isolation.enabled) {
-        // Isolated attempt: the child rebuilds the workload and simulator
-        // from the same seeds (bit-identical inputs, bit-identical
-        // profile); the parent-side token cannot cross the fork, so the
-        // supervisor polls it and SIGKILLs the child instead of the
-        // simulator unwinding cooperatively. The deterministic cycle
-        // budget still aborts inside the child.
-        exec::ProcessRunnerConfig runnerConfig;
-        runnerConfig.limits.memoryBytes = config.isolation.memoryBytes;
-        runnerConfig.limits.cpuSeconds = config.isolation.cpuSeconds;
-        runnerConfig.stderrTailBytes = config.isolation.stderrTailBytes;
-        if (watchdog.active()) {
-          runnerConfig.cancel = watchdog.tokenFor(slot);
-        }
-        exec::ChildOutcome child = exec::runInChild(
-            [&config, &spec, &simConfig, cores] {
-              workloads::WorkloadInstance instance =
-                  workloads::makeWorkload(spec);
-              sim::MachineSim simulator(config.machine, simConfig);
-              return simulator.run(instance.threads, cores, instance.name);
-            },
-            runnerConfig);
-        failure.attempts = attempt + 1;
-        switch (child.status) {
-          case exec::ChildStatus::kOk:
-            if (attempt > 0) {
-              failure.recovered = true;
-              outcome.failure = failure;
-            }
-            outcome.record = makeRunRecord(child.profile, cores);
-            outcome.profile = std::move(child.profile);
-            return outcome;
-          case exec::ChildStatus::kException:
-            // Same retry semantics as an in-process throw; clear any
-            // crash detail a previous attempt left behind.
-            failure.error = std::move(child.error);
-            failure.kind = RunFailureKind::kException;
-            failure.signal = 0;
-            failure.rlimit.clear();
-            failure.stderrTail.clear();
-            break;
-          case exec::ChildStatus::kAborted: {
-            failure.error = std::move(child.error);
-            const bool overran =
-                child.abortReason == AbortReason::kCycleBudget ||
-                watchdog.timedOut(slot);
-            failure.kind = overran ? RunFailureKind::kTimeout
-                                   : RunFailureKind::kCancelled;
-            outcome.failure = failure;
-            return outcome;
-          }
-          case exec::ChildStatus::kKilled:
-            // The supervisor SIGKILLed on the token: same deadline /
-            // sweep-stop classification as a cooperative unwind.
-            failure.error = std::move(child.error);
-            failure.kind = watchdog.timedOut(slot)
-                               ? RunFailureKind::kTimeout
-                               : RunFailureKind::kCancelled;
-            outcome.failure = failure;
-            return outcome;
-          case exec::ChildStatus::kCrash:
-            // Crash containment: keep the evidence (signal, rlimit,
-            // stderr tail) and retry under the perturbed seed, exactly
-            // like an exception.
-            failure.error = std::move(child.error);
-            failure.kind = RunFailureKind::kCrash;
-            failure.signal = child.signal;
-            failure.rlimit = std::move(child.rlimit);
-            failure.stderrTail = std::move(child.stderrTail);
-            break;
-        }
-      } else {
-        if (watchdog.active()) {
-          simConfig.cancel = watchdog.tokenFor(slot);
-        }
-        // A fresh instance per task (not a shared reset one): building
-        // from the same spec seed yields bit-identical streams, and
-        // private streams are what lets tasks run concurrently at all.
-        workloads::WorkloadInstance instance = workloads::makeWorkload(spec);
-        sim::MachineSim simulator(config.machine, simConfig);
-        perf::RunProfile profile =
-            simulator.run(instance.threads, cores, instance.name);
-        failure.attempts = attempt + 1;
-        if (attempt > 0) {
-          failure.recovered = true;
-          outcome.failure = failure;
-        }
-        outcome.record = makeRunRecord(profile, cores);
-        outcome.profile = std::move(profile);
-        return outcome;
-      }
-    } catch (const RunAborted& e) {
-      // Lifecycle outcomes are terminal: a timed-out run would time out
-      // again and a cancelled sweep wants to wind down, so neither is
-      // retried. kCycleBudget and a fired wall deadline are both
-      // "overran its limits"; everything else the token carried is the
-      // sweep-wide stop.
-      failure.error = e.what();
-      failure.attempts = attempt + 1;
-      const bool overran = e.reason() == AbortReason::kCycleBudget ||
-                           watchdog.timedOut(slot);
-      failure.kind = overran ? RunFailureKind::kTimeout
-                             : RunFailureKind::kCancelled;
-      outcome.failure = failure;
-      return outcome;
-    } catch (const std::exception& e) {
-      failure.error = e.what();
-      failure.attempts = attempt + 1;
-      failure.kind = RunFailureKind::kException;
-      failure.signal = 0;
-      failure.rlimit.clear();
-      failure.stderrTail.clear();
-    }
-    if (config.cancel.stopRequested()) {
-      // Stop requested between attempts: don't burn retries on a sweep
-      // that is winding down.
-      failure.kind = RunFailureKind::kCancelled;
-      outcome.failure = failure;
-      return outcome;
-    }
-  }
-  outcome.failure = failure;
-  return outcome;
+  RunTaskContext context;
+  context.machine = &config.machine;
+  context.workload = &spec;
+  context.sim = &config.sim;
+  context.cycleBudget = config.limits.cycleBudget;
+  context.isolation = config.isolation;
+  context.maxAttempts = maxAttempts;
+  context.poolSize = poolSize;
+  context.sweepCancel = config.cancel;
+  context.beforeRun = config.beforeRun;
+  WatchdogLifecycle lifecycle(watchdog, slot);
+  return runCoreCountTask(context, cores, lifecycle);
 }
 
 /// Serializes checkpoint writes and keeps their contents deterministic: a
@@ -551,6 +368,32 @@ std::string SweepResult::diagnostics() const {
           << poolStats.submitBlockNs / 1'000'000 << " ms";
     }
   }
+  if (dist.used) {
+    out << "\n  distributed: " << dist.workersSeen << " worker(s), "
+        << dist.fleetCompleted << " task(s) via fleet";
+    if (dist.leases.leasesExpired > 0) {
+      out << ", " << dist.leases.leasesExpired << " lease expirie(s)";
+    }
+    if (dist.leases.redispatches > 0) {
+      out << ", " << dist.leases.redispatches << " re-dispatch(es)";
+    }
+    if (dist.leases.speculativeLeases > 0) {
+      out << ", " << dist.leases.speculativeLeases << " speculative lease(s)";
+    }
+    if (dist.leases.duplicatesDiscarded > 0) {
+      out << ", " << dist.leases.duplicatesDiscarded
+          << " duplicate(s) discarded";
+    }
+    if (dist.leases.workersEvicted > 0) {
+      out << ", " << dist.leases.workersEvicted << " worker(s) evicted";
+    }
+    if (dist.degradedToLocal) {
+      out << ", degraded to local";
+    }
+    if (!dist.error.empty()) {
+      out << " (" << dist.error << ")";
+    }
+  }
   if (stopped) {
     out << ", stopped early (cancellation requested)";
   }
@@ -651,20 +494,58 @@ SweepResult runSweep(const SweepConfig& config) {
   Watchdog watchdog(config.limits.wallSeconds, config.cancel,
                     coreCounts.size());
 
-  if (workers == 1 || coreCounts.size() <= 1) {
+  DistributedStats distStats;
+  std::vector<RunFailure> distIncidents;
+  if (config.distributed.listen) {
+    // Fleet phase: restore first (finished work never crosses the wire),
+    // then shard the rest across connected workers. Whatever the fleet
+    // leaves unsettled — grace window expired, leases abandoned,
+    // cancellation — falls through to the local path below.
+    for (std::size_t i = 0; i < coreCounts.size(); ++i) {
+      if (std::optional<TaskOutcome> restored =
+              restoredOutcome(restoredState, coreCounts[i])) {
+        outcomes[i] = std::move(*restored);
+        checkpoint.commit(i);
+      }
+    }
+    DistributedPhaseOutcome phase = runDistributedPhase(
+        config, spec, coreCounts, outcomes,
+        [&checkpoint](std::size_t index) { checkpoint.commit(index); });
+    distStats = std::move(phase.stats);
+    distIncidents = std::move(phase.incidents);
+  }
+
+  // Local phase over whatever is still unsettled — everything when the
+  // distributed phase did not run, the leftovers (or nothing) when it
+  // did. runSweepTask observes a fired sweep token itself, so a cancelled
+  // fleet leaves these tasks pending rather than re-running them.
+  std::vector<std::size_t> pendingTasks;
+  pendingTasks.reserve(coreCounts.size());
+  for (std::size_t i = 0; i < coreCounts.size(); ++i) {
+    const TaskOutcome& outcome = outcomes[i];
+    if (!outcome.profile.has_value() && !outcome.failure.has_value() &&
+        !outcome.skipped) {
+      pendingTasks.push_back(i);
+    }
+  }
+  if (distStats.used && !pendingTasks.empty() &&
+      !config.cancel.stopRequested()) {
+    distStats.degradedToLocal = true;
+  }
+  if (workers == 1 || pendingTasks.size() <= 1) {
     // Serial path: run inline on the calling thread, in request order —
     // no pool, no synchronization beyond the (still deterministic)
     // checkpoint writer.
-    for (std::size_t i = 0; i < coreCounts.size(); ++i) {
+    for (const std::size_t i : pendingTasks) {
       outcomes[i] = runSweepTask(config, spec, restoredState, coreCounts[i],
                                  maxAttempts, workers, watchdog, i);
       checkpoint.commit(i);
     }
   } else {
-    exec::ThreadPool pool({workers, coreCounts.size()});
+    exec::ThreadPool pool({workers, pendingTasks.size()});
     std::vector<std::future<void>> joins;
-    joins.reserve(coreCounts.size());
-    for (std::size_t i = 0; i < coreCounts.size(); ++i) {
+    joins.reserve(pendingTasks.size());
+    for (const std::size_t i : pendingTasks) {
       joins.push_back(pool.submit([&, i] {
         outcomes[i] = runSweepTask(config, spec, restoredState,
                                    coreCounts[i], maxAttempts, workers,
@@ -699,6 +580,19 @@ SweepResult runSweep(const SweepConfig& config) {
       result.restoredRuns += outcome.restored ? 1 : 0;
     }
   }
+  // Fleet evidence rides behind the per-task records. An incident whose
+  // task ended up with a profile anyway (re-dispatch or local fallback
+  // won) is marked recovered now that every path has run.
+  for (RunFailure& incident : distIncidents) {
+    if (incident.cores > 0 && !incident.recovered) {
+      for (const perf::RunProfile& p : result.profiles) {
+        incident.recovered = incident.recovered ||
+                             p.activeCores == incident.cores;
+      }
+    }
+    result.failures.push_back(std::move(incident));
+  }
+  result.dist = std::move(distStats);
   result.stopped = result.stopped || config.cancel.stopRequested();
   return result;
 }

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "analysis/sweep_state.hpp"
+#include "analysis/sweep_task.hpp"
 #include "common/cancellation.hpp"
 #include "core/contention_model.hpp"
+#include "exec/distributed/lease.hpp"
 #include "exec/thread_pool.hpp"
 #include "perf/run_profile.hpp"
 #include "sim/machine_sim.hpp"
@@ -35,42 +37,64 @@ struct ParallelSweepConfig {
   int workers = 0;
 };
 
-/// Process isolation for sweep attempts (exec/process_runner). Off by
-/// default: every attempt then runs in-process, exactly as before. When
-/// enabled, each attempt forks a child that rebuilds the workload and
-/// simulator from the same seeds and ships its RunProfile back over a
-/// CRC-checked pipe frame — so a segfault, abort, or rlimit death takes
-/// out one attempt (recorded as RunFailure{kind = kCrash}, retried and
-/// checkpointed like an exception) instead of the whole sweep, and
-/// successful runs stay bit-identical to the in-process path at any pool
-/// size. Cost: a fork per attempt, and RunProfile::trace is not shipped
-/// back (traces stay a single-process feature). Crash-injection fault
-/// plans (FaultPlan::hasCrash()) require this mode.
-struct IsolationConfig {
-  bool enabled = false;
-  /// RLIMIT_AS per attempt; allocation failure under the budget is
-  /// reported as kCrash with rlimit = "address-space". 0 = no limit.
-  std::uint64_t memoryBytes = 0;
-  /// RLIMIT_CPU per attempt; overrun dies on SIGXCPU, reported as kCrash
-  /// with rlimit = "cpu". 0 = no limit.
-  std::uint64_t cpuSeconds = 0;
-  /// Bytes of the child's stderr tail captured into RunFailure records.
-  std::size_t stderrTailBytes = 4096;
+// IsolationConfig and SweepLimits live in analysis/sweep_task.hpp (shared
+// with the distributed worker path) and are re-exported here unchanged.
+
+/// Distributed execution of a sweep over a TCP worker fleet (DESIGN.md
+/// §13). Off by default: the sweep runs on the local pool exactly as
+/// before. When listen = true, runSweep binds a coordinator socket,
+/// shards the unfinished core counts across connected workers as leases,
+/// and merges results in request order — bit-identical to a serial
+/// in-process sweep regardless of fleet size, worker deaths, or
+/// re-dispatch order. If no worker is alive for graceWindowSeconds, the
+/// remaining tasks degrade to the local pool so the sweep always
+/// completes.
+struct DistributedConfig {
+  /// Master switch: bind, accept workers, shard the grid.
+  bool listen = false;
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (reported via onListening).
+  int port = 0;
+  /// How long to wait with no live worker before degrading the remaining
+  /// tasks to the local pool.
+  double graceWindowSeconds = 5.0;
+  /// Lease deadline per dispatched task; expiry re-dispatches with capped
+  /// exponential backoff and deterministic jitter.
+  double leaseSeconds = 60.0;
+  /// Ping cadence toward each connected worker.
+  double heartbeatSeconds = 1.0;
+  /// A worker silent this long is evicted and its leases re-queued.
+  double heartbeatTimeoutSeconds = 15.0;
+  /// A lease older than this may be speculatively re-dispatched to an
+  /// idle worker (tail-straggler hedge); first valid result wins.
+  double speculativeAfterSeconds = 10.0;
+  /// A task whose lease expired this many times is handed back to the
+  /// local pool instead of re-dispatched forever.
+  int maxLeaseExpiries = 16;
+  /// Called once with the bound port (useful with port = 0).
+  std::function<void(int port)> onListening;
 };
 
-/// Per-run lifecycle limits. A run that exceeds either bound is recorded
-/// as RunFailure{kind = kTimeout} (not retried, never checkpointed) and
-/// the sweep continues with the remaining core counts.
-struct SweepLimits {
-  /// Wall-clock deadline per attempt, enforced by a watchdog thread that
-  /// fires the run's cancellation token. 0 = unlimited. Which runs time
-  /// out under a wall deadline is machine-dependent; the *completed* runs
-  /// stay bit-identical to a serial sweep of the same subset.
-  double wallSeconds = 0.0;
-  /// Simulated-cycle budget per attempt (sim::SimConfig::cycleBudget).
-  /// Fully deterministic: the same budget aborts the same run at the same
-  /// event on every machine and pool size. 0 = unlimited.
-  Cycles cycleBudget = 0;
+/// What the distributed phase did — empty/default when it did not run.
+struct DistributedStats {
+  /// True when a coordinator was started (config.distributed.listen).
+  bool used = false;
+  /// Distinct worker ids that completed the handshake.
+  std::size_t workersSeen = 0;
+  /// Tasks settled by fleet results (the rest restored or run locally).
+  std::size_t fleetCompleted = 0;
+  /// True when the grace window expired and remaining tasks ran locally.
+  bool degradedToLocal = false;
+  /// Lease-table counters (expiries, re-dispatches, speculation, ...).
+  exec::dist::LeaseStats leases;
+  /// Per-lease spans (taskId here is the index into the sweep's core
+  /// counts) for Chrome-trace export.
+  std::vector<exec::dist::LeaseSpan> leaseSpans;
+  /// Heartbeat round-trip samples, in arrival order. Host-time only.
+  std::vector<double> heartbeatRttMs;
+  /// Non-empty when the coordinator could not start (bind/listen
+  /// failure); the whole sweep then ran on the local pool.
+  std::string error;
 };
 
 struct SweepConfig {
@@ -101,6 +125,10 @@ struct SweepConfig {
   /// Per-attempt process isolation and resource budgets (see
   /// IsolationConfig). Off by default.
   IsolationConfig isolation;
+  /// TCP coordinator/worker fleet execution (see DistributedConfig). Off
+  /// by default; when on, unfinished tasks are sharded across connected
+  /// workers and the local pool becomes the grace-window fallback.
+  DistributedConfig distributed;
   /// Whole-sweep graceful stop. When the token reports a stop request
   /// (watchdog relays it to every in-flight run's cancellation point),
   /// runs not yet started are left pending — no failure record, so a
@@ -140,6 +168,9 @@ struct SweepResult {
   /// observability layer is compiled out. Host-time only — two sweeps with
   /// identical simulated output may differ here.
   exec::ThreadPoolStats poolStats;
+  /// Distributed-phase telemetry (dist.used == false when the sweep ran
+  /// purely locally). Host-time only, like poolStats.
+  DistributedStats dist;
 
   /// Measured points (cores, total cycles) for the model.
   [[nodiscard]] std::vector<model::MeasuredPoint> points() const;

@@ -119,7 +119,9 @@ bool parseCrcHex(const std::string& text, std::uint32_t* out) {
 bool parseFailureKind(const std::string& text, RunFailureKind* out) {
   for (const RunFailureKind kind :
        {RunFailureKind::kException, RunFailureKind::kTimeout,
-        RunFailureKind::kCancelled, RunFailureKind::kCrash}) {
+        RunFailureKind::kCancelled, RunFailureKind::kCrash,
+        RunFailureKind::kWorkerLost, RunFailureKind::kHandshake,
+        RunFailureKind::kFrameCorrupt}) {
     if (text == toString(kind)) {
       *out = kind;
       return true;

@@ -25,12 +25,19 @@
 
 namespace occm::analysis {
 
-/// How a sweep run came to fail.
+/// How a sweep run came to fail. The first four are outcomes of the run
+/// itself (and the only kinds a distributed worker can put on the wire);
+/// the last three are coordinator-local evidence about the *fleet* —
+/// recorded for diagnosis, always considered recovered once another
+/// dispatch of the same task settles it.
 enum class RunFailureKind : std::uint8_t {
-  kException,  ///< the run (or a beforeRun hook) threw
-  kTimeout,    ///< per-run deadline or cycle budget fired
-  kCancelled,  ///< whole-sweep cancellation observed mid-run
-  kCrash,      ///< isolated child died hard: signal, rlimit, bad frame
+  kException,     ///< the run (or a beforeRun hook) threw
+  kTimeout,       ///< per-run deadline or cycle budget fired
+  kCancelled,     ///< whole-sweep cancellation observed mid-run
+  kCrash,         ///< isolated child died hard: signal, rlimit, bad frame
+  kWorkerLost,    ///< distributed: lease lost (death, eviction, expiry)
+  kHandshake,     ///< distributed: worker failed the versioned handshake
+  kFrameCorrupt,  ///< distributed: stream failed frame/message validation
 };
 
 [[nodiscard]] constexpr const char* toString(RunFailureKind kind) noexcept {
@@ -39,6 +46,9 @@ enum class RunFailureKind : std::uint8_t {
     case RunFailureKind::kTimeout: return "timeout";
     case RunFailureKind::kCancelled: return "cancelled";
     case RunFailureKind::kCrash: return "crash";
+    case RunFailureKind::kWorkerLost: return "worker-lost";
+    case RunFailureKind::kHandshake: return "handshake";
+    case RunFailureKind::kFrameCorrupt: return "frame-corrupt";
   }
   return "unknown";
 }
@@ -67,6 +77,9 @@ struct RunFailure {
   std::string rlimit;
   /// kCrash only: bounded, printable-ASCII tail of the child's stderr.
   std::string stderrTail;
+  /// Distributed kinds only: id of the worker the incident names (or
+  /// "peer fd N" for a pre-handshake connection); empty otherwise.
+  std::string worker;
 };
 
 /// Lightweight record of one completed run — exactly what the model fit

@@ -1,0 +1,228 @@
+#include "analysis/sweep_task.hpp"
+
+#include <utility>
+
+#include "exec/process_runner.hpp"
+
+namespace occm::analysis {
+
+namespace {
+
+/// Disarms the lifecycle's deadline on every exit path of one attempt.
+class ArmedDeadline {
+ public:
+  explicit ArmedDeadline(RunLifecycle& lifecycle) : lifecycle_(lifecycle) {
+    lifecycle_.arm();
+  }
+  ~ArmedDeadline() { lifecycle_.disarm(); }
+  ArmedDeadline(const ArmedDeadline&) = delete;
+  ArmedDeadline& operator=(const ArmedDeadline&) = delete;
+
+ private:
+  RunLifecycle& lifecycle_;
+};
+
+}  // namespace
+
+RunRecord makeRunRecord(const perf::RunProfile& profile, int cores) {
+  return RunRecord{cores,
+                   profile.totalCyclesD(),
+                   static_cast<double>(profile.counters.stallCycles),
+                   static_cast<double>(profile.makespan),
+                   static_cast<double>(profile.counters.llcMisses),
+                   static_cast<double>(profile.coherenceMisses),
+                   static_cast<double>(profile.writebacks),
+                   static_cast<double>(profile.reroutedRequests),
+                   static_cast<double>(profile.faultRetries),
+                   static_cast<double>(profile.backgroundRequests),
+                   static_cast<double>(profile.throttledCycles)};
+}
+
+std::optional<TaskOutcome> restoredOutcome(const SweepCheckpoint& restoredState,
+                                           int cores) {
+  const RunRecord* record = restoredState.find(cores);
+  if (record == nullptr) {
+    return std::nullopt;
+  }
+  // Restored run: everything the CSV exporter and the determinism
+  // fingerprint read, so a resumed sweep is byte-identical to an
+  // uninterrupted one.
+  TaskOutcome outcome;
+  perf::RunProfile profile;
+  profile.program = restoredState.program;
+  profile.machine = restoredState.machine;
+  profile.threads = restoredState.threads;
+  profile.activeCores = cores;
+  profile.counters.totalCycles = static_cast<Cycles>(record->totalCycles);
+  profile.counters.stallCycles = static_cast<Cycles>(record->stallCycles);
+  profile.counters.llcMisses = static_cast<std::uint64_t>(record->llcMisses);
+  profile.coherenceMisses =
+      static_cast<std::uint64_t>(record->coherenceMisses);
+  profile.writebacks = static_cast<std::uint64_t>(record->writebacks);
+  profile.reroutedRequests =
+      static_cast<std::uint64_t>(record->reroutedRequests);
+  profile.faultRetries = static_cast<std::uint64_t>(record->faultRetries);
+  profile.backgroundRequests =
+      static_cast<std::uint64_t>(record->backgroundRequests);
+  profile.throttledCycles = static_cast<Cycles>(record->throttledCycles);
+  profile.makespan = static_cast<Cycles>(record->makespan);
+  outcome.profile = std::move(profile);
+  outcome.record = *record;
+  outcome.restored = true;
+  return outcome;
+}
+
+TaskOutcome runCoreCountTask(const RunTaskContext& context, int cores,
+                             RunLifecycle& lifecycle) {
+  TaskOutcome outcome;
+  if (context.sweepCancel.stopRequested()) {
+    // Graceful stop before the first attempt: stay pending (a resume
+    // re-attempts this core count), record nothing.
+    outcome.skipped = true;
+    return outcome;
+  }
+  RunFailure failure;
+  failure.cores = cores;
+  failure.poolSize = context.poolSize;
+  for (int attempt = 0; attempt < context.maxAttempts; ++attempt) {
+    try {
+      // The deadline covers the whole attempt, beforeRun included — a
+      // hook that hangs is exactly the overrun the watchdog exists for.
+      const ArmedDeadline deadline(lifecycle);
+      if (context.beforeRun) {
+        context.beforeRun(cores, attempt);
+      }
+      sim::SimConfig simConfig = *context.sim;
+      // Retry under a perturbed seed: if the failure was input-shaped
+      // (a pathological arrival pattern), a different deterministic
+      // stream can clear it; attempt 0 keeps the configured seed.
+      constexpr std::uint64_t kSeedStep = 0x9E3779B97F4A7C15ULL;
+      simConfig.seed =
+          context.sim->seed + static_cast<std::uint64_t>(attempt) * kSeedStep;
+      simConfig.cycleBudget = context.cycleBudget;
+      if (context.isolation.enabled) {
+        // Isolated attempt: the child rebuilds the workload and simulator
+        // from the same seeds (bit-identical inputs, bit-identical
+        // profile); the parent-side token cannot cross the fork, so the
+        // supervisor polls it and SIGKILLs the child instead of the
+        // simulator unwinding cooperatively. The deterministic cycle
+        // budget still aborts inside the child.
+        exec::ProcessRunnerConfig runnerConfig;
+        runnerConfig.limits.memoryBytes = context.isolation.memoryBytes;
+        runnerConfig.limits.cpuSeconds = context.isolation.cpuSeconds;
+        runnerConfig.stderrTailBytes = context.isolation.stderrTailBytes;
+        if (lifecycle.active()) {
+          runnerConfig.cancel = lifecycle.token();
+        }
+        exec::ChildOutcome child = exec::runInChild(
+            [&context, &simConfig, cores] {
+              workloads::WorkloadInstance instance =
+                  workloads::makeWorkload(*context.workload);
+              sim::MachineSim simulator(*context.machine, simConfig);
+              return simulator.run(instance.threads, cores, instance.name);
+            },
+            runnerConfig);
+        failure.attempts = attempt + 1;
+        switch (child.status) {
+          case exec::ChildStatus::kOk:
+            if (attempt > 0) {
+              failure.recovered = true;
+              outcome.failure = failure;
+            }
+            outcome.record = makeRunRecord(child.profile, cores);
+            outcome.profile = std::move(child.profile);
+            return outcome;
+          case exec::ChildStatus::kException:
+            // Same retry semantics as an in-process throw; clear any
+            // crash detail a previous attempt left behind.
+            failure.error = std::move(child.error);
+            failure.kind = RunFailureKind::kException;
+            failure.signal = 0;
+            failure.rlimit.clear();
+            failure.stderrTail.clear();
+            break;
+          case exec::ChildStatus::kAborted: {
+            failure.error = std::move(child.error);
+            const bool overran =
+                child.abortReason == AbortReason::kCycleBudget ||
+                lifecycle.timedOut();
+            failure.kind = overran ? RunFailureKind::kTimeout
+                                   : RunFailureKind::kCancelled;
+            outcome.failure = failure;
+            return outcome;
+          }
+          case exec::ChildStatus::kKilled:
+            // The supervisor SIGKILLed on the token: same deadline /
+            // sweep-stop classification as a cooperative unwind.
+            failure.error = std::move(child.error);
+            failure.kind = lifecycle.timedOut() ? RunFailureKind::kTimeout
+                                                : RunFailureKind::kCancelled;
+            outcome.failure = failure;
+            return outcome;
+          case exec::ChildStatus::kCrash:
+            // Crash containment: keep the evidence (signal, rlimit,
+            // stderr tail) and retry under the perturbed seed, exactly
+            // like an exception.
+            failure.error = std::move(child.error);
+            failure.kind = RunFailureKind::kCrash;
+            failure.signal = child.signal;
+            failure.rlimit = std::move(child.rlimit);
+            failure.stderrTail = std::move(child.stderrTail);
+            break;
+        }
+      } else {
+        if (lifecycle.active()) {
+          simConfig.cancel = lifecycle.token();
+        }
+        // A fresh instance per task (not a shared reset one): building
+        // from the same spec seed yields bit-identical streams, and
+        // private streams are what lets tasks run concurrently at all.
+        workloads::WorkloadInstance instance =
+            workloads::makeWorkload(*context.workload);
+        sim::MachineSim simulator(*context.machine, simConfig);
+        perf::RunProfile profile =
+            simulator.run(instance.threads, cores, instance.name);
+        failure.attempts = attempt + 1;
+        if (attempt > 0) {
+          failure.recovered = true;
+          outcome.failure = failure;
+        }
+        outcome.record = makeRunRecord(profile, cores);
+        outcome.profile = std::move(profile);
+        return outcome;
+      }
+    } catch (const RunAborted& e) {
+      // Lifecycle outcomes are terminal: a timed-out run would time out
+      // again and a cancelled sweep wants to wind down, so neither is
+      // retried. kCycleBudget and a fired wall deadline are both
+      // "overran its limits"; everything else the token carried is the
+      // sweep-wide stop.
+      failure.error = e.what();
+      failure.attempts = attempt + 1;
+      const bool overran =
+          e.reason() == AbortReason::kCycleBudget || lifecycle.timedOut();
+      failure.kind =
+          overran ? RunFailureKind::kTimeout : RunFailureKind::kCancelled;
+      outcome.failure = failure;
+      return outcome;
+    } catch (const std::exception& e) {
+      failure.error = e.what();
+      failure.attempts = attempt + 1;
+      failure.kind = RunFailureKind::kException;
+      failure.signal = 0;
+      failure.rlimit.clear();
+      failure.stderrTail.clear();
+    }
+    if (context.sweepCancel.stopRequested()) {
+      // Stop requested between attempts: don't burn retries on a sweep
+      // that is winding down.
+      failure.kind = RunFailureKind::kCancelled;
+      outcome.failure = failure;
+      return outcome;
+    }
+  }
+  outcome.failure = failure;
+  return outcome;
+}
+
+}  // namespace occm::analysis

@@ -1,0 +1,143 @@
+#pragma once
+
+// The execution of ONE sweep task — one (core count), restored from a
+// checkpoint or attempted (with seed-perturbed retries) until a profile
+// or a permanent failure — extracted from the sweep loop so the local
+// pool path and the distributed worker path run byte-identical code.
+// That sharing is the heart of the fleet's determinism guarantee: a
+// worker across a socket produces the same TaskOutcome bits as the same
+// task run in-process, so the deterministic request-order merge cannot
+// tell them apart.
+//
+// Lifecycle control (wall deadlines, sweep-wide stop relays) is injected
+// through RunLifecycle: the local path adapts the sweep's Watchdog, the
+// worker path runs without one (the coordinator's lease expiry is the
+// hang recovery across a fleet).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "analysis/sweep_state.hpp"
+#include "common/cancellation.hpp"
+#include "perf/run_profile.hpp"
+#include "sim/machine_sim.hpp"
+#include "topology/machine_spec.hpp"
+#include "workloads/workload.hpp"
+
+namespace occm::analysis {
+
+/// Per-attempt process isolation and resource budgets (exec/process_runner).
+/// Off by default: every attempt then runs in-process, exactly as before.
+/// When enabled, each attempt forks a child that rebuilds the workload and
+/// simulator from the same seeds and ships its RunProfile back over a
+/// CRC-checked pipe frame — so a segfault, abort, or rlimit death takes
+/// out one attempt (recorded as RunFailure{kind = kCrash}, retried and
+/// checkpointed like an exception) instead of the whole sweep, and
+/// successful runs stay bit-identical to the in-process path at any pool
+/// size. Cost: a fork per attempt, and RunProfile::trace is not shipped
+/// back (traces stay a single-process feature). Crash-injection fault
+/// plans (FaultPlan::hasCrash()) require this mode.
+struct IsolationConfig {
+  bool enabled = false;
+  /// RLIMIT_AS per attempt; allocation failure under the budget is
+  /// reported as kCrash with rlimit = "address-space". 0 = no limit.
+  std::uint64_t memoryBytes = 0;
+  /// RLIMIT_CPU per attempt; overrun dies on SIGXCPU, reported as kCrash
+  /// with rlimit = "cpu". 0 = no limit.
+  std::uint64_t cpuSeconds = 0;
+  /// Bytes of the child's stderr tail captured into RunFailure records.
+  std::size_t stderrTailBytes = 4096;
+};
+
+/// Per-run lifecycle limits. A run that exceeds either bound is recorded
+/// as RunFailure{kind = kTimeout} (not retried, never checkpointed) and
+/// the sweep continues with the remaining core counts.
+struct SweepLimits {
+  /// Wall-clock deadline per attempt, enforced by a watchdog thread that
+  /// fires the run's cancellation token. 0 = unlimited. Which runs time
+  /// out under a wall deadline is machine-dependent; the *completed* runs
+  /// stay bit-identical to a serial sweep of the same subset.
+  double wallSeconds = 0.0;
+  /// Simulated-cycle budget per attempt (sim::SimConfig::cycleBudget).
+  /// Fully deterministic: the same budget aborts the same run at the same
+  /// event on every machine and pool size. 0 = unlimited.
+  Cycles cycleBudget = 0;
+};
+
+/// Everything one (core count) task produces; merged in request order.
+struct TaskOutcome {
+  std::optional<perf::RunProfile> profile;
+  std::optional<RunFailure> failure;  ///< recovered retry or permanent
+  std::optional<RunRecord> record;    ///< checkpoint row for the profile
+  bool restored = false;
+  /// Sweep-level stop observed before the task started: no attempt was
+  /// made, no failure is recorded, and the core count stays pending so a
+  /// resumed sweep re-attempts it.
+  bool skipped = false;
+};
+
+/// Lifecycle hooks for one task, injected so the attempt loop does not
+/// know whether a Watchdog (local sweep) or nothing (distributed worker;
+/// lease expiry recovers hangs coordinator-side) is behind them.
+class RunLifecycle {
+ public:
+  virtual ~RunLifecycle() = default;
+  /// Arms the wall deadline for the attempt about to start.
+  virtual void arm() {}
+  /// Disarms it (called on every exit path of the attempt).
+  virtual void disarm() {}
+  /// True when this task's armed deadline fired.
+  [[nodiscard]] virtual bool timedOut() const { return false; }
+  /// Cancellation token attempts should honor (only read when active()).
+  [[nodiscard]] virtual CancellationToken token() const { return {}; }
+  /// Whether token() is live (mirrors the Watchdog's active()).
+  [[nodiscard]] virtual bool active() const { return false; }
+};
+
+/// The no-op lifecycle (no deadline, no cancellation relay).
+class NullLifecycle final : public RunLifecycle {};
+
+/// Checkpoint row for a completed profile — shared by the in-process and
+/// isolated attempt paths so both persist byte-identical records.
+[[nodiscard]] RunRecord makeRunRecord(const perf::RunProfile& profile,
+                                      int cores);
+
+/// Rebuilds the outcome of a checkpointed run: everything the CSV
+/// exporter and the determinism fingerprint read, so a resumed sweep is
+/// byte-identical to an uninterrupted one. nullopt when the checkpoint
+/// has no record for this core count.
+[[nodiscard]] std::optional<TaskOutcome> restoredOutcome(
+    const SweepCheckpoint& restoredState, int cores);
+
+/// Inputs of one task run, independent of how the task was delivered
+/// (local pool or fleet assignment).
+struct RunTaskContext {
+  const topology::MachineSpec* machine = nullptr;
+  /// Workload spec with threads already resolved (> 0).
+  const workloads::WorkloadSpec* workload = nullptr;
+  /// Base sim config; each attempt copies it and perturbs the seed.
+  const sim::SimConfig* sim = nullptr;
+  Cycles cycleBudget = 0;
+  IsolationConfig isolation;
+  int maxAttempts = 1;
+  /// Recorded into failure records (1 = serial / worker-local).
+  int poolSize = 1;
+  /// Sweep-wide stop; checked before the first attempt and between
+  /// retries.
+  CancellationToken sweepCancel;
+  /// Test/diagnostics hook, called before every attempt; an exception it
+  /// throws is treated exactly like a failed run.
+  std::function<void(int cores, int attempt)> beforeRun;
+};
+
+/// Runs one core count to completion: attempts (with seed-perturbed
+/// retries) until a profile or a permanent failure. Builds a private
+/// workload instance and simulator per attempt, so concurrent tasks share
+/// nothing mutable; no exception escapes.
+[[nodiscard]] TaskOutcome runCoreCountTask(const RunTaskContext& context,
+                                           int cores,
+                                           RunLifecycle& lifecycle);
+
+}  // namespace occm::analysis

@@ -1,0 +1,74 @@
+#pragma once
+
+// One retry-backoff policy for every layer that retries: the memory
+// system's failover penalty (simulated cycles), the sweep's inter-attempt
+// delay (host milliseconds), the distributed coordinator's lease
+// re-dispatch schedule and the worker's reconnect loop. All four used to
+// hand-roll the same "base * 2^k, capped" shape; this header is the one
+// implementation, so the cap/jitter semantics cannot drift between them.
+//
+// Determinism: delay() is a pure function of (policy, attempt). Jitter is
+// derived from the policy's seed and the attempt index through SplitMix64
+// — never from global RNG state or the clock — so a re-dispatch schedule
+// replays identically across coordinator restarts (the bit-identical
+// recovery guarantee extends to *when* work is retried, not just what it
+// produces).
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace occm {
+
+/// Capped exponential backoff with deterministic seeded jitter. Units are
+/// the caller's (cycles, milliseconds, ...): the policy only does the
+/// arithmetic.
+struct BackoffPolicy {
+  /// Delay before retry 0. 0 disables the policy (every delay is 0).
+  std::uint64_t base = 0;
+  /// Upper bound applied after the exponential growth (0 = uncapped).
+  std::uint64_t cap = 0;
+  /// Jitter as a fraction of the capped delay in 1/256ths: the delay for
+  /// attempt k is `capped + jitter(seed, k) % (capped * jitterPct256 /
+  /// 256 + 1)`. 0 = no jitter (the memory system's fully deterministic
+  /// cycle penalty).
+  std::uint32_t jitterPct256 = 0;
+  /// Seed for the jitter stream; combine with a task id so concurrent
+  /// schedules decorrelate while each stays reproducible.
+  std::uint64_t seed = 0;
+
+  /// Delay before retry `attempt` (0-based): min(cap, base << attempt),
+  /// plus deterministic jitter. Shift-safe for any attempt count.
+  [[nodiscard]] std::uint64_t delay(std::uint32_t attempt) const noexcept {
+    if (base == 0) {
+      return 0;
+    }
+    // Exact shift-overflow test: base << attempt fits iff base fits in
+    // the remaining 64 - attempt bits.
+    std::uint64_t value = attempt >= 64 || base > (~std::uint64_t{0} >> attempt)
+                              ? ~std::uint64_t{0}
+                              : base << attempt;
+    if (cap != 0 && value > cap) {
+      value = cap;
+    }
+    if (jitterPct256 != 0) {
+      const std::uint64_t span = value * jitterPct256 / 256 + 1;
+      SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+      value += sm.next() % span;
+    }
+    return value;
+  }
+
+  /// Total delay paid by `attempts` consecutive retries (the memory
+  /// system's "pay the whole bounded schedule up front" shape).
+  [[nodiscard]] std::uint64_t cumulative(std::uint32_t attempts) const noexcept {
+    std::uint64_t total = 0;
+    for (std::uint32_t k = 0; k < attempts; ++k) {
+      const std::uint64_t d = delay(k);
+      total = total + d < total ? ~std::uint64_t{0} : total + d;
+    }
+    return total;
+  }
+};
+
+}  // namespace occm

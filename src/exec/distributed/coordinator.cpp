@@ -1,0 +1,464 @@
+#include "exec/distributed/coordinator.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "common/error.hpp"
+#include "exec/frame_transport.hpp"
+#include "exec/ipc.hpp"
+
+namespace occm::exec::dist {
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One connected peer. Frames are reassembled per connection; sends are
+/// small (the largest frame is one kAssign) and pushed through a bounded
+/// retry loop, so the loop never parks on a single slow peer for long.
+struct Connection {
+  int fd = -1;
+  FrameReassembler reassembler;
+  std::string workerId;       ///< empty until the handshake completes
+  bool handshaken = false;
+  std::uint64_t connectedAtMs = 0;
+  std::uint64_t lastPingSentMs = 0;
+  std::uint64_t pingId = 0;
+  /// Tasks currently assigned on this connection (a worker runs one task
+  /// at a time; duplicates via speculation go to *other* workers).
+  std::vector<std::uint64_t> assigned;
+  bool dead = false;  ///< marked for teardown at the end of the iteration
+};
+
+bool sendAll(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Socket buffer full: wait for drain (bounded; a worker that
+        // stays unwritable for 5 s is as good as dead).
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        if (::poll(&pfd, 1, 5'000) <= 0) {
+          return false;
+        }
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool sendMessage(Connection& conn, const WireMessage& message) {
+  if (conn.dead) {
+    return false;
+  }
+  if (!sendAll(conn.fd, encodeFrame(encodeMessage(message)))) {
+    conn.dead = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CoordinatorReport runCoordinator(const CoordinatorConfig& config,
+                                 const std::vector<JobSpec>& jobs) {
+  OCCM_REQUIRE_MSG(static_cast<bool>(config.onResult),
+                   "coordinator needs an onResult sink");
+  CoordinatorReport report;
+  int boundPort = 0;
+  auto listened = listenTcp(config.host, config.port, &boundPort);
+  if (!listened) {
+    report.error = listened.error();
+    report.degradedToLocal = true;
+    return report;
+  }
+  const int listenFd = *listened;
+  // Non-blocking accepts: the drain loop below must stop at EAGAIN, not
+  // park the whole event loop inside accept(2).
+  const int listenFlags = ::fcntl(listenFd, F_GETFL, 0);
+  ::fcntl(listenFd, F_SETFL, listenFlags | O_NONBLOCK);
+  if (config.onListening) {
+    config.onListening(boundPort);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto nowMs = [&start]() -> std::uint64_t {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+
+  LeaseTable leases(config.lease, jobs.size());
+  std::map<int, std::unique_ptr<Connection>> conns;  // by fd
+  std::vector<bool> settled(jobs.size(), false);
+
+  obs::TimeSeries* aliveGauge = nullptr;
+  obs::TimeSeries* expiredGauge = nullptr;
+  obs::TimeSeries* redispatchGauge = nullptr;
+  obs::TimeSeries* rttGauge = nullptr;
+  if (config.metrics != nullptr) {
+    aliveGauge = &config.metrics->gauge("dist.workers.alive", "workers");
+    expiredGauge = &config.metrics->gauge("dist.leases.expired", "leases");
+    redispatchGauge = &config.metrics->gauge("dist.redispatches", "tasks");
+    rttGauge = &config.metrics->gauge("dist.heartbeat.rtt_ms", "ms");
+  }
+  auto recordGauges = [&](std::uint64_t at) {
+    if (aliveGauge != nullptr) {
+      aliveGauge->record(at, static_cast<double>(leases.aliveWorkers()));
+      expiredGauge->record(at,
+                           static_cast<double>(leases.stats().leasesExpired));
+      redispatchGauge->record(
+          at, static_cast<double>(leases.stats().redispatches));
+    }
+  };
+
+  auto loseWorker = [&](Connection& conn, const std::string& detail,
+                        WorkerIncident::Kind kind) {
+    conn.dead = true;
+    const std::string name = conn.handshaken
+                                 ? conn.workerId
+                                 : "peer fd " + std::to_string(conn.fd);
+    if (conn.handshaken) {
+      const std::vector<std::uint64_t> torn =
+          leases.workerLeft(conn.workerId, nowMs());
+      for (std::uint64_t taskId : torn) {
+        WorkerIncident incident;
+        incident.kind = kind;
+        incident.worker = name;
+        incident.detail = detail;
+        incident.taskId = taskId;
+        report.incidents.push_back(std::move(incident));
+      }
+      if (torn.empty()) {
+        report.incidents.push_back({kind, name, detail, std::nullopt});
+      }
+    } else {
+      report.incidents.push_back({kind, name, detail, std::nullopt});
+    }
+  };
+
+  auto tryAssign = [&](Connection& conn) {
+    // One outstanding task per worker: the worker runs tasks serially and
+    // keeping its queue empty is what makes lease re-dispatch meaningful.
+    if (conn.dead || !conn.handshaken || !conn.assigned.empty()) {
+      return;
+    }
+    const std::optional<std::uint64_t> taskId =
+        leases.nextAssignment(conn.workerId, nowMs());
+    if (!taskId.has_value()) {
+      return;
+    }
+    WireMessage assign;
+    assign.kind = WireMessage::Kind::kAssign;
+    assign.job = jobs[*taskId];
+    if (sendMessage(conn, assign)) {
+      conn.assigned.push_back(*taskId);
+    } else {
+      loseWorker(conn, "send failed: " + std::string("assign"),
+                 WorkerIncident::Kind::kWorkerLost);
+    }
+  };
+
+  auto handleMessage = [&](Connection& conn, const WireMessage& message) {
+    if (!conn.handshaken) {
+      if (message.kind != WireMessage::Kind::kHello ||
+          message.protocolVersion != kProtocolVersion ||
+          message.workerId.empty()) {
+        WireMessage reject;
+        reject.kind = WireMessage::Kind::kReject;
+        reject.reason =
+            message.kind != WireMessage::Kind::kHello
+                ? "expected hello"
+                : (message.workerId.empty()
+                       ? "empty worker id"
+                       : "protocol version " +
+                             std::to_string(message.protocolVersion) +
+                             " != " + std::to_string(kProtocolVersion));
+        sendMessage(conn, reject);
+        loseWorker(conn, reject.reason, WorkerIncident::Kind::kHandshake);
+        return;
+      }
+      // A reconnecting worker supersedes its old connection: the stale fd
+      // (if any) will EOF on its own; membership is keyed by worker id.
+      conn.workerId = message.workerId;
+      conn.handshaken = true;
+      ++report.workersSeen;
+      leases.workerJoined(conn.workerId, nowMs());
+      recordGauges(nowMs());
+      WireMessage welcome;
+      welcome.kind = WireMessage::Kind::kWelcome;
+      sendMessage(conn, welcome);
+      tryAssign(conn);
+      return;
+    }
+    leases.heartbeat(conn.workerId, nowMs());
+    switch (message.kind) {
+      case WireMessage::Kind::kResult: {
+        const std::uint64_t taskId = message.result.taskId;
+        if (taskId >= jobs.size()) {
+          loseWorker(conn, "result for unknown task id " +
+                               std::to_string(taskId),
+                     WorkerIncident::Kind::kFrameCorrupt);
+          return;
+        }
+        conn.assigned.erase(
+            std::remove(conn.assigned.begin(), conn.assigned.end(), taskId),
+            conn.assigned.end());
+        if (leases.completeTask(taskId, conn.workerId, nowMs())) {
+          settled[taskId] = true;
+          config.onResult(message.result);
+        }
+        tryAssign(conn);
+        break;
+      }
+      case WireMessage::Kind::kPong: {
+        const std::uint64_t sentNs = message.pingSentNs;
+        const std::uint64_t now = steadyNowNs();
+        if (now >= sentNs) {
+          const double rtt =
+              static_cast<double>(now - sentNs) / 1'000'000.0;
+          report.rttMs.push_back(rtt);
+          if (rttGauge != nullptr) {
+            rttGauge->record(nowMs(), rtt);
+          }
+        }
+        break;
+      }
+      case WireMessage::Kind::kHello:
+        // A second hello on a live session is a protocol violation.
+        loseWorker(conn, "unexpected hello on an established session",
+                   WorkerIncident::Kind::kHandshake);
+        break;
+      default:
+        // Coordinator-bound kinds only; anything else is noise from a
+        // confused peer. Drop it, keep the session.
+        break;
+    }
+  };
+
+  bool anyWorkerEver = false;
+  std::uint64_t lastWorkerPresenceMs = 0;
+  for (;;) {
+    const std::uint64_t now = nowMs();
+    if (config.cancel.valid() && config.cancel.stopRequested()) {
+      report.cancelled = true;
+      break;
+    }
+    if (leases.drained()) {
+      break;
+    }
+    if (!conns.empty()) {
+      lastWorkerPresenceMs = now;
+    }
+    // Degrade to local execution when no worker has shown up within the
+    // grace window — or when the whole fleet died and stayed gone for a
+    // full window (otherwise unfinished leases would spin forever).
+    if ((!anyWorkerEver && now >= config.graceWindowMs) ||
+        (anyWorkerEver && conns.empty() &&
+         now >= lastWorkerPresenceMs + config.graceWindowMs)) {
+      report.degradedToLocal = true;
+      break;
+    }
+
+    // Ticks: expiries and evictions, surfaced as worker-lost incidents.
+    const LeaseTable::TickEvents events = leases.tick(now);
+    for (const auto& [taskId, worker] : events.expired) {
+      WorkerIncident incident;
+      incident.kind = WorkerIncident::Kind::kWorkerLost;
+      incident.worker = worker;
+      incident.detail = "lease expired";
+      incident.taskId = taskId;
+      report.incidents.push_back(std::move(incident));
+    }
+    for (const std::string& worker : events.evictedWorkers) {
+      for (auto& [fd, conn] : conns) {
+        if (conn->handshaken && conn->workerId == worker) {
+          conn->dead = true;
+        }
+      }
+      report.incidents.push_back({WorkerIncident::Kind::kWorkerLost, worker,
+                                  "heartbeat timeout; worker evicted",
+                                  std::nullopt});
+    }
+    if (!events.expired.empty() || !events.evictedWorkers.empty()) {
+      recordGauges(now);
+    }
+
+    // Heartbeats and (re-)assignment for idle workers.
+    for (auto& [fd, conn] : conns) {
+      if (conn->dead || !conn->handshaken) {
+        continue;
+      }
+      if (config.heartbeatIntervalMs != 0 &&
+          now >= conn->lastPingSentMs + config.heartbeatIntervalMs) {
+        WireMessage ping;
+        ping.kind = WireMessage::Kind::kPing;
+        ping.pingId = ++conn->pingId;
+        ping.pingSentNs = steadyNowNs();
+        if (sendMessage(*conn, ping)) {
+          conn->lastPingSentMs = now;
+        } else {
+          loseWorker(*conn, "send failed: ping",
+                     WorkerIncident::Kind::kWorkerLost);
+        }
+      }
+      tryAssign(*conn);
+    }
+
+    // Reap connections marked dead above.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second->dead) {
+        ::close(it->second->fd);
+        it = conns.erase(it);
+        recordGauges(now);
+      } else {
+        ++it;
+      }
+    }
+
+    // Poll timeout: the nearest of heartbeat cadence, backoff expiry,
+    // grace window and a 50 ms liveness floor for cancellation.
+    std::uint64_t timeout = 50;
+    if (const auto eligible = leases.nextEligibleMs();
+        eligible.has_value() && *eligible > now) {
+      timeout = std::min(timeout, *eligible - now);
+    }
+    std::vector<struct pollfd> fds;
+    fds.reserve(conns.size() + 1);
+    fds.push_back({listenFd, POLLIN, 0});
+    for (auto& [fd, conn] : conns) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+               static_cast<int>(std::min<std::uint64_t>(timeout, 1'000)));
+    if (rc < 0 && errno != EINTR) {
+      report.error = std::string("poll: ") + std::strerror(errno);
+      break;
+    }
+    if (rc <= 0) {
+      continue;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+          break;
+        }
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conn->connectedAtMs = nowMs();
+        anyWorkerEver = true;  // someone is out there; keep waiting
+        conns.emplace(fd, std::move(conn));
+      }
+    }
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) {
+        continue;
+      }
+      auto it = conns.find(fds[i].fd);
+      if (it == conns.end()) {
+        continue;
+      }
+      Connection& conn = *it->second;
+      char chunk[16 * 1024];
+      for (;;) {
+        const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            loseWorker(conn, std::string("read: ") + std::strerror(errno),
+                       WorkerIncident::Kind::kWorkerLost);
+          }
+          break;
+        }
+        if (n == 0) {
+          loseWorker(conn, "connection closed",
+                     WorkerIncident::Kind::kWorkerLost);
+          break;
+        }
+        if (!conn.reassembler.feed(
+                std::string_view(chunk, static_cast<std::size_t>(n)))) {
+          loseWorker(conn, conn.reassembler.error().message(),
+                     WorkerIncident::Kind::kFrameCorrupt);
+          break;
+        }
+        while (auto payload = conn.reassembler.next()) {
+          auto decoded = decodeMessage(*payload);
+          if (!decoded) {
+            loseWorker(conn, decoded.error().message(),
+                       WorkerIncident::Kind::kFrameCorrupt);
+            break;
+          }
+          handleMessage(conn, *decoded);
+          if (conn.dead) {
+            break;
+          }
+        }
+        if (conn.dead) {
+          break;
+        }
+      }
+    }
+  }
+
+  // Drain: cancellation tears leases down; completion/degradation just
+  // says goodbye. Workers treat kShutdown as "disconnect now".
+  if (report.cancelled) {
+    leases.cancelAll(nowMs());
+  }
+  WireMessage shutdown;
+  shutdown.kind = WireMessage::Kind::kShutdown;
+  shutdown.reason = report.cancelled ? "cancelled" : "sweep complete";
+  for (auto& [fd, conn] : conns) {
+    if (conn->handshaken && !conn->dead) {
+      sendMessage(*conn, shutdown);
+    }
+    ::close(conn->fd);
+  }
+  ::close(listenFd);
+
+  recordGauges(nowMs());
+  for (std::uint64_t id = 0; id < settled.size(); ++id) {
+    if (settled[id]) {
+      report.settledTasks.push_back(id);
+    }
+  }
+  report.stats = leases.stats();
+  report.spans = leases.spans();
+  return report;
+}
+
+}  // namespace occm::exec::dist

@@ -1,0 +1,70 @@
+#pragma once
+
+// The fleet's data plane: one worker process connects to the
+// coordinator, handshakes, and loops — receive a JobSpec, run it through
+// the injected task runner on a dedicated thread (so pings are answered
+// while a long simulation is in flight), ship the TaskResult back.
+//
+// Robust to the coordinator being the flaky side too: a lost connection
+// is retried with capped-exponential backoff (common/backoff, seeded by
+// the worker id so a fleet's reconnect storms decorrelate), the in-flight
+// task keeps running across the gap, and its result is delivered on the
+// next session — the coordinator discards it if a re-dispatched copy
+// already won.
+//
+// Test hooks (used by tests/analysis/test_distributed_sweep and
+// scripts/distributed_smoke.sh): straggleMs delays each result to
+// manufacture a tail straggler; maxTasks exits the process mid-fleet to
+// manufacture a worker death.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/backoff.hpp"
+#include "common/cancellation.hpp"
+#include "exec/distributed/protocol.hpp"
+
+namespace occm::exec::dist {
+
+/// Runs one JobSpec to completion. Must not throw (run failures are data
+/// in the TaskResult); called on the worker's task thread.
+using TaskRunner = std::function<TaskResult(const JobSpec&)>;
+
+struct WorkerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Fleet-unique name; the coordinator keys leases and eviction by it.
+  std::string workerId = "worker";
+  /// Reconnect schedule after a lost connection (delays in ms). The
+  /// worker gives up after maxConnectAttempts consecutive failures.
+  BackoffPolicy reconnectBackoff{.base = 200, .cap = 5'000,
+                                 .jitterPct256 = 64, .seed = 0};
+  std::uint32_t maxConnectAttempts = 10;
+  int connectTimeoutMs = 5'000;
+  /// Cooperative stop: finish nothing new, disconnect, return.
+  CancellationToken cancel;
+  /// Test hook: sleep this long before sending each result (a straggler).
+  std::uint64_t straggleMs = 0;
+  /// Test hook: exit after this many results (0 = unlimited); simulates a
+  /// worker leaving mid-sweep without the courtesy of a FIN.
+  std::uint64_t maxTasks = 0;
+};
+
+struct WorkerReport {
+  std::uint64_t tasksCompleted = 0;
+  std::uint64_t reconnects = 0;
+  /// Why the worker stopped: "shutdown" (coordinator said so), "done"
+  /// (maxTasks reached), "cancelled", "rejected: ...", or a transport
+  /// error after the reconnect budget ran out.
+  std::string stopReason;
+  /// True for orderly stops (shutdown / done / cancelled).
+  bool ok = false;
+};
+
+/// Blocking worker loop; returns when the coordinator shuts it down, the
+/// token fires, the reconnect budget is exhausted, or maxTasks is hit.
+[[nodiscard]] WorkerReport runWorker(const WorkerOptions& options,
+                                     const TaskRunner& runTask);
+
+}  // namespace occm::exec::dist

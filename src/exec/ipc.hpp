@@ -27,6 +27,19 @@
 
 namespace occm::exec {
 
+/// Wire-frame geometry, shared with the streaming reassembler in
+/// exec/frame_transport (sockets deliver frames in arbitrary chunks, so
+/// the header must be parseable before the payload arrives).
+inline constexpr char kFrameMagic[4] = {'O', 'C', 'F', '1'};
+inline constexpr std::size_t kFrameHeaderSize = 8;   ///< magic + u32 length
+inline constexpr std::size_t kFrameTrailerSize = 4;  ///< u32 payload CRC
+inline constexpr std::size_t kFrameOverhead =
+    kFrameHeaderSize + kFrameTrailerSize;
+/// Max payload a peer may declare. Anything larger is rejected before a
+/// single payload byte is buffered — a corrupt or hostile length field
+/// must never drive a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 1U << 24;
+
 /// Typed diagnosis of bytes that are not a valid frame or message.
 struct IpcError {
   std::size_t byteOffset = 0;  ///< offset of the first deviation

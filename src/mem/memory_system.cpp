@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/backoff.hpp"
 #include "common/error.hpp"
 
 namespace occm::mem {
@@ -142,10 +143,12 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
     // healthy controller — paying the backoff before it even leaves.
     ControllerStats& downStats =
         controllers_[static_cast<std::size_t>(homeNode)].stats;
-    Cycles backoff = 0;
-    for (int attempt = 0; attempt < kFailoverRetries; ++attempt) {
-      backoff += spec.dramLatency << attempt;
-    }
+    // Shared retry policy (common/backoff.hpp), uncapped and jitter-free:
+    // the penalty is simulated cycles, so it must stay a pure function of
+    // the spec for bit-identical runs.
+    const BackoffPolicy retryPolicy{.base = spec.dramLatency};
+    const Cycles backoff =
+        retryPolicy.cumulative(static_cast<std::uint32_t>(kFailoverRetries));
     downStats.retryAttempts += kFailoverRetries;
     downStats.reroutedAway += 1;
     timing.retryCycles = backoff;

@@ -75,7 +75,7 @@ SweepCheckpoint sampleCheckpoint() {
   ckpt.runs.push_back({2, 1.5e6, 5.0e5, 7.6e5});
   ckpt.runs.push_back({4, 2.25e6, 9.1e5, 6.0e5});
   ckpt.failures.push_back({3, 2, "synthetic \"quoted\" crash\n", true, 4,
-                           RunFailureKind::kException, 0, "", ""});
+                           RunFailureKind::kException, 0, "", "", ""});
   return ckpt;
 }
 
@@ -315,12 +315,12 @@ TEST(CorruptionSuite, LegacyV1CheckpointStillLoads) {
 TEST(CorruptionSuite, CheckpointRoundTripsAllFailureKinds) {
   SweepCheckpoint ckpt = sampleCheckpoint();
   ckpt.failures.push_back({5, 1, "over budget", false, 2,
-                           RunFailureKind::kTimeout, 0, "", ""});
+                           RunFailureKind::kTimeout, 0, "", "", ""});
   ckpt.failures.push_back({6, 1, "ctrl-c", false, 2,
-                           RunFailureKind::kCancelled, 0, "", ""});
+                           RunFailureKind::kCancelled, 0, "", "", ""});
   ckpt.failures.push_back({7, 2, "child terminated by signal 11", false, 2,
                            RunFailureKind::kCrash, 11, "address-space",
-                           "occm: injected crash\nSegmentation fault"});
+                           "occm: injected crash\nSegmentation fault", ""});
   const auto back = SweepCheckpoint::parseChecked(ckpt.toJson());
   ASSERT_TRUE(back.hasValue()) << back.error().message();
   ASSERT_EQ(back->failures.size(), 4u);

@@ -277,18 +277,18 @@ TEST(SweepLifecycle, GarbageCheckpointQuarantinesAndStartsFresh) {
 TEST(SweepLifecycle, FailureExportsCarryLifecycleKinds) {
   SweepResult sweep;
   sweep.failures.push_back({1, 2, "boom, with \"quotes\"", false, 4,
-                            RunFailureKind::kException, 0, "", ""});
+                            RunFailureKind::kException, 0, "", "", ""});
   sweep.failures.push_back({2, 1, "over budget", false, 4,
-                            RunFailureKind::kTimeout, 0, "", ""});
+                            RunFailureKind::kTimeout, 0, "", "", ""});
   sweep.failures.push_back({3, 1, "ctrl-c", false, 4,
-                            RunFailureKind::kCancelled, 0, "", ""});
+                            RunFailureKind::kCancelled, 0, "", "", ""});
   sweep.failures.push_back({4, 1, "child terminated by signal 6", false, 4,
                             RunFailureKind::kCrash, 6, "address-space",
-                            "memory budget (RLIMIT_AS) exceeded"});
+                            "memory budget (RLIMIT_AS) exceeded", ""});
 
   const std::string csv = failuresToCsv(sweep);
   EXPECT_NE(csv.find("cores,attempts,recovered,pool_size,kind,signal,"
-                     "rlimit,has_stderr_tail,error"),
+                     "rlimit,has_stderr_tail,worker,error"),
             std::string::npos);
   EXPECT_NE(csv.find("exception"), std::string::npos);
   EXPECT_NE(csv.find("timeout"), std::string::npos);

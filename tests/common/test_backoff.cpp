@@ -1,0 +1,93 @@
+// BackoffPolicy: the one capped-exponential-with-deterministic-jitter
+// implementation shared by the memory system's failover penalty, the
+// lease re-dispatch schedule and the worker reconnect loop.
+
+#include "common/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace occm {
+namespace {
+
+TEST(Backoff, DisabledPolicyIsAlwaysZero) {
+  const BackoffPolicy off{.base = 0, .cap = 100, .jitterPct256 = 128,
+                          .seed = 7};
+  for (std::uint32_t k = 0; k < 70; ++k) {
+    EXPECT_EQ(off.delay(k), 0u);
+  }
+  EXPECT_EQ(off.cumulative(100), 0u);
+}
+
+TEST(Backoff, GrowsExponentiallyUntilTheCap) {
+  const BackoffPolicy policy{.base = 100, .cap = 1'000, .jitterPct256 = 0,
+                             .seed = 0};
+  EXPECT_EQ(policy.delay(0), 100u);
+  EXPECT_EQ(policy.delay(1), 200u);
+  EXPECT_EQ(policy.delay(2), 400u);
+  EXPECT_EQ(policy.delay(3), 800u);
+  EXPECT_EQ(policy.delay(4), 1'000u);  // capped, not 1600
+  EXPECT_EQ(policy.delay(5), 1'000u);
+}
+
+TEST(Backoff, UncappedSaturatesInsteadOfOverflowing) {
+  const BackoffPolicy policy{.base = 3, .cap = 0, .jitterPct256 = 0,
+                             .seed = 0};
+  // 3 << 62 still fits; 3 << 63 overflows and must saturate, not wrap.
+  EXPECT_EQ(policy.delay(62), 3ULL << 62);
+  EXPECT_EQ(policy.delay(63), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(policy.delay(200), std::numeric_limits<std::uint64_t>::max());
+  // Partial overflow (the wrapped value stays above base) saturates too.
+  const BackoffPolicy big{.base = 1ULL << 62, .cap = 0, .jitterPct256 = 0,
+                          .seed = 0};
+  EXPECT_EQ(big.delay(1), 1ULL << 63);
+  EXPECT_EQ(big.delay(2), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Backoff, JitterIsBoundedAndDeterministic) {
+  const BackoffPolicy policy{.base = 100, .cap = 1'000, .jitterPct256 = 64,
+                             .seed = 0xABCDEF};
+  for (std::uint32_t k = 0; k < 16; ++k) {
+    const std::uint64_t d = policy.delay(k);
+    const std::uint64_t unjittered =
+        BackoffPolicy{.base = 100, .cap = 1'000}.delay(k);
+    EXPECT_GE(d, unjittered);
+    // jitterPct256 = 64 => at most 25% on top (plus the +1 span floor).
+    EXPECT_LE(d, unjittered + unjittered * 64 / 256);
+    // Pure function of (policy, attempt): replays identically.
+    EXPECT_EQ(d, policy.delay(k));
+  }
+}
+
+TEST(Backoff, DifferentSeedsDecorrelate) {
+  const BackoffPolicy a{.base = 1'000, .cap = 0, .jitterPct256 = 255,
+                        .seed = 1};
+  const BackoffPolicy b{.base = 1'000, .cap = 0, .jitterPct256 = 255,
+                        .seed = 2};
+  int differing = 0;
+  for (std::uint32_t k = 0; k < 16; ++k) {
+    differing += a.delay(k) != b.delay(k) ? 1 : 0;
+  }
+  EXPECT_GT(differing, 8);  // overwhelmingly different schedules
+}
+
+TEST(Backoff, CumulativeSumsTheSchedule) {
+  const BackoffPolicy policy{.base = 10, .cap = 40, .jitterPct256 = 0,
+                             .seed = 0};
+  EXPECT_EQ(policy.cumulative(0), 0u);
+  EXPECT_EQ(policy.cumulative(1), 10u);
+  EXPECT_EQ(policy.cumulative(2), 30u);
+  EXPECT_EQ(policy.cumulative(3), 70u);
+  EXPECT_EQ(policy.cumulative(4), 110u);  // 10 + 20 + 40 + 40
+}
+
+TEST(Backoff, CumulativeSaturatesOnOverflow) {
+  const BackoffPolicy policy{.base = 1ULL << 62, .cap = 0, .jitterPct256 = 0,
+                             .seed = 0};
+  EXPECT_EQ(policy.cumulative(16), std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace occm

@@ -156,7 +156,7 @@ TEST(FaultResilience, CheckpointJsonRoundTrips) {
   ckpt.runs.push_back({1, 1e6, 2.5e5, 1e6});
   ckpt.runs.push_back({4, 4.5e6, 1.5e6, 1.2e6});
   ckpt.failures.push_back({3, 2, "synthetic \"quoted\" crash\n", true, 1,
-                           RunFailureKind::kException, 0, "", ""});
+                           RunFailureKind::kException, 0, "", "", ""});
 
   const auto parsed = SweepCheckpoint::parse(ckpt.toJson());
   ASSERT_TRUE(parsed.has_value());
