@@ -18,7 +18,6 @@
 #include <cinttypes>
 #include <cstdio>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "analysis/csv.hpp"
@@ -145,8 +144,7 @@ int main(int argc, char** argv) {
   report.compiler = compilerString();
   report.buildType = buildTypeString();
   report.obsEnabled = obs::kCompiledIn;
-  report.hardwareThreads =
-      static_cast<int>(std::thread::hardware_concurrency());
+  report.hardwareThreads = perf::detectHardwareThreads();
 
   bench::printHeading("perf_baseline: simulator throughput grid (" +
                       std::string(args.quick ? "quick" : "full") +

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates the golden-fingerprint corpus backing the equivalence suite
+# (tests/equivalence/golden_fingerprints.txt) by replaying the full grid
+# with the gen_golden binary. The corpus pins the simulator's exact
+# output; regenerate it ONLY when simulated behavior is meant to change,
+# and say so in the commit that does. See DESIGN.md §14.
+#
+# Usage: gen_golden.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+bin="$build/tests/gen_golden"
+out="$repo/tests/equivalence/golden_fingerprints.txt"
+
+if [ ! -x "$bin" ]; then
+  echo "gen_golden binary not found at $bin — build it first:" >&2
+  echo "  cmake --build $build --target gen_golden" >&2
+  exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+"$bin" "$tmp"
+
+if [ -f "$out" ] && cmp -s "$tmp" "$out"; then
+  echo "corpus unchanged: $out"
+else
+  mv "$tmp" "$out"
+  trap - EXIT
+  echo "corpus written: $out"
+  echo "If fingerprints changed, simulated output changed — justify the"
+  echo "regeneration in the commit message."
+fi

@@ -11,9 +11,19 @@
 // documented in DESIGN.md — like a memory access). This is the mechanism
 // behind the paper's EP observation: LLC misses grow from ~2e3 to ~3e7 as
 // active cores increase, driven by false sharing of result lines.
+//
+// Storage (DESIGN.md §14): a flat open-addressing table (linear probing,
+// backward-shift deletion, power-of-two capacity) instead of
+// std::unordered_map — the directory is probed on every shared access
+// and the node-per-entry map was a visible fraction of the whole
+// simulation. The sharer set is exposed as a bitmask so the hierarchy
+// can walk victims with countr_zero instead of allocating a vector; the
+// vector API remains as a thin wrapper. All counters and invalidation
+// orders are identical to the map-based implementation (pinned by the
+// golden corpus).
 
+#include <bit>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
@@ -33,26 +43,50 @@ class CoherenceDirectory {
   explicit CoherenceDirectory(int cores) : cores_(cores) {
     OCCM_REQUIRE_MSG(cores >= 1 && cores <= 64,
                      "directory supports 1..64 cores");
+    slots_.resize(kInitialCapacity);
   }
 
-  /// Records an access by `core` to the shared line `lineAddr`.
-  /// Returns the cores whose copies must be invalidated (empty for reads
-  /// and for writes with no other sharer).
-  std::vector<CoreId> onAccess(Addr lineAddr, CoreId core, bool write) {
+  /// Opaque handle to one shared line's directory state, valid until the
+  /// next beginAccess/onAccess/onEviction/clear call. Lets the hierarchy
+  /// pay ONE table probe per shared access: beginAccess answers the
+  /// pre-lookup invalidation question, the handle carries the entry to
+  /// commitAccess after the cache fills.
+  struct AccessHandle {
+    void* entry = nullptr;
+    /// Owner whose remote write invalidated this core's copy, or -1 —
+    /// exactly invalidatingOwner(lineAddr, core), minus the extra probe.
+    CoreId invalidatingOwner = -1;
+  };
+
+  /// First half of an access: locates (or creates) the line's entry and
+  /// reports whether `core`'s copy was invalidated by a remote write.
+  [[nodiscard]] AccessHandle beginAccess(Addr lineAddr, CoreId core) {
     OCCM_ASSERT(core >= 0 && core < cores_);
-    Entry& entry = lines_[lineAddr];
+    Slot& entry = findOrInsert(lineAddr);
+    AccessHandle handle;
+    handle.entry = &entry;
+    if (entry.owner >= 0 && entry.owner != core &&
+        ((entry.sharers >> core) & 1) == 0) {
+      handle.invalidatingOwner = entry.owner;
+    }
+    return handle;
+  }
+
+  /// Second half: applies the access to the entry found by beginAccess
+  /// and returns the bitmask of cores whose copies must be invalidated
+  /// (0 for reads and for writes with no other sharer).
+  std::uint64_t commitAccess(const AccessHandle& handle, CoreId core,
+                             bool write) {
+    Slot& entry = *static_cast<Slot*>(handle.entry);
     const std::uint64_t bit = std::uint64_t{1} << core;
-    std::vector<CoreId> toInvalidate;
+    std::uint64_t toInvalidate = 0;
     if (write) {
       const std::uint64_t others = entry.sharers & ~bit;
       if (others != 0) {
         ++stats_.upgrades;
-        for (int c = 0; c < cores_; ++c) {
-          if ((others >> c) & 1) {
-            toInvalidate.push_back(c);
-            ++stats_.invalidationsSent;
-          }
-        }
+        stats_.invalidationsSent +=
+            static_cast<std::uint64_t>(std::popcount(others));
+        toInvalidate = others;
       }
       entry.sharers = bit;
       entry.modified = true;
@@ -68,6 +102,24 @@ class CoherenceDirectory {
     return toInvalidate;
   }
 
+  /// One-shot probe-and-update. Returns the bitmask of cores whose
+  /// copies must be invalidated (0 for reads and for writes with no
+  /// other sharer).
+  std::uint64_t onAccessMask(Addr lineAddr, CoreId core, bool write) {
+    return commitAccess(beginAccess(lineAddr, core), core, write);
+  }
+
+  /// As onAccessMask, expanded to a core list in ascending order.
+  std::vector<CoreId> onAccess(Addr lineAddr, CoreId core, bool write) {
+    std::uint64_t mask = onAccessMask(lineAddr, core, write);
+    std::vector<CoreId> toInvalidate;
+    while (mask != 0) {
+      toInvalidate.push_back(std::countr_zero(mask));
+      mask &= mask - 1;
+    }
+    return toInvalidate;
+  }
+
   /// True when `core` lost its copy of the line to a remote write since it
   /// last accessed it. Note the asymmetry exploited by the hierarchy: the
   /// copy survives in any cache instance the core *shares with the owner*
@@ -75,53 +127,162 @@ class CoherenceDirectory {
   /// within-socket false sharing is a cheap LLC hit while cross-socket
   /// false sharing goes off-chip.
   [[nodiscard]] bool isInvalidatedFor(Addr lineAddr, CoreId core) const {
-    const auto it = lines_.find(lineAddr);
-    if (it == lines_.end()) {
+    const Slot* entry = find(lineAddr);
+    if (entry == nullptr) {
       return false;
     }
     // Only a write creates invalid copies: read-shared lines (owner -1)
     // coexist in any number of caches.
-    return it->second.owner >= 0 && it->second.owner != core &&
-           ((it->second.sharers >> core) & 1) == 0;
+    return entry->owner >= 0 && entry->owner != core &&
+           ((entry->sharers >> core) & 1) == 0;
   }
 
   /// Core that most recently wrote the line, or -1.
   [[nodiscard]] CoreId ownerOf(Addr lineAddr) const {
-    const auto it = lines_.find(lineAddr);
-    return it == lines_.end() ? -1 : it->second.owner;
+    const Slot* entry = find(lineAddr);
+    return entry == nullptr ? -1 : entry->owner;
+  }
+
+  /// Single-probe combination of isInvalidatedFor + ownerOf for the
+  /// hierarchy's hot path: the owner whose remote write invalidated
+  /// `core`'s copy, or -1 when the copy is still good (or untracked).
+  [[nodiscard]] CoreId invalidatingOwner(Addr lineAddr,
+                                         CoreId core) const {
+    const Slot* entry = find(lineAddr);
+    if (entry == nullptr || entry->owner < 0 || entry->owner == core ||
+        ((entry->sharers >> core) & 1) != 0) {
+      return -1;
+    }
+    return entry->owner;
   }
 
   /// Removes a core's sharing bit (e.g. natural eviction).
   void onEviction(Addr lineAddr, CoreId core) {
-    const auto it = lines_.find(lineAddr);
-    if (it == lines_.end()) {
-      return;
-    }
-    it->second.sharers &= ~(std::uint64_t{1} << core);
-    if (it->second.sharers == 0) {
-      lines_.erase(it);
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hashOf(lineAddr) & mask;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == kEmptyKey) {
+        return;
+      }
+      if (slot.key == lineAddr) {
+        slot.sharers &= ~(std::uint64_t{1} << core);
+        if (slot.sharers == 0) {
+          eraseAt(i);
+        }
+        return;
+      }
+      i = (i + 1) & mask;
     }
   }
 
   [[nodiscard]] const CoherenceStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t trackedLines() const noexcept {
-    return lines_.size();
-  }
+  [[nodiscard]] std::size_t trackedLines() const noexcept { return size_; }
 
   void clear() {
-    lines_.clear();
+    slots_.assign(slots_.size(), Slot{});
+    size_ = 0;
     stats_ = {};
   }
 
  private:
-  struct Entry {
+  /// One open-addressing slot. No real line address is 2^64 - 1 (the
+  /// address space tops out near 2^41), so it doubles as the empty key.
+  static constexpr Addr kEmptyKey = ~Addr{0};
+  static constexpr std::size_t kInitialCapacity = 1024;
+
+  struct Slot {
+    Addr key = kEmptyKey;
     std::uint64_t sharers = 0;
     CoreId owner = -1;
     bool modified = false;
   };
 
+  static std::uint64_t hashOf(Addr key) noexcept {
+    // SplitMix64 finalizer: full-avalanche, two multiplies.
+    std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  [[nodiscard]] const Slot* find(Addr key) const noexcept {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hashOf(key) & mask;
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (slot.key == key) {
+        return &slot;
+      }
+      if (slot.key == kEmptyKey) {
+        return nullptr;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  Slot& findOrInsert(Addr key) {
+    if ((size_ + 1) * 8 > slots_.size() * 7) {
+      grow();
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hashOf(key) & mask;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (slot.key == key) {
+        return slot;
+      }
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        ++size_;
+        return slot;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Backward-shift deletion: keeps probe chains gap-free without
+  /// tombstones, so probe lengths never degrade over a run.
+  void eraseAt(std::size_t hole) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hole;
+    while (true) {
+      i = (i + 1) & mask;
+      const Slot& candidate = slots_[i];
+      if (candidate.key == kEmptyKey) {
+        break;
+      }
+      const std::size_t ideal = hashOf(candidate.key) & mask;
+      // Move the candidate into the hole only if its probe chain spans
+      // the hole (i.e. the hole lies between its ideal slot and it).
+      if (((i - ideal) & mask) >= ((i - hole) & mask)) {
+        slots_[hole] = candidate;
+        hole = i;
+      }
+    }
+    slots_[hole] = Slot{};
+    --size_;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const std::size_t mask = slots_.size() - 1;
+    for (const Slot& slot : old) {
+      if (slot.key == kEmptyKey) {
+        continue;
+      }
+      std::size_t i = hashOf(slot.key) & mask;
+      while (slots_[i].key != kEmptyKey) {
+        i = (i + 1) & mask;
+      }
+      slots_[i] = slot;
+    }
+  }
+
   int cores_;
-  std::unordered_map<Addr, Entry> lines_;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
   CoherenceStats stats_;
 };
 

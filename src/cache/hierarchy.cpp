@@ -1,14 +1,8 @@
 #include "cache/hierarchy.hpp"
 
 #include "common/error.hpp"
-#include "trace/address_space.hpp"
 
 namespace occm::cache {
-
-namespace {
-/// Cost of a write-upgrade broadcast (invalidating remote sharers).
-constexpr Cycles kUpgradeCycles = 24;
-}  // namespace
 
 CacheHierarchy::CacheHierarchy(const topology::TopologyMap& topo)
     : topo_(topo), directory_(topo.spec().logicalCores()) {
@@ -25,116 +19,19 @@ CacheHierarchy::CacheHierarchy(const topology::TopologyMap& topo)
                                    levelSpec.associativity);
     }
     levels_.push_back(std::move(level));
+    hitLatency_.push_back(levelSpec.hitLatency);
   }
-  // Precompute the instance index for every (core, level) pair.
+  // Resolve every (core, level) pair to its instance once; access() then
+  // pays a single pointer load per level.
   const int cores = spec.logicalCores();
-  instanceIndex_.resize(static_cast<std::size_t>(cores) * levels_.size());
+  corePath_.resize(static_cast<std::size_t>(cores) * levels_.size());
   for (CoreId core = 0; core < cores; ++core) {
     for (std::size_t l = 0; l < levels_.size(); ++l) {
-      instanceIndex_[static_cast<std::size_t>(core) * levels_.size() + l] =
-          topo.cacheInstance(core, levels_[l].spec);
+      const int inst = topo.cacheInstance(core, levels_[l].spec);
+      corePath_[static_cast<std::size_t>(core) * levels_.size() + l] =
+          &levels_[l].instances[static_cast<std::size_t>(inst)];
     }
   }
-}
-
-SetAssocCache& CacheHierarchy::instanceFor(CoreId core, Level& level) {
-  const std::size_t levelIdx = static_cast<std::size_t>(level.spec.level) - 1;
-  const int inst =
-      instanceIndex_[static_cast<std::size_t>(core) * levels_.size() +
-                     levelIdx];
-  return level.instances[static_cast<std::size_t>(inst)];
-}
-
-AccessResult CacheHierarchy::access(CoreId core, Addr addr, bool write) {
-  AccessResult result;
-  const Addr line = addr & ~(lineSize_ - 1);
-  const bool shared = trace::AddressSpace::isShared(addr);
-
-  // A remote write since our last access invalidated our copies — but only
-  // in cache instances we do *not* share with the writing owner (a shared
-  // LLC still holds the writer's copy). Dropping exactly those copies makes
-  // within-socket false sharing a cheap LLC hit and cross-socket false
-  // sharing a full off-chip miss, as on real invalidation-based hardware.
-  const bool invalidated = shared && directory_.isInvalidatedFor(line, core);
-  if (invalidated) {
-    const CoreId owner = directory_.ownerOf(line);
-    for (Level& level : levels_) {
-      const std::size_t levelIdx =
-          static_cast<std::size_t>(level.spec.level) - 1;
-      const int mine =
-          instanceIndex_[static_cast<std::size_t>(core) * levels_.size() +
-                         levelIdx];
-      const int owners =
-          owner < 0 ? -1
-                    : instanceIndex_[static_cast<std::size_t>(owner) *
-                                         levels_.size() +
-                                     levelIdx];
-      if (mine != owners) {
-        level.instances[static_cast<std::size_t>(mine)].invalidate(line);
-      }
-    }
-  }
-
-  // Search the hierarchy top-down.
-  for (Level& level : levels_) {
-    result.latency += level.spec.hitLatency;
-    if (instanceFor(core, level).access(addr, write)) {
-      result.hitLevel = level.spec.level;
-      break;
-    }
-  }
-
-  // Fill (on a full miss) or promote (on an outer-level hit) the line
-  // into the levels above the hit on this core's path.
-  const std::size_t fillBelow =
-      result.hitLevel == 0 ? levels_.size()
-                           : static_cast<std::size_t>(result.hitLevel - 1);
-  if (result.hitLevel == 0) {
-    result.offChip = true;
-    result.coherenceMiss = invalidated;
-  }
-  for (std::size_t l = 0; l < fillBelow; ++l) {
-    auto evicted = instanceFor(core, levels_[l]).insert(addr, write);
-    if (!evicted.has_value() || !evicted->dirty) {
-      continue;
-    }
-    if (l + 1 < levels_.size()) {
-      // Dirty inner-level eviction: absorb into the next level if the
-      // line is present there (non-inclusive hierarchy; see header).
-      instanceFor(core, levels_[l + 1]).markDirty(evicted->lineAddr);
-    } else {
-      result.writeback = true;
-      result.writebackLine = evicted->lineAddr;
-    }
-  }
-
-  if (shared) {
-    const std::vector<CoreId> victims = directory_.onAccess(line, core, write);
-    if (!victims.empty()) {
-      result.latency += kUpgradeCycles;
-      for (CoreId victim : victims) {
-        // Invalidate the victim's copies at every level whose instance is
-        // not shared with the writer (a shared LLC keeps the line).
-        for (Level& level : levels_) {
-          const std::size_t levelIdx =
-              static_cast<std::size_t>(level.spec.level) - 1;
-          const int victimInst =
-              instanceIndex_[static_cast<std::size_t>(victim) *
-                                 levels_.size() +
-                             levelIdx];
-          const int writerInst =
-              instanceIndex_[static_cast<std::size_t>(core) * levels_.size() +
-                             levelIdx];
-          if (victimInst != writerInst) {
-            level.instances[static_cast<std::size_t>(victimInst)].invalidate(
-                line);
-          }
-        }
-      }
-    }
-  }
-
-  return result;
 }
 
 const CacheStats& CacheHierarchy::stats(int level, int instance) const {

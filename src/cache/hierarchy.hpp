@@ -15,6 +15,7 @@
 // a remote write invalidates this core's copies so its next access misses
 // (coherence miss), which the caller treats like an off-chip request.
 
+#include <bit>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "cache/set_assoc_cache.hpp"
 #include "common/types.hpp"
 #include "topology/topology_map.hpp"
+#include "trace/address_space.hpp"
 
 namespace occm::cache {
 
@@ -46,6 +48,9 @@ class CacheHierarchy {
   explicit CacheHierarchy(const topology::TopologyMap& topo);
 
   /// Performs a full access (lookup + fill on miss + coherence) by `core`.
+  /// Defined inline below the class: this is the simulator's single
+  /// hottest function and inlining it into the issue loop removes a call
+  /// boundary the optimizer cannot see across (DESIGN.md §14).
   AccessResult access(CoreId core, Addr addr, bool write);
 
   /// Statistics of a level instance (level is 1-based).
@@ -75,14 +80,119 @@ class CacheHierarchy {
     std::vector<SetAssocCache> instances;
   };
 
-  [[nodiscard]] SetAssocCache& instanceFor(CoreId core, Level& level);
-
   const topology::TopologyMap& topo_;
   std::vector<Level> levels_;
   CoherenceDirectory directory_;
   Bytes lineSize_;
-  /// Cached per-core instance indices, [core * levels + levelIdx].
-  std::vector<int> instanceIndex_;
+  /// Each core's cache instances, [core * levels + levelIdx] — one load
+  /// per level on the access path instead of an index table plus an
+  /// instance-vector dereference. Two cores share a level's instance iff
+  /// their pointers here are equal, which is how the invalidation walks
+  /// decide "not shared with the writer". Stable: the instance vectors
+  /// are sized once in the constructor and never reallocated.
+  std::vector<SetAssocCache*> corePath_;
+  /// Per-level hit latency, contiguous (mirrors levels_[l].spec.hitLatency).
+  std::vector<Cycles> hitLatency_;
+
+  /// Cost of a write-upgrade broadcast (invalidating remote sharers).
+  static constexpr Cycles kUpgradeCycles = 24;
 };
+
+inline AccessResult CacheHierarchy::access(CoreId core, Addr addr,
+                                           bool write) {
+  AccessResult result;
+  const Addr line = addr & ~(lineSize_ - 1);
+  const bool shared = trace::AddressSpace::isShared(addr);
+  const std::size_t nLevels = levels_.size();
+  SetAssocCache* const* path =
+      &corePath_[static_cast<std::size_t>(core) * nLevels];
+
+  // beginAccess folds the presence and owner probes into ONE table lookup
+  // and hands back the entry so the post-fill update (commitAccess) needs
+  // no second probe. It reports a core in exactly the cases the old
+  // isInvalidatedFor + ownerOf pair reported invalidation. Creating the
+  // entry before the cache walk instead of after is unobservable: nothing
+  // between here and commitAccess touches the directory.
+  CoherenceDirectory::AccessHandle handle;
+  if (shared) {
+    handle = directory_.beginAccess(line, core);
+  }
+  const CoreId owner = handle.invalidatingOwner;
+  const bool invalidated = owner >= 0;
+  if (invalidated) {
+    // A remote write since our last access invalidated our copies — but
+    // only in cache instances we do *not* share with the writing owner (a
+    // shared LLC still holds the writer's copy). Dropping exactly those
+    // copies makes within-socket false sharing a cheap LLC hit and
+    // cross-socket false sharing a full off-chip miss, as on real
+    // invalidation-based hardware.
+    SetAssocCache* const* ownerPath =
+        &corePath_[static_cast<std::size_t>(owner) * nLevels];
+    for (std::size_t l = 0; l < nLevels; ++l) {
+      if (path[l] != ownerPath[l]) {
+        path[l]->invalidate(line);
+      }
+    }
+  }
+
+  // Search the hierarchy top-down.
+  std::size_t hitIdx = nLevels;
+  for (std::size_t l = 0; l < nLevels; ++l) {
+    result.latency += hitLatency_[l];
+    if (path[l]->access(addr, write)) {
+      result.hitLevel = static_cast<int>(l) + 1;
+      hitIdx = l;
+      break;
+    }
+  }
+
+  // Fill (on a full miss) or promote (on an outer-level hit) the line
+  // into the levels above the hit on this core's path. insertAbsent skips
+  // the presence rescan: the walk above just missed at each filled level,
+  // and nothing since could have inserted the line there.
+  const std::size_t fillBelow = result.hitLevel == 0 ? nLevels : hitIdx;
+  if (result.hitLevel == 0) {
+    result.offChip = true;
+    result.coherenceMiss = invalidated;
+  }
+  for (std::size_t l = 0; l < fillBelow; ++l) {
+    auto evicted = path[l]->insertAbsent(addr, write);
+    if (!evicted.has_value() || !evicted->dirty) {
+      continue;
+    }
+    if (l + 1 < nLevels) {
+      // Dirty inner-level eviction: absorb into the next level if the
+      // line is present there (non-inclusive hierarchy; see header).
+      path[l + 1]->markDirty(evicted->lineAddr);
+    } else {
+      result.writeback = true;
+      result.writebackLine = evicted->lineAddr;
+    }
+  }
+
+  if (shared) {
+    std::uint64_t victims = directory_.commitAccess(handle, core, write);
+    if (victims != 0) {
+      result.latency += kUpgradeCycles;
+      // Walk victim cores in ascending order (the order the vector API
+      // produced) straight off the sharer bitmask — no allocation.
+      do {
+        const CoreId victim = std::countr_zero(victims);
+        victims &= victims - 1;
+        // Invalidate the victim's copies at every level whose instance is
+        // not shared with the writer (a shared LLC keeps the line).
+        SetAssocCache* const* victimPath =
+            &corePath_[static_cast<std::size_t>(victim) * nLevels];
+        for (std::size_t l = 0; l < nLevels; ++l) {
+          if (victimPath[l] != path[l]) {
+            victimPath[l]->invalidate(line);
+          }
+        }
+      } while (victims != 0);
+    }
+  }
+
+  return result;
+}
 
 }  // namespace occm::cache

@@ -6,105 +6,56 @@
 
 namespace occm::cache {
 
+namespace {
+
+/// log2 of a power of two.
+unsigned log2Exact(Bytes v) noexcept {
+  unsigned s = 0;
+  while ((v & 1) == 0) {
+    v >>= 1;
+    ++s;
+  }
+  return s;
+}
+
+}  // namespace
+
 SetAssocCache::SetAssocCache(Bytes size, Bytes lineSize, std::uint32_t ways)
     : lineSize_(lineSize), ways_(ways) {
   OCCM_REQUIRE_MSG(lineSize > 0 && (lineSize & (lineSize - 1)) == 0,
                    "line size must be a power of two");
   OCCM_REQUIRE_MSG(size % lineSize == 0, "size must be a line multiple");
   OCCM_REQUIRE_MSG(ways >= 1, "need at least one way");
+  OCCM_REQUIRE_MSG(ways <= 32, "dirty bitmask supports up to 32 ways");
   const Bytes lines = size / lineSize;
   OCCM_REQUIRE_MSG(lines % ways == 0, "lines must divide into whole sets");
+  lineShift_ = log2Exact(lineSize);
   sets_ = static_cast<std::size_t>(lines / ways);
-  ways_store_.resize(sets_ * ways_);
-}
-
-bool SetAssocCache::access(Addr addr, bool write) {
-  ++stats_.accesses;
-  const Addr line = addr / lineSize_;
-  Way* base = setBase(setIndex(line));
-  for (std::uint32_t i = 0; i < ways_; ++i) {
-    if (base[i].valid && base[i].tag == line) {
-      // Move to front (MRU-first ordering).
-      Way hit = base[i];
-      hit.dirty = hit.dirty || write;
-      std::rotate(base, base + i, base + i + 1);  // shift [0,i) right by one
-      base[0] = hit;
-      ++stats_.hits;
-      return true;
-    }
+  setDiv_ = FastDiv(sets_);
+  lanes_ = (ways_ + 7) / 8;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    realMsb_[w >> 3] |= std::uint64_t{0x80} << ((w & 7) * 8);
   }
-  ++stats_.misses;
-  return false;
-}
-
-bool SetAssocCache::contains(Addr addr) const {
-  const Addr line = addr / lineSize_;
-  const Way* base = setBase(setIndex(line));
-  for (std::uint32_t i = 0; i < ways_; ++i) {
-    if (base[i].valid && base[i].tag == line) {
-      return true;
-    }
-  }
-  return false;
-}
-
-std::optional<Eviction> SetAssocCache::insert(Addr addr, bool write) {
-  const Addr line = addr / lineSize_;
-  Way* base = setBase(setIndex(line));
-  // If already present (e.g. racing fills), just refresh recency/dirty.
-  for (std::uint32_t i = 0; i < ways_; ++i) {
-    if (base[i].valid && base[i].tag == line) {
-      Way hit = base[i];
-      hit.dirty = hit.dirty || write;
-      std::rotate(base, base + i, base + i + 1);
-      base[0] = hit;
-      return std::nullopt;
-    }
-  }
-  std::optional<Eviction> evicted;
-  const Way& victim = base[ways_ - 1];
-  if (victim.valid) {
-    evicted = Eviction{victim.tag * lineSize_, victim.dirty};
-    ++stats_.evictions;
-    if (victim.dirty) {
-      ++stats_.dirtyEvictions;
-    }
-  }
-  std::rotate(base, base + ways_ - 1, base + ways_);  // LRU slot to front
-  base[0] = Way{line, true, write};
-  return evicted;
-}
-
-bool SetAssocCache::markDirty(Addr addr) {
-  const Addr line = addr / lineSize_;
-  Way* base = setBase(setIndex(line));
-  for (std::uint32_t i = 0; i < ways_; ++i) {
-    if (base[i].valid && base[i].tag == line) {
-      base[i].dirty = true;
-      return true;
-    }
-  }
-  return false;
-}
-
-SetAssocCache::InvalidateResult SetAssocCache::invalidate(Addr addr) {
-  const Addr line = addr / lineSize_;
-  Way* base = setBase(setIndex(line));
-  for (std::uint32_t i = 0; i < ways_; ++i) {
-    if (base[i].valid && base[i].tag == line) {
-      InvalidateResult result{true, base[i].dirty};
-      // Shift the remaining ways left; free slot becomes LRU.
-      std::rotate(base + i, base + i + 1, base + ways_);
-      base[ways_ - 1] = Way{};
-      ++stats_.invalidations;
-      return result;
-    }
-  }
-  return {};
+  tags_.assign(sets_ * ways_, kNoLine);
+  dirty_.assign(sets_, 0);
+  ranks_.resize(sets_ * lanes_);
+  flush();
 }
 
 void SetAssocCache::flush() {
-  std::fill(ways_store_.begin(), ways_store_.end(), Way{});
+  std::fill(tags_.begin(), tags_.end(), kNoLine);
+  std::fill(dirty_.begin(), dirty_.end(), 0u);
+  // Identity rank permutation: way w starts at rank w (all ways invalid,
+  // so inserts consume ways from the highest way downwards, exactly like
+  // the previous MRU-list layout filled its back slots first). Padding
+  // bytes keep their way index too — always above every real rank, inert
+  // under the realMsb_-masked SWAR updates.
+  for (std::size_t set = 0; set < sets_; ++set) {
+    for (std::uint32_t j = 0; j < lanes_; ++j) {
+      ranks_[set * lanes_ + j] =
+          kLane01 * 8 * j + 0x0706050403020100ULL;
+    }
+  }
 }
 
 }  // namespace occm::cache

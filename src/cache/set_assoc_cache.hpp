@@ -4,11 +4,34 @@
 // line addresses. Purely a tag store: no data values are tracked, only
 // presence, dirtiness and recency — all the simulator needs for timing
 // and traffic.
+//
+// Layout (DESIGN.md §14): struct-of-arrays with *fixed tag slots* and
+// rank-encoded LRU. Tags live in one flat cache-line-aligned
+// std::uint64_t array, one slot per way, and never move; each way also
+// has a 1-byte recency rank (0 = MRU, ways-1 = LRU) packed eight ways to
+// a 64-bit lane so the "age everything newer than the touched line"
+// update is a couple of branchless SWAR instructions instead of a tag
+// memmove. Dirty bits are a per-set bitmask with fixed way positions.
+// The rank permutation is exactly the position of the line in the MRU
+// list the previous layout materialised, so hit/miss decisions, LRU
+// victims and every stat are bit-identical (pinned by the golden corpus):
+// invalid ways always occupy the highest ranks (they start there, are
+// never hit, and inserts replace the top rank first), hence "evict rank
+// ways-1" picks an empty way exactly when the set is not yet full.
+//
+// Line math is a shift (line sizes are powers of two) and the set mapping
+// uses a precomputed FastDiv reciprocal — set counts need not be powers
+// of two (e.g. a 384-set LLC), and a hardware divide on every access was
+// the simulator's single hottest instruction.
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/fastdiv.hpp"
 #include "common/types.hpp"
 
 namespace occm::cache {
@@ -36,8 +59,14 @@ struct Eviction {
 
 class SetAssocCache {
  public:
-  /// `size` bytes, `lineSize` bytes per line, `ways` associativity.
+  /// `size` bytes, `lineSize` bytes per line, `ways` associativity
+  /// (at most 32 ways).
   SetAssocCache(Bytes size, Bytes lineSize, std::uint32_t ways);
+
+  // The per-access methods are defined inline below the class: they run
+  // tens of millions of times per simulated second and the hierarchy's
+  // access loop is their only hot caller, so cross-TU call overhead was
+  // measurable (DESIGN.md §14).
 
   /// Looks up a byte address. On hit, updates recency (and dirtiness for
   /// writes) and returns true. On miss returns false and counts a miss;
@@ -50,6 +79,11 @@ class SetAssocCache {
   /// Inserts the line for `addr` (as dirty when `write`), evicting the LRU
   /// way if the set is full. Returns the eviction, if any.
   std::optional<Eviction> insert(Addr addr, bool write);
+
+  /// insert() for callers that know the line is absent (the hierarchy's
+  /// fill loop: the lookup walk just missed at this level and nothing
+  /// since could have filled it). Skips the presence rescan.
+  std::optional<Eviction> insertAbsent(Addr addr, bool write);
 
   /// Marks the line dirty when present, without touching stats or recency
   /// (used to sink dirty evictions from an inner level). Returns presence.
@@ -71,33 +105,230 @@ class SetAssocCache {
   [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
 
  private:
-  struct Way {
-    Addr tag = 0;
-    bool valid = false;
-    bool dirty = false;
-  };
+  /// Invalid-way sentinel: no real line address reaches 2^64 - 1 (the
+  /// private window tops out near 2^41 — trace/address_space.hpp), so
+  /// "valid && tag == line" collapses to one compare.
+  static constexpr Addr kNoLine = ~Addr{0};
+
+  // SWAR lane constants: 8 rank bytes per 64-bit word.
+  static constexpr std::uint64_t kLane01 = 0x0101010101010101ULL;
+  static constexpr std::uint64_t kLaneMsb = kLane01 * 0x80;
 
   [[nodiscard]] std::size_t setIndex(Addr lineAddr) const noexcept {
     // Mix the upper bits so power-of-two strides don't all land in one set
     // pathologically more than on real hardware (simple xor-fold hash).
     // Set counts need not be powers of two (e.g. a 384-set 16-way LLC).
     const Addr mixed = lineAddr ^ (lineAddr >> 13);
-    return static_cast<std::size_t>(mixed % sets_);
+    return static_cast<std::size_t>(setDiv_.modulo(mixed));
   }
 
-  /// Ways of a set, most recently used first.
-  [[nodiscard]] Way* setBase(std::size_t set) noexcept {
-    return ways_ == 0 ? nullptr : &ways_store_[set * ways_];
+  /// Tags of a set, fixed slot per way.
+  [[nodiscard]] Addr* setBase(std::size_t set) noexcept {
+    return &tags_[set * ways_];
   }
-  [[nodiscard]] const Way* setBase(std::size_t set) const noexcept {
-    return &ways_store_[set * ways_];
+  [[nodiscard]] const Addr* setBase(std::size_t set) const noexcept {
+    return &tags_[set * ways_];
+  }
+  /// Rank lanes of a set (`lanes_` words, 8 rank bytes each).
+  [[nodiscard]] std::uint64_t* rankBase(std::size_t set) noexcept {
+    return &ranks_[set * lanes_];
+  }
+
+  [[nodiscard]] static std::uint8_t rankOf(const std::uint64_t* lanes,
+                                           std::uint32_t way) noexcept {
+    return static_cast<std::uint8_t>(lanes[way >> 3] >> ((way & 7) * 8));
+  }
+  static void setRank(std::uint64_t* lanes, std::uint32_t way,
+                      std::uint8_t rank) noexcept {
+    const unsigned shift = (way & 7) * 8;
+    std::uint64_t& lane = lanes[way >> 3];
+    lane = (lane & ~(std::uint64_t{0xFF} << shift)) |
+           (std::uint64_t{rank} << shift);
+  }
+
+  /// Ages every way whose rank is strictly below `limit` by one (SWAR
+  /// increment-if-less; padding bytes are masked out via realMsb_). All
+  /// rank bytes stay <= 127, which keeps the byte-wise compares
+  /// borrow-free.
+  void bumpBelow(std::uint64_t* lanes, std::uint32_t limit) noexcept {
+    if (limit == 0) {
+      return;
+    }
+    const std::uint64_t threshold =
+        static_cast<std::uint64_t>(limit - 1) * kLane01 | kLaneMsb;
+    for (std::uint32_t j = 0; j < lanes_; ++j) {
+      // MSB of each byte set iff rank <= limit-1, i.e. rank < limit.
+      const std::uint64_t le = (threshold - lanes[j]) & realMsb_[j];
+      lanes[j] += le >> 7;
+    }
+  }
+
+  /// Way currently holding rank `rank` (ranks are a permutation, so it is
+  /// unique): SWAR byte-equality search.
+  [[nodiscard]] std::uint32_t wayWithRank(const std::uint64_t* lanes,
+                                          std::uint32_t rank) const noexcept {
+    const std::uint64_t target = static_cast<std::uint64_t>(rank) * kLane01;
+    for (std::uint32_t j = 0; j < lanes_; ++j) {
+      const std::uint64_t diff = lanes[j] ^ target;
+      // MSB of each byte set iff the byte matched (diff byte == 0).
+      const std::uint64_t eq = (kLaneMsb - diff) & realMsb_[j];
+      if (eq != 0) {
+        return j * 8 + static_cast<std::uint32_t>(
+                           std::countr_zero(eq) >> 3);
+      }
+    }
+    OCCM_ASSERT(false);  // ranks are a permutation of 0..ways-1
+    return ways_ - 1;
   }
 
   Bytes lineSize_;
+  unsigned lineShift_ = 0;  ///< log2(lineSize_)
   std::uint32_t ways_;
-  std::size_t sets_;
-  std::vector<Way> ways_store_;  ///< sets_ * ways_, MRU-first per set
+  std::uint32_t lanes_ = 1;  ///< rank words per set: ceil(ways / 8)
+  std::size_t sets_ = 0;
+  FastDiv setDiv_;  ///< reciprocal for `% sets_`
+  /// Per-lane mask of the MSB of each *real* way's rank byte; padding
+  /// bytes (ways that don't exist) never match and never age.
+  std::uint64_t realMsb_[4] = {0, 0, 0, 0};
+  CacheAlignedVector<Addr> tags_;  ///< sets_ * ways_, fixed slot per way
+  CacheAlignedVector<std::uint64_t> ranks_;  ///< sets_ * lanes_
+  CacheAlignedVector<std::uint32_t> dirty_;  ///< per-set mask (bit = way)
   CacheStats stats_;
 };
+
+OCCM_FORCE_INLINE bool SetAssocCache::access(Addr addr, bool write) {
+  ++stats_.accesses;
+  const Addr line = addr >> lineShift_;
+  const std::size_t set = setIndex(line);
+  const Addr* base = setBase(set);
+  for (std::uint32_t i = 0; i < ways_; ++i) {
+    if (base[i] == line) {
+      std::uint64_t* lanes = rankBase(set);
+      const std::uint8_t rank = rankOf(lanes, i);
+      if (rank != 0) {
+        // Everything more recent than the hit line ages by one; the hit
+        // line becomes MRU. Tags and dirty bits stay in place.
+        bumpBelow(lanes, rank);
+        setRank(lanes, i, 0);
+      }
+      if (write) {
+        dirty_[set] |= std::uint32_t{1} << i;
+      }
+      ++stats_.hits;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  return false;
+}
+
+OCCM_FORCE_INLINE bool SetAssocCache::contains(Addr addr) const {
+  const Addr line = addr >> lineShift_;
+  const Addr* base = setBase(setIndex(line));
+  for (std::uint32_t i = 0; i < ways_; ++i) {
+    if (base[i] == line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+OCCM_FORCE_INLINE std::optional<Eviction> SetAssocCache::insert(Addr addr,
+                                                                bool write) {
+  const Addr line = addr >> lineShift_;
+  const std::size_t set = setIndex(line);
+  const Addr* base = setBase(set);
+  // If already present (e.g. racing fills), just refresh recency/dirty.
+  for (std::uint32_t i = 0; i < ways_; ++i) {
+    if (base[i] == line) {
+      std::uint64_t* lanes = rankBase(set);
+      const std::uint8_t rank = rankOf(lanes, i);
+      if (rank != 0) {
+        bumpBelow(lanes, rank);
+        setRank(lanes, i, 0);
+      }
+      if (write) {
+        dirty_[set] |= std::uint32_t{1} << i;
+      }
+      return std::nullopt;
+    }
+  }
+  return insertAbsent(addr, write);
+}
+
+OCCM_FORCE_INLINE std::optional<Eviction> SetAssocCache::insertAbsent(
+    Addr addr, bool write) {
+  const Addr line = addr >> lineShift_;
+  const std::size_t set = setIndex(line);
+  Addr* base = setBase(set);
+  std::uint64_t* lanes = rankBase(set);
+  std::uint32_t& dirty = dirty_[set];
+  // The way at the bottom of the recency order: the LRU valid line, or an
+  // invalid way when the set is not yet full (invalid ways always hold
+  // the highest ranks — see the header comment).
+  const std::uint32_t victimWay = wayWithRank(lanes, ways_ - 1);
+  const Addr victim = base[victimWay];
+  const bool victimDirty = ((dirty >> victimWay) & 1u) != 0;
+  std::optional<Eviction> evicted;
+  if (victim != kNoLine) {
+    evicted = Eviction{victim << lineShift_, victimDirty};
+    ++stats_.evictions;
+    if (victimDirty) {
+      ++stats_.dirtyEvictions;
+    }
+  }
+  // Every other way ages by one; the new line takes the slot as MRU.
+  bumpBelow(lanes, ways_ - 1);
+  setRank(lanes, victimWay, 0);
+  base[victimWay] = line;
+  const std::uint32_t bit = std::uint32_t{1} << victimWay;
+  dirty = write ? (dirty | bit) : (dirty & ~bit);
+  return evicted;
+}
+
+OCCM_FORCE_INLINE bool SetAssocCache::markDirty(Addr addr) {
+  const Addr line = addr >> lineShift_;
+  const std::size_t set = setIndex(line);
+  const Addr* base = setBase(set);
+  for (std::uint32_t i = 0; i < ways_; ++i) {
+    if (base[i] == line) {
+      dirty_[set] |= std::uint32_t{1} << i;
+      return true;
+    }
+  }
+  return false;
+}
+
+OCCM_FORCE_INLINE SetAssocCache::InvalidateResult SetAssocCache::invalidate(
+    Addr addr) {
+  const Addr line = addr >> lineShift_;
+  const std::size_t set = setIndex(line);
+  Addr* base = setBase(set);
+  for (std::uint32_t i = 0; i < ways_; ++i) {
+    if (base[i] == line) {
+      std::uint64_t* lanes = rankBase(set);
+      std::uint32_t& dirty = dirty_[set];
+      InvalidateResult result{true, ((dirty >> i) & 1u) != 0};
+      // Ways older than the removed line move up one rank; the freed way
+      // drops to LRU, keeping invalid ways at the highest ranks.
+      const std::uint8_t rank = rankOf(lanes, i);
+      const std::uint64_t threshold =
+          (static_cast<std::uint64_t>(rank) * kLane01) | kLaneMsb;
+      for (std::uint32_t j = 0; j < lanes_; ++j) {
+        // MSB of each byte set iff rank <= `rank`; invert within the real
+        // ways for strictly-greater, then subtract one from those bytes.
+        const std::uint64_t gt =
+            ((threshold - lanes[j]) ^ kLaneMsb) & realMsb_[j];
+        lanes[j] -= gt >> 7;
+      }
+      setRank(lanes, i, static_cast<std::uint8_t>(ways_ - 1));
+      base[i] = kNoLine;
+      dirty &= ~(std::uint32_t{1} << i);
+      ++stats_.invalidations;
+      return result;
+    }
+  }
+  return {};
+}
 
 }  // namespace occm::cache

@@ -1,0 +1,53 @@
+#pragma once
+
+// Cache-line-aligned storage for hot per-resource state arrays
+// (DESIGN.md §14). std::vector's default allocator only guarantees
+// alignof(std::max_align_t); the simulator's struct-of-arrays resource
+// tables (channel free-at times, open-row registers, event buckets) want
+// their base 64-byte aligned so a run of adjacent entries spans the
+// fewest possible lines and never straddles one unnecessarily.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace occm {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal aligned allocator: std::allocator semantics with the base
+/// address aligned to `Align` bytes.
+template <typename T, std::size_t Align = kCacheLineBytes>
+struct AlignedAlloc {
+  using value_type = T;
+
+  /// Explicit rebind: allocator_traits cannot synthesize it because
+  /// `Align` is a non-type template parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Align>;
+  };
+
+  AlignedAlloc() noexcept = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Align>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAlloc<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is 64-byte (cache-line) aligned.
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAlloc<T>>;
+
+}  // namespace occm

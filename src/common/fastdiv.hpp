@@ -1,0 +1,112 @@
+#pragma once
+
+// Division by a runtime-invariant 64-bit divisor, precomputed once.
+//
+// The simulator's hottest arithmetic is `x / d` and `x % d` where d is
+// fixed for the life of a run (cache set counts, channel/bank striping,
+// page-interleave weights) but only known at run time — the compiler
+// cannot strength-reduce it, and a 64-bit DIV is 30+ cycles on the
+// paper's machines and ours. FastDiv folds the divisor into a 128-bit
+// reciprocal at construction: quotient = mulhi(n, ceil(2^64 / d)) with
+// at most one correction step, exact for every uint64_t numerator
+// (addresses here exceed 2^40 — trace/address_space.hpp — so the common
+// 32-bit "magic number" trick does not apply). Power-of-two divisors use
+// a shift/mask fast path chosen once, not per call.
+//
+// Exactness over the full 64-bit domain is pinned by
+// tests/common/test_fastdiv.cpp (structured + randomized sweeps against
+// the hardware divider).
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace occm {
+
+class FastDiv {
+ public:
+  FastDiv() = default;
+
+  explicit FastDiv(std::uint64_t divisor) : divisor_(divisor) {
+    OCCM_REQUIRE_MSG(divisor != 0, "FastDiv divisor must be nonzero");
+    if ((divisor & (divisor - 1)) == 0) {
+      // Power of two: pure shift/mask.
+      shift_ = ctz(divisor);
+      mask_ = divisor - 1;
+      powerOfTwo_ = true;
+      return;
+    }
+    powerOfTwo_ = false;
+    // floor(2^64 / d) without 128-bit division: split 2^64 - 1 = q*d + r,
+    // then floor(2^64 / d) = q + (r + 1 == d ? 1 : 0). d is not a power
+    // of two here, so d >= 3 and q fits.
+    const std::uint64_t all = ~std::uint64_t{0};
+    std::uint64_t q = all / divisor;
+    const std::uint64_t r = all % divisor;
+    if (r + 1 == divisor) {
+      ++q;
+    }
+    reciprocal_ = q;
+  }
+
+  [[nodiscard]] std::uint64_t divisor() const noexcept { return divisor_; }
+
+  /// n / divisor, exact for every n.
+  [[nodiscard]] std::uint64_t divide(std::uint64_t n) const noexcept {
+    if (powerOfTwo_) {
+      return n >> shift_;
+    }
+    // q_est = floor(n * floor(2^64/d) / 2^64) <= floor(n/d), and the
+    // error is < 2 because floor(2^64/d) > 2^64/d - 1 implies
+    // q_est > n/d - n/2^64 - 1 > floor(n/d) - 2. One correction step.
+    std::uint64_t q = mulhi(n, reciprocal_);
+    std::uint64_t rem = n - q * divisor_;
+    if (rem >= divisor_) {
+      ++q;
+      rem -= divisor_;
+    }
+    if (rem >= divisor_) {
+      ++q;
+    }
+    return q;
+  }
+
+  /// n % divisor, exact for every n.
+  [[nodiscard]] std::uint64_t modulo(std::uint64_t n) const noexcept {
+    if (powerOfTwo_) {
+      return n & mask_;
+    }
+    std::uint64_t rem = n - mulhi(n, reciprocal_) * divisor_;
+    if (rem >= divisor_) {
+      rem -= divisor_;
+    }
+    if (rem >= divisor_) {
+      rem -= divisor_;
+    }
+    return rem;
+  }
+
+ private:
+  static std::uint64_t mulhi(std::uint64_t a, std::uint64_t b) noexcept {
+    // __int128 is a GCC/Clang extension; __extension__ keeps -Wpedantic
+    // quiet. Compiles to one MUL on x86-64 / UMULH on aarch64.
+    __extension__ using U128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<U128>(a) * b) >> 64);
+  }
+  static unsigned ctz(std::uint64_t v) noexcept {
+    unsigned s = 0;
+    while ((v & 1) == 0) {
+      v >>= 1;
+      ++s;
+    }
+    return s;
+  }
+
+  std::uint64_t divisor_ = 1;
+  std::uint64_t reciprocal_ = 0;
+  std::uint64_t mask_ = 0;
+  unsigned shift_ = 0;
+  bool powerOfTwo_ = true;  ///< default divisor 1 == identity
+};
+
+}  // namespace occm

@@ -8,6 +8,16 @@
 
 #include <cstdint>
 
+/// Forces inlining of a hot-path function the optimizer's unit-growth
+/// heuristics would otherwise leave as a call (measured: the per-level
+/// cache probes and fills inside CacheHierarchy::access). Use sparingly —
+/// only where a profile showed the call boundary itself was the cost.
+#if defined(__GNUC__) || defined(__clang__)
+#define OCCM_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define OCCM_FORCE_INLINE inline
+#endif
+
 namespace occm {
 
 /// Simulated time in processor clock cycles.

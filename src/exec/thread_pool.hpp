@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "obs/time_series.hpp"
 
 namespace occm::exec {
@@ -149,11 +150,16 @@ class ThreadPool {
 
   /// Per-worker telemetry slot. Relaxed atomics: each worker writes only
   /// its own slot; stats() reads concurrently and tolerates staleness.
-  struct WorkerSlot {
+  /// Cache-line aligned so two workers bumping adjacent slots never
+  /// write-share a line (DESIGN.md §14; pinned by the ThreadPoolContention
+  /// stress suite under tsan).
+  struct alignas(kCacheLineBytes) WorkerSlot {
     std::atomic<std::uint64_t> tasks{0};
     std::atomic<std::uint64_t> busyNs{0};
     std::atomic<std::uint64_t> queueWaitNs{0};
   };
+  static_assert(sizeof(WorkerSlot) >= kCacheLineBytes,
+                "slot must fill its cache line");
 
   void workerLoop(std::size_t slot);
   /// Records a queue-depth sample; callers hold mutex_.

@@ -16,23 +16,53 @@ MemorySystem::MemorySystem(const topology::TopologyMap& topo,
                  std::move(activeNodes), std::move(nodeWeights)),
       rng_(Rng::substream(config.seed, 0xC0117011E5ULL)) {
   const auto& spec = topo.spec();
-  controllers_.resize(static_cast<std::size_t>(spec.controllers()));
-  for (Controller& c : controllers_) {
-    c.channels.resize(static_cast<std::size_t>(spec.channelsPerController));
-    for (Channel& ch : c.channels) {
-      ch.openRow.assign(static_cast<std::size_t>(spec.banksPerChannel),
-                        kNoRow);
-    }
-  }
+  nControllers_ = spec.controllers();
+  channelsPerController_ =
+      static_cast<std::uint32_t>(spec.channelsPerController);
+  banksPerChannel_ = static_cast<std::uint32_t>(spec.banksPerChannel);
+  rowBytesDiv_ = FastDiv(spec.rowBytes);
+  channelsDiv_ = FastDiv(channelsPerController_);
+  banksDiv_ = FastDiv(banksPerChannel_);
+
+  const auto n = static_cast<std::size_t>(nControllers_);
+  channelFreeAt_.assign(n * channelsPerController_, 0);
+  openRow_.assign(n * channelsPerController_ * banksPerChannel_, kNoRow);
+  stats_.assign(n, {});
+  health_.assign(n, {});
+
   if (spec.memoryArchitecture == topology::MemoryArchitecture::kUma &&
       spec.busServiceCycles > 0) {
-    buses_.resize(static_cast<std::size_t>(spec.sockets));
+    buses_.assign(static_cast<std::size_t>(spec.sockets), {});
   }
   if (spec.memoryArchitecture == topology::MemoryArchitecture::kNuma &&
       spec.linkServiceCycles > 0) {
-    const auto n = static_cast<std::size_t>(spec.controllers());
-    links_.resize(n * n);
+    linkFreeAt_.assign(n * n, 0);
   }
+
+  busServiceCycles_ = spec.busServiceCycles;
+  linkServiceCycles_ = spec.linkServiceCycles;
+  hopCycles_ = spec.hopCycles;
+  dramLatency_ = spec.dramLatency;
+  rowHitServiceCycles_ = spec.rowHitServiceCycles;
+  rowMissServiceCycles_ = spec.rowMissServiceCycles;
+
+  // Per-core and node-pair topology lookups, resolved once: the request
+  // path then reads flat tables instead of walking the topology map.
+  const int cores = spec.logicalCores();
+  homeNodeOf_.resize(static_cast<std::size_t>(cores));
+  socketOf_.resize(static_cast<std::size_t>(cores));
+  for (CoreId core = 0; core < cores; ++core) {
+    homeNodeOf_[static_cast<std::size_t>(core)] = topo.homeNode(core);
+    socketOf_[static_cast<std::size_t>(core)] = topo.location(core).socket;
+  }
+  hops_.resize(n * n);
+  for (NodeId a = 0; a < nControllers_; ++a) {
+    for (NodeId b = 0; b < nControllers_; ++b) {
+      hops_[static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b)] =
+          topo.hops(a, b);
+    }
+  }
+
   for (NodeId node : placement_.activeNodes()) {
     OCCM_REQUIRE_MSG(node >= 0 && node < spec.controllers(),
                      "active node out of range");
@@ -54,56 +84,60 @@ Cycles MemorySystem::drawService(Cycles mean) {
 
 Cycles MemorySystem::reserveLink(NodeId a, NodeId b, int hops, Cycles arrival,
                                  int transfers) {
-  if (links_.empty() || hops == 0 || transfers == 0) {
+  if (linkFreeAt_.empty() || hops == 0 || transfers == 0) {
     return 0;
   }
   if (a > b) {
     std::swap(a, b);
   }
-  const auto n = static_cast<std::size_t>(topo_.spec().controllers());
-  Link& link = links_[static_cast<std::size_t>(a) * n +
-                      static_cast<std::size_t>(b)];
+  Cycles& freeAt = linkFreeAt_[static_cast<std::size_t>(a) *
+                                   static_cast<std::size_t>(nControllers_) +
+                               static_cast<std::size_t>(b)];
   ++reservationOps_;
-  const Cycles start = std::max(arrival, link.freeAt);
+  const Cycles start = std::max(arrival, freeAt);
   // Longer paths occupy more link segments; charge occupancy per hop.
-  link.freeAt = start + static_cast<Cycles>(transfers) *
-                            static_cast<Cycles>(hops) *
-                            topo_.spec().linkServiceCycles;
+  freeAt = start + static_cast<Cycles>(transfers) *
+                       static_cast<Cycles>(hops) * linkServiceCycles_;
   return start - arrival;
 }
 
-MemorySystem::ChannelGrant MemorySystem::reserveChannel(
-    Controller& controller, Addr addr, Cycles arrival) {
+MemorySystem::ChannelGrant MemorySystem::reserveChannel(NodeId node,
+                                                        Addr addr,
+                                                        Cycles arrival) {
   ++reservationOps_;
-  const auto& spec = topo_.spec();
-  const Addr row = addr / spec.rowBytes;
+  const Addr row = rowBytesDiv_.divide(addr);
   // Address-striped channel and bank: rows interleave over channels, then
   // over banks within the channel.
-  auto& channel = controller.channels[static_cast<std::size_t>(
-      row % controller.channels.size())];
+  const auto channel = static_cast<std::size_t>(
+                           node * static_cast<NodeId>(channelsPerController_)) +
+                       static_cast<std::size_t>(channelsDiv_.modulo(row));
   const auto bank = static_cast<std::size_t>(
-      (row / controller.channels.size()) % channel.openRow.size());
-  const bool rowHit = channel.openRow[bank] == row;
-  channel.openRow[bank] = row;
+      banksDiv_.modulo(channelsDiv_.divide(row)));
+  Addr& openRow = openRow_[channel * banksPerChannel_ + bank];
+  const bool rowHit = openRow == row;
+  openRow = row;
+  ControllerStats& stats = stats_[static_cast<std::size_t>(node)];
   if (rowHit) {
-    ++controller.stats.rowHits;
+    ++stats.rowHits;
   } else {
-    ++controller.stats.rowMisses;
+    ++stats.rowMisses;
   }
-  const Cycles start = std::max(arrival, channel.freeAt);
-  Cycles service = drawService(rowHit ? spec.rowHitServiceCycles
-                                      : spec.rowMissServiceCycles);
+  Cycles& freeAt = channelFreeAt_[channel];
+  const Cycles start = std::max(arrival, freeAt);
+  Cycles service =
+      drawService(rowHit ? rowHitServiceCycles_ : rowMissServiceCycles_);
   // Degraded service rate: scale after the draw so the generator stream
   // stays aligned with the healthy run (scenario comparisons stay
   // request-for-request comparable).
-  if (controller.health.serviceScale != 1.0) {
+  const double serviceScale = health_[static_cast<std::size_t>(node)]
+                                  .serviceScale;
+  if (serviceScale != 1.0) {
     service = std::max<Cycles>(
-        1, static_cast<Cycles>(static_cast<double>(service) *
-                                   controller.health.serviceScale +
+        1, static_cast<Cycles>(static_cast<double>(service) * serviceScale +
                                0.5));
   }
-  channel.freeAt = start + service;
-  controller.stats.busyCycles += service;
+  freeAt = start + service;
+  stats.busyCycles += service;
   return {start, service, rowHit};
 }
 
@@ -111,11 +145,10 @@ NodeId MemorySystem::failoverNode(NodeId requester, NodeId original) const {
   NodeId best = -1;
   int bestHops = 0;
   for (NodeId node : placement_.activeNodes()) {
-    if (node == original ||
-        !controllers_[static_cast<std::size_t>(node)].health.up) {
+    if (node == original || !health_[static_cast<std::size_t>(node)].up) {
       continue;
     }
-    const int hops = topo_.hops(requester, node);
+    const int hops = hopsBetween(requester, node);
     if (best < 0 || hops < bestHops || (hops == bestHops && node < best)) {
       best = node;
       bestHops = hops;
@@ -131,22 +164,20 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
   OCCM_ASSERT(now >= lastNow_);
   lastNow_ = now;
 
-  const auto& spec = topo_.spec();
-  const NodeId requesterNode = topo_.homeNode(core);
+  const NodeId requesterNode = homeNodeOf_[static_cast<std::size_t>(core)];
   NodeId homeNode = placement_.nodeOf(addr, requesterNode);
 
   RequestTiming timing;
   Cycles arrival = now;
-  if (!controllers_[static_cast<std::size_t>(homeNode)].health.up) {
+  if (!health_[static_cast<std::size_t>(homeNode)].up) {
     // The home controller is down: the request times out and retries with
     // exponential backoff (bounded), then fails over to the nearest
     // healthy controller — paying the backoff before it even leaves.
-    ControllerStats& downStats =
-        controllers_[static_cast<std::size_t>(homeNode)].stats;
+    ControllerStats& downStats = stats_[static_cast<std::size_t>(homeNode)];
     // Shared retry policy (common/backoff.hpp), uncapped and jitter-free:
     // the penalty is simulated cycles, so it must stay a pure function of
     // the spec for bit-identical runs.
-    const BackoffPolicy retryPolicy{.base = spec.dramLatency};
+    const BackoffPolicy retryPolicy{.base = dramLatency_};
     const Cycles backoff =
         retryPolicy.cumulative(static_cast<std::uint32_t>(kFailoverRetries));
     downStats.retryAttempts += kFailoverRetries;
@@ -156,52 +187,53 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
     timing.rerouted = true;
     arrival += backoff;
     homeNode = failoverNode(requesterNode, homeNode);
-    controllers_[static_cast<std::size_t>(homeNode)].stats.absorbed += 1;
+    stats_[static_cast<std::size_t>(homeNode)].absorbed += 1;
   }
-  Controller& controller = controllers_[static_cast<std::size_t>(homeNode)];
   timing.node = homeNode;
   timing.remote = homeNode != requesterNode;
 
   // UMA: the per-socket front-side bus is a first queueing stage.
   if (!buses_.empty()) {
     ++reservationOps_;
-    Bus& bus = buses_[static_cast<std::size_t>(topo_.location(core).socket)];
+    Bus& bus = buses_[static_cast<std::size_t>(
+        socketOf_[static_cast<std::size_t>(core)])];
     const Cycles busStart = std::max(arrival, bus.freeAt);
-    bus.freeAt = busStart + spec.busServiceCycles;
-    bus.busy += spec.busServiceCycles;
+    bus.freeAt = busStart + busServiceCycles_;
+    bus.busy += busServiceCycles_;
     timing.queueWait += busStart - arrival;
-    arrival = busStart + spec.busServiceCycles;
+    arrival = busStart + busServiceCycles_;
   }
   // NUMA: pay the interconnect on the way to a remote controller — hop
   // latency plus queueing for the finite-bandwidth path (request there,
   // data line back: 2 transfers reserved up front).
-  const int hops = topo_.hops(requesterNode, homeNode);
-  const Cycles hopOneWay = static_cast<Cycles>(hops) * spec.hopCycles;
+  const int hops = hopsBetween(requesterNode, homeNode);
+  const Cycles hopOneWay = static_cast<Cycles>(hops) * hopCycles_;
   const Cycles linkWait =
       reserveLink(requesterNode, homeNode, hops, arrival, 2);
   timing.queueWait += linkWait;
   arrival += linkWait + hopOneWay;
 
-  const ChannelGrant grant = reserveChannel(controller, addr, arrival);
+  const ChannelGrant grant = reserveChannel(homeNode, addr, arrival);
   timing.queueWait += grant.start - arrival;
   timing.hopCycles = 2 * hopOneWay;
   // The channel occupancy (`service`) gates *throughput* — it holds the
   // channel and delays later arrivals — but DRAM pipelining hides it from
   // this request's own latency: a solo miss completes after dramLatency.
-  timing.done = grant.start + spec.dramLatency + hopOneWay;
+  timing.done = grant.start + dramLatency_ + hopOneWay;
 
+  ControllerStats& stats = stats_[static_cast<std::size_t>(homeNode)];
+  const ControllerHealth& health = health_[static_cast<std::size_t>(homeNode)];
   // Transient ECC-retry latency spike (fault plan): the line needs a
   // retried burst, delaying this request without occupying the channel.
-  if (controller.health.eccProbability > 0.0 &&
-      rng_.bernoulli(controller.health.eccProbability)) {
-    timing.done += controller.health.eccPenalty;
-    controller.stats.eccRetries += 1;
+  if (health.eccProbability > 0.0 && rng_.bernoulli(health.eccProbability)) {
+    timing.done += health.eccPenalty;
+    stats.eccRetries += 1;
   }
 
-  controller.stats.requests += 1;
-  controller.stats.remoteRequests += timing.remote ? 1 : 0;
-  controller.stats.totalWait += timing.queueWait;
-  controller.stats.totalService += grant.service;
+  stats.requests += 1;
+  stats.remoteRequests += timing.remote ? 1 : 0;
+  stats.totalWait += timing.queueWait;
+  stats.totalService += grant.service;
   if (observer_ != nullptr) {
     observer_->onTransfer({arrival, grant.start, grant.service,
                            timing.queueWait, homeNode, timing.remote,
@@ -213,22 +245,20 @@ RequestTiming MemorySystem::request(Cycles now, CoreId core, Addr addr) {
 void MemorySystem::writeback(Cycles now, CoreId core, Addr addr) {
   OCCM_ASSERT(now >= lastNow_);
   lastNow_ = now;
-  const NodeId requesterNode = topo_.homeNode(core);
+  const NodeId requesterNode = homeNodeOf_[static_cast<std::size_t>(core)];
   NodeId homeNode = placement_.nodeOf(addr, requesterNode);
-  if (!controllers_[static_cast<std::size_t>(homeNode)].health.up) {
+  if (!health_[static_cast<std::size_t>(homeNode)].up) {
     // Posted writebacks fail over without the demand-path retry penalty.
-    controllers_[static_cast<std::size_t>(homeNode)].stats.reroutedAway += 1;
+    stats_[static_cast<std::size_t>(homeNode)].reroutedAway += 1;
     homeNode = failoverNode(requesterNode, homeNode);
-    controllers_[static_cast<std::size_t>(homeNode)].stats.absorbed += 1;
+    stats_[static_cast<std::size_t>(homeNode)].absorbed += 1;
   }
-  Controller& controller = controllers_[static_cast<std::size_t>(homeNode)];
-  const int hops = topo_.hops(requesterNode, homeNode);
-  const Cycles hopOneWay =
-      static_cast<Cycles>(hops) * topo_.spec().hopCycles;
+  const int hops = hopsBetween(requesterNode, homeNode);
+  const Cycles hopOneWay = static_cast<Cycles>(hops) * hopCycles_;
   const Cycles linkWait = reserveLink(requesterNode, homeNode, hops, now, 1);
   const Cycles arrival = now + linkWait + hopOneWay;
-  const ChannelGrant grant = reserveChannel(controller, addr, arrival);
-  controller.stats.writebacks += 1;
+  const ChannelGrant grant = reserveChannel(homeNode, addr, arrival);
+  stats_[static_cast<std::size_t>(homeNode)].writebacks += 1;
   if (observer_ != nullptr) {
     observer_->onTransfer({arrival, grant.start, grant.service,
                            linkWait + (grant.start - arrival), homeNode,
@@ -238,39 +268,35 @@ void MemorySystem::writeback(Cycles now, CoreId core, Addr addr) {
 }
 
 void MemorySystem::setControllerUp(NodeId node, bool up) {
-  OCCM_REQUIRE(node >= 0 &&
-               static_cast<std::size_t>(node) < controllers_.size());
-  controllers_[static_cast<std::size_t>(node)].health.up = up;
+  OCCM_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < health_.size());
+  health_[static_cast<std::size_t>(node)].up = up;
 }
 
 void MemorySystem::setControllerServiceScale(NodeId node, double scale) {
-  OCCM_REQUIRE(node >= 0 &&
-               static_cast<std::size_t>(node) < controllers_.size());
+  OCCM_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < health_.size());
   OCCM_REQUIRE_MSG(scale >= 1.0, "service scale must be >= 1");
-  controllers_[static_cast<std::size_t>(node)].health.serviceScale = scale;
+  health_[static_cast<std::size_t>(node)].serviceScale = scale;
 }
 
 void MemorySystem::setControllerEcc(NodeId node, double probability,
                                     Cycles penalty) {
-  OCCM_REQUIRE(node >= 0 &&
-               static_cast<std::size_t>(node) < controllers_.size());
+  OCCM_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < health_.size());
   OCCM_REQUIRE_MSG(probability >= 0.0 && probability <= 1.0,
                    "ECC probability must be in [0, 1]");
-  Controller& c = controllers_[static_cast<std::size_t>(node)];
-  c.health.eccProbability = probability;
-  c.health.eccPenalty = penalty;
+  ControllerHealth& h = health_[static_cast<std::size_t>(node)];
+  h.eccProbability = probability;
+  h.eccPenalty = penalty;
 }
 
 const ControllerHealth& MemorySystem::controllerHealth(NodeId node) const {
-  OCCM_REQUIRE(node >= 0 &&
-               static_cast<std::size_t>(node) < controllers_.size());
-  return controllers_[static_cast<std::size_t>(node)].health;
+  OCCM_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < health_.size());
+  return health_[static_cast<std::size_t>(node)];
 }
 
 int MemorySystem::healthyActiveControllers() const noexcept {
   int healthy = 0;
   for (NodeId node : placement_.activeNodes()) {
-    healthy += controllers_[static_cast<std::size_t>(node)].health.up ? 1 : 0;
+    healthy += health_[static_cast<std::size_t>(node)].up ? 1 : 0;
   }
   return healthy;
 }
@@ -278,14 +304,12 @@ int MemorySystem::healthyActiveControllers() const noexcept {
 void MemorySystem::injectBackground(Cycles now, NodeId node, Addr addr) {
   OCCM_ASSERT(now >= lastNow_);
   lastNow_ = now;
-  OCCM_REQUIRE(node >= 0 &&
-               static_cast<std::size_t>(node) < controllers_.size());
-  Controller& controller = controllers_[static_cast<std::size_t>(node)];
-  if (!controller.health.up) {
+  OCCM_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < health_.size());
+  if (!health_[static_cast<std::size_t>(node)].up) {
     return;  // a dead controller attracts no interfering traffic
   }
-  const ChannelGrant grant = reserveChannel(controller, addr, now);
-  controller.stats.background += 1;
+  const ChannelGrant grant = reserveChannel(node, addr, now);
+  stats_[static_cast<std::size_t>(node)].background += 1;
   if (observer_ != nullptr) {
     observer_->onTransfer({now, grant.start, grant.service,
                            grant.start - now, node, false, grant.rowHit,
@@ -294,15 +318,14 @@ void MemorySystem::injectBackground(Cycles now, NodeId node, Addr addr) {
 }
 
 const ControllerStats& MemorySystem::controllerStats(NodeId node) const {
-  OCCM_REQUIRE(node >= 0 &&
-               static_cast<std::size_t>(node) < controllers_.size());
-  return controllers_[static_cast<std::size_t>(node)].stats;
+  OCCM_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < stats_.size());
+  return stats_[static_cast<std::size_t>(node)];
 }
 
 std::uint64_t MemorySystem::totalRequests() const noexcept {
   std::uint64_t total = 0;
-  for (const Controller& c : controllers_) {
-    total += c.stats.requests;
+  for (const ControllerStats& s : stats_) {
+    total += s.requests;
   }
   return total;
 }

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.hpp"
+#include "common/fastdiv.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "mem/placement.hpp"
@@ -157,9 +159,7 @@ class MemorySystem {
   void injectBackground(Cycles now, NodeId node, Addr addr);
 
   [[nodiscard]] const ControllerStats& controllerStats(NodeId node) const;
-  [[nodiscard]] int controllers() const noexcept {
-    return static_cast<int>(controllers_.size());
-  }
+  [[nodiscard]] int controllers() const noexcept { return nControllers_; }
 
   /// Total demand requests across controllers.
   [[nodiscard]] std::uint64_t totalRequests() const noexcept;
@@ -179,22 +179,9 @@ class MemorySystem {
   }
 
  private:
-  struct Channel {
-    Cycles freeAt = 0;
-    /// Open row per bank (kNoRow = closed).
-    std::vector<Addr> openRow;
-  };
-  struct Controller {
-    std::vector<Channel> channels;
-    ControllerStats stats;
-    ControllerHealth health;
-  };
   struct Bus {
     Cycles freeAt = 0;
     Cycles busy = 0;
-  };
-  struct Link {
-    Cycles freeAt = 0;
   };
 
   static constexpr Addr kNoRow = ~Addr{0};
@@ -206,9 +193,8 @@ class MemorySystem {
   };
 
   /// Routes the request to its address-striped channel/bank, applies the
-  /// row-buffer state and reserves the channel.
-  ChannelGrant reserveChannel(Controller& controller, Addr addr,
-                              Cycles arrival);
+  /// row-buffer state and reserves the channel of controller `node`.
+  ChannelGrant reserveChannel(NodeId node, Addr addr, Cycles arrival);
 
   [[nodiscard]] Cycles drawService(Cycles mean);
 
@@ -222,12 +208,46 @@ class MemorySystem {
   /// lowest id on ties). Throws ContractViolation if none is healthy.
   [[nodiscard]] NodeId failoverNode(NodeId requester, NodeId original) const;
 
+  [[nodiscard]] int hopsBetween(NodeId a, NodeId b) const noexcept {
+    return hops_[static_cast<std::size_t>(a) *
+                     static_cast<std::size_t>(nControllers_) +
+                 static_cast<std::size_t>(b)];
+  }
+
   const topology::TopologyMap& topo_;
   MemoryConfig config_;
   PagePlacement placement_;
-  std::vector<Controller> controllers_;
-  std::vector<Bus> buses_;   ///< one per socket; UMA only
-  std::vector<Link> links_;  ///< one per unordered node pair; NUMA only
+
+  // Struct-of-arrays resource tables (DESIGN.md §14): the per-request path
+  // touches exactly one channel free-at slot, one open-row register, one
+  // stats block and one health block. Keeping each kind in its own flat,
+  // cache-line-aligned array means a request touches a handful of hot
+  // lines instead of striding through interleaved per-controller structs
+  // of vectors-of-vectors.
+  int nControllers_ = 0;
+  std::uint32_t channelsPerController_ = 1;
+  std::uint32_t banksPerChannel_ = 1;
+  FastDiv rowBytesDiv_;   ///< addr -> row number
+  FastDiv channelsDiv_;   ///< row % / div channelsPerController_
+  FastDiv banksDiv_;      ///< (row / channels) % banksPerChannel_
+  CacheAlignedVector<Cycles> channelFreeAt_;  ///< [ctrl * cpc + ch]
+  CacheAlignedVector<Addr> openRow_;  ///< [(ctrl * cpc + ch) * bpc + bank]
+  std::vector<ControllerStats> stats_;      ///< per controller
+  std::vector<ControllerHealth> health_;    ///< per controller
+  CacheAlignedVector<Bus> buses_;  ///< one per socket; UMA only
+  CacheAlignedVector<Cycles> linkFreeAt_;  ///< [a * n + b], a <= b; NUMA only
+
+  // Spec constants and topology lookups hoisted out of the request path.
+  Cycles busServiceCycles_ = 0;
+  Cycles linkServiceCycles_ = 0;
+  Cycles hopCycles_ = 0;
+  Cycles dramLatency_ = 0;
+  Cycles rowHitServiceCycles_ = 0;
+  Cycles rowMissServiceCycles_ = 0;
+  std::vector<NodeId> homeNodeOf_;   ///< per core
+  std::vector<SocketId> socketOf_;   ///< per core
+  std::vector<int> hops_;            ///< [a * controllers + b]
+
   Rng rng_;
   MemoryObserver* observer_ = nullptr;
   Cycles lastNow_ = 0;  ///< monotonicity check

@@ -4,11 +4,13 @@
 // protocol). A page's home node decides which memory controller serves its
 // off-chip requests and how many interconnect hops a given core pays.
 
+#include <bit>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fastdiv.hpp"
 #include "common/types.hpp"
 
 namespace occm::mem {
@@ -40,6 +42,8 @@ class PagePlacement {
         activeNodes_(std::move(activeNodes)) {
     OCCM_REQUIRE_MSG(!activeNodes_.empty(), "need at least one active node");
     OCCM_REQUIRE(pageSize_ > 0 && (pageSize_ & (pageSize_ - 1)) == 0);
+    pageShift_ = static_cast<unsigned>(std::countr_zero(pageSize_));
+    activeNodesDiv_ = FastDiv(activeNodes_.size());
     if (nodeWeights.empty()) {
       nodeWeights.assign(activeNodes_.size(), 1);
     }
@@ -55,20 +59,21 @@ class PagePlacement {
       running += static_cast<std::uint64_t>(w);
       cumulativeWeights_.push_back(running);
     }
+    totalWeightDiv_ = FastDiv(totalWeight_);
   }
 
   /// Home node of the page containing `addr`; `requesterNode` is the node
   /// of the requesting core (used by kFirstTouch / kLocal).
   [[nodiscard]] NodeId nodeOf(Addr addr, NodeId requesterNode) {
-    const Addr page = addr / pageSize_;
+    const Addr page = addr >> pageShift_;
     switch (policy_) {
       case PlacementPolicy::kInterleaveActive:
         return activeNodes_[static_cast<std::size_t>(
-            page % activeNodes_.size())];
+            activeNodesDiv_.modulo(page))];
       case PlacementPolicy::kProportionalInterleave: {
         // Pick the node whose cumulative-weight bucket contains the
         // page's slot: node i receives weight_i / totalWeight of pages.
-        const std::uint64_t slot = page % totalWeight_;
+        const std::uint64_t slot = totalWeightDiv_.modulo(page);
         for (std::size_t i = 0; i < cumulativeWeights_.size(); ++i) {
           if (slot < cumulativeWeights_[i]) {
             return activeNodes_[i];
@@ -94,6 +99,9 @@ class PagePlacement {
  private:
   PlacementPolicy policy_;
   Bytes pageSize_;
+  unsigned pageShift_ = 0;        ///< log2(pageSize_) — addr >> shift
+  FastDiv activeNodesDiv_;        ///< reciprocal for % activeNodes_.size()
+  FastDiv totalWeightDiv_;        ///< reciprocal for % totalWeight_
   std::vector<NodeId> activeNodes_;
   std::vector<std::uint64_t> cumulativeWeights_;
   std::uint64_t totalWeight_ = 0;

@@ -72,7 +72,10 @@ struct CounterSnapshot {
 /// One registered phase. Accumulation is relaxed-atomic: concurrent
 /// scopes (e.g. parallel sweep tasks timing "sweep.task") never lose
 /// increments, and a snapshot taken mid-scope is merely slightly stale.
-class Phase {
+/// Cache-line aligned: two threads hammering *different* phases must not
+/// write-share a line just because the registry packed the objects
+/// adjacently (contention on the *same* phase is intrinsic).
+class alignas(64) Phase {
  public:
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
@@ -110,7 +113,9 @@ class Phase {
 /// One registered hot-path counter. add() wraps modulo 2^64 — the
 /// well-defined unsigned overflow of the underlying uint64 — rather than
 /// saturating or trapping (pinned by Profiler.CounterOverflowWraps).
-class Counter {
+/// Cache-line aligned for the same reason as Phase: counters bumped from
+/// different sweep workers must not false-share.
+class alignas(64) Counter {
  public:
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const std::string& unit() const noexcept { return unit_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string_view>
+#include <thread>
 
 #include "common/json_reader.hpp"
 
@@ -155,6 +156,11 @@ BenchStat summarizeSamples(std::vector<double> samples) {
   stat.min = samples.front();
   stat.max = samples.back();
   return stat;
+}
+
+int detectHardwareThreads() noexcept {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<int>(reported);
 }
 
 const BenchPoint* BenchReport::find(const std::string& program,

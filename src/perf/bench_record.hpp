@@ -35,6 +35,12 @@ struct BenchStat {
 /// linearly). Returns zeros for an empty input.
 [[nodiscard]] BenchStat summarizeSamples(std::vector<double> samples);
 
+/// Hardware threads of the bench host, captured at bench time for the
+/// report's `hardware_threads` field. std::thread::hardware_concurrency
+/// may legally return 0 ("not computable"); this clamps to >= 1 so the
+/// field always records a usable count rather than a sentinel.
+[[nodiscard]] int detectHardwareThreads() noexcept;
+
 /// One self-profiler phase rolled into a point (host time, summed over
 /// the point's measured repeats).
 struct BenchPhase {

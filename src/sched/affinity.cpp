@@ -59,12 +59,6 @@ std::vector<std::string> describePinning(const Pinning& pinning,
   return labels;
 }
 
-ThreadId RunQueue::current() const {
-  OCCM_REQUIRE_MSG(live_ > 0, "run queue is empty");
-  OCCM_ASSERT(!finished_[current_]);
-  return threads_[current_];
-}
-
 bool RunQueue::rotate() {
   OCCM_REQUIRE_MSG(live_ > 0, "run queue is empty");
   if (live_ == 1) {

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "topology/topology_map.hpp"
 
@@ -61,8 +62,13 @@ class RunQueue {
     current_ = 0;
   }
 
-  /// Currently scheduled thread; queue must be non-empty.
-  [[nodiscard]] ThreadId current() const;
+  /// Currently scheduled thread; queue must be non-empty. Inline: the
+  /// simulator asks once per operation.
+  [[nodiscard]] ThreadId current() const {
+    OCCM_REQUIRE_MSG(live_ > 0, "run queue is empty");
+    OCCM_ASSERT(!finished_[current_]);
+    return threads_[current_];
+  }
 
   /// Advances to the next unfinished thread (end of quantum). Returns
   /// whether the running thread actually changed.

@@ -1,0 +1,144 @@
+#pragma once
+
+// Calendar (bucketed) event queue of the cycle-level event loop.
+//
+// The simulator's schedule has two structural properties a general
+// priority queue cannot exploit: event times presented to push() never
+// precede the last popped time (cores only schedule forward), and the
+// queue never holds more than one event per active core (≤ tens). The
+// calendar queue turns both into O(1) operations: events land in one of
+// 64 time buckets of 2^logWidth cycles each (a window of 64·2^logWidth
+// cycles), a one-word occupancy bitmap finds the earliest non-empty
+// bucket with a rotate + countr_zero, and the handful of events inside
+// that bucket are min-scanned for the exact (time, seq) order. Events
+// beyond the window wait in an overflow list that is re-binned when the
+// window drains and advances.
+//
+// Ordering is EXACTLY the total order of the (time, seq) pair — the same
+// order std::priority_queue<Event, ..., EventLater> produces — because
+// bucket time-ranges are disjoint and ascending within the window, the
+// overflow list only holds events at or past the window's end, and ties
+// inside one bucket are broken by the monotonic sequence number. The
+// equivalence is pinned by tests/sim/test_event_queue.cpp against a
+// reference heap over randomized monotone interleavings.
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace occm::sim {
+
+enum class EventKind : std::uint8_t {
+  kAdvance,  ///< core resumes executing operations
+  kIssue,    ///< core presents its pending off-chip request to memory
+};
+
+struct Event {
+  Cycles time = 0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break among same-cycle events
+  CoreId core = 0;
+  EventKind kind = EventKind::kAdvance;
+};
+
+class CalendarEventQueue {
+ public:
+  /// `logWidth` is the log2 of the bucket width in cycles. The default
+  /// (64-cycle buckets, 4096-cycle window) comfortably covers the
+  /// simulator's typical push horizon — one op's work plus a memory
+  /// stall — so overflow re-binning is rare.
+  explicit CalendarEventQueue(unsigned logWidth = 6) : logWidth_(logWidth) {
+    OCCM_REQUIRE_MSG(logWidth < 32, "bucket width out of range");
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Contract: `e.time` must not precede the time of the last pop() —
+  /// the event loop only schedules forward. (The window never has to
+  /// move backward, which is what keeps push O(1).)
+  void push(const Event& e) {
+    const std::uint64_t bucket = e.time >> logWidth_;
+    OCCM_ASSERT(bucket >= base_);
+    if (bucket - base_ < kBuckets) {
+      const unsigned slot = bucket & kSlotMask;
+      buckets_[slot].push_back(e);
+      occupied_ |= std::uint64_t{1} << slot;
+    } else {
+      overflow_.push_back(e);
+    }
+    ++size_;
+  }
+
+  /// Removes and returns the minimum event in (time, seq) order.
+  Event pop() {
+    OCCM_REQUIRE_MSG(size_ != 0, "pop from empty event queue");
+    if (occupied_ == 0) {
+      advanceWindow();
+    }
+    // Earliest non-empty bucket: rotate the occupancy word so the
+    // window's first slot is bit 0, then take the lowest set bit.
+    const unsigned rot = static_cast<unsigned>(base_) & kSlotMask;
+    const int offset =
+        std::countr_zero(std::rotr(occupied_, static_cast<int>(rot)));
+    const unsigned slot = (rot + static_cast<unsigned>(offset)) & kSlotMask;
+    std::vector<Event>& bucket = buckets_[slot];
+    // Exact (time, seq) min among the bucket's few events.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < bucket.size(); ++i) {
+      const Event& a = bucket[i];
+      const Event& b = bucket[best];
+      if (a.time < b.time || (a.time == b.time && a.seq < b.seq)) {
+        best = i;
+      }
+    }
+    const Event result = bucket[best];
+    bucket[best] = bucket.back();
+    bucket.pop_back();
+    if (bucket.empty()) {
+      occupied_ &= ~(std::uint64_t{1} << slot);
+    }
+    --size_;
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t kBuckets = 64;
+  static constexpr unsigned kSlotMask = 63;
+
+  /// All buckets are empty but events remain: jump the window forward to
+  /// the earliest overflow event and re-bin what now fits.
+  void advanceWindow() {
+    OCCM_ASSERT(!overflow_.empty());
+    std::uint64_t minBucket = overflow_.front().time >> logWidth_;
+    for (std::size_t i = 1; i < overflow_.size(); ++i) {
+      minBucket = std::min(minBucket, overflow_[i].time >> logWidth_);
+    }
+    base_ = minBucket;
+    std::size_t keep = 0;
+    for (const Event& e : overflow_) {
+      const std::uint64_t bucket = e.time >> logWidth_;
+      if (bucket - base_ < kBuckets) {
+        const unsigned slot = bucket & kSlotMask;
+        buckets_[slot].push_back(e);
+        occupied_ |= std::uint64_t{1} << slot;
+      } else {
+        overflow_[keep++] = e;
+      }
+    }
+    overflow_.resize(keep);
+  }
+
+  std::array<std::vector<Event>, kBuckets> buckets_;
+  std::vector<Event> overflow_;
+  std::uint64_t occupied_ = 0;  ///< bit s set <=> buckets_[s] non-empty
+  std::uint64_t base_ = 0;      ///< absolute bucket number of window start
+  std::size_t size_ = 0;
+  unsigned logWidth_;
+};
+
+}  // namespace occm::sim

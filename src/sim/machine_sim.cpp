@@ -2,38 +2,21 @@
 
 #include <algorithm>
 #include <optional>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "cache/hierarchy.hpp"
 #include "common/error.hpp"
+#include "common/fastdiv.hpp"
 #include "common/rng.hpp"
 #include "fault/crash_injection.hpp"
 #include "fault/fault_engine.hpp"
 #include "perf/miss_sampler.hpp"
+#include "sim/event_queue.hpp"
 
 namespace occm::sim {
 
 namespace {
-
-enum class EventKind : std::uint8_t {
-  kAdvance,  ///< core resumes executing operations
-  kIssue,    ///< core presents its pending off-chip request to memory
-};
-
-struct Event {
-  Cycles time = 0;
-  std::uint64_t seq = 0;  ///< FIFO tie-break
-  CoreId core = 0;
-  EventKind kind = EventKind::kAdvance;
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const noexcept {
-    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-  }
-};
 
 struct CoreState {
   sched::RunQueue queue{{}};
@@ -286,13 +269,22 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
   }
 #endif
 
+  // MLP divisors are fixed for the whole run (spec-validated >= 1); the
+  // per-op and per-miss stall divisions use exact reciprocals instead of
+  // hardware divides.
+  const FastDiv prefetchMlpDiv(static_cast<Cycles>(spec.prefetchMlp));
+  const FastDiv corePerMlpDiv(static_cast<Cycles>(spec.corePerMlp));
+
   auto jitteredQuantum = [&]() {
     const double jitter = rng.uniform(0.95, 1.05);
     return static_cast<Cycles>(
         static_cast<double>(config_.sched.quantum) * jitter);
   };
 
-  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  // Calendar queue (sim/event_queue.hpp): pops in exactly the (time, seq)
+  // order of the binary heap it replaced — pinned by the golden corpus
+  // and the CalendarEventQueue property suite.
+  CalendarEventQueue events;
   std::uint64_t seq = 0;
   for (CoreId c = 0; c < totalCores; ++c) {
     CoreState& core = cores[static_cast<std::size_t>(c)];
@@ -382,8 +374,7 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
       // same way they overlap miss latency.
       const Cycles hitStall =
           op.prefetchable
-              ? std::max<Cycles>(1, res.latency /
-                                        static_cast<Cycles>(spec.prefetchMlp))
+              ? std::max<Cycles>(1, prefetchMlpDiv.divide(res.latency))
               : res.latency;
       core.now += hitStall;
       core.stallCycles += hitStall;
@@ -421,7 +412,10 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
       config_.faultPlan.firstCrash(activeCores);
 
   while (!events.empty()) {
-    const Event ev = events.top();
+    // Lifecycle checks fire per event at the same deterministic (time,
+    // seq) boundaries as before the calendar-queue rewrite; an abort
+    // discards the whole run, so checking after the pop is equivalent.
+    const Event ev = events.pop();
     if (crash != nullptr && ev.time >= crash->start) {
       fault::executeInjectedCrash(crash->kind, ev.time);
     }
@@ -437,7 +431,6 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
                        "run cancelled at simulated cycle " +
                            std::to_string(ev.time));
     }
-    events.pop();
     ++hot.eventsPopped;
     CoreState& core = cores[static_cast<std::size_t>(ev.core)];
     OCCM_ASSERT(core.now <= ev.time || ev.kind == EventKind::kIssue);
@@ -474,11 +467,10 @@ perf::RunProfile MachineSim::run(std::span<const trace::RefStreamPtr> streams,
         // observed per-miss stall shrinks accordingly while the memory
         // system still sees the full request load (approximation noted in
         // DESIGN.md). Dependent misses use corePerMlp (default blocking).
-        const auto mlp = static_cast<Cycles>(core.pendingPrefetchable
-                                                 ? spec.prefetchMlp
-                                                 : spec.corePerMlp);
+        const FastDiv& mlpDiv =
+            core.pendingPrefetchable ? prefetchMlpDiv : corePerMlpDiv;
         const Cycles rawStall = timing.done - now;
-        const Cycles stall = std::max<Cycles>(1, rawStall / mlp);
+        const Cycles stall = std::max<Cycles>(1, mlpDiv.divide(rawStall));
         core.stallCycles += stall;
         core.now = now + stall;
         if (hp != nullptr) {

@@ -7,12 +7,20 @@ namespace occm::workloads {
 
 PhaseStream::PhaseStream(std::vector<Phase> phases)
     : phases_(std::move(phases)) {
-  for (const Phase& p : phases_) {
+  gather_.resize(phases_.size());
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const Phase& p = phases_[i];
     OCCM_REQUIRE_MSG(p.kind != Phase::Kind::kGather || p.tableBytes > 0,
                      "gather phase needs a table size");
     OCCM_REQUIRE_MSG(p.kind != Phase::Kind::kGather || p.elementBytes > 0,
                      "gather phase needs an element size");
     totalOps_ += p.count;
+    if (p.kind == Phase::Kind::kGather) {
+      const std::uint64_t elements = p.tableBytes / p.elementBytes;
+      OCCM_REQUIRE_MSG(elements > 0, "gather table smaller than an element");
+      gather_[i].elements = elements;
+      gather_[i].elementsDiv = FastDiv(elements);
+    }
   }
 }
 
@@ -35,11 +43,12 @@ bool PhaseStream::next(trace::Op& op) {
       break;
     case Phase::Kind::kGather: {
       // Deterministic per-(seed, position) index: the same phase replayed
-      // revisits the same elements, like a fixed sparse pattern.
+      // revisits the same elements, like a fixed sparse pattern. The
+      // element-count modulo uses the reciprocal precomputed in the
+      // constructor (exact, so the index sequence is unchanged).
       SplitMix64 h(phase.seed ^ (posInPhase_ * 0x9e3779b97f4a7c15ULL));
-      const std::uint64_t elements = phase.tableBytes / phase.elementBytes;
-      OCCM_ASSERT(elements > 0);
-      op.addr = phase.base + (h.next() % elements) * phase.elementBytes;
+      op.addr = phase.base + gather_[phaseIdx_].elementsDiv.modulo(h.next()) *
+                                 phase.elementBytes;
       break;
     }
   }

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fastdiv.hpp"
 #include "common/types.hpp"
 #include "trace/ref_stream.hpp"
 
@@ -55,7 +56,18 @@ class PhaseStream final : public trace::RefStream {
   [[nodiscard]] std::uint64_t totalOps() const noexcept { return totalOps_; }
 
  private:
+  /// Per-phase values that are loop-invariant but were being re-derived
+  /// on every op: the gather table's element count and its division
+  /// reciprocal. `h.next() % elements` with a hardware divide was a
+  /// visible slice of CG's runtime; FastDiv::modulo is exact, so the
+  /// generated index sequence is bit-identical.
+  struct GatherExec {
+    std::uint64_t elements = 1;
+    FastDiv elementsDiv;
+  };
+
   std::vector<Phase> phases_;
+  std::vector<GatherExec> gather_;  ///< parallel to phases_
   std::size_t phaseIdx_ = 0;
   std::uint64_t posInPhase_ = 0;
   std::uint64_t opCounter_ = 0;  ///< global op index (work jitter hash)

@@ -1,0 +1,115 @@
+#include "common/fastdiv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace occm {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+// Divisors the simulator actually uses (set counts, channel/bank
+// striping widths, interleave weights) plus adversarial ones.
+std::vector<std::uint64_t> interestingDivisors() {
+  return {1,   2,   3,   4,    5,    7,    8,        12,
+          16,  24,  64,  128,  255,  256,  257,      1024,
+          512, 666, 4096, 8192, kMax, kMax - 1, kMax / 2,
+          (std::uint64_t{1} << 62) + 1, (std::uint64_t{1} << 33) - 1};
+}
+
+std::vector<std::uint64_t> interestingNumerators(std::uint64_t divisor) {
+  std::vector<std::uint64_t> ns = {0,    1,        2,         3,
+                                   255,  256,      1U << 20,  kMax,
+                                   kMax - 1, kMax / 2, kMax / 3};
+  // Around multiples of the divisor: the exact spots a reciprocal with an
+  // off-by-one error would get wrong.
+  for (const std::uint64_t k : {std::uint64_t{1}, std::uint64_t{2},
+                                std::uint64_t{7}, kMax / divisor}) {
+    const std::uint64_t base = k * divisor;  // wraparound is fine
+    ns.push_back(base - 1);
+    ns.push_back(base);
+    ns.push_back(base + 1);
+  }
+  // The private address window: addresses exceed 2^40 (address_space).
+  ns.push_back((std::uint64_t{1} << 40) + 12345);
+  ns.push_back((std::uint64_t{1} << 41) - 1);
+  return ns;
+}
+
+TEST(FastDiv, RejectsZeroDivisor) {
+  EXPECT_THROW(FastDiv{0}, ContractViolation);
+}
+
+TEST(FastDiv, DefaultIsIdentity) {
+  const FastDiv d;
+  EXPECT_EQ(d.divisor(), 1u);
+  EXPECT_EQ(d.divide(kMax), kMax);
+  EXPECT_EQ(d.modulo(kMax), 0u);
+}
+
+TEST(FastDiv, ExactOnStructuredCases) {
+  for (const std::uint64_t divisor : interestingDivisors()) {
+    const FastDiv fast(divisor);
+    EXPECT_EQ(fast.divisor(), divisor);
+    for (const std::uint64_t n : interestingNumerators(divisor)) {
+      EXPECT_EQ(fast.divide(n), n / divisor)
+          << n << " / " << divisor;
+      EXPECT_EQ(fast.modulo(n), n % divisor)
+          << n << " % " << divisor;
+    }
+  }
+}
+
+TEST(FastDiv, ExactOnRandomizedSweep) {
+  Rng rng(20110809);
+  for (int round = 0; round < 200; ++round) {
+    // Bias toward small divisors (the simulator's regime) but cover the
+    // full range too.
+    std::uint64_t divisor =
+        (round % 3 == 0) ? rng.next() : 1 + rng.next() % 4096;
+    if (divisor == 0) {
+      divisor = 1;
+    }
+    const FastDiv fast(divisor);
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t n = rng.next();
+      ASSERT_EQ(fast.divide(n), n / divisor) << n << " / " << divisor;
+      ASSERT_EQ(fast.modulo(n), n % divisor) << n << " % " << divisor;
+    }
+  }
+}
+
+TEST(FastDiv, DivModAgreeEverywhere) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t divisor = rng.next() % 100000;
+    if (divisor == 0) {
+      divisor = 1;
+    }
+    const FastDiv fast(divisor);
+    const std::uint64_t n = rng.next();
+    EXPECT_EQ(fast.divide(n) * divisor + fast.modulo(n), n);
+    EXPECT_LT(fast.modulo(n), divisor);
+  }
+}
+
+TEST(FastDiv, PowerOfTwoPathMatchesGeneralContract) {
+  for (unsigned shift = 0; shift < 64; ++shift) {
+    const std::uint64_t divisor = std::uint64_t{1} << shift;
+    const FastDiv fast(divisor);
+    for (const std::uint64_t n :
+         {std::uint64_t{0}, divisor - 1, divisor, divisor + 1, kMax}) {
+      EXPECT_EQ(fast.divide(n), n / divisor);
+      EXPECT_EQ(fast.modulo(n), n % divisor);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace occm

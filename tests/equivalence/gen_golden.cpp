@@ -1,0 +1,50 @@
+// Regenerates tests/equivalence/golden_fingerprints.txt by replaying the
+// full golden grid in-process. Run via scripts/gen_golden.sh — never
+// casually: a corpus regenerated after a behavior change launders that
+// change past the equivalence suite. See DESIGN.md §14.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "golden_grid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace occm::equivalence;
+  std::string outPath = "tests/equivalence/golden_fingerprints.txt";
+  if (argc > 1) {
+    outPath = argv[1];
+  }
+
+  const auto grid = goldenGrid();
+  std::ofstream out(outPath);
+  if (!out.good()) {
+    std::cerr << "cannot open " << outPath << " for writing\n";
+    return 1;
+  }
+  out << "# Golden-fingerprint corpus: per-point CRC-32 of sweepToCsv plus\n"
+         "# deterministic summary stats for the equivalence grid defined in\n"
+         "# tests/equivalence/golden_grid.hpp. Regenerate ONLY via\n"
+         "# scripts/gen_golden.sh and only when simulated output is meant\n"
+         "# to change; the loader test diffs every field per point.\n";
+  int index = 0;
+  for (const GoldenPoint& point : grid) {
+    ++index;
+    std::cerr << "[" << index << "/" << grid.size() << "] " << point.label()
+              << " ... " << std::flush;
+    try {
+      const GoldenRecord record = replayGoldenPoint(point);
+      out << formatGoldenLine(point, record) << "\n";
+      char fp[9];
+      std::snprintf(fp, sizeof fp, "%08x", record.fingerprint);
+      std::cerr << fp << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "FAILED: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  std::cerr << "wrote " << grid.size() << " points to " << outPath << "\n";
+  return 0;
+}

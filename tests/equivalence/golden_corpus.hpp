@@ -1,0 +1,80 @@
+#pragma once
+
+// Reading and diffing the checked-in golden corpus
+// (tests/equivalence/golden_fingerprints.txt). Kept separate from
+// golden_grid.hpp so tools that only parse the corpus don't pull in the
+// whole simulator.
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace occm::equivalence {
+
+/// One parsed corpus line: key -> value, insertion order preserved
+/// separately so diffs print fields in the written order.
+struct CorpusLine {
+  std::map<std::string, std::string> fields;
+  std::vector<std::string> order;
+  int lineNumber = 0;
+
+  [[nodiscard]] const std::string& at(const std::string& key) const {
+    auto it = fields.find(key);
+    OCCM_REQUIRE_MSG(it != fields.end(),
+                     "golden corpus line " + std::to_string(lineNumber) +
+                         " missing field '" + key + "'");
+    return it->second;
+  }
+
+  /// "EP.S@testUma4 faults=plan pool=2" — must match GoldenPoint::label().
+  [[nodiscard]] std::string label() const {
+    return at("workload") + "@" + at("topology") + " faults=" + at("faults") +
+           " pool=" + at("pool");
+  }
+};
+
+inline CorpusLine parseCorpusLine(const std::string& line, int lineNumber) {
+  CorpusLine parsed;
+  parsed.lineNumber = lineNumber;
+  std::istringstream tokens(line);
+  std::string token;
+  while (tokens >> token) {
+    const auto eq = token.find('=');
+    OCCM_REQUIRE_MSG(eq != std::string::npos && eq > 0,
+                     "golden corpus line " + std::to_string(lineNumber) +
+                         ": malformed token '" + token + "'");
+    std::string key = token.substr(0, eq);
+    OCCM_REQUIRE_MSG(parsed.fields.find(key) == parsed.fields.end(),
+                     "golden corpus line " + std::to_string(lineNumber) +
+                         ": duplicate field '" + key + "'");
+    parsed.order.push_back(key);
+    parsed.fields.emplace(std::move(key), token.substr(eq + 1));
+  }
+  return parsed;
+}
+
+/// Loads the corpus, skipping blank lines and '#' comments. Throws with
+/// the path and line number on any malformed line.
+inline std::vector<CorpusLine> loadCorpus(const std::string& path) {
+  std::ifstream in(path);
+  OCCM_REQUIRE_MSG(in.good(), "cannot open golden corpus: " + path);
+  std::vector<CorpusLine> lines;
+  std::string line;
+  int lineNumber = 0;
+  while (std::getline(in, line)) {
+    ++lineNumber;
+    const auto firstNonSpace = line.find_first_not_of(" \t\r");
+    if (firstNonSpace == std::string::npos || line[firstNonSpace] == '#') {
+      continue;
+    }
+    lines.push_back(parseCorpusLine(line, lineNumber));
+  }
+  return lines;
+}
+
+}  // namespace occm::equivalence

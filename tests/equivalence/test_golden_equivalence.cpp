@@ -1,0 +1,145 @@
+// The equivalence safety net of the hot-path rewrite (DESIGN.md §14):
+// replays every golden grid point serial and in-process and compares the
+// CRC-32 fingerprint and every deterministic summary stat against the
+// checked-in corpus. Any drift fails with a per-point diff naming
+// workload, topology, faults and pool size.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "golden_corpus.hpp"
+#include "golden_grid.hpp"
+
+#ifndef OCCM_GOLDEN_FILE
+#error "OCCM_GOLDEN_FILE must point at golden_fingerprints.txt"
+#endif
+
+namespace occm::equivalence {
+namespace {
+
+const std::vector<CorpusLine>& corpus() {
+  static const std::vector<CorpusLine> lines = loadCorpus(OCCM_GOLDEN_FILE);
+  return lines;
+}
+
+std::map<std::string, std::string> recordFields(const GoldenPoint& point,
+                                                const GoldenRecord& r) {
+  const CorpusLine parsed =
+      parseCorpusLine(formatGoldenLine(point, r), /*lineNumber=*/0);
+  return parsed.fields;
+}
+
+// --- corpus structure ------------------------------------------------------
+
+TEST(GoldenCorpus, LoadsAndIsWellFormed) {
+  const auto& lines = corpus();
+  ASSERT_FALSE(lines.empty()) << "empty corpus at " << OCCM_GOLDEN_FILE;
+  for (const CorpusLine& line : lines) {
+    for (const char* key :
+         {"workload", "topology", "faults", "pool", "fingerprint",
+          "sim_cycles", "stall_cycles", "llc_misses", "requests",
+          "makespan_sum", "events_popped", "events_pushed",
+          "max_queue_depth", "reservation_ops"}) {
+      EXPECT_NO_THROW((void)line.at(key))
+          << "line " << line.lineNumber << " (" << line.label() << ")";
+    }
+    EXPECT_EQ(line.at("fingerprint").size(), 8u)
+        << line.label() << ": fingerprint must be 8 hex digits";
+  }
+}
+
+TEST(GoldenCorpus, CoversExactlyTheGrid) {
+  std::set<std::string> expected;
+  for (const GoldenPoint& point : goldenGrid()) {
+    expected.insert(point.label());
+  }
+  std::set<std::string> actual;
+  for (const CorpusLine& line : corpus()) {
+    EXPECT_TRUE(actual.insert(line.label()).second)
+        << "duplicate corpus line: " << line.label();
+  }
+  for (const std::string& label : expected) {
+    EXPECT_TRUE(actual.count(label)) << "grid point missing from corpus: "
+                                     << label << " — rerun gen_golden.sh";
+  }
+  for (const std::string& label : actual) {
+    EXPECT_TRUE(expected.count(label))
+        << "corpus has a point the grid no longer defines: " << label;
+  }
+}
+
+TEST(GoldenCorpus, ParserRejectsMalformedLines) {
+  EXPECT_THROW((void)parseCorpusLine("fingerprint", 1), ContractViolation);
+  EXPECT_THROW((void)parseCorpusLine("=value", 2), ContractViolation);
+  EXPECT_THROW((void)parseCorpusLine("a=1 a=2", 3), ContractViolation);
+  EXPECT_THROW((void)loadCorpus("/nonexistent/golden.txt"),
+               ContractViolation);
+}
+
+TEST(GoldenCorpus, ParserAcceptsCommentsAndBlanks) {
+  const CorpusLine line = parseCorpusLine("a=1 b=two", 7);
+  EXPECT_EQ(line.at("a"), "1");
+  EXPECT_EQ(line.at("b"), "two");
+  EXPECT_EQ(line.order, (std::vector<std::string>{"a", "b"}));
+}
+
+// --- per-point replay ------------------------------------------------------
+
+class GoldenEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenEquivalence, ReplayMatchesCorpus) {
+  const GoldenPoint point = goldenGrid()[GetParam()];
+  const CorpusLine* golden = nullptr;
+  for (const CorpusLine& line : corpus()) {
+    if (line.label() == point.label()) {
+      golden = &line;
+      break;
+    }
+  }
+  ASSERT_NE(golden, nullptr)
+      << "no corpus line for " << point.label() << " — rerun gen_golden.sh";
+
+  const GoldenRecord record = replayGoldenPoint(point);
+  const auto fields = recordFields(point, record);
+  std::string diff;
+  for (const std::string& key : golden->order) {
+    const auto it = fields.find(key);
+    ASSERT_NE(it, fields.end()) << "replay lost field " << key;
+    if (it->second != golden->at(key)) {
+      diff += "\n  " + key + ": golden=" + golden->at(key) +
+              " replay=" + it->second;
+    }
+  }
+  EXPECT_TRUE(diff.empty()) << "golden drift at " << point.label() << ":"
+                            << diff
+                            << "\n(simulated output changed — if deliberate, "
+                               "regenerate via scripts/gen_golden.sh)";
+}
+
+std::string pointTestName(const ::testing::TestParamInfo<std::size_t>& info) {
+  const GoldenPoint point = goldenGrid()[info.param];
+  std::string name = point.workloadName() + "_" + point.topology + "_" +
+                     (point.faults ? "plan" : "nofault") + "_pool" +
+                     std::to_string(point.poolSize);
+  std::replace_if(
+      name.begin(), name.end(),
+      [](char c) { return !(std::isalnum(static_cast<unsigned char>(c))); },
+      '_');
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, GoldenEquivalence,
+                         ::testing::Range<std::size_t>(0,
+                                                       goldenGrid().size()),
+                         pointTestName);
+
+}  // namespace
+}  // namespace occm::equivalence

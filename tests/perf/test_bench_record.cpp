@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace occm::perf {
@@ -162,6 +163,31 @@ TEST(BenchRecord, FindMatchesTheFullKey) {
   EXPECT_EQ(report.find("CG.S", "testNuma4", 4), nullptr);
   EXPECT_EQ(report.find("CG.S", "testUma4", 2), nullptr);
   EXPECT_EQ(report.find("FT.S", "testNuma4", 2), nullptr);
+}
+
+// Pins the hardware_threads field: it must be captured at bench time
+// (not left at the struct default of 0) and must survive a JSON round
+// trip. hardware_concurrency() may return 0 on exotic hosts; the helper
+// clamps so the report never records a nonsensical thread count.
+TEST(BenchRecord, DetectHardwareThreadsIsPositive) {
+  const int detected = detectHardwareThreads();
+  EXPECT_GE(detected, 1);
+  const unsigned reported = std::thread::hardware_concurrency();
+  if (reported != 0) {
+    EXPECT_EQ(detected, static_cast<int>(reported));
+  }
+}
+
+TEST(BenchRecord, HardwareThreadsRoundTripsThroughJson) {
+  BenchReport report = sampleReport();
+  report.hardwareThreads = detectHardwareThreads();
+  const std::string json = toJson(report);
+  EXPECT_NE(json.find("\"hardware_threads\": " +
+                      std::to_string(report.hardwareThreads)),
+            std::string::npos);
+  const auto parsed = parseBenchReport(json);
+  ASSERT_TRUE(parsed.hasValue()) << parsed.error();
+  EXPECT_EQ(parsed.value().hardwareThreads, report.hardwareThreads);
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+// Property suite for the calendar event queue: its pop order must be
+// EXACTLY the (time, seq) total order a binary heap produces, under
+// randomized monotone interleavings of pushes and pops — the contract
+// the hot-path rewrite rests on (DESIGN.md §14).
+
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace occm::sim {
+namespace {
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+};
+
+using ReferenceQueue =
+    std::priority_queue<Event, std::vector<Event>, EventLater>;
+
+void expectSameEvent(const Event& ref, const Event& got,
+                     const std::string& context) {
+  EXPECT_EQ(ref.time, got.time) << context;
+  EXPECT_EQ(ref.seq, got.seq) << context;
+  EXPECT_EQ(ref.core, got.core) << context;
+  EXPECT_EQ(static_cast<int>(ref.kind), static_cast<int>(got.kind))
+      << context;
+}
+
+TEST(CalendarEventQueue, StartsEmpty) {
+  CalendarEventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW((void)q.pop(), ContractViolation);
+}
+
+TEST(CalendarEventQueue, RejectsAbsurdBucketWidth) {
+  EXPECT_THROW(CalendarEventQueue{32}, ContractViolation);
+  EXPECT_NO_THROW(CalendarEventQueue{0});
+  EXPECT_NO_THROW(CalendarEventQueue{31});
+}
+
+TEST(CalendarEventQueue, PopsInTimeOrder) {
+  CalendarEventQueue q;
+  q.push({300, 0, 1, EventKind::kAdvance});
+  q.push({100, 1, 2, EventKind::kIssue});
+  q.push({200, 2, 3, EventKind::kAdvance});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().time, 100u);
+  EXPECT_EQ(q.pop().time, 200u);
+  EXPECT_EQ(q.pop().time, 300u);
+  EXPECT_TRUE(q.empty());
+}
+
+// Same-cycle events must come out in push (seq) order: the FIFO
+// stability the simulator's tie-break depends on.
+TEST(CalendarEventQueue, SameCycleEventsAreFifoStable) {
+  CalendarEventQueue q;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    q.push({1000, s, static_cast<CoreId>(s % 7), EventKind::kAdvance});
+  }
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    const Event e = q.pop();
+    EXPECT_EQ(e.time, 1000u);
+    EXPECT_EQ(e.seq, s) << "same-cycle pop order must follow push order";
+  }
+}
+
+// Events far beyond the 64-bucket window must take the overflow path and
+// still come out in exact order after the window advances.
+TEST(CalendarEventQueue, OverflowEventsKeepExactOrder) {
+  CalendarEventQueue q(/*logWidth=*/0);  // 1-cycle buckets, 64-cycle window
+  q.push({5, 0, 0, EventKind::kAdvance});
+  q.push({1'000'000, 1, 1, EventKind::kIssue});
+  q.push({70, 2, 2, EventKind::kAdvance});      // just past the window
+  q.push({1'000'000, 3, 3, EventKind::kAdvance});
+  EXPECT_EQ(q.pop().time, 5u);
+  EXPECT_EQ(q.pop().time, 70u);
+  const Event a = q.pop();
+  const Event b = q.pop();
+  EXPECT_EQ(a.time, 1'000'000u);
+  EXPECT_EQ(a.seq, 1u);
+  EXPECT_EQ(b.seq, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+// The full equivalence property: randomized monotone interleavings of
+// pushes and pops, compared pop-for-pop against the reference heap the
+// simulator used before the rewrite. Covers several bucket widths so
+// both the in-window and overflow paths are exercised.
+TEST(CalendarEventQueue, MatchesReferenceHeapOnRandomInterleavings) {
+  Rng rng(0xCA1E17DA);
+  for (const unsigned logWidth : {0u, 3u, 6u, 12u}) {
+    for (int round = 0; round < 40; ++round) {
+      CalendarEventQueue calendar(logWidth);
+      ReferenceQueue reference;
+      Cycles lastPopTime = 0;
+      std::uint64_t seq = 0;
+      std::uint64_t pushes = 0;
+      std::uint64_t pops = 0;
+      for (int step = 0; step < 600; ++step) {
+        const bool doPush = reference.empty() || rng.next() % 100 < 55;
+        if (doPush) {
+          // Monotone contract: pushed times never precede the last pop.
+          // Mix short hops (same bucket), medium (window) and rare long
+          // jumps (overflow), plus exact ties for the FIFO property.
+          Cycles delta = 0;
+          const std::uint64_t shape = rng.next() % 100;
+          if (shape < 30) {
+            delta = 0;  // tie with the frontier
+          } else if (shape < 85) {
+            delta = rng.next() % 200;
+          } else {
+            delta = 10'000 + rng.next() % 100'000;
+          }
+          const Event e{lastPopTime + delta, seq++,
+                        static_cast<CoreId>(rng.next() % 24),
+                        (rng.next() & 1) != 0 ? EventKind::kIssue
+                                              : EventKind::kAdvance};
+          calendar.push(e);
+          reference.push(e);
+          ++pushes;
+        } else {
+          const Event want = reference.top();
+          reference.pop();
+          const Event got = calendar.pop();
+          expectSameEvent(want, got,
+                          "logWidth=" + std::to_string(logWidth) +
+                              " round=" + std::to_string(round) +
+                              " pop#" + std::to_string(pops));
+          lastPopTime = got.time;
+          ++pops;
+        }
+        ASSERT_EQ(calendar.size(), reference.size());
+      }
+      // Drain: every remaining event must match too.
+      while (!reference.empty()) {
+        const Event want = reference.top();
+        reference.pop();
+        const Event got = calendar.pop();
+        expectSameEvent(want, got, "drain logWidth=" +
+                                       std::to_string(logWidth));
+        lastPopTime = got.time;
+        ++pops;
+      }
+      EXPECT_TRUE(calendar.empty());
+      EXPECT_EQ(pushes, pops) << "push/pop conservation";
+    }
+  }
+}
+
+// Conservation under a simulated workload shape: one outstanding event
+// per "core", as the event loop maintains — the queue's depth must never
+// exceed the core count and every push must be matched by a pop.
+TEST(CalendarEventQueue, ConservationWithPerCoreOutstandingEvents) {
+  Rng rng(7);
+  constexpr int kCores = 8;
+  CalendarEventQueue q;
+  std::uint64_t seq = 0;
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::size_t maxDepth = 0;
+  for (CoreId c = 0; c < kCores; ++c) {
+    q.push({0, seq++, c, EventKind::kAdvance});
+    ++pushed;
+  }
+  std::vector<std::uint64_t> remaining(kCores, 50);
+  while (!q.empty()) {
+    maxDepth = std::max(maxDepth, q.size());
+    const Event e = q.pop();
+    ++popped;
+    auto& left = remaining[static_cast<std::size_t>(e.core)];
+    if (left == 0) {
+      continue;  // core done: no follow-up event
+    }
+    --left;
+    q.push({e.time + 1 + rng.next() % 500, seq++, e.core,
+            e.kind == EventKind::kAdvance ? EventKind::kIssue
+                                          : EventKind::kAdvance});
+    ++pushed;
+  }
+  EXPECT_EQ(pushed, popped);
+  EXPECT_EQ(pushed, seq);
+  EXPECT_LE(maxDepth, static_cast<std::size_t>(kCores));
+}
+
+}  // namespace
+}  // namespace occm::sim
