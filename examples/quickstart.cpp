@@ -7,11 +7,25 @@
 // the four regression inputs C(1), C(2), C(12), C(13).
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/contention_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace occm;
+
+  // Strict arguments: this example takes none; anything but --help is an
+  // error (usage on stderr, exit 2) instead of a silent ignore.
+  for (int i = 1; i < argc; ++i) {
+    const bool help = std::strcmp(argv[i], "--help") == 0 ||
+                      std::strcmp(argv[i], "-h") == 0;
+    std::fprintf(help ? stdout : stderr, "usage: %s\n  (no arguments)\n",
+                 argv[0]);
+    if (!help) {
+      std::fprintf(stderr, "error: unrecognized argument \"%s\"\n", argv[i]);
+    }
+    return help ? 0 : 2;
+  }
 
   // Machine shape: what the model needs to know about the topology.
   model::MachineShape shape;

@@ -1,0 +1,29 @@
+// Fuzzes the capacity-advisor service's wire layer: decodeServeMessage
+// must turn arbitrary bytes into either a valid message or a typed
+// IpcError — never throw — and any payload it accepts must be a
+// re-encode fixed point (the same canonical-form pin the fleet's
+// decodeMessage carries).
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace occm::serve;
+  const std::string_view payload(reinterpret_cast<const char*>(data), size);
+  const auto message = decodeServeMessage(payload);
+  if (message.hasValue()) {
+    // Accepted payloads are pinned to canonical form: re-encoding the
+    // decoded message must reproduce the bytes exactly.
+    if (encodeServeMessage(message.value()) != payload) {
+      std::abort();
+    }
+  } else {
+    (void)message.error().message();
+  }
+  return 0;
+}

@@ -20,30 +20,8 @@ std::uint64_t toMs(double seconds) {
                         : static_cast<std::uint64_t>(seconds * 1'000.0 + 0.5);
 }
 
-std::optional<workloads::Program> parseProgram(const std::string& name) {
-  using workloads::Program;
-  for (const Program p : {Program::kEP, Program::kIS, Program::kFT,
-                          Program::kCG, Program::kSP, Program::kX264}) {
-    if (name == workloads::programName(p)) {
-      return p;
-    }
-  }
-  return std::nullopt;
-}
-
-std::optional<workloads::ProblemClass> parseClass(const std::string& name) {
-  using workloads::ProblemClass;
-  for (const ProblemClass c :
-       {ProblemClass::kS, ProblemClass::kW, ProblemClass::kA,
-        ProblemClass::kB, ProblemClass::kC, ProblemClass::kSimSmall,
-        ProblemClass::kSimMedium, ProblemClass::kSimLarge,
-        ProblemClass::kNative}) {
-    if (name == workloads::problemClassName(c)) {
-      return c;
-    }
-  }
-  return std::nullopt;
-}
+// Name -> enum parsing lives in workloads/problem.hpp (parseProgram /
+// parseProblemClass), shared with the serve-tier request validation.
 
 RunFailureKind localKind(dist::WireFailureKind kind) {
   switch (kind) {
@@ -161,9 +139,10 @@ TaskOutcome resultToOutcome(const dist::TaskResult& result, int cores) {
 
 dist::TaskResult runSweepJob(const dist::JobSpec& job,
                              const IsolationConfig& isolation) {
-  const std::optional<workloads::Program> program = parseProgram(job.program);
+  const std::optional<workloads::Program> program =
+      workloads::parseProgram(job.program);
   const std::optional<workloads::ProblemClass> problemClass =
-      parseClass(job.problemClass);
+      workloads::parseProblemClass(job.problemClass);
   if (!program.has_value() || !problemClass.has_value() ||
       !workloads::classValidFor(*program, *problemClass) || job.cores <= 0 ||
       job.threads <= 0) {

@@ -44,39 +44,12 @@ struct Connection {
   bool dead = false;  ///< marked for teardown at the end of the iteration
 };
 
-bool sendAll(int fd, const std::string& bytes) {
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // Socket buffer full: wait for drain (bounded; a worker that
-        // stays unwritable for 5 s is as good as dead).
-        struct pollfd pfd;
-        pfd.fd = fd;
-        pfd.events = POLLOUT;
-        pfd.revents = 0;
-        if (::poll(&pfd, 1, 5'000) <= 0) {
-          return false;
-        }
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 bool sendMessage(Connection& conn, const WireMessage& message) {
   if (conn.dead) {
     return false;
   }
-  if (!sendAll(conn.fd, encodeFrame(encodeMessage(message)))) {
+  if (!sendAllBytes(conn.fd, encodeFrame(encodeMessage(message)),
+                    /*isSocket=*/true)) {
     conn.dead = true;
     return false;
   }

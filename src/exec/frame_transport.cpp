@@ -107,25 +107,49 @@ FdFrameTransport::~FdFrameTransport() {
   }
 }
 
-bool FdFrameTransport::sendFrame(std::string_view payload) {
-  const std::string frame = encodeFrame(payload);
+bool sendAllBytes(int fd, std::string_view bytes, bool isSocket,
+                  int unwritableTimeoutMs) {
   std::size_t sent = 0;
-  while (sent < frame.size()) {
+  while (sent < bytes.size()) {
     ssize_t n;
-    if (isSocket_) {
-      n = ::send(writeFd_, frame.data() + sent, frame.size() - sent,
-                 MSG_NOSIGNAL);
+    if (isSocket) {
+      n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     } else {
-      n = ::write(writeFd_, frame.data() + sent, frame.size() - sent);
+      n = ::write(fd, bytes.data() + sent, bytes.size() - sent);
     }
     if (n < 0) {
       if (errno == EINTR) {
+        continue;  // a signal landed mid-write; the transfer must survive
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full buffer: wait for drain, bounded — a
+        // peer that stays unwritable for the whole window is as good as
+        // dead. The poll itself restarts on EINTR.
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        int rc;
+        do {
+          rc = ::poll(&pfd, 1, unwritableTimeoutMs);
+        } while (rc < 0 && errno == EINTR);
+        if (rc <= 0) {
+          return false;
+        }
         continue;
       }
-      lastError_ = errnoString("send");
       return false;
     }
     sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FdFrameTransport::sendFrame(std::string_view payload) {
+  const std::string frame = encodeFrame(payload);
+  if (!sendAllBytes(writeFd_, frame, isSocket_)) {
+    lastError_ = errnoString("send");
+    return false;
   }
   return true;
 }

@@ -123,6 +123,16 @@ class FdFrameTransport final : public FrameTransport {
   std::string lastError_;
 };
 
+/// Writes all of `bytes` to `fd`, surviving the hazards of signal-heavy
+/// processes: EINTR restarts, short writes continue from the partial
+/// count, and EAGAIN/EWOULDBLOCK (non-blocking fds, full socket buffers)
+/// waits on POLLOUT up to `unwritableTimeoutMs` per stall. Sockets send
+/// with MSG_NOSIGNAL so a vanished peer surfaces as false, never SIGPIPE.
+/// Shared by FdFrameTransport, the distributed coordinator, and the
+/// advisor server — one hardened write loop instead of three.
+[[nodiscard]] bool sendAllBytes(int fd, std::string_view bytes, bool isSocket,
+                                int unwritableTimeoutMs = 5'000);
+
 /// Pipe-based transport (the isolation supervisor's shape).
 [[nodiscard]] std::unique_ptr<FrameTransport> makePipeTransport(int readFd,
                                                                 int writeFd);

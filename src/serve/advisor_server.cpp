@@ -1,0 +1,837 @@
+#include "serve/advisor_server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/advisor.hpp"
+#include "analysis/experiment.hpp"
+#include "core/speedup.hpp"
+#include "exec/frame_transport.hpp"
+#include "exec/ipc.hpp"
+#include "exec/thread_pool.hpp"
+#include "topology/presets.hpp"
+#include "workloads/problem.hpp"
+
+namespace occm::serve {
+
+namespace {
+
+/// One connected client. Frames are reassembled per connection; a corrupt
+/// stream drops the connection (a flipped length field poisons every
+/// later frame boundary — same contract as the fleet).
+struct Connection {
+  int fd = -1;
+  exec::FrameReassembler reassembler;
+  bool dead = false;
+};
+
+/// A request's wire identity and admission evidence, everything needed to
+/// answer it once its background work (fit and/or tier-1 sweep) lands.
+struct PendingRequest {
+  std::uint64_t serverId = 0;
+  int connFd = -1;  ///< -1 once the client vanished (answer dropped)
+  AdvisorRequest request;
+  // Resolved request (validated at admission).
+  topology::MachineSpec machine;
+  model::MachineShape shape;
+  workloads::WorkloadSpec workload;
+  int coreMin = 1;
+  int coreMax = 1;
+  ModelKey key;
+  Deadline deadline;  ///< unarmed when deadlineMs == 0
+  bool wantTier1 = false;
+  /// Degradation verdict at admission (kept for the final response when
+  /// the request was downgraded before any work started).
+  bool degraded = false;
+  DegradeReason degradeReason = DegradeReason::kNone;
+  bool cacheHit = false;
+  std::uint32_t queueDepthAtAdmission = 0;
+  /// Tier-1 only: the per-request stop flag the deadline watchdog fires.
+  CancellationSource cancel;
+  bool stopRequested = false;
+  bool tier1Submitted = false;
+  /// The fitted model this request will answer from, pinned at submit
+  /// time so LRU eviction mid-sweep cannot orphan the answer.
+  std::optional<model::ContentionModel> model;
+};
+
+/// What a pool job posts back to the loop through the self-pipe.
+struct Completion {
+  enum class Kind : std::uint8_t { kFit, kTier1 };
+  Kind kind = Kind::kFit;
+  // kFit:
+  ModelKey modelKey;
+  bool fitOk = false;
+  analysis::AdvisorModel fitted;
+  std::string fitError;
+  // kTier1:
+  std::uint64_t serverId = 0;
+  analysis::SweepResult sweep;
+  double elapsedMs = 0.0;
+};
+
+struct Resolved {
+  topology::MachineSpec machine;
+  model::MachineShape shape;
+  workloads::WorkloadSpec workload;
+  int coreMin = 1;
+  int coreMax = 1;
+};
+
+/// Validates a request against the preset/workload catalogues. A failure
+/// is a typed kBadRequest shed, never a throw.
+Expected<Resolved, std::string> resolveRequest(const AdvisorRequest& request,
+                                               std::uint64_t workloadSeed) {
+  if (request.protocolVersion != kServeProtocolVersion) {
+    return makeUnexpected("protocol version " +
+                          std::to_string(request.protocolVersion) + " != " +
+                          std::to_string(kServeProtocolVersion));
+  }
+  Resolved out;
+  const auto machine = topology::presetByName(request.machine);
+  if (!machine.has_value()) {
+    std::string known;
+    for (const std::string& name : topology::presetNames()) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    return makeUnexpected("unknown machine preset '" + request.machine +
+                          "' (known: " + known + ")");
+  }
+  out.machine = *machine;
+  out.shape = model::shapeOf(out.machine);
+  const auto program = workloads::parseProgram(request.program);
+  const auto problemClass = workloads::parseProblemClass(request.problemClass);
+  if (!program.has_value() || !problemClass.has_value() ||
+      !workloads::classValidFor(*program, *problemClass)) {
+    return makeUnexpected("unknown workload '" + request.program + "." +
+                          request.problemClass + "'");
+  }
+  out.workload.program = *program;
+  out.workload.problemClass = *problemClass;
+  out.workload.threads = 0;  // resolved to machine cores by the harness
+  out.workload.seed = workloadSeed;
+  const int total = out.shape.totalCores();
+  out.coreMin = request.coreMin == 0 ? 1 : request.coreMin;
+  out.coreMax = request.coreMax == 0 ? total : request.coreMax;
+  if (out.coreMin < 1 || out.coreMax < out.coreMin || out.coreMax > total) {
+    return makeUnexpected("core range [" + std::to_string(request.coreMin) +
+                          ", " + std::to_string(request.coreMax) +
+                          "] invalid for a " + std::to_string(total) +
+                          "-core machine");
+  }
+  if (!std::isfinite(request.efficiencyThreshold) ||
+      request.efficiencyThreshold <= 0.0 ||
+      request.efficiencyThreshold > 1.0) {
+    return makeUnexpected(
+        std::string("efficiency threshold must be in (0, 1]"));
+  }
+  return out;
+}
+
+/// Tier-0 prediction rows straight from the fitted model.
+void fillTier0Rows(AdvisorResponse& response, const model::ContentionModel& m,
+                   int coreMin, int coreMax) {
+  for (int n = coreMin; n <= coreMax; ++n) {
+    AdvisorRow row;
+    row.cores = n;
+    row.cycles = m.predictCycles(n);
+    row.omega = m.predictOmega(n);
+    row.speedup = model::predictSpeedup(m, n);
+    row.efficiency = model::predictEfficiency(m, n);
+    row.measured = false;
+    response.rows.push_back(row);
+  }
+}
+
+void fillAdvice(AdvisorResponse& response, const model::ContentionModel& m,
+                double efficiencyThreshold) {
+  const model::SpeedupAdvice advice =
+      model::adviseCores(m, efficiencyThreshold);
+  response.bestCores = advice.bestCores;
+  response.bestSpeedup = advice.bestSpeedup;
+  response.efficientCores = advice.efficientCores;
+}
+
+}  // namespace
+
+AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
+  AdvisorServerStats stats;
+
+  int boundPort = 0;
+  auto listened = exec::listenTcp(config.host, config.port, &boundPort);
+  if (!listened) {
+    stats.error = listened.error();
+    return stats;
+  }
+  int listenFd = *listened;
+  const int listenFlags = ::fcntl(listenFd, F_GETFL, 0);
+  ::fcntl(listenFd, F_SETFL, listenFlags | O_NONBLOCK);
+
+  // Self-pipe: pool completions wake the poll loop.
+  int wakePipe[2] = {-1, -1};
+  if (::pipe(wakePipe) != 0) {
+    stats.error = std::string("pipe: ") + std::strerror(errno);
+    ::close(listenFd);
+    return stats;
+  }
+  for (const int fd : {wakePipe[0], wakePipe[1]}) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+
+  if (config.onListening) {
+    config.onListening(boundPort);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto nowMs = [&start]() -> std::uint64_t {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+
+  // serve.* gauges (cumulative counts recorded against ms-since-start,
+  // the registry convention the dist.* gauges set).
+  obs::TimeSeries* depthGauge = nullptr;
+  obs::TimeSeries* shedGauge = nullptr;
+  obs::TimeSeries* degradedGauge = nullptr;
+  obs::TimeSeries* deadlineMissGauge = nullptr;
+  obs::TimeSeries* tier0Gauge = nullptr;
+  obs::TimeSeries* tier1Gauge = nullptr;
+  obs::TimeSeries* ewmaGauge = nullptr;
+  obs::TimeSeries* hitRateGauge = nullptr;
+  if (config.metrics != nullptr) {
+    depthGauge = &config.metrics->gauge("serve.queue.depth", "requests");
+    shedGauge = &config.metrics->gauge("serve.shed", "requests");
+    degradedGauge = &config.metrics->gauge("serve.degraded", "requests");
+    deadlineMissGauge =
+        &config.metrics->gauge("serve.deadline_miss", "requests");
+    tier0Gauge = &config.metrics->gauge("serve.tier0", "requests");
+    tier1Gauge = &config.metrics->gauge("serve.tier1", "requests");
+    ewmaGauge = &config.metrics->gauge("serve.tier1.ewma_ms", "ms");
+    hitRateGauge = &config.metrics->gauge("serve.cache.hit_rate", "");
+  }
+
+  ModelCache cache(config.cacheCapacity);
+  LatencyEwma ewma(config.degrade.ewmaAlpha);
+
+  std::map<int, std::unique_ptr<Connection>> conns;  // by fd
+  std::unordered_map<std::uint64_t, PendingRequest> pending;  // by serverId
+  /// Requests parked on an in-flight fit, by ModelKey::str().
+  std::unordered_map<std::string, std::vector<std::uint64_t>> parked;
+  std::uint64_t nextServerId = 1;
+  std::size_t queueDepth = 0;  // admitted requests holding a slot
+  bool draining = false;
+
+  std::mutex completionsMutex;
+  std::vector<Completion> completions;
+
+  // Pool sized so submit() can never block the loop: outstanding jobs are
+  // bounded by the admission queue, which is itself bounded.
+  exec::ThreadPoolConfig poolConfig;
+  poolConfig.workers = config.workers;
+  poolConfig.queueCapacity = config.degrade.queueCapacity +
+                             static_cast<std::size_t>(config.workers > 0
+                                                          ? config.workers
+                                                          : 0) +
+                             4;
+  auto pool = std::make_unique<exec::ThreadPool>(poolConfig);
+
+  auto postCompletion = [&](Completion&& done) {
+    {
+      std::lock_guard<std::mutex> lock(completionsMutex);
+      completions.push_back(std::move(done));
+    }
+    const char byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    (void)!::write(wakePipe[1], &byte, 1);
+  };
+
+  auto recordGauges = [&](std::uint64_t atOverride = 0) {
+    if (config.metrics == nullptr) {
+      return;
+    }
+    const std::uint64_t at = atOverride != 0 ? atOverride : nowMs();
+    depthGauge->record(at, static_cast<double>(queueDepth));
+    shedGauge->record(
+        at, static_cast<double>(stats.shedQueueFull +
+                                stats.shedDeadlineInfeasible +
+                                stats.shedDraining + stats.shedBadRequest));
+    degradedGauge->record(at, static_cast<double>(stats.degraded));
+    deadlineMissGauge->record(at, static_cast<double>(stats.deadlineMisses));
+    tier0Gauge->record(at, static_cast<double>(stats.tier0Served));
+    tier1Gauge->record(at, static_cast<double>(stats.tier1Served));
+    ewmaGauge->record(at, ewma.seeded() ? ewma.value() : 0.0);
+    const ModelCacheStats c = cache.stats();
+    const std::uint64_t looks = c.hits + c.misses;
+    hitRateGauge->record(at, looks == 0
+                                 ? 0.0
+                                 : static_cast<double>(c.hits) /
+                                       static_cast<double>(looks));
+  };
+
+  auto sendResponse = [&](int connFd, const AdvisorResponse& response) {
+    const auto it = conns.find(connFd);
+    if (connFd < 0 || it == conns.end() || it->second->dead) {
+      return;  // client vanished; the answer has no address
+    }
+    ServeMessage message;
+    message.kind = ServeMessage::Kind::kResponse;
+    message.response = response;
+    if (!exec::sendAllBytes(connFd,
+                            exec::encodeFrame(encodeServeMessage(message)),
+                            /*isSocket=*/true)) {
+      it->second->dead = true;
+      return;
+    }
+    ++stats.responsesSent;
+  };
+
+  auto sendShed = [&](int connFd, std::uint64_t requestId, ShedReason reason,
+                      const std::string& detail) {
+    AdvisorResponse response;
+    response.requestId = requestId;
+    response.status = ResponseStatus::kShed;
+    response.shedReason = reason;
+    response.queueDepth = static_cast<std::uint32_t>(queueDepth);
+    response.error = detail;
+    switch (reason) {
+      case ShedReason::kQueueFull: ++stats.shedQueueFull; break;
+      case ShedReason::kDeadlineInfeasible:
+        ++stats.shedDeadlineInfeasible;
+        break;
+      case ShedReason::kDraining: ++stats.shedDraining; break;
+      case ShedReason::kBadRequest: ++stats.shedBadRequest; break;
+      case ShedReason::kNone: break;
+    }
+    sendResponse(connFd, response);
+    recordGauges();
+  };
+
+  /// Serves a finished (kOk) answer and releases the request's slot when
+  /// it held one.
+  auto finishRequest = [&](PendingRequest& p, AdvisorResponse&& response,
+                           bool heldSlot) {
+    response.requestId = p.request.requestId;
+    response.queueDepth = p.queueDepthAtAdmission;
+    response.cacheHit = p.cacheHit;
+    if (response.status == ResponseStatus::kOk) {
+      if (response.tier == 0) {
+        ++stats.tier0Served;
+      } else {
+        ++stats.tier1Served;
+      }
+      if (response.degraded) {
+        ++stats.degraded;
+      }
+    }
+    sendResponse(p.connFd, response);
+    if (heldSlot && queueDepth > 0) {
+      --queueDepth;
+    }
+    recordGauges();
+  };
+
+  auto tier0Answer = [&](const PendingRequest& p,
+                         const model::ContentionModel& m, bool degraded,
+                         DegradeReason reason) {
+    AdvisorResponse response;
+    response.status = ResponseStatus::kOk;
+    response.tier = 0;
+    response.degraded = degraded;
+    response.degradeReason = reason;
+    fillTier0Rows(response, m, p.coreMin, p.coreMax);
+    fillAdvice(response, m, p.request.efficiencyThreshold);
+    return response;
+  };
+
+  auto submitFit = [&](const PendingRequest& p) {
+    analysis::AdvisorFitConfig fit;
+    fit.machine = p.machine;
+    fit.workload = p.workload;
+    fit.sim = config.sim;
+    fit.maxAttempts = config.maxAttempts;
+    fit.workers = 1;  // serial inside the task; parallelism across requests
+    fit.options = config.fitOptions;
+    fit.beforeRun = config.beforeFitRun;
+    const ModelKey key = p.key;
+    (void)pool->submit([&postCompletion, fit = std::move(fit), key]() {
+      Completion done;
+      done.kind = Completion::Kind::kFit;
+      done.modelKey = key;
+      auto fitted = analysis::fitAdvisorModel(fit);
+      if (fitted) {
+        done.fitOk = true;
+        done.fitted = std::move(*fitted);
+      } else {
+        done.fitError = fitted.error().describe();
+      }
+      postCompletion(std::move(done));
+    });
+  };
+
+  auto submitTier1 = [&](PendingRequest& p) {
+    p.tier1Submitted = true;
+    analysis::SweepConfig sweep;
+    sweep.machine = p.machine;
+    sweep.workload = p.workload;
+    sweep.sim = config.sim;
+    sweep.coreCounts.clear();
+    for (int n = p.coreMin; n <= p.coreMax; ++n) {
+      sweep.coreCounts.push_back(n);
+    }
+    sweep.maxAttempts = config.maxAttempts;
+    sweep.parallel.workers = 1;
+    sweep.cancel = p.cancel.token();
+    sweep.beforeRun = config.beforeTier1Run;
+    const std::uint64_t serverId = p.serverId;
+    (void)pool->submit([&postCompletion, sweep = std::move(sweep),
+                        serverId]() {
+      const auto t0 = std::chrono::steady_clock::now();
+      Completion done;
+      done.kind = Completion::Kind::kTier1;
+      done.serverId = serverId;
+      done.sweep = analysis::runSweep(sweep);
+      done.elapsedMs = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      postCompletion(std::move(done));
+    });
+  };
+
+  auto handleRequest = [&](Connection& conn, const AdvisorRequest& request) {
+    ++stats.requestsDecoded;
+    auto resolved = resolveRequest(request, config.workloadSeed);
+    if (!resolved) {
+      sendShed(conn.fd, request.requestId, ShedReason::kBadRequest,
+               resolved.error());
+      return;
+    }
+    PendingRequest p;
+    p.serverId = nextServerId++;
+    p.connFd = conn.fd;
+    p.request = request;
+    p.machine = std::move(resolved->machine);
+    p.shape = resolved->shape;
+    p.workload = resolved->workload;
+    p.coreMin = resolved->coreMin;
+    p.coreMax = resolved->coreMax;
+    p.key = ModelKey{request.program, request.problemClass, request.machine};
+    if (request.deadlineMs != 0) {
+      p.deadline =
+          Deadline::after(static_cast<double>(request.deadlineMs) / 1'000.0);
+    }
+    p.queueDepthAtAdmission = static_cast<std::uint32_t>(queueDepth);
+
+    const auto cached = cache.lookup(p.key);
+    p.cacheHit = cached.has_value();
+
+    DegradeInputs inputs;
+    inputs.queueDepth = queueDepth;
+    inputs.draining = draining;
+    inputs.deadlineArmed = p.deadline.armed();
+    inputs.deadlineSlackMs = p.deadline.armed()
+                                 ? p.deadline.remainingSeconds() * 1'000.0
+                                 : 0.0;
+    inputs.ewmaSeeded = ewma.seeded();
+    inputs.tier1EwmaMs = ewma.value();
+    inputs.preference = request.tier;
+    inputs.modelWarm = cached.has_value();
+    const AdmissionDecision decision = decideAdmission(config.degrade, inputs);
+
+    if (decision.action == AdmissionDecision::Action::kShed) {
+      sendShed(conn.fd, request.requestId, decision.shedReason,
+               std::string("shed: ") + toString(decision.shedReason));
+      return;
+    }
+    p.wantTier1 = decision.action == AdmissionDecision::Action::kServeTier1;
+    p.degraded = decision.degraded;
+    p.degradeReason = decision.degradeReason;
+
+    if (!p.wantTier1 && cached.has_value()) {
+      // Warm tier 0: answered inline, no queue slot, microseconds.
+      AdvisorResponse response =
+          tier0Answer(p, *cached, p.degraded, p.degradeReason);
+      finishRequest(p, std::move(response), /*heldSlot=*/false);
+      return;
+    }
+
+    // Everything else needs background work and therefore a slot.
+    ++queueDepth;
+    stats.maxQueueDepth = std::max<std::uint64_t>(stats.maxQueueDepth,
+                                                  queueDepth);
+    recordGauges();
+    const std::uint64_t serverId = p.serverId;
+    if (cached.has_value()) {
+      p.model = *cached;
+      pending.emplace(serverId, std::move(p));
+      submitTier1(pending.at(serverId));
+      return;
+    }
+    const std::string key = p.key.str();
+    const bool owner = cache.beginFit(p.key);
+    pending.emplace(serverId, std::move(p));
+    parked[key].push_back(serverId);
+    if (owner) {
+      submitFit(pending.at(serverId));
+    }
+  };
+
+  auto handleFitCompletion = [&](Completion& done) {
+    if (!done.fitOk) {
+      ++stats.fitFailures;
+    }
+    // Publish (or, on failure, release the single-flight claim so the
+    // next request retries — a transient measurement failure must not
+    // poison the key forever).
+    cache.completeFit(done.modelKey, done.fitOk, done.fitted.model);
+    std::vector<std::uint64_t> waiters;
+    const auto parkedIt = parked.find(done.modelKey.str());
+    if (parkedIt != parked.end()) {
+      waiters = std::move(parkedIt->second);
+      parked.erase(parkedIt);
+    }
+    for (const std::uint64_t serverId : waiters) {
+      const auto it = pending.find(serverId);
+      if (it == pending.end()) {
+        continue;
+      }
+      PendingRequest& p = it->second;
+      if (!done.fitOk) {
+        AdvisorResponse response;
+        response.status = ResponseStatus::kError;
+        response.error = "model fit failed: " + done.fitError;
+        finishRequest(p, std::move(response), /*heldSlot=*/true);
+        pending.erase(it);
+        continue;
+      }
+      const model::ContentionModel& m = done.fitted.model;
+      if (p.deadline.armed() && p.deadline.expired()) {
+        // The deadline died while the fit ran: tier-0 fallback, flagged.
+        ++stats.deadlineMisses;
+        AdvisorResponse response =
+            tier0Answer(p, m, true, DegradeReason::kDeadlineMiss);
+        finishRequest(p, std::move(response), /*heldSlot=*/true);
+        pending.erase(it);
+        continue;
+      }
+      if (!p.wantTier1) {
+        AdvisorResponse response =
+            tier0Answer(p, m, p.degraded, p.degradeReason);
+        finishRequest(p, std::move(response), /*heldSlot=*/true);
+        pending.erase(it);
+        continue;
+      }
+      // Re-run the degradation rungs with post-fit conditions (the EWMA
+      // or queue may have crossed a threshold while the fit ran).
+      DegradeInputs inputs;
+      inputs.queueDepth = queueDepth > 0 ? queueDepth - 1 : 0;  // sans self
+      inputs.draining = false;  // already admitted; drain completes it
+      inputs.deadlineArmed = p.deadline.armed();
+      inputs.deadlineSlackMs = p.deadline.armed()
+                                   ? p.deadline.remainingSeconds() * 1'000.0
+                                   : 0.0;
+      inputs.ewmaSeeded = ewma.seeded();
+      inputs.tier1EwmaMs = ewma.value();
+      inputs.preference = p.request.tier;
+      inputs.modelWarm = true;
+      const AdmissionDecision redecide =
+          decideAdmission(config.degrade, inputs);
+      if (redecide.action == AdmissionDecision::Action::kServeTier0 ||
+          redecide.action == AdmissionDecision::Action::kShed) {
+        AdvisorResponse response = tier0Answer(
+            p, m, redecide.degraded, redecide.degradeReason);
+        finishRequest(p, std::move(response), /*heldSlot=*/true);
+        pending.erase(it);
+        continue;
+      }
+      p.model = m;
+      submitTier1(p);
+    }
+  };
+
+  auto handleTier1Completion = [&](Completion& done) {
+    const auto it = pending.find(done.serverId);
+    if (it == pending.end()) {
+      return;
+    }
+    PendingRequest& p = it->second;
+    // The model was pinned on the request at submit time, so LRU eviction
+    // mid-sweep cannot orphan the answer.
+    const model::ContentionModel& m = *p.model;
+    if (done.sweep.stopped) {
+      // Deadline fired mid-refinement; cooperative cancellation unwound
+      // the run at the event-loop boundary. Tier-0 fallback, flagged.
+      ++stats.deadlineMisses;
+      AdvisorResponse response =
+          tier0Answer(p, m, true, DegradeReason::kDeadlineMiss);
+      finishRequest(p, std::move(response), /*heldSlot=*/true);
+      pending.erase(it);
+      return;
+    }
+    ewma.sample(done.elapsedMs);
+    stats.tier1EwmaMs = ewma.value();
+
+    AdvisorResponse response;
+    response.status = ResponseStatus::kOk;
+    response.tier = 1;
+    response.degraded = false;
+    response.degradeReason = DegradeReason::kNone;
+    // Measured rows where the sweep completed the core count; model
+    // predictions fill the holes (a permanently failed run must not sink
+    // the whole answer).
+    std::map<int, double> measured;
+    for (const model::MeasuredPoint& point : done.sweep.points()) {
+      measured[point.cores] = point.totalCycles;
+    }
+    const double c1 = m.measuredC1();
+    for (int n = p.coreMin; n <= p.coreMax; ++n) {
+      AdvisorRow row;
+      row.cores = n;
+      const auto found = measured.find(n);
+      if (found != measured.end() && c1 > 0.0) {
+        row.cycles = found->second;
+        row.omega = (found->second - c1) / c1;
+        row.speedup = static_cast<double>(n) * c1 / found->second;
+        row.efficiency = row.speedup / static_cast<double>(n);
+        row.measured = true;
+      } else {
+        // A permanently failed run must not sink the whole answer: model
+        // predictions fill the holes.
+        row.cycles = m.predictCycles(n);
+        row.omega = m.predictOmega(n);
+        row.speedup = model::predictSpeedup(m, n);
+        row.efficiency = model::predictEfficiency(m, n);
+        row.measured = false;
+      }
+      response.rows.push_back(row);
+    }
+    fillAdvice(response, m, p.request.efficiencyThreshold);
+    finishRequest(p, std::move(response), /*heldSlot=*/true);
+    pending.erase(it);
+  };
+
+  auto drainCompletions = [&]() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completionsMutex);
+      batch.swap(completions);
+    }
+    for (Completion& done : batch) {
+      if (done.kind == Completion::Kind::kFit) {
+        handleFitCompletion(done);
+      } else {
+        handleTier1Completion(done);
+      }
+    }
+  };
+
+  // --- Event loop ---------------------------------------------------------
+  for (;;) {
+    // Drain trigger: stop accepting, shed new work, finish what's in
+    // flight, then leave.
+    if (!draining && config.drain.valid() && config.drain.stopRequested()) {
+      draining = true;
+      if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+      }
+      if (config.onDraining) {
+        config.onDraining();
+      }
+    }
+    drainCompletions();
+
+    // Deadline watchdog: fire the stop flag of every in-flight tier-1
+    // request whose deadline passed; the simulator observes it at the
+    // next event-loop boundary.
+    std::uint64_t nextDeadlineMs = 0;
+    bool haveDeadline = false;
+    for (auto& [serverId, p] : pending) {
+      if (!p.deadline.armed() || p.stopRequested) {
+        continue;
+      }
+      const double remaining = p.deadline.remainingSeconds();
+      if (remaining <= 0.0) {
+        if (p.tier1Submitted) {
+          p.cancel.requestStop();
+          p.stopRequested = true;
+          if (config.onDeadlineCancel) {
+            config.onDeadlineCancel(p.request.requestId);
+          }
+        }
+        // Parked requests resolve at fit completion (the shared fit
+        // cannot be cancelled on behalf of one waiter).
+        continue;
+      }
+      const auto ms = static_cast<std::uint64_t>(remaining * 1'000.0) + 1;
+      nextDeadlineMs = haveDeadline ? std::min(nextDeadlineMs, ms) : ms;
+      haveDeadline = true;
+    }
+
+    if (draining && queueDepth == 0 && pending.empty()) {
+      stats.drained = true;
+      break;
+    }
+
+    // Reap dead connections.
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->second->dead) {
+        const int fd = it->second->fd;
+        for (auto& [serverId, p] : pending) {
+          if (p.connFd == fd) {
+            p.connFd = -1;  // in-flight answer has nowhere to go
+          }
+        }
+        ::close(fd);
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    std::vector<struct pollfd> fds;
+    fds.reserve(conns.size() + 2);
+    fds.push_back({wakePipe[0], POLLIN, 0});
+    if (listenFd >= 0) {
+      fds.push_back({listenFd, POLLIN, 0});
+    }
+    const std::size_t firstConn = fds.size();
+    for (auto& [fd, conn] : conns) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    std::uint64_t timeout = 50;  // liveness floor for the drain token
+    if (haveDeadline) {
+      timeout = std::min(timeout, nextDeadlineMs);
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                          static_cast<int>(timeout));
+    if (rc < 0 && errno != EINTR) {
+      stats.error = std::string("poll: ") + std::strerror(errno);
+      break;
+    }
+    if (rc <= 0) {
+      continue;
+    }
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      char sink[256];
+      while (::read(wakePipe[0], sink, sizeof sink) > 0) {
+      }
+    }
+    if (listenFd >= 0 && (fds[firstConn - 1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+          break;
+        }
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conns.emplace(fd, std::move(conn));
+        ++stats.connectionsAccepted;
+      }
+    }
+
+    for (std::size_t i = firstConn; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) {
+        continue;
+      }
+      const auto it = conns.find(fds[i].fd);
+      if (it == conns.end()) {
+        continue;
+      }
+      Connection& conn = *it->second;
+      char chunk[16 * 1024];
+      for (;;) {
+        const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          if (errno != EAGAIN && errno != EWOULDBLOCK) {
+            conn.dead = true;
+          }
+          break;
+        }
+        if (n == 0) {
+          conn.dead = true;
+          break;
+        }
+        if (!conn.reassembler.feed(
+                std::string_view(chunk, static_cast<std::size_t>(n)))) {
+          // Corrupt stream: the connection is untrustworthy; drop it.
+          conn.dead = true;
+          break;
+        }
+        while (auto payload = conn.reassembler.next()) {
+          auto decoded = decodeServeMessage(*payload);
+          if (!decoded) {
+            conn.dead = true;
+            break;
+          }
+          if (decoded->kind != ServeMessage::Kind::kRequest) {
+            // Only requests flow client -> server; a response here is a
+            // confused peer. Drop the connection.
+            conn.dead = true;
+            break;
+          }
+          if (draining) {
+            ++stats.requestsDecoded;
+            sendShed(conn.fd, decoded->request.requestId,
+                     ShedReason::kDraining, "server draining");
+          } else {
+            handleRequest(conn, decoded->request);
+          }
+          if (conn.dead) {
+            break;
+          }
+        }
+        if (conn.dead) {
+          break;
+        }
+      }
+    }
+  }
+
+  // Teardown: the pool destructor drains queued tasks and joins; any
+  // stragglers post completions nobody reads (the queue outlives the
+  // pool by construction order).
+  pool.reset();
+  for (auto& [fd, conn] : conns) {
+    ::close(conn->fd);
+  }
+  if (listenFd >= 0) {
+    ::close(listenFd);
+  }
+  ::close(wakePipe[0]);
+  ::close(wakePipe[1]);
+
+  stats.cache = cache.stats();
+  if (ewma.seeded()) {
+    stats.tier1EwmaMs = ewma.value();
+  }
+  // Final snapshot in a window strictly after every in-run record, so the
+  // last value of each serve.* series equals the end-of-run ground truth
+  // (a gauge window holds the mean of its samples).
+  recordGauges(nowMs() + 1);
+  return stats;
+}
+
+}  // namespace occm::serve

@@ -1,0 +1,63 @@
+#include "serve/model_cache.hpp"
+
+namespace occm::serve {
+
+std::optional<model::ContentionModel> ModelCache::lookup(const ModelKey& key) {
+  const std::string k = key.str();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(k);
+  if (it == index_.end()) {
+    if (inFlight_.count(k) == 0) {
+      ++stats_.misses;
+    }
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->model;
+}
+
+bool ModelCache::beginFit(const ModelKey& key) {
+  const std::string k = key.str();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (inFlight_.insert(k).second) {
+    return true;
+  }
+  ++stats_.coalesced;
+  return false;
+}
+
+void ModelCache::completeFit(const ModelKey& key, bool success,
+                             const model::ContentionModel& model) {
+  const std::string k = key.str();
+  std::lock_guard<std::mutex> lock(mutex_);
+  inFlight_.erase(k);
+  if (!success || capacity_ == 0) {
+    return;
+  }
+  const auto it = index_.find(k);
+  if (it != index_.end()) {
+    it->second->model = model;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{k, model});
+  index_.emplace(k, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::size_t ModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ModelCacheStats ModelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace occm::serve

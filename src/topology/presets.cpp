@@ -197,4 +197,28 @@ MachineSpec testUma4() {
   return m;
 }
 
+std::optional<MachineSpec> presetByName(std::string_view name) {
+  if (name == "intel-uma8") {
+    return intelUma8();
+  }
+  if (name == "intel-numa24") {
+    return intelNuma24();
+  }
+  if (name == "amd-numa48") {
+    return amdNuma48();
+  }
+  if (name == "test-numa4") {
+    return testNuma4();
+  }
+  if (name == "test-uma4") {
+    return testUma4();
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> presetNames() {
+  return {"intel-uma8", "intel-numa24", "amd-numa48", "test-numa4",
+          "test-uma4"};
+}
+
 }  // namespace occm::topology

@@ -10,6 +10,11 @@
 // (DESIGN.md, "Scaling rule"). Clock rates, latencies and per-line channel
 // occupancies are the physical machines' values.
 
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "topology/machine_spec.hpp"
 
 namespace occm::topology {
@@ -38,5 +43,14 @@ namespace occm::topology {
 
 /// Tiny 2-socket x 2-core UMA machine for fast unit tests.
 [[nodiscard]] MachineSpec testUma4();
+
+/// Preset lookup by stable token — the names requests carry on the wire
+/// (the capacity-advisor service resolves machines per request):
+/// "intel-uma8", "intel-numa24", "amd-numa48", "test-numa4", "test-uma4".
+/// Unknown tokens return nullopt (a typed bad-request, never a throw).
+[[nodiscard]] std::optional<MachineSpec> presetByName(std::string_view name);
+
+/// The accepted presetByName tokens, for usage/diagnostic messages.
+[[nodiscard]] std::vector<std::string> presetNames();
 
 }  // namespace occm::topology

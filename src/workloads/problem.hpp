@@ -4,7 +4,9 @@
 // (Table I): five NPB 3.3 OpenMP dwarfs and PARSEC x264.
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/error.hpp"
 
@@ -86,6 +88,33 @@ enum class ProblemClass : std::uint8_t {
 /// "CG.C", "x264.native", ... (the paper's notation).
 [[nodiscard]] inline std::string workloadName(Program p, ProblemClass c) {
   return std::string(programName(p)) + "." + problemClassName(c);
+}
+
+/// Inverse of programName; nullopt on unknown names (wire inputs resolve
+/// to a typed bad-request, never a throw).
+[[nodiscard]] inline std::optional<Program> parseProgram(
+    std::string_view name) {
+  for (const Program p : {Program::kEP, Program::kIS, Program::kFT,
+                          Program::kCG, Program::kSP, Program::kX264}) {
+    if (name == programName(p)) {
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Inverse of problemClassName; nullopt on unknown names.
+[[nodiscard]] inline std::optional<ProblemClass> parseProblemClass(
+    std::string_view name) {
+  for (const ProblemClass c :
+       {ProblemClass::kS, ProblemClass::kW, ProblemClass::kA, ProblemClass::kB,
+        ProblemClass::kC, ProblemClass::kSimSmall, ProblemClass::kSimMedium,
+        ProblemClass::kSimLarge, ProblemClass::kNative}) {
+    if (name == problemClassName(c)) {
+      return c;
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace occm::workloads

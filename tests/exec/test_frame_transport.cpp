@@ -3,10 +3,15 @@
 
 #include "exec/frame_transport.hpp"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <csignal>
+#include <cstddef>
 #include <string>
 #include <thread>
 
@@ -204,6 +209,118 @@ TEST(FrameTransport, ConnectToClosedPortFails) {
   ::close(*listener);
   auto fd = connectTcp("127.0.0.1", boundPort, 500);
   EXPECT_FALSE(fd.hasValue());
+}
+
+// --- Signal-delivery and partial-write hardening ------------------------
+// sendAllBytes (and therefore sendFrame) must survive the hazards of
+// signal-heavy processes: EINTR surfacing mid-write, short writes into a
+// tiny socket buffer, and EAGAIN stalls on non-blocking fds. The handler
+// below is installed WITHOUT SA_RESTART, so the kernel genuinely
+// interrupts blocked writes instead of transparently restarting them.
+
+void noopSignalHandler(int) {}
+
+struct ScopedSigusr1Handler {
+  struct sigaction previous {};
+  ScopedSigusr1Handler() {
+    struct sigaction action {};
+    action.sa_handler = noopSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: EINTR must surface
+    sigaction(SIGUSR1, &action, &previous);
+  }
+  ~ScopedSigusr1Handler() { sigaction(SIGUSR1, &previous, nullptr); }
+};
+
+void shrinkSendBuffer(int fd) {
+  const int size = 4 * 1024;  // the kernel clamps to its floor; still tiny
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof size), 0);
+}
+
+TEST(FrameTransport, SendFrameSurvivesSignalStormMidTransfer) {
+  ScopedSigusr1Handler handler;
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  shrinkSendBuffer(fds[0]);
+
+  // Big enough that the sender blocks on the shrunken buffer many times,
+  // giving the storm a wide window to interrupt writes.
+  std::string payload(2 * 1024 * 1024, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 131 + 17);
+  }
+
+  auto sender = makeSocketTransport(fds[0]);
+  std::atomic<bool> sendOk{false};
+  std::atomic<bool> senderDone{false};
+  std::thread sendThread([&] {
+    sendOk = sender->sendFrame(payload);
+    senderDone = true;
+  });
+  // Storm the sender with signals for the whole duration of the send.
+  std::thread storm([&] {
+    while (!senderDone.load()) {
+      pthread_kill(sendThread.native_handle(), SIGUSR1);
+      std::this_thread::yield();
+    }
+  });
+
+  auto receiver = makeSocketTransport(fds[1]);
+  std::string received;
+  ASSERT_EQ(receiver->recvFrame(received, 30'000),
+            FrameTransport::RecvStatus::kFrame);
+  sendThread.join();
+  storm.join();
+  EXPECT_TRUE(sendOk.load());
+  // Byte-exact through every EINTR and short write (CRC re-checked by the
+  // reassembler, compare anyway for a readable failure).
+  EXPECT_EQ(received, payload);
+}
+
+TEST(FrameTransport, SendAllBytesDrainsNonBlockingFdThroughEagain) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  shrinkSendBuffer(fds[0]);
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK), 0);
+
+  std::string payload(1024 * 1024, 'q');
+  std::atomic<bool> sendOk{false};
+  std::thread sendThread(
+      [&] { sendOk = sendAllBytes(fds[0], payload, /*isSocket=*/true); });
+
+  // Drain everything on the other end; the writer must ride out every
+  // EAGAIN via its POLLOUT wait and finish the full count.
+  std::string received;
+  char chunk[16 * 1024];
+  while (received.size() < payload.size()) {
+    const ssize_t n = ::read(fds[1], chunk, sizeof chunk);
+    ASSERT_GT(n, 0);
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  sendThread.join();
+  EXPECT_TRUE(sendOk.load());
+  EXPECT_EQ(received, payload);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FrameTransport, SendAllBytesGivesUpOnNeverDrainedPeer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  shrinkSendBuffer(fds[0]);
+  const int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK), 0);
+
+  // Nobody ever reads fds[1]: the buffer fills, POLLOUT never comes, and
+  // the bounded unwritable window turns the stall into a clean failure
+  // instead of a hung server loop.
+  const std::string payload(4 * 1024 * 1024, 'z');
+  EXPECT_FALSE(
+      sendAllBytes(fds[0], payload, /*isSocket=*/true,
+                   /*unwritableTimeoutMs=*/50));
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace

@@ -1,0 +1,215 @@
+// The overload ladder as a pure function: serve/degrade.hpp decides
+// admission from observed load with no sockets and no clock, so every
+// rung — and the priority order between rungs — pins down exactly here.
+
+#include <gtest/gtest.h>
+
+#include "serve/degrade.hpp"
+
+namespace occm::serve {
+namespace {
+
+using Action = AdmissionDecision::Action;
+
+DegradeConfig ladderConfig() {
+  DegradeConfig config;
+  config.queueCapacity = 4;
+  config.degradeQueueDepth = 2;
+  config.minTier1SlackMs = 10.0;
+  config.maxTier1EwmaMs = 100.0;
+  return config;
+}
+
+TEST(DecideAdmission, HealthyLoadServesTier1) {
+  DegradeInputs in;
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kServeTier1);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.shedReason, ShedReason::kNone);
+  EXPECT_EQ(out.degradeReason, DegradeReason::kNone);
+}
+
+TEST(DecideAdmission, DrainingShedsBeforeEverything) {
+  DegradeInputs in;
+  in.draining = true;
+  // Even a warm explicit tier-0 request — the one shape served at queue
+  // capacity — sheds once the drain token fired.
+  in.preference = TierPreference::kTier0;
+  in.modelWarm = true;
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kShed);
+  EXPECT_EQ(out.shedReason, ShedReason::kDraining);
+}
+
+TEST(DecideAdmission, ExpiredDeadlineShedsInfeasible) {
+  DegradeInputs in;
+  in.deadlineArmed = true;
+  in.deadlineSlackMs = 0.0;  // <= 0: already hopeless
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kShed);
+  EXPECT_EQ(out.shedReason, ShedReason::kDeadlineInfeasible);
+}
+
+TEST(DecideAdmission, InfeasibleDeadlineOutranksQueueFull) {
+  DegradeInputs in;
+  in.deadlineArmed = true;
+  in.deadlineSlackMs = -5.0;
+  in.queueDepth = 99;
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.shedReason, ShedReason::kDeadlineInfeasible);
+}
+
+TEST(DecideAdmission, QueueAtCapacitySheds) {
+  DegradeInputs in;
+  in.queueDepth = 4;
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kShed);
+  EXPECT_EQ(out.shedReason, ShedReason::kQueueFull);
+}
+
+TEST(DecideAdmission, WarmExplicitTier0ServedAtCapacity) {
+  // The analytic tier answers from cached parameters in microseconds and
+  // needs no queue slot — it is exactly the part that must keep
+  // answering under saturation.
+  DegradeInputs in;
+  in.queueDepth = 4;
+  in.preference = TierPreference::kTier0;
+  in.modelWarm = true;
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kServeTier0);
+  EXPECT_FALSE(out.degraded);
+}
+
+TEST(DecideAdmission, ColdExplicitTier0NeedsSlotAndSheds) {
+  // A cold model needs a fit job, which needs a slot: explicit tier 0
+  // does not bypass the queue bound when the cache is cold.
+  DegradeInputs in;
+  in.queueDepth = 4;
+  in.preference = TierPreference::kTier0;
+  in.modelWarm = false;
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kShed);
+  EXPECT_EQ(out.shedReason, ShedReason::kQueueFull);
+}
+
+TEST(DecideAdmission, ExplicitTier0IsNeverDegradedFlagged) {
+  // The client asked for the analytic tier; answering it is not a
+  // downgrade even when every rung is tripped.
+  DegradeInputs in;
+  in.preference = TierPreference::kTier0;
+  in.queueDepth = 3;                // >= degradeQueueDepth
+  in.deadlineArmed = true;
+  in.deadlineSlackMs = 1.0;         // < minTier1SlackMs
+  in.ewmaSeeded = true;
+  in.tier1EwmaMs = 500.0;           // >= maxTier1EwmaMs
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kServeTier0);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.degradeReason, DegradeReason::kNone);
+}
+
+TEST(DecideAdmission, QueueDepthRungDegrades) {
+  DegradeInputs in;
+  in.queueDepth = 2;  // at the threshold trips it
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kServeTier0);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degradeReason, DegradeReason::kQueueDepth);
+}
+
+TEST(DecideAdmission, DeadlineSlackRungDegrades) {
+  DegradeInputs in;
+  in.deadlineArmed = true;
+  in.deadlineSlackMs = 9.9;  // positive but below the tier-1 floor
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kServeTier0);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degradeReason, DegradeReason::kDeadlineSlack);
+}
+
+TEST(DecideAdmission, EwmaRungDegrades) {
+  DegradeInputs in;
+  in.ewmaSeeded = true;
+  in.tier1EwmaMs = 100.0;  // at the threshold trips it
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kServeTier0);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degradeReason, DegradeReason::kTier1Latency);
+}
+
+TEST(DecideAdmission, UnseededEwmaNeverTrips) {
+  DegradeInputs in;
+  in.ewmaSeeded = false;
+  in.tier1EwmaMs = 1e9;  // garbage value must be ignored until seeded
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kServeTier1);
+}
+
+TEST(DecideAdmission, RungPriorityQueueDepthBeforeSlackBeforeEwma) {
+  DegradeInputs in;
+  in.queueDepth = 2;
+  in.deadlineArmed = true;
+  in.deadlineSlackMs = 1.0;
+  in.ewmaSeeded = true;
+  in.tier1EwmaMs = 500.0;
+  const DegradeConfig config = ladderConfig();
+  // All three tripped: cheapest signal (queue depth) names the reason.
+  EXPECT_EQ(decideAdmission(config, in).degradeReason,
+            DegradeReason::kQueueDepth);
+  in.queueDepth = 0;
+  EXPECT_EQ(decideAdmission(config, in).degradeReason,
+            DegradeReason::kDeadlineSlack);
+  in.deadlineSlackMs = 50.0;
+  EXPECT_EQ(decideAdmission(config, in).degradeReason,
+            DegradeReason::kTier1Latency);
+}
+
+TEST(DecideAdmission, ExplicitTier1StillDegradesUnderLoad) {
+  // kTier1 means "never choose tier 0 for headroom when healthy" — it is
+  // not an exemption from the overload ladder.
+  DegradeInputs in;
+  in.preference = TierPreference::kTier1;
+  in.queueDepth = 2;
+  const AdmissionDecision out = decideAdmission(ladderConfig(), in);
+  EXPECT_EQ(out.action, Action::kServeTier0);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.degradeReason, DegradeReason::kQueueDepth);
+}
+
+TEST(DecideAdmission, ZeroDisablesEveryRung) {
+  DegradeConfig config;
+  config.queueCapacity = 4;
+  config.degradeQueueDepth = 0;
+  config.minTier1SlackMs = 0.0;
+  config.maxTier1EwmaMs = 0.0;
+  DegradeInputs in;
+  in.queueDepth = 3;  // below capacity, above any sane degrade depth
+  in.deadlineArmed = true;
+  in.deadlineSlackMs = 0.001;
+  in.ewmaSeeded = true;
+  in.tier1EwmaMs = 1e9;
+  const AdmissionDecision out = decideAdmission(config, in);
+  EXPECT_EQ(out.action, Action::kServeTier1);
+  EXPECT_FALSE(out.degraded);
+}
+
+TEST(LatencyEwma, FirstSampleSeedsWithoutZeroBias) {
+  LatencyEwma ewma(0.5);
+  EXPECT_FALSE(ewma.seeded());
+  EXPECT_EQ(ewma.value(), 0.0);
+  ewma.sample(40.0);
+  EXPECT_TRUE(ewma.seeded());
+  EXPECT_DOUBLE_EQ(ewma.value(), 40.0);  // seeded, not 0.5 * 40
+}
+
+TEST(LatencyEwma, SmoothsWithAlpha) {
+  LatencyEwma ewma(0.2);
+  ewma.sample(100.0);
+  ewma.sample(200.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 100.0 + 0.2 * 100.0);
+  ewma.sample(120.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 120.0);  // already at the new level
+}
+
+}  // namespace
+}  // namespace occm::serve

@@ -1,0 +1,192 @@
+// Wire-layer tests for the capacity-advisor protocol: value-exact
+// roundtrips for both message kinds, typed rejection (never a throw) of
+// truncation / trailing bytes / bad enums, and the re-encode fixed-point
+// pin the fuzz harness (fuzz/fuzz_serve_message.cpp) leans on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace occm::serve {
+namespace {
+
+AdvisorRequest sampleRequest() {
+  AdvisorRequest request;
+  request.requestId = 0xDEADBEEFCAFEBABEull;
+  request.program = "SP";
+  request.problemClass = "C";
+  request.machine = "intel-numa24";
+  request.coreMin = 2;
+  request.coreMax = 17;
+  request.deadlineMs = 1500;
+  request.tier = TierPreference::kTier1;
+  request.efficiencyThreshold = 0.625;
+  return request;
+}
+
+AdvisorResponse sampleResponse() {
+  AdvisorResponse response;
+  response.requestId = 42;
+  response.status = ResponseStatus::kOk;
+  response.shedReason = ShedReason::kNone;
+  response.tier = 1;
+  response.degraded = true;
+  response.degradeReason = DegradeReason::kDeadlineSlack;
+  response.cacheHit = true;
+  response.queueDepth = 7;
+  response.rows.push_back(
+      AdvisorRow{4, 9.5e11, 0.37, 3.1, 0.775, /*measured=*/true});
+  response.rows.push_back(
+      AdvisorRow{5, 1.05e12, 0.44, 3.4, 0.68, /*measured=*/false});
+  response.bestCores = 13;
+  response.bestSpeedup = 6.25;
+  response.efficientCores = 9;
+  response.error = "diagnostic text";
+  return response;
+}
+
+TEST(ServeProtocol, RequestRoundtripsEveryField) {
+  ServeMessage message;
+  message.kind = ServeMessage::Kind::kRequest;
+  message.request = sampleRequest();
+  const auto decoded = decodeServeMessage(encodeServeMessage(message));
+  ASSERT_TRUE(decoded.hasValue()) << decoded.error().message();
+  EXPECT_EQ(decoded->kind, ServeMessage::Kind::kRequest);
+  const AdvisorRequest& r = decoded->request;
+  EXPECT_EQ(r.protocolVersion, kServeProtocolVersion);
+  EXPECT_EQ(r.requestId, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(r.program, "SP");
+  EXPECT_EQ(r.problemClass, "C");
+  EXPECT_EQ(r.machine, "intel-numa24");
+  EXPECT_EQ(r.coreMin, 2);
+  EXPECT_EQ(r.coreMax, 17);
+  EXPECT_EQ(r.deadlineMs, 1500u);
+  EXPECT_EQ(r.tier, TierPreference::kTier1);
+  EXPECT_DOUBLE_EQ(r.efficiencyThreshold, 0.625);
+}
+
+TEST(ServeProtocol, ResponseRoundtripsEveryField) {
+  ServeMessage message;
+  message.kind = ServeMessage::Kind::kResponse;
+  message.response = sampleResponse();
+  const auto decoded = decodeServeMessage(encodeServeMessage(message));
+  ASSERT_TRUE(decoded.hasValue()) << decoded.error().message();
+  EXPECT_EQ(decoded->kind, ServeMessage::Kind::kResponse);
+  const AdvisorResponse& r = decoded->response;
+  EXPECT_EQ(r.requestId, 42u);
+  EXPECT_EQ(r.status, ResponseStatus::kOk);
+  EXPECT_EQ(r.shedReason, ShedReason::kNone);
+  EXPECT_EQ(r.tier, 1);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.degradeReason, DegradeReason::kDeadlineSlack);
+  EXPECT_TRUE(r.cacheHit);
+  EXPECT_EQ(r.queueDepth, 7u);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].cores, 4);
+  EXPECT_DOUBLE_EQ(r.rows[0].cycles, 9.5e11);
+  EXPECT_DOUBLE_EQ(r.rows[0].omega, 0.37);
+  EXPECT_DOUBLE_EQ(r.rows[0].speedup, 3.1);
+  EXPECT_DOUBLE_EQ(r.rows[0].efficiency, 0.775);
+  EXPECT_TRUE(r.rows[0].measured);
+  EXPECT_FALSE(r.rows[1].measured);
+  EXPECT_EQ(r.bestCores, 13);
+  EXPECT_DOUBLE_EQ(r.bestSpeedup, 6.25);
+  EXPECT_EQ(r.efficientCores, 9);
+  EXPECT_EQ(r.error, "diagnostic text");
+}
+
+TEST(ServeProtocol, ShedResponseRoundtrips) {
+  ServeMessage message;
+  message.kind = ServeMessage::Kind::kResponse;
+  message.response = AdvisorResponse{};
+  message.response.requestId = 9;
+  message.response.status = ResponseStatus::kShed;
+  message.response.shedReason = ShedReason::kQueueFull;
+  message.response.queueDepth = 16;
+  message.response.error = "shed: queue-full";
+  const auto decoded = decodeServeMessage(encodeServeMessage(message));
+  ASSERT_TRUE(decoded.hasValue());
+  EXPECT_EQ(decoded->response.status, ResponseStatus::kShed);
+  EXPECT_EQ(decoded->response.shedReason, ShedReason::kQueueFull);
+  EXPECT_TRUE(decoded->response.rows.empty());
+}
+
+TEST(ServeProtocol, EveryTruncatedPrefixFailsTyped) {
+  for (const ServeMessage::Kind kind :
+       {ServeMessage::Kind::kRequest, ServeMessage::Kind::kResponse}) {
+    ServeMessage message;
+    message.kind = kind;
+    message.request = sampleRequest();
+    message.response = sampleResponse();
+    const std::string payload = encodeServeMessage(message);
+    for (std::size_t len = 0; len < payload.size(); ++len) {
+      const auto decoded =
+          decodeServeMessage(std::string_view(payload.data(), len));
+      EXPECT_FALSE(decoded.hasValue())
+          << "prefix of length " << len << " decoded";
+      if (!decoded.hasValue()) {
+        EXPECT_FALSE(decoded.error().message().empty());
+      }
+    }
+  }
+}
+
+TEST(ServeProtocol, TrailingBytesFail) {
+  ServeMessage message;
+  message.kind = ServeMessage::Kind::kRequest;
+  message.request = sampleRequest();
+  std::string payload = encodeServeMessage(message);
+  payload.push_back('\0');
+  EXPECT_FALSE(decodeServeMessage(payload).hasValue());
+}
+
+TEST(ServeProtocol, UnknownKindFails) {
+  EXPECT_FALSE(decodeServeMessage(std::string(1, '\x00')).hasValue());
+  EXPECT_FALSE(decodeServeMessage(std::string(1, '\x07')).hasValue());
+  EXPECT_FALSE(decodeServeMessage(std::string_view{}).hasValue());
+}
+
+TEST(ServeProtocol, AcceptedMutationsAreReencodeFixedPoints) {
+  // Single-byte corruption either fails typed or decodes to a message
+  // whose re-encoding reproduces the corrupted bytes exactly — the same
+  // canonical-form pin the fuzzer enforces. Out-of-range enums and bool
+  // bytes > 1 land in the "fails typed" arm.
+  for (const ServeMessage::Kind kind :
+       {ServeMessage::Kind::kRequest, ServeMessage::Kind::kResponse}) {
+    ServeMessage message;
+    message.kind = kind;
+    message.request = sampleRequest();
+    message.response = sampleResponse();
+    const std::string canonical = encodeServeMessage(message);
+    for (std::size_t pos = 0; pos < canonical.size(); ++pos) {
+      for (const int maskInt : {0x01, 0x80, 0xFF}) {
+        const auto mask = static_cast<unsigned char>(maskInt);
+        std::string mutated = canonical;
+        mutated[pos] = static_cast<char>(
+            static_cast<unsigned char>(mutated[pos]) ^ mask);
+        const auto decoded = decodeServeMessage(mutated);
+        if (decoded.hasValue()) {
+          EXPECT_EQ(encodeServeMessage(*decoded), mutated)
+              << "byte " << pos << " mask " << static_cast<int>(mask);
+        }
+      }
+    }
+  }
+}
+
+TEST(ServeProtocol, OutOfRangeEnumsFail) {
+  // The tier byte sits immediately before the trailing f64 threshold in
+  // the request encoding; force it out of range.
+  ServeMessage message;
+  message.kind = ServeMessage::Kind::kRequest;
+  message.request = sampleRequest();
+  std::string payload = encodeServeMessage(message);
+  ASSERT_GE(payload.size(), 9u);
+  payload[payload.size() - 9] = '\x05';  // TierPreference max is 2
+  EXPECT_FALSE(decodeServeMessage(payload).hasValue());
+}
+
+}  // namespace
+}  // namespace occm::serve
