@@ -6,10 +6,15 @@
 //   advisor_client --port=7077 --workload=EP.S --machine=test-numa4
 //   advisor_client --port=7077 --count=32 --deadline-ms=50   # force sheds
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
+#include "common/backoff.hpp"
+#include "exec/chaos/chaos_transport.hpp"
 #include "exec/frame_transport.hpp"
 #include "serve/protocol.hpp"
 
@@ -26,6 +31,9 @@ struct Args {
   occm::serve::TierPreference tier = occm::serve::TierPreference::kAuto;
   double efficiency = 0.5;
   int count = 1;
+  int connectRetries = 0;
+  std::uint32_t recvTimeoutMs = 60'000;
+  occm::exec::chaos::ChaosConfig chaos;
 };
 
 void usage(std::FILE* to, const char* argv0) {
@@ -34,11 +42,19 @@ void usage(std::FILE* to, const char* argv0) {
       "usage: %s [--host=ADDR] [--port=N] [--workload=PROG.CLASS]\n"
       "          [--machine=PRESET] [--cores=A-B] [--deadline-ms=N]\n"
       "          [--tier=auto|0|1] [--efficiency=F] [--count=N]\n"
+      "          [--connect-retries=N] [--chaos-seed=N] [--chaos-plan=SPEC]\n"
       "  --cores=A-B      advise over core counts A..B (default: whole "
       "machine)\n"
       "  --deadline-ms=N  per-request deadline (0 = none)\n"
       "  --tier=auto|0|1  tier preference (0 analytic, 1 refined)\n"
-      "  --count=N        pipelined copies of the request\n",
+      "  --count=N        pipelined copies of the request\n"
+      "  --connect-retries=N  transient-connect retries with backoff "
+      "(default 0)\n"
+      "  --recv-timeout-ms=N  per-response read deadline "
+      "(default 60000)\n"
+      "  --chaos-seed=N   seeded network-fault schedule on this client's "
+      "transport\n"
+      "  --chaos-plan=SPEC  explicit chaos plan (see exec/chaos)\n",
       argv0);
 }
 
@@ -105,6 +121,19 @@ Args parseArgs(int argc, char** argv) {
       }
     } else if (flag == "--count") {
       args.count = static_cast<int>(intValue(1, 1 << 16));
+    } else if (flag == "--connect-retries") {
+      args.connectRetries = static_cast<int>(intValue(0, 1 << 10));
+    } else if (flag == "--recv-timeout-ms") {
+      args.recvTimeoutMs = static_cast<std::uint32_t>(intValue(1, 1 << 30));
+    } else if (flag == "--chaos-seed") {
+      args.chaos.seed = static_cast<std::uint64_t>(intValue(0, 1L << 62));
+      args.chaos.plan = occm::exec::chaos::planFromSeed(args.chaos.seed);
+    } else if (flag == "--chaos-plan") {
+      auto plan = occm::exec::chaos::parseNetFaultPlan(value);
+      if (!plan) {
+        die(plan.error());
+      }
+      args.chaos.plan = std::move(*plan);
     } else {
       die("unrecognized argument \"" + arg + "\"");
     }
@@ -116,14 +145,38 @@ Args parseArgs(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   using namespace occm;
+  // Half-closed peers must surface as typed send failures, not SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
   const Args args = parseArgs(argc, argv);
 
-  auto connected = exec::connectTcp(args.host, args.port, /*timeoutMs=*/5000);
-  if (!connected) {
-    std::fprintf(stderr, "error: %s\n", connected.error().c_str());
-    return 1;
+  // Transient-connect retry on the shared backoff policy: bounded
+  // attempts, capped exponential delays with seeded jitter, and a typed
+  // give-up naming the last error — the worker reconnect loop's shape,
+  // applied to the client's first dial.
+  const BackoffPolicy retryBackoff{.base = 100, .cap = 2'000,
+                                   .jitterPct256 = 64, .seed = args.chaos.seed};
+  int attempt = 0;
+  Expected<int, std::string> connected = makeUnexpected(std::string());
+  for (;;) {
+    connected = exec::connectTcp(args.host, args.port, /*timeoutMs=*/5000);
+    if (connected) {
+      break;
+    }
+    if (attempt >= args.connectRetries) {
+      std::fprintf(stderr, "error: connect gave up after %d attempt%s: %s\n",
+                   attempt + 1, attempt == 0 ? "" : "s",
+                   connected.error().c_str());
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        retryBackoff.delay(static_cast<std::uint32_t>(attempt))));
+    ++attempt;
   }
-  auto transport = exec::makeSocketTransport(*connected);
+  auto transport =
+      args.chaos.enabled()
+          ? exec::chaos::makeChaosSocketTransport(*connected, args.chaos,
+                                                  /*connectionId=*/0)
+          : exec::makeSocketTransport(*connected);
 
   serve::ServeMessage message;
   message.kind = serve::ServeMessage::Kind::kRequest;
@@ -153,7 +206,8 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (int i = 0; i < args.count; ++i) {
     std::string payload;
-    const auto status = transport->recvFrame(payload, /*timeoutMs=*/60'000);
+    const auto status =
+        transport->recvFrame(payload, static_cast<int>(args.recvTimeoutMs));
     if (status != exec::FrameTransport::RecvStatus::kFrame) {
       std::fprintf(stderr, "error: recv failed (%s)\n",
                    transport->lastError().c_str());

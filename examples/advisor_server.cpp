@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/cancellation.hpp"
+#include "exec/chaos/chaos_transport.hpp"
 #include "serve/advisor_server.hpp"
 
 namespace {
@@ -38,6 +39,9 @@ struct Args {
   double maxEwmaMs = 0.0;
   std::size_t cacheCapacity = 16;
   int workers = 2;
+  std::uint64_t stallTimeoutMs = 10'000;
+  std::size_t maxConnections = 256;
+  occm::exec::chaos::ChaosConfig chaos;
 };
 
 void usage(std::FILE* to, const char* argv0) {
@@ -46,6 +50,8 @@ void usage(std::FILE* to, const char* argv0) {
       "usage: %s [--host=ADDR] [--port=N] [--queue-capacity=N]\n"
       "          [--degrade-depth=N] [--min-slack-ms=F] [--max-ewma-ms=F]\n"
       "          [--cache-capacity=N] [--workers=N]\n"
+      "          [--stall-timeout-ms=N] [--max-connections=N]\n"
+      "          [--chaos-seed=N] [--chaos-plan=SPEC]\n"
       "  --port=N            listen port; 0 picks an ephemeral port\n"
       "  --queue-capacity=N  admission bound; beyond it requests shed\n"
       "  --degrade-depth=N   queue depth that downgrades to tier 0 "
@@ -53,7 +59,13 @@ void usage(std::FILE* to, const char* argv0) {
       "  --min-slack-ms=F    deadline slack floor for tier 1 (0=never)\n"
       "  --max-ewma-ms=F     tier-1 latency EWMA ceiling (0=never)\n"
       "  --cache-capacity=N  fitted-model LRU capacity\n"
-      "  --workers=N         fit/refinement pool size\n",
+      "  --workers=N         fit/refinement pool size\n"
+      "  --stall-timeout-ms=N  drop connections with no read progress "
+      "(slowloris guard; 0=never)\n"
+      "  --max-connections=N   admission cap on concurrent connections\n"
+      "  --chaos-seed=N      seeded network-fault schedule on every "
+      "accepted connection\n"
+      "  --chaos-plan=SPEC   explicit chaos plan (see exec/chaos)\n",
       argv0);
 }
 
@@ -108,6 +120,19 @@ Args parseArgs(int argc, char** argv) {
       args.cacheCapacity = static_cast<std::size_t>(intValue(1, 1 << 20));
     } else if (flag == "--workers") {
       args.workers = static_cast<int>(intValue(1, 1024));
+    } else if (flag == "--stall-timeout-ms") {
+      args.stallTimeoutMs = static_cast<std::uint64_t>(intValue(0, 1L << 31));
+    } else if (flag == "--max-connections") {
+      args.maxConnections = static_cast<std::size_t>(intValue(1, 1 << 20));
+    } else if (flag == "--chaos-seed") {
+      args.chaos.seed = static_cast<std::uint64_t>(intValue(0, 1L << 62));
+      args.chaos.plan = occm::exec::chaos::planFromSeed(args.chaos.seed);
+    } else if (flag == "--chaos-plan") {
+      auto plan = occm::exec::chaos::parseNetFaultPlan(value);
+      if (!plan) {
+        die(plan.error());
+      }
+      args.chaos.plan = std::move(*plan);
     } else {
       die("unrecognized argument \"" + arg + "\"");
     }
@@ -123,6 +148,9 @@ int main(int argc, char** argv) {
 
   std::signal(SIGTERM, onSignal);
   std::signal(SIGINT, onSignal);
+  // Abruptly-closed clients must surface as typed send failures on their
+  // own connection, never as a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
 
   serve::AdvisorServerConfig config;
   config.host = args.host;
@@ -133,6 +161,14 @@ int main(int argc, char** argv) {
   config.degrade.maxTier1EwmaMs = args.maxEwmaMs;
   config.cacheCapacity = args.cacheCapacity;
   config.workers = args.workers;
+  config.readProgressTimeoutMs = args.stallTimeoutMs;
+  config.maxConnections = args.maxConnections;
+  if (args.chaos.enabled()) {
+    // Print the resolved plan so any seeded drill is reproducible from
+    // the log alone (--chaos-plan of this spec replays it exactly).
+    std::printf("chaos plan: %s\n", args.chaos.plan.toSpec().c_str());
+    config.transportFactory = exec::chaos::chaosTransportFactory(args.chaos);
+  }
   config.drain = drainSource().token();
   config.onListening = [](int port) {
     std::printf("advisor server listening on port %d\n", port);
@@ -148,6 +184,10 @@ int main(int argc, char** argv) {
   std::printf("drained: %s\n", stats.drained ? "yes" : "no");
   std::printf("  connections accepted   %llu\n",
               static_cast<unsigned long long>(stats.connectionsAccepted));
+  std::printf("  connections refused    %llu\n",
+              static_cast<unsigned long long>(stats.connectionsRefused));
+  std::printf("  connections stalled    %llu\n",
+              static_cast<unsigned long long>(stats.connectionsStalled));
   std::printf("  requests decoded       %llu\n",
               static_cast<unsigned long long>(stats.requestsDecoded));
   std::printf("  responses sent         %llu\n",

@@ -10,7 +10,7 @@
 //        [--budget-cycles=N] [--checkpoint=PATH] [--isolate] [--mem-limit=MB]
 //        [--listen=PORT] [--grace=SECONDS] [--csv=PATH]
 //        [--connect=HOST:PORT] [--worker-id=NAME] [--straggle-ms=N]
-//        [--max-tasks=N]
+//        [--max-tasks=N] [--chaos-seed=N] [--chaos-plan=SPEC]
 // (default CG.C, pool size from OCCM_SWEEP_WORKERS or hardware concurrency)
 //
 // Lifecycle controls: --deadline caps each run's wall time and
@@ -33,6 +33,13 @@
 // a serial run regardless of fleet size, worker deaths, or re-dispatch
 // order; --csv=PATH writes it with a CRC-32 fingerprint for comparison.
 // --straggle-ms / --max-tasks are fault-drill knobs for smoke tests.
+//
+// Chaos drills: --chaos-seed=N (or an explicit --chaos-plan=SPEC, see
+// exec/chaos) arms a deterministic network-fault schedule — frame drops,
+// duplication, reordering, corruption, stalls, partitions, half-closes —
+// on this process's transports: every accepted worker connection in
+// coordinator mode, every dialled connection in worker mode. The sweep
+// must still converge to the same CSV fingerprint or fail typed.
 
 #include <algorithm>
 #include <csignal>
@@ -100,9 +107,13 @@ int main(int argc, char** argv) {
   int connectPort = 0;
   std::string workerId = "worker";
   double grace = 5.0;
+  double leaseSeconds = 0.0;      // 0 = library default
+  int maxExpiries = -1;           // -1 = library default
+  std::uint64_t idleTimeoutMs = 0;
   std::uint64_t straggleMs = 0;
   std::uint64_t maxTasks = 0;
   std::string csvPath;
+  exec::chaos::ChaosConfig chaos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--workers=", 0) == 0) {
@@ -156,6 +167,18 @@ int main(int argc, char** argv) {
       grace = std::atof(arg.c_str() + 8);
       continue;
     }
+    if (arg.rfind("--lease=", 0) == 0) {
+      leaseSeconds = std::atof(arg.c_str() + 8);
+      continue;
+    }
+    if (arg.rfind("--max-expiries=", 0) == 0) {
+      maxExpiries = std::atoi(arg.c_str() + 15);
+      continue;
+    }
+    if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      idleTimeoutMs = std::strtoull(arg.c_str() + 18, nullptr, 10);
+      continue;
+    }
     if (arg.rfind("--straggle-ms=", 0) == 0) {
       straggleMs = std::strtoull(arg.c_str() + 14, nullptr, 10);
       continue;
@@ -168,15 +191,32 @@ int main(int argc, char** argv) {
       csvPath = arg.substr(6);
       continue;
     }
+    if (arg.rfind("--chaos-seed=", 0) == 0) {
+      chaos.seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+      chaos.plan = exec::chaos::planFromSeed(chaos.seed);
+      continue;
+    }
+    if (arg.rfind("--chaos-plan=", 0) == 0) {
+      auto plan = exec::chaos::parseNetFaultPlan(arg.substr(13));
+      if (!plan) {
+        std::fprintf(stderr, "bad --chaos-plan: %s\n", plan.error().c_str());
+        return 1;
+      }
+      chaos.plan = std::move(*plan);
+      continue;
+    }
     const auto dot = arg.find('.');
     if (dot == std::string::npos) {
       std::fprintf(stderr,
                    "usage: %s [program.class] [--workers=N] "
                    "[--deadline=SECONDS] [--budget-cycles=N] "
                    "[--checkpoint=PATH] [--isolate] [--mem-limit=MB] "
-                   "[--listen=PORT] [--grace=SECONDS] [--csv=PATH] "
+                   "[--listen=PORT] [--grace=SECONDS] [--lease=SECONDS] "
+                   "[--max-expiries=N] [--csv=PATH] "
                    "[--connect=HOST:PORT] [--worker-id=NAME] "
-                   "[--straggle-ms=N] [--max-tasks=N]\n",
+                   "[--idle-timeout-ms=N] "
+                   "[--straggle-ms=N] [--max-tasks=N] "
+                   "[--chaos-seed=N] [--chaos-plan=SPEC]\n",
                    argv[0]);
       return 1;
     }
@@ -185,6 +225,15 @@ int main(int argc, char** argv) {
   }
 
   std::signal(SIGINT, onSigint);
+  // Chaos schedules half-close peers on purpose; writes into them must
+  // come back as typed errors, not SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (chaos.enabled()) {
+    // Log the resolved plan so a seeded drill is replayable from the log
+    // alone (pass this spec back via --chaos-plan).
+    std::printf("chaos plan: %s\n", chaos.plan.toSpec().c_str());
+  }
 
   if (!connectHost.empty()) {
     // Worker mode: execute core counts for a remote coordinator and exit.
@@ -197,6 +246,8 @@ int main(int argc, char** argv) {
     options.cancel = gStop.token();
     options.straggleMs = straggleMs;
     options.maxTasks = maxTasks;
+    options.idleTimeoutMs = idleTimeoutMs;
+    options.chaos = chaos;
     const exec::dist::WorkerReport report = analysis::runSweepWorker(options);
     std::printf("worker '%s': %llu task(s), %llu reconnect(s), stopped: %s\n",
                 workerId.c_str(),
@@ -220,6 +271,21 @@ int main(int argc, char** argv) {
     config.distributed.listen = true;
     config.distributed.port = listenPort;
     config.distributed.graceWindowSeconds = grace;
+    if (leaseSeconds > 0.0) {
+      config.distributed.leaseSeconds = leaseSeconds;
+      // Chaos drills shrink every recovery deadline together: detecting
+      // a lost lease quickly is pointless if eviction still waits the
+      // production 15 s.
+      config.distributed.heartbeatTimeoutSeconds =
+          std::min(config.distributed.heartbeatTimeoutSeconds,
+                   4.0 * leaseSeconds);
+      config.distributed.speculativeAfterSeconds =
+          std::min(config.distributed.speculativeAfterSeconds, leaseSeconds);
+    }
+    if (maxExpiries >= 0) {
+      config.distributed.maxLeaseExpiries = maxExpiries;
+    }
+    config.distributed.chaos = chaos;
     config.distributed.onListening = [](int port) {
       // The smoke script scrapes this line for the ephemeral port.
       std::printf("coordinator listening on port %d\n", port);

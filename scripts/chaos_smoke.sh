@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Chaos drill smoke test, four acts against the real binaries over
+# loopback TCP (DESIGN.md §16):
+#
+#   1. Serial control: one in-process sweep, CSV + CRC-32 fingerprint.
+#   2. Chaos fleet: a coordinator and two workers whose connections
+#      replay seeded fault schedules (drops, dup/reorder, corruption,
+#      stalls, partitions, half-closes). The merged CSV must still be
+#      byte-identical to the serial control — chaos may change who
+#      computes what, never what comes out.
+#   3. Chaos server: an advisor server wearing a seeded chaos transport
+#      serves a client burst, then SIGTERM — it must report a clean
+#      typed drain, never hang.
+#   4. Chaos-off overhead check: with no chaos flags the binaries print
+#      no chaos banner and reproduce the control bytes — the wrapper is
+#      provably not installed when not asked for.
+#
+# Usage: chaos_smoke.sh <contention_sweep> <advisor_server> <advisor_client>
+set -euo pipefail
+
+sweep="${1:?usage: chaos_smoke.sh <contention_sweep> <advisor_server> <advisor_client>}"
+server="${2:?usage: chaos_smoke.sh <contention_sweep> <advisor_server> <advisor_client>}"
+client="${3:?usage: chaos_smoke.sh <contention_sweep> <advisor_server> <advisor_client>}"
+workdir="$(mktemp -d)"
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+workload="EP.S"
+
+wait_for_port() {  # wait_for_port <logfile> -> echoes the bound port
+  local log="$1" port=""
+  for _ in $(seq 1 100); do
+    port="$(grep -oE 'listening on port [0-9]+' "$log" 2>/dev/null \
+            | grep -oE '[0-9]+' || true)"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "FAIL: no port bound" >&2; cat "$log" >&2
+                      exit 1; }
+  echo "$port"
+}
+
+fingerprint() {  # fingerprint <logfile>
+  grep -oE 'csv fingerprint: [0-9a-f]+' "$1" | grep -oE '[0-9a-f]+$'
+}
+
+# --- Act 1: serial control ------------------------------------------------
+
+"$sweep" "$workload" --workers=2 --csv="$workdir/serial.csv" \
+  >"$workdir/serial.log" 2>&1
+serial_fp="$(fingerprint "$workdir/serial.log")"
+[ -n "$serial_fp" ] || { echo "FAIL: serial run printed no fingerprint" >&2
+                         cat "$workdir/serial.log" >&2; exit 1; }
+
+# --- Act 2: chaos fleet ---------------------------------------------------
+# Tight lease timing so lost frames are re-dispatched (and hopeless tasks
+# abandoned to the local pool) at drill pace, not production pace.
+
+"$sweep" "$workload" --listen=0 --grace=2 --lease=0.5 --max-expiries=3 \
+  --csv="$workdir/chaos.csv" >"$workdir/coord.log" 2>&1 &
+coord=$!
+port="$(wait_for_port "$workdir/coord.log")"
+
+"$sweep" --connect="127.0.0.1:$port" --worker-id=chaos-a --chaos-seed=7 \
+  --idle-timeout-ms=400 >"$workdir/w1.log" 2>&1 &
+"$sweep" --connect="127.0.0.1:$port" --worker-id=chaos-b --chaos-seed=12 \
+  --idle-timeout-ms=400 >"$workdir/w2.log" 2>&1 &
+
+status=0
+wait "$coord" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: chaos coordinator exited $status" >&2
+  cat "$workdir/coord.log" >&2
+  exit 1
+fi
+chaos_fp="$(fingerprint "$workdir/coord.log")"
+if [ "$chaos_fp" != "$serial_fp" ]; then
+  echo "FAIL: chaos fleet fingerprint $chaos_fp != serial $serial_fp" >&2
+  diff "$workdir/serial.csv" "$workdir/chaos.csv" >&2 || true
+  exit 1
+fi
+cmp -s "$workdir/serial.csv" "$workdir/chaos.csv" || {
+  echo "FAIL: fingerprints agree but CSV bytes differ (crc collision?)" >&2
+  exit 1
+}
+grep -q 'chaos plan:' "$workdir/w1.log" || {
+  echo "FAIL: chaos worker did not log its resolved plan" >&2
+  cat "$workdir/w1.log" >&2; exit 1; }
+# Whatever chaos did, the workers themselves must exit typed.
+wait || true
+for w in w1 w2; do
+  grep -q 'stopped: ' "$workdir/$w.log" || {
+    echo "FAIL: worker $w did not report a typed stop reason" >&2
+    cat "$workdir/$w.log" >&2; exit 1; }
+done
+
+# --- Act 3: chaos server drains typed -------------------------------------
+
+"$server" --port=0 --workers=1 --chaos-seed=5 --stall-timeout-ms=300 \
+  >"$workdir/server.log" 2>&1 &
+srv=$!
+port="$(wait_for_port "$workdir/server.log")"
+grep -q 'chaos plan:' "$workdir/server.log" || {
+  echo "FAIL: chaos server did not log its resolved plan" >&2
+  cat "$workdir/server.log" >&2; exit 1; }
+
+# Chaos may shed, stall or sever these sessions; each client must still
+# exit on its own (typed give-up), and nonzero exits are expected.
+for c in 1 2 3; do
+  timeout 30 "$client" --port="$port" --count=3 --workload=EP.S \
+    --machine=test-numa4 --recv-timeout-ms=2000 \
+    >"$workdir/client$c.log" 2>&1 || true
+done
+
+kill -TERM "$srv"
+status=0; wait "$srv" || status=$?
+[ "$status" -eq 0 ] || { echo "FAIL: chaos server exited $status" >&2
+                         cat "$workdir/server.log" >&2; exit 1; }
+grep -q 'drained: yes' "$workdir/server.log" || {
+  echo "FAIL: chaos server did not drain" >&2
+  cat "$workdir/server.log" >&2; exit 1; }
+
+# --- Act 4: chaos off means chaos absent ----------------------------------
+
+"$sweep" "$workload" --workers=2 --csv="$workdir/off.csv" \
+  >"$workdir/off.log" 2>&1
+grep -q 'chaos plan:' "$workdir/off.log" && {
+  echo "FAIL: chaos banner printed without any chaos flag" >&2
+  cat "$workdir/off.log" >&2; exit 1; }
+cmp -s "$workdir/serial.csv" "$workdir/off.csv" || {
+  echo "FAIL: chaos-off run diverged from the serial control" >&2
+  exit 1
+}
+
+echo "OK: chaos fleet converged bit-for-bit (crc $serial_fp), chaos" \
+     "server drained typed, chaos-off path clean"

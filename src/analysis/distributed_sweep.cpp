@@ -252,9 +252,22 @@ DistributedPhaseOutcome runDistributedPhase(
   cc.lease.maxExpiries =
       dc.maxLeaseExpiries < 0 ? 0
                               : static_cast<std::uint32_t>(dc.maxLeaseExpiries);
+  // Redispatch pacing follows the lease timeout: a backoff cap longer
+  // than the lease itself just stretches recovery (a tightly-timed fleet
+  // would abandon tasks at the default 5 s cap, not its own cadence).
+  cc.lease.redispatchBackoff.cap =
+      std::min<std::uint64_t>(cc.lease.redispatchBackoff.cap,
+                              std::max<std::uint64_t>(
+                                  cc.lease.leaseTimeoutMs, 1));
+  cc.lease.redispatchBackoff.base = std::min<std::uint64_t>(
+      cc.lease.redispatchBackoff.base,
+      std::max<std::uint64_t>(cc.lease.redispatchBackoff.cap / 4, 1));
   cc.heartbeatIntervalMs = toMs(dc.heartbeatSeconds);
   cc.cancel = config.cancel;
   cc.onListening = dc.onListening;
+  if (dc.chaos.enabled()) {
+    cc.transportFactory = exec::chaos::chaosTransportFactory(dc.chaos);
+  }
   cc.onResult = [&](const dist::TaskResult& result) {
     // First-wins already enforced by the lease table; this fires once per
     // settled task, in arrival order, on the coordinator thread.
@@ -306,6 +319,12 @@ dist::WorkerReport runSweepWorker(const SweepWorkerOptions& options) {
   wo.port = options.port;
   wo.workerId = options.workerId;
   wo.maxConnectAttempts = options.maxConnectAttempts;
+  wo.connectTimeoutMs = options.connectTimeoutMs;
+  wo.reconnectBackoff = options.reconnectBackoff;
+  wo.idleTimeoutMs = options.idleTimeoutMs;
+  if (options.chaos.enabled()) {
+    wo.transportFactory = exec::chaos::chaosTransportFactory(options.chaos);
+  }
   wo.cancel = options.cancel;
   wo.straggleMs = options.straggleMs;
   wo.maxTasks = options.maxTasks;

@@ -74,6 +74,16 @@ struct SweepWorkerOptions {
   /// are bit-identical with or without it; jobs never carry it).
   IsolationConfig isolation;
   std::uint32_t maxConnectAttempts = 10;
+  /// TCP connect + handshake-reply deadline per attempt.
+  int connectTimeoutMs = 5'000;
+  /// Reconnect schedule after a lost connection (see WorkerOptions).
+  BackoffPolicy reconnectBackoff{.base = 200, .cap = 5'000,
+                                 .jitterPct256 = 64, .seed = 0};
+  /// Asymmetric-partition guard passthrough (see WorkerOptions). 0 = off.
+  std::uint64_t idleTimeoutMs = 0;
+  /// Seeded network-fault schedule for this worker's connections (chaos
+  /// drills; see exec/chaos). Empty plan = plain transports.
+  exec::chaos::ChaosConfig chaos;
   CancellationToken cancel;
   /// Test hooks (see exec::dist::WorkerOptions).
   std::uint64_t straggleMs = 0;

@@ -12,6 +12,7 @@
 #include "analysis/sweep_task.hpp"
 #include "common/cancellation.hpp"
 #include "core/contention_model.hpp"
+#include "exec/chaos/chaos_transport.hpp"
 #include "exec/distributed/lease.hpp"
 #include "exec/thread_pool.hpp"
 #include "perf/run_profile.hpp"
@@ -73,6 +74,10 @@ struct DistributedConfig {
   int maxLeaseExpiries = 16;
   /// Called once with the bound port (useful with port = 0).
   std::function<void(int port)> onListening;
+  /// Seeded network-fault schedule applied to every accepted worker
+  /// connection (chaos drills; see exec/chaos). Empty plan = plain
+  /// transports, zero overhead.
+  exec::chaos::ChaosConfig chaos;
 };
 
 /// What the distributed phase did — empty/default when it did not run.

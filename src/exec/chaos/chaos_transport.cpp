@@ -1,0 +1,393 @@
+#include "exec/chaos/chaos_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace occm::exec::chaos {
+
+namespace {
+
+void sleepMs(std::uint64_t ms) {
+  if (ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+}
+
+int remainingMs(std::chrono::steady_clock::time_point deadline, bool armed) {
+  if (!armed) {
+    return -1;
+  }
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return left.count() < 0 ? 0 : static_cast<int>(left.count());
+}
+
+void flipBit(std::string& bytes, std::uint64_t pick) {
+  if (bytes.empty()) {
+    return;
+  }
+  const std::uint64_t bit = pick % (bytes.size() * 8);
+  bytes[bit / 8] = static_cast<char>(
+      static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+}
+
+}  // namespace
+
+std::uint64_t chaosMix(std::uint64_t seed, std::uint64_t connectionId,
+                       std::size_t eventIndex, std::uint64_t frameIndex,
+                       std::uint64_t salt) noexcept {
+  SplitMix64 sm(seed ^ (connectionId * 0x9e3779b97f4a7c15ULL) ^
+                (static_cast<std::uint64_t>(eventIndex) *
+                 0xbf58476d1ce4e5b9ULL) ^
+                (frameIndex * 0x94d049bb133111ebULL) ^ salt);
+  return sm.next();
+}
+
+bool faultFires(const NetFaultEvent& event, std::size_t eventIndex,
+                std::uint64_t seed, std::uint64_t connectionId,
+                NetDirection dir, std::uint64_t frameIndex) noexcept {
+  if (event.dir != dir || frameIndex < event.first ||
+      frameIndex > event.last) {
+    return false;
+  }
+  if (event.prob256 >= 256) {
+    return true;
+  }
+  return chaosMix(seed, connectionId, eventIndex, frameIndex,
+                  static_cast<std::uint64_t>(dir)) %
+             256 <
+         event.prob256;
+}
+
+ChaosFrameTransport::ChaosFrameTransport(int readFd, int writeFd,
+                                         bool isSocket, ChaosConfig config,
+                                         std::uint64_t connectionId)
+    : readFd_(readFd),
+      writeFd_(writeFd),
+      isSocket_(isSocket),
+      config_(std::move(config)),
+      connectionId_(connectionId),
+      partitions_(config_.plan.events().size()) {}
+
+ChaosFrameTransport::~ChaosFrameTransport() {
+  if (readFd_ >= 0) {
+    ::close(readFd_);
+  }
+  if (writeFd_ >= 0 && writeFd_ != readFd_) {
+    ::close(writeFd_);
+  }
+}
+
+bool ChaosFrameTransport::partitionActive(NetDirection dir,
+                                          std::uint64_t frameIndex) {
+  const auto& events = config_.plan.events();
+  const auto now = std::chrono::steady_clock::now();
+  bool active = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const NetFaultEvent& e = events[i];
+    if (e.kind != NetFaultKind::kPartition || e.dir != dir) {
+      continue;
+    }
+    PartitionState& st = partitions_[i];
+    if (!st.armed && frameIndex >= e.first) {
+      st.armed = true;
+      st.until = now + std::chrono::milliseconds(e.param);
+    }
+    if (st.armed && now < st.until) {
+      active = true;
+    }
+  }
+  return active;
+}
+
+bool ChaosFrameTransport::emitFrame(
+    std::string_view frame,
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> stall) {
+  if (!stall) {
+    return sendAllBytes(writeFd_, frame, isSocket_);
+  }
+  // Bound the chunk count so one stalled frame completes in bounded
+  // time no matter how small the requested chunk is.
+  constexpr std::uint64_t kMaxChunks = 16;
+  std::uint64_t chunk = std::max<std::uint64_t>(stall->first, 1);
+  if (frame.size() > chunk * kMaxChunks) {
+    chunk = frame.size() / kMaxChunks + 1;
+  }
+  for (std::size_t at = 0; at < frame.size();
+       at += static_cast<std::size_t>(chunk)) {
+    if (!sendAllBytes(writeFd_, frame.substr(at, chunk), isSocket_)) {
+      return false;
+    }
+    sleepMs(std::min(stall->second, kMaxStallDelayMs));
+  }
+  return true;
+}
+
+bool ChaosFrameTransport::sendFrame(std::string_view payload) {
+  const std::uint64_t idx = sendIndex_++;
+  if (halfClosed_) {
+    lastError_ = "chaos: write side half-closed by plan";
+    return false;
+  }
+  std::string frame = encodeFrame(payload);
+
+  bool drop = partitionActive(NetDirection::kSend, idx);
+  bool dup = false;
+  bool reorder = false;
+  bool closeAfter = false;
+  std::uint64_t delayMs = 0;
+  std::optional<std::uint64_t> keepBytes;
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> stall;
+
+  const auto& events = config_.plan.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const NetFaultEvent& e = events[i];
+    const bool fires = faultFires(e, i, config_.seed, connectionId_,
+                                  NetDirection::kSend, idx);
+    switch (e.kind) {
+      case NetFaultKind::kDrop:
+        drop = drop || fires;
+        break;
+      case NetFaultKind::kDuplicate:
+        dup = dup || fires;
+        break;
+      case NetFaultKind::kReorder:
+        reorder = reorder || fires;
+        break;
+      case NetFaultKind::kCorrupt:
+        if (fires) {
+          flipBit(frame, chaosMix(config_.seed, connectionId_, i, idx, 0x1f));
+        }
+        break;
+      case NetFaultKind::kTruncate:
+        if (fires) {
+          keepBytes = e.param;
+        }
+        break;
+      case NetFaultKind::kStall:
+        if (fires) {
+          stall = {e.param, e.param2};
+        }
+        break;
+      case NetFaultKind::kDelay:
+        if (fires) {
+          delayMs += e.param;
+        }
+        break;
+      case NetFaultKind::kHalfClose:
+        if (idx >= e.first) {
+          closeAfter = true;
+        }
+        break;
+      case NetFaultKind::kPartition:
+        break;  // handled by partitionActive above
+    }
+  }
+
+  sleepMs(std::min(delayMs, kMaxDelayMs));
+  if (keepBytes && frame.size() > 1) {
+    // Always cut at least one byte so the peer's stream really poisons.
+    frame.resize(static_cast<std::size_t>(std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(*keepBytes, frame.size() - 1))));
+  }
+
+  bool ok = true;
+  if (!drop) {
+    if (reorder && !heldSend_) {
+      heldSend_ = std::move(frame);
+    } else {
+      ok = emitFrame(frame, stall);
+      if (ok && dup) {
+        ok = emitFrame(frame, std::nullopt);
+      }
+      if (ok && heldSend_) {
+        ok = emitFrame(*heldSend_, std::nullopt);
+        heldSend_.reset();
+      }
+    }
+  }
+  if (closeAfter) {
+    if (isSocket_) {
+      ::shutdown(writeFd_, SHUT_WR);
+    }
+    halfClosed_ = true;
+  }
+  if (!ok) {
+    lastError_ = std::string("send: ") + std::strerror(errno);
+  }
+  return ok;
+}
+
+void ChaosFrameTransport::admitRecvFrame(std::string&& payload) {
+  const std::uint64_t idx = recvIndex_++;
+  bool drop = false;
+  bool dup = false;
+  bool reorder = false;
+  std::uint64_t delayMs = 0;
+
+  const auto& events = config_.plan.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const NetFaultEvent& e = events[i];
+    const bool fires = faultFires(e, i, config_.seed, connectionId_,
+                                  NetDirection::kRecv, idx);
+    if (!fires) {
+      continue;
+    }
+    switch (e.kind) {
+      case NetFaultKind::kDrop:
+        drop = true;
+        break;
+      case NetFaultKind::kDuplicate:
+        dup = true;
+        break;
+      case NetFaultKind::kReorder:
+        reorder = true;
+        break;
+      case NetFaultKind::kDelay:
+        delayMs += e.param;
+        break;
+      default:
+        break;  // corrupt keys on chunks; the rest are send-side
+    }
+  }
+
+  sleepMs(std::min(delayMs, kMaxDelayMs));
+  if (drop) {
+    return;
+  }
+  if (reorder && !heldRecv_) {
+    heldRecv_ = std::move(payload);
+    return;
+  }
+  readyRecv_.push_back(std::move(payload));
+  if (dup) {
+    std::string copy = readyRecv_.back();
+    readyRecv_.push_back(std::move(copy));
+  }
+  if (heldRecv_) {
+    readyRecv_.push_back(std::move(*heldRecv_));
+    heldRecv_.reset();
+  }
+}
+
+FrameTransport::RecvStatus ChaosFrameTransport::recvFrame(std::string& payload,
+                                                          int timeoutMs) {
+  if (!readyRecv_.empty()) {
+    payload = std::move(readyRecv_.front());
+    readyRecv_.pop_front();
+    return RecvStatus::kFrame;
+  }
+  const bool armed = timeoutMs >= 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeoutMs);
+  char chunk[4096];
+  for (;;) {
+    if (partitionActive(NetDirection::kRecv, recvIndex_)) {
+      // Partitioned: the peer appears silent. Bytes pile up in the
+      // kernel buffer and are delivered when the window lifts —
+      // stream semantics hold, unlike byte loss, which TCP never gives
+      // you. Partition windows are clamped, so this always terminates.
+      if (armed && remainingMs(deadline, armed) == 0) {
+        // 1 ms nap so a timeout-0 drain loop cannot busy-spin on the
+        // POLLIN that the buffered-but-blocked bytes keep asserting.
+        sleepMs(1);
+        return RecvStatus::kTimeout;
+      }
+      sleepMs(5);
+      continue;
+    }
+    struct pollfd pfd;
+    pfd.fd = readFd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, remainingMs(deadline, armed));
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      lastError_ = std::string("poll: ") + std::strerror(errno);
+      return RecvStatus::kError;
+    }
+    if (rc == 0) {
+      return RecvStatus::kTimeout;
+    }
+    const ssize_t n = ::read(readFd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) {
+        continue;
+      }
+      lastError_ = std::string("read: ") + std::strerror(errno);
+      return RecvStatus::kError;
+    }
+    if (n == 0) {
+      // Orderly EOF: flush a held reordered frame — at stream end there
+      // is no "next frame" to swap with, so it simply arrives last.
+      if (heldRecv_) {
+        readyRecv_.push_back(std::move(*heldRecv_));
+        heldRecv_.reset();
+      }
+      if (!readyRecv_.empty()) {
+        payload = std::move(readyRecv_.front());
+        readyRecv_.pop_front();
+        return RecvStatus::kFrame;
+      }
+      return RecvStatus::kClosed;
+    }
+    rxBytes_ += static_cast<std::uint64_t>(n);
+    std::string_view data(chunk, static_cast<std::size_t>(n));
+    std::string mutated;
+    const std::uint64_t cidx = chunkIndex_++;
+    const auto& events = config_.plan.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const NetFaultEvent& e = events[i];
+      if (e.kind == NetFaultKind::kCorrupt &&
+          faultFires(e, i, config_.seed, connectionId_, NetDirection::kRecv,
+                     cidx)) {
+        if (mutated.empty()) {
+          mutated.assign(data);
+        }
+        flipBit(mutated, chaosMix(config_.seed, connectionId_, i, cidx, 0x2f));
+        data = mutated;
+      }
+    }
+    if (!reassembler_.feed(data)) {
+      lastError_ = reassembler_.error().message();
+      return RecvStatus::kCorrupt;
+    }
+    while (auto frame = reassembler_.next()) {
+      admitRecvFrame(std::move(*frame));
+    }
+    if (!readyRecv_.empty()) {
+      payload = std::move(readyRecv_.front());
+      readyRecv_.pop_front();
+      return RecvStatus::kFrame;
+    }
+  }
+}
+
+std::unique_ptr<FrameTransport> makeChaosSocketTransport(
+    int fd, ChaosConfig config, std::uint64_t connectionId) {
+  return std::make_unique<ChaosFrameTransport>(fd, fd, /*isSocket=*/true,
+                                               std::move(config),
+                                               connectionId);
+}
+
+TransportFactory chaosTransportFactory(ChaosConfig config) {
+  if (!config.enabled()) {
+    return [](int fd, std::uint64_t) { return makeSocketTransport(fd); };
+  }
+  return [config](int fd, std::uint64_t connectionId) {
+    return makeChaosSocketTransport(fd, config, connectionId);
+  };
+}
+
+}  // namespace occm::exec::chaos

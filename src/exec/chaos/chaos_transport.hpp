@@ -1,0 +1,126 @@
+#pragma once
+
+// Seeded fault-injecting FrameTransport: the network analogue of
+// fault/FaultEngine. Wraps a duplex fd pair and applies a NetFaultPlan's
+// scheduled faults to both directions — drops, duplicates, adjacent
+// reorders, bit flips, truncations, chunked slow writes, per-frame
+// delays, half-closes and timed partitions — each decided by a pure
+// function of (seed, connectionId, direction, frameIndex), so any
+// observed interleaving replays from its seed.
+//
+// Zero cost when not installed: production paths construct plain
+// FdFrameTransports unless a TransportFactory is injected, so no chaos
+// code runs on the default path at all. An installed transport with an
+// empty plan is a byte-identical passthrough.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/chaos/net_fault_plan.hpp"
+#include "exec/frame_transport.hpp"
+
+namespace occm::exec::chaos {
+
+/// Everything a chaos transport needs besides the fd: the schedule and
+/// the seed it replays from. connectionId is supplied per connection by
+/// the TransportFactory so concurrent connections decorrelate while each
+/// stays reproducible.
+struct ChaosConfig {
+  NetFaultPlan plan;
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return !plan.empty(); }
+};
+
+/// The one hash behind every chaos decision — exposed so tests can pin
+/// schedule determinism without a socket in sight.
+[[nodiscard]] std::uint64_t chaosMix(std::uint64_t seed,
+                                     std::uint64_t connectionId,
+                                     std::size_t eventIndex,
+                                     std::uint64_t frameIndex,
+                                     std::uint64_t salt) noexcept;
+
+/// Whether `event` (at `eventIndex` in its plan) fires for `frameIndex`
+/// in `dir`: window containment plus the seeded prob256 draw. Pure.
+[[nodiscard]] bool faultFires(const NetFaultEvent& event,
+                              std::size_t eventIndex, std::uint64_t seed,
+                              std::uint64_t connectionId, NetDirection dir,
+                              std::uint64_t frameIndex) noexcept;
+
+/// FrameTransport over fds with a fault schedule between the caller and
+/// the wire. Owns the fds. Send-side faults mutate what the peer sees;
+/// recv-side faults mutate what this endpoint delivers (byte corruption
+/// lands below its own reassembler, frame faults above it).
+class ChaosFrameTransport final : public FrameTransport {
+ public:
+  /// Takes ownership of the fds (same fd twice for a duplex socket).
+  ChaosFrameTransport(int readFd, int writeFd, bool isSocket,
+                      ChaosConfig config, std::uint64_t connectionId);
+  ~ChaosFrameTransport() override;
+
+  ChaosFrameTransport(const ChaosFrameTransport&) = delete;
+  ChaosFrameTransport& operator=(const ChaosFrameTransport&) = delete;
+
+  bool sendFrame(std::string_view payload) override;
+  RecvStatus recvFrame(std::string& payload, int timeoutMs) override;
+  [[nodiscard]] std::string lastError() const override { return lastError_; }
+  [[nodiscard]] int pollFd() const noexcept override { return readFd_; }
+  [[nodiscard]] std::uint64_t bytesReceived() const noexcept override {
+    return rxBytes_;
+  }
+  [[nodiscard]] std::size_t partialBytes() const noexcept override {
+    return reassembler_.buffered();
+  }
+
+ private:
+  /// Writes one encoded frame, chunked-and-slept when `stall` is set.
+  bool emitFrame(std::string_view frame,
+                 std::optional<std::pair<std::uint64_t, std::uint64_t>> stall);
+  /// Arms/evaluates partition windows for `dir` at `frameIndex`.
+  bool partitionActive(NetDirection dir, std::uint64_t frameIndex);
+  /// Runs the recv-side frame faults for one extracted payload.
+  void admitRecvFrame(std::string&& payload);
+
+  int readFd_;
+  int writeFd_;
+  bool isSocket_;
+  ChaosConfig config_;
+  std::uint64_t connectionId_;
+
+  FrameReassembler reassembler_;
+  std::string lastError_;
+  std::uint64_t rxBytes_ = 0;
+
+  std::uint64_t sendIndex_ = 0;   ///< frames the caller asked to send
+  std::uint64_t recvIndex_ = 0;   ///< frames extracted from the wire
+  std::uint64_t chunkIndex_ = 0;  ///< raw read chunks (recv corruption key)
+  bool halfClosed_ = false;
+
+  std::optional<std::string> heldSend_;  ///< reorder hold (encoded frame)
+  std::optional<std::string> heldRecv_;  ///< reorder hold (payload)
+  std::deque<std::string> readyRecv_;    ///< post-fault deliverable payloads
+
+  struct PartitionState {
+    bool armed = false;
+    std::chrono::steady_clock::time_point until{};
+  };
+  std::vector<PartitionState> partitions_;  ///< parallel to plan events
+};
+
+/// Chaos wrapper over one duplex socket fd (takes ownership).
+[[nodiscard]] std::unique_ptr<FrameTransport> makeChaosSocketTransport(
+    int fd, ChaosConfig config, std::uint64_t connectionId);
+
+/// TransportFactory for the coordinator/server/worker injection points:
+/// each connection gets a chaos transport replaying `config.plan` under
+/// (config.seed, connectionId). With a disabled config the factory
+/// builds plain transports — handy for flag plumbing.
+[[nodiscard]] TransportFactory chaosTransportFactory(ChaosConfig config);
+
+}  // namespace occm::exec::chaos

@@ -1,0 +1,345 @@
+#include "exec/chaos/net_fault_plan.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/rng.hpp"
+
+namespace occm::exec::chaos {
+
+namespace {
+
+std::uint32_t clampProb(std::uint32_t prob256) {
+  return std::min<std::uint32_t>(prob256, 256);
+}
+
+void orderWindow(std::uint64_t& first, std::uint64_t& last) {
+  if (last < first) {
+    std::swap(first, last);
+  }
+}
+
+std::string windowSpec(std::uint64_t first, std::uint64_t last) {
+  if (first == 0 && last == kAllFrames) {
+    return "*";
+  }
+  if (last == kAllFrames) {
+    return std::to_string(first) + "-";
+  }
+  if (first == last) {
+    return std::to_string(first);
+  }
+  return std::to_string(first) + "-" + std::to_string(last);
+}
+
+}  // namespace
+
+NetFaultPlan& NetFaultPlan::add(NetFaultEvent event) {
+  events_.push_back(event);
+  return *this;
+}
+
+NetFaultPlan& NetFaultPlan::drop(NetDirection dir, std::uint64_t first,
+                                 std::uint64_t last, std::uint32_t prob256) {
+  orderWindow(first, last);
+  return add({NetFaultKind::kDrop, dir, first, last, clampProb(prob256), 0, 0});
+}
+
+NetFaultPlan& NetFaultPlan::duplicate(NetDirection dir, std::uint64_t first,
+                                      std::uint64_t last,
+                                      std::uint32_t prob256) {
+  orderWindow(first, last);
+  return add(
+      {NetFaultKind::kDuplicate, dir, first, last, clampProb(prob256), 0, 0});
+}
+
+NetFaultPlan& NetFaultPlan::reorder(NetDirection dir, std::uint64_t first,
+                                    std::uint64_t last, std::uint32_t prob256) {
+  orderWindow(first, last);
+  return add(
+      {NetFaultKind::kReorder, dir, first, last, clampProb(prob256), 0, 0});
+}
+
+NetFaultPlan& NetFaultPlan::corrupt(NetDirection dir, std::uint64_t first,
+                                    std::uint64_t last, std::uint32_t prob256) {
+  orderWindow(first, last);
+  return add(
+      {NetFaultKind::kCorrupt, dir, first, last, clampProb(prob256), 0, 0});
+}
+
+NetFaultPlan& NetFaultPlan::truncate(std::uint64_t first, std::uint64_t last,
+                                     std::uint32_t prob256,
+                                     std::uint64_t keepBytes) {
+  orderWindow(first, last);
+  return add({NetFaultKind::kTruncate, NetDirection::kSend, first, last,
+              clampProb(prob256), keepBytes, 0});
+}
+
+NetFaultPlan& NetFaultPlan::stall(std::uint64_t first, std::uint64_t last,
+                                  std::uint32_t prob256,
+                                  std::uint64_t chunkBytes,
+                                  std::uint64_t delayMs) {
+  orderWindow(first, last);
+  return add({NetFaultKind::kStall, NetDirection::kSend, first, last,
+              clampProb(prob256), std::max<std::uint64_t>(chunkBytes, 1),
+              std::min(delayMs, kMaxStallDelayMs)});
+}
+
+NetFaultPlan& NetFaultPlan::delay(NetDirection dir, std::uint64_t first,
+                                  std::uint64_t last, std::uint32_t prob256,
+                                  std::uint64_t delayMs) {
+  orderWindow(first, last);
+  return add({NetFaultKind::kDelay, dir, first, last, clampProb(prob256),
+              std::min(delayMs, kMaxDelayMs), 0});
+}
+
+NetFaultPlan& NetFaultPlan::halfClose(std::uint64_t afterFrame) {
+  return add({NetFaultKind::kHalfClose, NetDirection::kSend, afterFrame,
+              afterFrame, 256, 0, 0});
+}
+
+NetFaultPlan& NetFaultPlan::partition(NetDirection dir, std::uint64_t atFrame,
+                                      std::uint64_t durationMs) {
+  return add({NetFaultKind::kPartition, dir, atFrame, atFrame, 256,
+              std::min(durationMs, kMaxPartitionMs), 0});
+}
+
+std::string NetFaultPlan::toSpec() const {
+  std::string out;
+  for (const NetFaultEvent& e : events_) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += toString(e.kind);
+    switch (e.kind) {
+      case NetFaultKind::kDrop:
+      case NetFaultKind::kDuplicate:
+      case NetFaultKind::kReorder:
+      case NetFaultKind::kCorrupt:
+        out += std::string(":") + toString(e.dir) + ":" +
+               windowSpec(e.first, e.last) + ":" + std::to_string(e.prob256);
+        break;
+      case NetFaultKind::kTruncate:
+        out += ":" + windowSpec(e.first, e.last) + ":" +
+               std::to_string(e.prob256) + ":" + std::to_string(e.param);
+        break;
+      case NetFaultKind::kStall:
+        out += ":" + windowSpec(e.first, e.last) + ":" +
+               std::to_string(e.prob256) + ":" + std::to_string(e.param) + ":" +
+               std::to_string(e.param2);
+        break;
+      case NetFaultKind::kDelay:
+        out += std::string(":") + toString(e.dir) + ":" +
+               windowSpec(e.first, e.last) + ":" + std::to_string(e.prob256) +
+               ":" + std::to_string(e.param);
+        break;
+      case NetFaultKind::kHalfClose:
+        out += ":" + std::to_string(e.first);
+        break;
+      case NetFaultKind::kPartition:
+        out += std::string(":") + toString(e.dir) + ":" +
+               std::to_string(e.first) + ":" + std::to_string(e.param);
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string_view> splitOn(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    const std::size_t next = text.find(sep, at);
+    if (next == std::string_view::npos) {
+      parts.push_back(text.substr(at));
+      break;
+    }
+    parts.push_back(text.substr(at, next - at));
+    at = next + 1;
+  }
+  return parts;
+}
+
+bool parseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parseDir(std::string_view text, NetDirection* out) {
+  if (text == "send") {
+    *out = NetDirection::kSend;
+    return true;
+  }
+  if (text == "recv") {
+    *out = NetDirection::kRecv;
+    return true;
+  }
+  return false;
+}
+
+bool parseWindow(std::string_view text, std::uint64_t* first,
+                 std::uint64_t* last) {
+  if (text == "*") {
+    *first = 0;
+    *last = kAllFrames;
+    return true;
+  }
+  const std::size_t dash = text.find('-');
+  if (dash == std::string_view::npos) {
+    if (!parseU64(text, first)) {
+      return false;
+    }
+    *last = *first;
+    return true;
+  }
+  if (!parseU64(text.substr(0, dash), first)) {
+    return false;
+  }
+  const std::string_view tail = text.substr(dash + 1);
+  if (tail.empty()) {
+    *last = kAllFrames;
+    return true;
+  }
+  return parseU64(tail, last) && *last >= *first;
+}
+
+}  // namespace
+
+Expected<NetFaultPlan, std::string> parseNetFaultPlan(std::string_view spec) {
+  NetFaultPlan plan;
+  if (spec.empty()) {
+    return plan;
+  }
+  for (const std::string_view eventSpec : splitOn(spec, ',')) {
+    const auto fields = splitOn(eventSpec, ':');
+    const auto bad = [&](const char* why) {
+      return makeUnexpected("bad chaos event '" + std::string(eventSpec) +
+                            "': " + why);
+    };
+    if (fields.empty() || fields[0].empty()) {
+      return bad("missing fault kind");
+    }
+    const std::string_view kind = fields[0];
+    NetDirection dir = NetDirection::kSend;
+    std::uint64_t first = 0;
+    std::uint64_t last = kAllFrames;
+    std::uint64_t prob = 256;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (kind == "drop" || kind == "dup" || kind == "reorder" ||
+        kind == "corrupt") {
+      if (fields.size() != 4 || !parseDir(fields[1], &dir) ||
+          !parseWindow(fields[2], &first, &last) ||
+          !parseU64(fields[3], &prob) || prob > 256) {
+        return bad("want KIND:DIR:WINDOW:PROB with prob in [0,256]");
+      }
+      if (kind == "drop") {
+        plan.drop(dir, first, last, static_cast<std::uint32_t>(prob));
+      } else if (kind == "dup") {
+        plan.duplicate(dir, first, last, static_cast<std::uint32_t>(prob));
+      } else if (kind == "reorder") {
+        plan.reorder(dir, first, last, static_cast<std::uint32_t>(prob));
+      } else {
+        plan.corrupt(dir, first, last, static_cast<std::uint32_t>(prob));
+      }
+    } else if (kind == "truncate") {
+      if (fields.size() != 4 || !parseWindow(fields[1], &first, &last) ||
+          !parseU64(fields[2], &prob) || prob > 256 ||
+          !parseU64(fields[3], &a)) {
+        return bad("want truncate:WINDOW:PROB:KEEPBYTES");
+      }
+      plan.truncate(first, last, static_cast<std::uint32_t>(prob), a);
+    } else if (kind == "stall") {
+      if (fields.size() != 5 || !parseWindow(fields[1], &first, &last) ||
+          !parseU64(fields[2], &prob) || prob > 256 ||
+          !parseU64(fields[3], &a) || a == 0 || !parseU64(fields[4], &b)) {
+        return bad("want stall:WINDOW:PROB:CHUNKBYTES:DELAYMS");
+      }
+      plan.stall(first, last, static_cast<std::uint32_t>(prob), a, b);
+    } else if (kind == "delay") {
+      if (fields.size() != 5 || !parseDir(fields[1], &dir) ||
+          !parseWindow(fields[2], &first, &last) ||
+          !parseU64(fields[3], &prob) || prob > 256 ||
+          !parseU64(fields[4], &a)) {
+        return bad("want delay:DIR:WINDOW:PROB:DELAYMS");
+      }
+      plan.delay(dir, first, last, static_cast<std::uint32_t>(prob), a);
+    } else if (kind == "halfclose") {
+      if (fields.size() != 2 || !parseU64(fields[1], &first)) {
+        return bad("want halfclose:FRAME");
+      }
+      plan.halfClose(first);
+    } else if (kind == "partition") {
+      if (fields.size() != 4 || !parseDir(fields[1], &dir) ||
+          !parseU64(fields[2], &first) || !parseU64(fields[3], &a)) {
+        return bad("want partition:DIR:FRAME:DURATIONMS");
+      }
+      plan.partition(dir, first, a);
+    } else {
+      return bad("unknown fault kind");
+    }
+  }
+  return plan;
+}
+
+NetFaultPlan planFromSeed(std::uint64_t seed) {
+  SplitMix64 sm(seed ^ 0xc4a05ed1bba63d1bULL);
+  NetFaultPlan plan;
+  const std::uint32_t count = 2 + static_cast<std::uint32_t>(sm.next() % 4);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NetDirection dir =
+        sm.next() % 2 == 0 ? NetDirection::kSend : NetDirection::kRecv;
+    const std::uint64_t first = sm.next() % 8;
+    const std::uint64_t last = first + 1 + sm.next() % 10;
+    const std::uint32_t prob = 64 + static_cast<std::uint32_t>(sm.next() % 193);
+    // Weighted pick: the common message-level faults dominate; the
+    // session-ending ones (halfclose) and the slow ones (partition,
+    // stall) appear but stay rare enough that most sessions make
+    // progress quickly.
+    switch (sm.next() % 12) {
+      case 0:
+      case 1:
+      case 2:
+        plan.drop(dir, first, last, prob);
+        break;
+      case 3:
+      case 4:
+        plan.duplicate(dir, first, last, prob);
+        break;
+      case 5:
+      case 6:
+        plan.reorder(dir, first, last, prob);
+        break;
+      case 7:
+        plan.corrupt(dir, first, last, 32 + prob / 4);
+        break;
+      case 8:
+        plan.truncate(first, last, 32 + prob / 4, sm.next() % 16);
+        break;
+      case 9:
+        plan.stall(first, last, prob, 1 + sm.next() % 7, 1 + sm.next() % 5);
+        break;
+      case 10:
+        plan.delay(dir, first, last, prob, 1 + sm.next() % 40);
+        break;
+      default:
+        plan.partition(dir, sm.next() % 12, 50 + sm.next() % 350);
+        break;
+    }
+  }
+  // A tail half-close on roughly every fourth seed: late enough that the
+  // session usually finished its business, early enough to exercise the
+  // half-closed write paths.
+  if (sm.next() % 4 == 0) {
+    plan.halfClose(6 + sm.next() % 26);
+  }
+  return plan;
+}
+
+}  // namespace occm::exec::chaos

@@ -1,0 +1,179 @@
+#pragma once
+
+// Deterministic network-fault scenarios scripted against frame indices —
+// fault/FaultPlan's declarative-windows idea applied to the framed
+// transports instead of the simulated machine.
+//
+// A NetFaultPlan is a list of fault events, each scoped to a direction
+// (send/recv), a window of frame indices [first, last], and a per-frame
+// firing probability in 1/256ths. The plan is pure data;
+// chaos::ChaosFrameTransport turns it into dropped, duplicated,
+// reordered, delayed, corrupted and truncated frames, chunked slow
+// writes, half-closes, and timed partition windows. Every decision is a
+// pure function of (seed, connectionId, direction, frameIndex) through
+// SplitMix64 — never wall clock or global RNG — so a chaos schedule
+// replays bit-identically from a single seed.
+//
+// Time-shaped faults (delay, stall, partition) are clamped to small
+// bounds at construction so no expressible plan can wedge a test
+// forever: chaos may slow a transport, never stop it unboundedly.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace occm::exec::chaos {
+
+enum class NetDirection : std::uint8_t {
+  kSend = 0,  ///< frames this endpoint writes
+  kRecv = 1,  ///< frames this endpoint reads
+};
+
+enum class NetFaultKind : std::uint8_t {
+  kDrop,       ///< frame silently discarded
+  kDuplicate,  ///< frame delivered twice
+  kReorder,    ///< frame swapped with the next frame in its direction
+  kCorrupt,    ///< one seeded bit flip (send: in the encoded frame;
+               ///< recv: in an inbound raw chunk — poisons own framing)
+  kTruncate,   ///< send only: frame cut short, stream poisoned for peer
+  kStall,      ///< send only: slowloris — frame dribbled in tiny chunks
+  kDelay,      ///< frame held for a bounded wall-clock delay
+  kHalfClose,  ///< send only: shutdown(SHUT_WR) after frame N
+  kPartition,  ///< all traffic in one direction blocked for a window
+};
+
+[[nodiscard]] constexpr const char* toString(NetFaultKind kind) noexcept {
+  switch (kind) {
+    case NetFaultKind::kDrop: return "drop";
+    case NetFaultKind::kDuplicate: return "dup";
+    case NetFaultKind::kReorder: return "reorder";
+    case NetFaultKind::kCorrupt: return "corrupt";
+    case NetFaultKind::kTruncate: return "truncate";
+    case NetFaultKind::kStall: return "stall";
+    case NetFaultKind::kDelay: return "delay";
+    case NetFaultKind::kHalfClose: return "halfclose";
+    case NetFaultKind::kPartition: return "partition";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr const char* toString(NetDirection dir) noexcept {
+  return dir == NetDirection::kSend ? "send" : "recv";
+}
+
+/// Open-ended frame window sentinel ("this fault never expires").
+inline constexpr std::uint64_t kAllFrames = ~std::uint64_t{0};
+
+// Bounds applied by the builders so no plan can stall unboundedly.
+inline constexpr std::uint64_t kMaxDelayMs = 250;       ///< per-frame delay
+inline constexpr std::uint64_t kMaxStallDelayMs = 50;   ///< per-chunk stall
+inline constexpr std::uint64_t kMaxPartitionMs = 2000;  ///< partition window
+
+/// One scripted fault over a window of frame indices [first, last]
+/// (inclusive; kAllFrames = open-ended) in direction `dir`.
+struct NetFaultEvent {
+  NetFaultKind kind = NetFaultKind::kDrop;
+  NetDirection dir = NetDirection::kSend;
+  std::uint64_t first = 0;
+  std::uint64_t last = kAllFrames;
+  /// Per-frame firing probability in 1/256ths (256 = always).
+  std::uint32_t prob256 = 256;
+  /// delayMs (kDelay), keepBytes (kTruncate), chunkBytes (kStall),
+  /// durationMs (kPartition); unused otherwise.
+  std::uint64_t param = 0;
+  /// Per-chunk delayMs (kStall); unused otherwise.
+  std::uint64_t param2 = 0;
+};
+
+/// Builder for a chaos schedule. All builders clamp rather than reject:
+/// probabilities to [0, 256], delays to the bounds above — an expressible
+/// plan is always a safe plan. Parse errors (malformed specs) surface
+/// through parseNetFaultPlan instead.
+class NetFaultPlan {
+ public:
+  /// Frames in [first, last] are silently discarded with prob/256.
+  NetFaultPlan& drop(NetDirection dir, std::uint64_t first, std::uint64_t last,
+                     std::uint32_t prob256 = 256);
+
+  /// Frames in the window are delivered twice.
+  NetFaultPlan& duplicate(NetDirection dir, std::uint64_t first,
+                          std::uint64_t last, std::uint32_t prob256 = 256);
+
+  /// A firing frame is held and emitted after the next frame in its
+  /// direction (adjacent swap). A frame still held at close is flushed
+  /// at EOF (recv) or lost (send) — a tail drop, which the protocols
+  /// must tolerate anyway.
+  NetFaultPlan& reorder(NetDirection dir, std::uint64_t first,
+                        std::uint64_t last, std::uint32_t prob256 = 256);
+
+  /// One seeded bit flip. Send: in the encoded frame (peer sees a typed
+  /// CRC/magic failure). Recv: in an inbound raw chunk, indexed by chunk
+  /// — poisons this endpoint's own reassembler.
+  NetFaultPlan& corrupt(NetDirection dir, std::uint64_t first,
+                        std::uint64_t last, std::uint32_t prob256 = 256);
+
+  /// Send only: the encoded frame is cut to at most `keepBytes` (always
+  /// at least one byte short of complete), poisoning the stream for the
+  /// peer at a deterministic offset.
+  NetFaultPlan& truncate(std::uint64_t first, std::uint64_t last,
+                         std::uint32_t prob256, std::uint64_t keepBytes);
+
+  /// Send only: slowloris — the frame is written in `chunkBytes`-sized
+  /// pieces with `delayMs` sleeps between them (clamped; chunk count is
+  /// bounded so a stalled frame completes in bounded time).
+  NetFaultPlan& stall(std::uint64_t first, std::uint64_t last,
+                      std::uint32_t prob256, std::uint64_t chunkBytes,
+                      std::uint64_t delayMs);
+
+  /// Firing frames are held for `delayMs` (clamped to kMaxDelayMs).
+  NetFaultPlan& delay(NetDirection dir, std::uint64_t first,
+                      std::uint64_t last, std::uint32_t prob256,
+                      std::uint64_t delayMs);
+
+  /// shutdown(SHUT_WR) after send-frame `afterFrame` is emitted; later
+  /// sends fail locally with a typed error.
+  NetFaultPlan& halfClose(std::uint64_t afterFrame);
+
+  /// Once frame index `atFrame` is reached in `dir`, all traffic in that
+  /// direction is blocked for `durationMs` (clamped to kMaxPartitionMs):
+  /// sends are swallowed, reads stalled. One direction models an
+  /// asymmetric partition; add both directions for a full one.
+  NetFaultPlan& partition(NetDirection dir, std::uint64_t atFrame,
+                          std::uint64_t durationMs);
+
+  [[nodiscard]] const std::vector<NetFaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Compact spec string, parseable by parseNetFaultPlan (round-trip).
+  [[nodiscard]] std::string toSpec() const;
+
+ private:
+  NetFaultPlan& add(NetFaultEvent event);
+
+  std::vector<NetFaultEvent> events_;
+};
+
+/// Parses the compact spec DSL: comma-separated events, fields separated
+/// by ':'. Windows are `*` (all), `N`, `N-` (open-ended) or `N-M`.
+///
+///   drop:DIR:WINDOW:PROB          dup:DIR:WINDOW:PROB
+///   reorder:DIR:WINDOW:PROB       corrupt:DIR:WINDOW:PROB
+///   truncate:WINDOW:PROB:KEEP     stall:WINDOW:PROB:CHUNK:DELAYMS
+///   delay:DIR:WINDOW:PROB:MS      halfclose:FRAME
+///   partition:DIR:FRAME:MS
+///
+/// e.g. "drop:send:0-9:128,partition:recv:4:300,halfclose:12"
+[[nodiscard]] Expected<NetFaultPlan, std::string> parseNetFaultPlan(
+    std::string_view spec);
+
+/// Seeded plan generator for soak suites: composes 2–5 bounded events
+/// (windows within the first dozen frames, delays ≤ 40 ms, partitions
+/// ≤ 400 ms) deterministically from `seed`. Same seed, same plan.
+[[nodiscard]] NetFaultPlan planFromSeed(std::uint64_t seed);
+
+}  // namespace occm::exec::chaos

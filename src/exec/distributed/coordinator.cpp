@@ -27,12 +27,13 @@ std::uint64_t steadyNowNs() {
           .count());
 }
 
-/// One connected peer. Frames are reassembled per connection; sends are
-/// small (the largest frame is one kAssign) and pushed through a bounded
-/// retry loop, so the loop never parks on a single slow peer for long.
+/// One connected peer, wrapped in its framed transport (the injection
+/// point for the chaos layer). Sends are small (the largest frame is one
+/// kAssign) and pushed through a bounded retry loop, so the loop never
+/// parks on a single slow peer for long.
 struct Connection {
-  int fd = -1;
-  FrameReassembler reassembler;
+  int fd = -1;  ///< poll handle; owned by the transport
+  std::unique_ptr<FrameTransport> transport;
   std::string workerId;       ///< empty until the handshake completes
   bool handshaken = false;
   std::uint64_t connectedAtMs = 0;
@@ -48,8 +49,7 @@ bool sendMessage(Connection& conn, const WireMessage& message) {
   if (conn.dead) {
     return false;
   }
-  if (!sendAllBytes(conn.fd, encodeFrame(encodeMessage(message)),
-                    /*isSocket=*/true)) {
+  if (!conn.transport->sendFrame(encodeMessage(message))) {
     conn.dead = true;
     return false;
   }
@@ -90,6 +90,7 @@ CoordinatorReport runCoordinator(const CoordinatorConfig& config,
   LeaseTable leases(config.lease, jobs.size());
   std::map<int, std::unique_ptr<Connection>> conns;  // by fd
   std::vector<bool> settled(jobs.size(), false);
+  std::uint64_t nextConnectionId = 0;
 
   obs::TimeSeries* aliveGauge = nullptr;
   obs::TimeSeries* expiredGauge = nullptr;
@@ -268,6 +269,19 @@ CoordinatorReport runCoordinator(const CoordinatorConfig& config,
       incident.detail = "lease expired";
       incident.taskId = taskId;
       report.incidents.push_back(std::move(incident));
+      // Release the task from whichever connection still holds it. A
+      // worker can be live and heartbeating while the assign (or its
+      // result) was lost on the wire; without this, that connection
+      // stays "busy" forever, the task never re-enters assignment, and
+      // the fleet wedges with pending work it will never finish. The
+      // worker itself stays: if a stale result does arrive later,
+      // completeTask de-duplicates it.
+      for (auto& [fd, conn] : conns) {
+        conn->assigned.erase(
+            std::remove(conn->assigned.begin(), conn->assigned.end(),
+                        taskId),
+            conn->assigned.end());
+      }
     }
     for (const std::string& worker : events.evictedWorkers) {
       for (auto& [fd, conn] : conns) {
@@ -281,6 +295,19 @@ CoordinatorReport runCoordinator(const CoordinatorConfig& config,
     }
     if (!events.expired.empty() || !events.evictedWorkers.empty()) {
       recordGauges(now);
+    }
+
+    // Handshake deadline: a socket that connects and then never
+    // completes the hello (half-open peer, partitioned worker, port
+    // scanner) is torn down instead of occupying a slot forever.
+    if (config.handshakeTimeoutMs != 0) {
+      for (auto& [fd, conn] : conns) {
+        if (!conn->dead && !conn->handshaken &&
+            now >= conn->connectedAtMs + config.handshakeTimeoutMs) {
+          loseWorker(*conn, "handshake timeout",
+                     WorkerIncident::Kind::kHandshake);
+        }
+      }
     }
 
     // Heartbeats and (re-)assignment for idle workers.
@@ -304,10 +331,9 @@ CoordinatorReport runCoordinator(const CoordinatorConfig& config,
       tryAssign(*conn);
     }
 
-    // Reap connections marked dead above.
+    // Reap connections marked dead above (the transport closes the fd).
     for (auto it = conns.begin(); it != conns.end();) {
       if (it->second->dead) {
-        ::close(it->second->fd);
         it = conns.erase(it);
         recordGauges(now);
       } else {
@@ -345,10 +371,21 @@ CoordinatorReport runCoordinator(const CoordinatorConfig& config,
         if (fd < 0) {
           break;
         }
+        if (conns.size() >= config.maxConnections) {
+          // Admission control under a reconnect storm: refuse at the
+          // door so live sessions keep their poll budget. The peer sees
+          // an orderly close and backs off through its own policy.
+          ::close(fd);
+          ++report.connectionsRefused;
+          continue;
+        }
         const int flags = ::fcntl(fd, F_GETFL, 0);
         ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
         auto conn = std::make_unique<Connection>();
         conn->fd = fd;
+        conn->transport = config.transportFactory
+                              ? config.transportFactory(fd, nextConnectionId++)
+                              : makeSocketTransport(fd);
         conn->connectedAtMs = nowMs();
         anyWorkerEver = true;  // someone is out there; keep waiting
         conns.emplace(fd, std::move(conn));
@@ -364,42 +401,37 @@ CoordinatorReport runCoordinator(const CoordinatorConfig& config,
         continue;
       }
       Connection& conn = *it->second;
-      char chunk[16 * 1024];
+      // Drain the transport without blocking: recvFrame with a zero
+      // timeout pops buffered frames, then reads until the socket would
+      // block, returning kTimeout once nothing more is ready.
       for (;;) {
-        const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
-        if (n < 0) {
-          if (errno == EINTR) {
-            continue;
-          }
-          if (errno != EAGAIN && errno != EWOULDBLOCK) {
-            loseWorker(conn, std::string("read: ") + std::strerror(errno),
-                       WorkerIncident::Kind::kWorkerLost);
-          }
+        std::string payload;
+        const auto status = conn.transport->recvFrame(payload, 0);
+        if (status == FrameTransport::RecvStatus::kTimeout) {
           break;
         }
-        if (n == 0) {
+        if (status == FrameTransport::RecvStatus::kClosed) {
           loseWorker(conn, "connection closed",
                      WorkerIncident::Kind::kWorkerLost);
           break;
         }
-        if (!conn.reassembler.feed(
-                std::string_view(chunk, static_cast<std::size_t>(n)))) {
-          loseWorker(conn, conn.reassembler.error().message(),
+        if (status == FrameTransport::RecvStatus::kCorrupt) {
+          loseWorker(conn, conn.transport->lastError(),
                      WorkerIncident::Kind::kFrameCorrupt);
           break;
         }
-        while (auto payload = conn.reassembler.next()) {
-          auto decoded = decodeMessage(*payload);
-          if (!decoded) {
-            loseWorker(conn, decoded.error().message(),
-                       WorkerIncident::Kind::kFrameCorrupt);
-            break;
-          }
-          handleMessage(conn, *decoded);
-          if (conn.dead) {
-            break;
-          }
+        if (status == FrameTransport::RecvStatus::kError) {
+          loseWorker(conn, conn.transport->lastError(),
+                     WorkerIncident::Kind::kWorkerLost);
+          break;
         }
+        auto decoded = decodeMessage(payload);
+        if (!decoded) {
+          loseWorker(conn, decoded.error().message(),
+                     WorkerIncident::Kind::kFrameCorrupt);
+          break;
+        }
+        handleMessage(conn, *decoded);
         if (conn.dead) {
           break;
         }
@@ -419,8 +451,8 @@ CoordinatorReport runCoordinator(const CoordinatorConfig& config,
     if (conn->handshaken && !conn->dead) {
       sendMessage(*conn, shutdown);
     }
-    ::close(conn->fd);
   }
+  conns.clear();  // transports close their fds
   ::close(listenFd);
 
   recordGauges(nowMs());

@@ -26,6 +26,7 @@
 #include "common/cancellation.hpp"
 #include "exec/distributed/lease.hpp"
 #include "exec/distributed/protocol.hpp"
+#include "exec/frame_transport.hpp"
 #include "obs/metric_registry.hpp"
 
 namespace occm::exec::dist {
@@ -55,6 +56,17 @@ struct CoordinatorConfig {
   LeaseConfig lease;
   /// Ping cadence per worker; pongs feed RTT gauges and liveness.
   std::uint64_t heartbeatIntervalMs = 1'000;
+  /// A connection that has not completed the hello within this window is
+  /// dropped (handshake incident). Guards against half-open sockets piling
+  /// up under partitions and reconnect storms. 0 = no deadline.
+  std::uint64_t handshakeTimeoutMs = 10'000;
+  /// Admission cap: accepts beyond this many live connections are closed
+  /// immediately and counted in CoordinatorReport::connectionsRefused —
+  /// a reconnect storm degrades the storm, not the fleet.
+  std::size_t maxConnections = 256;
+  /// Builds each accepted connection's framed transport (chaos injection
+  /// point). Null = plain socket transport.
+  TransportFactory transportFactory;
   /// Graceful stop: leases are torn down, every worker gets kShutdown,
   /// and run() returns with cancelled = true. The caller's checkpoint is
   /// already current (onResult committed each arrival).
@@ -79,6 +91,8 @@ struct CoordinatorReport {
   std::vector<WorkerIncident> incidents;
   /// Distinct workers that completed the handshake over the run.
   std::size_t workersSeen = 0;
+  /// Accepts closed at the admission cap (see maxConnections).
+  std::uint64_t connectionsRefused = 0;
   /// Heartbeat round-trip samples, arrival order (host-time, not
   /// deterministic; diagnostics only).
   std::vector<double> rttMs;

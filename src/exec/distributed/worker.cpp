@@ -110,13 +110,18 @@ void sleepMs(std::uint64_t ms, const CancellationToken& cancel) {
 }
 
 /// Connects and handshakes; returns the transport or an error string.
+/// `sessionIndex` becomes the transport factory's connection id, so a
+/// seeded chaos schedule varies across reconnects but replays per run.
 Expected<std::unique_ptr<FrameTransport>, std::string> connectAndHello(
-    const WorkerOptions& options, std::string* rejectReason) {
+    const WorkerOptions& options, std::uint64_t sessionIndex,
+    std::string* rejectReason) {
   auto fd = connectTcp(options.host, options.port, options.connectTimeoutMs);
   if (!fd) {
     return makeUnexpected(fd.error());
   }
-  std::unique_ptr<FrameTransport> transport = makeSocketTransport(*fd);
+  std::unique_ptr<FrameTransport> transport =
+      options.transportFactory ? options.transportFactory(*fd, sessionIndex)
+                               : makeSocketTransport(*fd);
   WireMessage hello;
   hello.kind = WireMessage::Kind::kHello;
   hello.protocolVersion = kProtocolVersion;
@@ -163,6 +168,8 @@ WorkerReport runWorker(const WorkerOptions& options,
   std::unique_ptr<FrameTransport> transport;
   std::uint32_t connectFailures = 0;
   bool everConnected = false;
+  std::uint64_t sessionIndex = 0;
+  auto lastFrameAt = std::chrono::steady_clock::now();
 
   for (;;) {
     if (options.cancel.valid() && options.cancel.stopRequested()) {
@@ -172,7 +179,7 @@ WorkerReport runWorker(const WorkerOptions& options,
     }
     if (transport == nullptr) {
       std::string rejectReason;
-      auto connected = connectAndHello(options, &rejectReason);
+      auto connected = connectAndHello(options, sessionIndex, &rejectReason);
       if (!connected) {
         if (!rejectReason.empty()) {
           // A version reject is permanent: retrying cannot fix it.
@@ -188,6 +195,8 @@ WorkerReport runWorker(const WorkerOptions& options,
       }
       transport = std::move(*connected);
       connectFailures = 0;
+      ++sessionIndex;
+      lastFrameAt = std::chrono::steady_clock::now();
       if (everConnected) {
         ++report.reconnects;
       }
@@ -221,8 +230,24 @@ WorkerReport runWorker(const WorkerOptions& options,
     const FrameTransport::RecvStatus status =
         transport->recvFrame(payload, 50);
     switch (status) {
-      case FrameTransport::RecvStatus::kTimeout:
+      case FrameTransport::RecvStatus::kTimeout: {
+        // Idle guard: the coordinator pings every heartbeat interval, so
+        // a session with *nothing* inbound for the whole idle window is
+        // an asymmetric partition (our reads blocked, its view of us
+        // long evicted). Tear it down and reconnect instead of idling
+        // forever on a connection only we believe in.
+        if (options.idleTimeoutMs != 0 &&
+            std::chrono::steady_clock::now() - lastFrameAt >=
+                std::chrono::milliseconds(options.idleTimeoutMs)) {
+          transport.reset();
+          if (++connectFailures >= options.maxConnectAttempts) {
+            report.stopReason = "connection lost: idle timeout";
+            return report;
+          }
+          sleepMs(reconnect.delay(connectFailures - 1), options.cancel);
+        }
         continue;  // poll cancellation / finished results again
+      }
       case FrameTransport::RecvStatus::kClosed:
       case FrameTransport::RecvStatus::kCorrupt:
       case FrameTransport::RecvStatus::kError: {
@@ -237,6 +262,7 @@ WorkerReport runWorker(const WorkerOptions& options,
         continue;
       }
       case FrameTransport::RecvStatus::kFrame:
+        lastFrameAt = std::chrono::steady_clock::now();
         break;
     }
 

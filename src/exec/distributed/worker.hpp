@@ -24,6 +24,7 @@
 #include "common/backoff.hpp"
 #include "common/cancellation.hpp"
 #include "exec/distributed/protocol.hpp"
+#include "exec/frame_transport.hpp"
 
 namespace occm::exec::dist {
 
@@ -44,6 +45,16 @@ struct WorkerOptions {
   int connectTimeoutMs = 5'000;
   /// Cooperative stop: finish nothing new, disconnect, return.
   CancellationToken cancel;
+  /// An established session that stays completely silent (no frames, not
+  /// even heartbeat pings) for this long is treated as lost and
+  /// reconnected — the asymmetric-partition guard: without it a worker
+  /// whose inbound direction is blocked idles forever while the
+  /// coordinator has long evicted it. 0 = off.
+  std::uint64_t idleTimeoutMs = 0;
+  /// Builds the framed transport over each connected socket (chaos
+  /// injection point; the connection id is the session ordinal). Null =
+  /// plain socket transport.
+  TransportFactory transportFactory;
   /// Test hook: sleep this long before sending each result (a straggler).
   std::uint64_t straggleMs = 0;
   /// Test hook: exit after this many results (0 = unlimited); simulates a

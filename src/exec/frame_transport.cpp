@@ -191,6 +191,7 @@ FrameTransport::RecvStatus FdFrameTransport::recvFrame(std::string& payload,
     if (n == 0) {
       return RecvStatus::kClosed;
     }
+    rxBytes_ += static_cast<std::uint64_t>(n);
     if (!reassembler_.feed(
             std::string_view(chunk, static_cast<std::size_t>(n)))) {
       lastError_ = reassembler_.error().message();

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -95,7 +96,30 @@ class FrameTransport {
 
   /// Human-readable diagnosis of the last kCorrupt/kError/send failure.
   [[nodiscard]] virtual std::string lastError() const = 0;
+
+  /// Read-side fd for event-loop poll sets; -1 when not fd-backed.
+  [[nodiscard]] virtual int pollFd() const noexcept { return -1; }
+
+  /// Raw bytes received off the wire so far (pre-framing). Event loops
+  /// watch this to distinguish a quiet peer from a stalled one.
+  [[nodiscard]] virtual std::uint64_t bytesReceived() const noexcept {
+    return 0;
+  }
+
+  /// Bytes buffered mid-frame awaiting completion — nonzero means the
+  /// peer started a frame it has not finished (the slowloris signature).
+  [[nodiscard]] virtual std::size_t partialBytes() const noexcept {
+    return 0;
+  }
 };
+
+/// Builds the framed transport for a freshly accepted or connected
+/// socket fd (the factory takes ownership of the fd). `connectionId` is
+/// a stable per-connection ordinal so seeded fault schedules decorrelate
+/// across connections while each stays reproducible. A null factory
+/// means makeSocketTransport — the default, chaos-free path.
+using TransportFactory = std::function<std::unique_ptr<FrameTransport>(
+    int fd, std::uint64_t connectionId)>;
 
 /// FrameTransport over file descriptors — the pipe and socket
 /// implementations differ only in construction (a pipe has distinct
@@ -114,6 +138,13 @@ class FdFrameTransport final : public FrameTransport {
   bool sendFrame(std::string_view payload) override;
   RecvStatus recvFrame(std::string& payload, int timeoutMs) override;
   [[nodiscard]] std::string lastError() const override { return lastError_; }
+  [[nodiscard]] int pollFd() const noexcept override { return readFd_; }
+  [[nodiscard]] std::uint64_t bytesReceived() const noexcept override {
+    return rxBytes_;
+  }
+  [[nodiscard]] std::size_t partialBytes() const noexcept override {
+    return reassembler_.buffered();
+  }
 
  private:
   int readFd_;
@@ -121,6 +152,7 @@ class FdFrameTransport final : public FrameTransport {
   bool isSocket_;
   FrameReassembler reassembler_;
   std::string lastError_;
+  std::uint64_t rxBytes_ = 0;
 };
 
 /// Writes all of `bytes` to `fd`, surviving the hazards of signal-heavy

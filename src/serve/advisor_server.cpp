@@ -30,13 +30,22 @@ namespace occm::serve {
 
 namespace {
 
-/// One connected client. Frames are reassembled per connection; a corrupt
-/// stream drops the connection (a flipped length field poisons every
-/// later frame boundary — same contract as the fleet).
+/// One connected client, wrapped in its framed transport (the chaos
+/// injection point). A corrupt stream drops the connection (a flipped
+/// length field poisons every later frame boundary — same contract as
+/// the fleet).
 struct Connection {
-  int fd = -1;
-  exec::FrameReassembler reassembler;
+  int fd = -1;  ///< poll handle; owned by the transport
+  std::unique_ptr<exec::FrameTransport> transport;
   bool dead = false;
+  /// Peer sent FIN (shutdown(SHUT_WR)) but may still be reading: stop
+  /// polling its read side, keep delivering in-flight answers, reap once
+  /// nothing references it.
+  bool peerClosedWrite = false;
+  std::uint64_t decodedRequests = 0;
+  // Read-progress guard bookkeeping (see readProgressTimeoutMs).
+  std::uint64_t lastRxBytes = 0;
+  std::uint64_t lastProgressMs = 0;
 };
 
 /// A request's wire identity and admission evidence, everything needed to
@@ -231,6 +240,7 @@ AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
   LatencyEwma ewma(config.degrade.ewmaAlpha);
 
   std::map<int, std::unique_ptr<Connection>> conns;  // by fd
+  std::uint64_t nextConnectionId = 0;
   std::unordered_map<std::uint64_t, PendingRequest> pending;  // by serverId
   /// Requests parked on an in-flight fit, by ModelKey::str().
   std::unordered_map<std::string, std::vector<std::uint64_t>> parked;
@@ -293,9 +303,7 @@ AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
     ServeMessage message;
     message.kind = ServeMessage::Kind::kResponse;
     message.response = response;
-    if (!exec::sendAllBytes(connFd,
-                            exec::encodeFrame(encodeServeMessage(message)),
-                            /*isSocket=*/true)) {
+    if (!it->second->transport->sendFrame(encodeServeMessage(message))) {
       it->second->dead = true;
       return;
     }
@@ -689,7 +697,53 @@ AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
       break;
     }
 
-    // Reap dead connections.
+    // Read-progress guard: a connection that never produced a request,
+    // or is sitting on a half-finished frame, must keep bytes flowing —
+    // a slowloris dribbling one byte per poll tick, or a socket that
+    // connected and went silent, is dropped here instead of holding its
+    // slot forever. Idle established clients (no partial frame, at least
+    // one decoded request) are exempt: keep-alive is legitimate.
+    if (config.readProgressTimeoutMs != 0) {
+      const std::uint64_t now = nowMs();
+      for (auto& [fd, conn] : conns) {
+        if (conn->dead || conn->peerClosedWrite) {
+          continue;
+        }
+        const std::uint64_t rx = conn->transport->bytesReceived();
+        if (rx != conn->lastRxBytes) {
+          conn->lastRxBytes = rx;
+          conn->lastProgressMs = now;
+          continue;
+        }
+        const bool suspicious =
+            conn->transport->partialBytes() > 0 || conn->decodedRequests == 0;
+        if (suspicious &&
+            now >= conn->lastProgressMs + config.readProgressTimeoutMs) {
+          conn->dead = true;
+          ++stats.connectionsStalled;
+        }
+      }
+    }
+
+    // Half-closed peers linger only while an in-flight answer still
+    // addresses them; after that there is nothing left to deliver.
+    for (auto& [fd, conn] : conns) {
+      if (!conn->peerClosedWrite || conn->dead) {
+        continue;
+      }
+      bool referenced = false;
+      for (auto& [serverId, p] : pending) {
+        if (p.connFd == fd) {
+          referenced = true;
+          break;
+        }
+      }
+      if (!referenced) {
+        conn->dead = true;
+      }
+    }
+
+    // Reap dead connections (the transport closes the fd).
     for (auto it = conns.begin(); it != conns.end();) {
       if (it->second->dead) {
         const int fd = it->second->fd;
@@ -698,7 +752,6 @@ AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
             p.connFd = -1;  // in-flight answer has nowhere to go
           }
         }
-        ::close(fd);
         it = conns.erase(it);
       } else {
         ++it;
@@ -713,7 +766,11 @@ AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
     }
     const std::size_t firstConn = fds.size();
     for (auto& [fd, conn] : conns) {
-      fds.push_back({fd, POLLIN, 0});
+      // A half-closed peer's read side is permanent EOF; polling it
+      // would spin the loop at 100% CPU until its answers flush.
+      if (!conn->peerClosedWrite) {
+        fds.push_back({fd, POLLIN, 0});
+      }
     }
     std::uint64_t timeout = 50;  // liveness floor for the drain token
     if (haveDeadline) {
@@ -740,10 +797,22 @@ AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
         if (fd < 0) {
           break;
         }
+        if (conns.size() >= config.maxConnections) {
+          // Admission control: refuse at the door so live sessions keep
+          // their poll budget (the fleet-coordinator policy, applied to
+          // clients).
+          ::close(fd);
+          ++stats.connectionsRefused;
+          continue;
+        }
         const int flags = ::fcntl(fd, F_GETFL, 0);
         ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
         auto conn = std::make_unique<Connection>();
         conn->fd = fd;
+        conn->transport = config.transportFactory
+                              ? config.transportFactory(fd, nextConnectionId++)
+                              : exec::makeSocketTransport(fd);
+        conn->lastProgressMs = nowMs();
         conns.emplace(fd, std::move(conn));
         ++stats.connectionsAccepted;
       }
@@ -758,50 +827,45 @@ AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
         continue;
       }
       Connection& conn = *it->second;
-      char chunk[16 * 1024];
+      // Drain without blocking: zero-timeout recvFrame pops buffered
+      // frames, then reads until the socket would block.
       for (;;) {
-        const ssize_t n = ::read(conn.fd, chunk, sizeof chunk);
-        if (n < 0) {
-          if (errno == EINTR) {
-            continue;
-          }
-          if (errno != EAGAIN && errno != EWOULDBLOCK) {
-            conn.dead = true;
-          }
+        std::string payload;
+        const auto status = conn.transport->recvFrame(payload, 0);
+        if (status == exec::FrameTransport::RecvStatus::kTimeout) {
           break;
         }
-        if (n == 0) {
+        if (status == exec::FrameTransport::RecvStatus::kClosed) {
+          // Half-close grace: the peer is done sending but may still be
+          // reading; in-flight answers are still deliverable. The reap
+          // pass collects the connection once nothing references it.
+          conn.peerClosedWrite = true;
+          break;
+        }
+        if (status != exec::FrameTransport::RecvStatus::kFrame) {
+          // Corrupt stream or I/O error: the connection is
+          // untrustworthy; drop it.
           conn.dead = true;
           break;
         }
-        if (!conn.reassembler.feed(
-                std::string_view(chunk, static_cast<std::size_t>(n)))) {
-          // Corrupt stream: the connection is untrustworthy; drop it.
+        auto decoded = decodeServeMessage(payload);
+        if (!decoded) {
           conn.dead = true;
           break;
         }
-        while (auto payload = conn.reassembler.next()) {
-          auto decoded = decodeServeMessage(*payload);
-          if (!decoded) {
-            conn.dead = true;
-            break;
-          }
-          if (decoded->kind != ServeMessage::Kind::kRequest) {
-            // Only requests flow client -> server; a response here is a
-            // confused peer. Drop the connection.
-            conn.dead = true;
-            break;
-          }
-          if (draining) {
-            ++stats.requestsDecoded;
-            sendShed(conn.fd, decoded->request.requestId,
-                     ShedReason::kDraining, "server draining");
-          } else {
-            handleRequest(conn, decoded->request);
-          }
-          if (conn.dead) {
-            break;
-          }
+        if (decoded->kind != ServeMessage::Kind::kRequest) {
+          // Only requests flow client -> server; a response here is a
+          // confused peer. Drop the connection.
+          conn.dead = true;
+          break;
+        }
+        ++conn.decodedRequests;
+        if (draining) {
+          ++stats.requestsDecoded;
+          sendShed(conn.fd, decoded->request.requestId, ShedReason::kDraining,
+                   "server draining");
+        } else {
+          handleRequest(conn, decoded->request);
         }
         if (conn.dead) {
           break;
@@ -814,9 +878,7 @@ AdvisorServerStats runAdvisorServer(const AdvisorServerConfig& config) {
   // stragglers post completions nobody reads (the queue outlives the
   // pool by construction order).
   pool.reset();
-  for (auto& [fd, conn] : conns) {
-    ::close(conn->fd);
-  }
+  conns.clear();  // transports close their fds
   if (listenFd >= 0) {
     ::close(listenFd);
   }

@@ -37,6 +37,7 @@
 
 #include "common/cancellation.hpp"
 #include "core/contention_model.hpp"
+#include "exec/frame_transport.hpp"
 #include "obs/metric_registry.hpp"
 #include "serve/degrade.hpp"
 #include "serve/model_cache.hpp"
@@ -66,6 +67,18 @@ struct AdvisorServerConfig {
   /// Drain trigger. requestStop() is async-signal-safe, so a SIGTERM
   /// handler may own the source (examples/advisor_server.cpp does).
   CancellationToken drain;
+  /// Slowloris / idle-socket guard: a connection that has never decoded
+  /// a request, or sits on a half-finished frame, and makes no byte
+  /// progress for this long is dropped (connectionsStalled). Established
+  /// idle clients with no partial frame are left alone — keep-alive
+  /// between queries is legitimate. 0 = off.
+  std::uint64_t readProgressTimeoutMs = 10'000;
+  /// Admission cap on live connections; accepts beyond it are closed
+  /// immediately and counted in connectionsRefused.
+  std::size_t maxConnections = 256;
+  /// Builds each accepted connection's framed transport (chaos injection
+  /// point). Null = plain socket transport.
+  exec::TransportFactory transportFactory;
   /// Fired once with the bound port (ephemeral-port tests and scripts).
   std::function<void(int boundPort)> onListening;
   /// Fired once on the loop thread when the drain token is observed (the
@@ -91,6 +104,10 @@ struct AdvisorServerConfig {
 /// the serve.* metrics.
 struct AdvisorServerStats {
   std::uint64_t connectionsAccepted = 0;
+  /// Accepts closed at the maxConnections admission cap.
+  std::uint64_t connectionsRefused = 0;
+  /// Connections dropped by the read-progress (slowloris) guard.
+  std::uint64_t connectionsStalled = 0;
   std::uint64_t requestsDecoded = 0;
   std::uint64_t responsesSent = 0;
   std::uint64_t tier0Served = 0;  ///< kOk answers with tier == 0

@@ -1,0 +1,165 @@
+// NetFaultPlan unit tests: builders clamp instead of rejecting, the spec
+// DSL round-trips, malformed specs fail typed, and the seeded plan
+// generator is deterministic and always bounded — the properties the
+// chaos soak relies on to guarantee no expressible plan can hang a test.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "exec/chaos/net_fault_plan.hpp"
+
+namespace occm::exec::chaos {
+namespace {
+
+TEST(NetFaultPlan, BuildersClampProbabilityAndWindows) {
+  NetFaultPlan plan;
+  plan.drop(NetDirection::kSend, 9, 3, 9'999);  // swapped window, huge prob
+  ASSERT_EQ(plan.events().size(), 1u);
+  const NetFaultEvent& e = plan.events()[0];
+  EXPECT_EQ(e.kind, NetFaultKind::kDrop);
+  EXPECT_EQ(e.first, 3u);
+  EXPECT_EQ(e.last, 9u);
+  EXPECT_EQ(e.prob256, 256u);
+}
+
+TEST(NetFaultPlan, TimeShapedFaultsAreClampedToSafeBounds) {
+  NetFaultPlan plan;
+  plan.delay(NetDirection::kRecv, 0, kAllFrames, 256, 1'000'000);
+  plan.stall(0, kAllFrames, 256, /*chunkBytes=*/0, /*delayMs=*/1'000'000);
+  plan.partition(NetDirection::kSend, 0, 1'000'000);
+  ASSERT_EQ(plan.events().size(), 3u);
+  EXPECT_LE(plan.events()[0].param, kMaxDelayMs);
+  EXPECT_GE(plan.events()[1].param, 1u);  // chunk size floor
+  EXPECT_LE(plan.events()[1].param2, kMaxStallDelayMs);
+  EXPECT_LE(plan.events()[2].param, kMaxPartitionMs);
+}
+
+TEST(NetFaultPlan, SpecRoundTripsThroughEveryKind) {
+  NetFaultPlan plan;
+  plan.drop(NetDirection::kSend, 0, 9, 128)
+      .duplicate(NetDirection::kRecv, 2, 2, 256)
+      .reorder(NetDirection::kSend, 1, kAllFrames, 64)
+      .corrupt(NetDirection::kRecv, 0, 3, 32)
+      .truncate(5, 5, 256, 7)
+      .stall(0, 2, 256, 3, 2)
+      .delay(NetDirection::kSend, 4, 8, 200, 25)
+      .halfClose(12)
+      .partition(NetDirection::kRecv, 4, 300);
+
+  const std::string spec = plan.toSpec();
+  const auto reparsed = parseNetFaultPlan(spec);
+  ASSERT_TRUE(reparsed) << reparsed.error();
+  ASSERT_EQ(reparsed->events().size(), plan.events().size()) << spec;
+  for (std::size_t i = 0; i < plan.events().size(); ++i) {
+    const NetFaultEvent& a = plan.events()[i];
+    const NetFaultEvent& b = reparsed->events()[i];
+    EXPECT_EQ(a.kind, b.kind) << spec;
+    EXPECT_EQ(a.dir, b.dir) << spec;
+    EXPECT_EQ(a.first, b.first) << spec;
+    EXPECT_EQ(a.last, b.last) << spec;
+    EXPECT_EQ(a.prob256, b.prob256) << spec;
+    EXPECT_EQ(a.param, b.param) << spec;
+    EXPECT_EQ(a.param2, b.param2) << spec;
+  }
+  // Re-serializing the reparsed plan must be a fixed point.
+  EXPECT_EQ(reparsed->toSpec(), spec);
+}
+
+TEST(NetFaultPlan, ParseAcceptsTheDocumentedExample) {
+  const auto plan =
+      parseNetFaultPlan("drop:send:0-9:128,partition:recv:4:300,halfclose:12");
+  ASSERT_TRUE(plan) << plan.error();
+  ASSERT_EQ(plan->events().size(), 3u);
+  EXPECT_EQ(plan->events()[0].kind, NetFaultKind::kDrop);
+  EXPECT_EQ(plan->events()[1].kind, NetFaultKind::kPartition);
+  EXPECT_EQ(plan->events()[2].kind, NetFaultKind::kHalfClose);
+  EXPECT_EQ(plan->events()[2].first, 12u);
+}
+
+TEST(NetFaultPlan, EmptySpecIsAnEmptyPlan) {
+  const auto plan = parseNetFaultPlan("");
+  ASSERT_TRUE(plan) << plan.error();
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(NetFaultPlan, ParseRejectsMalformedSpecsTyped) {
+  const char* bad[] = {
+      "explode:send:0-9:128",   // unknown kind
+      "drop:up:0-9:128",        // unknown direction
+      "drop:send:9-x:128",      // malformed window
+      "drop:send:0-9:999",      // probability out of range
+      "drop:send:0-9",          // missing field
+      "halfclose:notanumber",   // non-numeric frame
+      "partition:send:0",       // missing duration
+      ",",                      // empty event between commas
+  };
+  for (const char* spec : bad) {
+    const auto plan = parseNetFaultPlan(spec);
+    EXPECT_FALSE(plan) << "accepted: " << spec;
+    if (!plan) {
+      EXPECT_FALSE(plan.error().empty()) << spec;
+    }
+  }
+}
+
+TEST(NetFaultPlan, WindowSyntaxCoversAllForms) {
+  const auto plan = parseNetFaultPlan(
+      "drop:send:*:256,drop:send:5:256,drop:send:7-:256,drop:send:2-4:256");
+  ASSERT_TRUE(plan) << plan.error();
+  ASSERT_EQ(plan->events().size(), 4u);
+  EXPECT_EQ(plan->events()[0].first, 0u);
+  EXPECT_EQ(plan->events()[0].last, kAllFrames);
+  EXPECT_EQ(plan->events()[1].first, 5u);
+  EXPECT_EQ(plan->events()[1].last, 5u);
+  EXPECT_EQ(plan->events()[2].first, 7u);
+  EXPECT_EQ(plan->events()[2].last, kAllFrames);
+  EXPECT_EQ(plan->events()[3].first, 2u);
+  EXPECT_EQ(plan->events()[3].last, 4u);
+}
+
+TEST(NetFaultPlan, PlanFromSeedIsDeterministic) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    EXPECT_EQ(planFromSeed(seed).toSpec(), planFromSeed(seed).toSpec())
+        << "seed " << seed;
+  }
+}
+
+TEST(NetFaultPlan, PlanFromSeedVariesAcrossSeeds) {
+  std::set<std::string> specs;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    specs.insert(planFromSeed(seed).toSpec());
+  }
+  // Collisions are allowed, monoculture is not.
+  EXPECT_GT(specs.size(), 25u);
+}
+
+TEST(NetFaultPlan, PlanFromSeedStaysInsideTheSafetyBounds) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const NetFaultPlan plan = planFromSeed(seed);
+    EXPECT_FALSE(plan.empty()) << "seed " << seed;
+    EXPECT_LE(plan.events().size(), 6u) << "seed " << seed;
+    for (const NetFaultEvent& e : plan.events()) {
+      EXPECT_LE(e.prob256, 256u) << "seed " << seed;
+      EXPECT_LE(e.first, e.last) << "seed " << seed;
+      switch (e.kind) {
+        case NetFaultKind::kDelay:
+          EXPECT_LE(e.param, kMaxDelayMs) << "seed " << seed;
+          break;
+        case NetFaultKind::kStall:
+          EXPECT_GE(e.param, 1u) << "seed " << seed;
+          EXPECT_LE(e.param2, kMaxStallDelayMs) << "seed " << seed;
+          break;
+        case NetFaultKind::kPartition:
+          EXPECT_LE(e.param, kMaxPartitionMs) << "seed " << seed;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace occm::exec::chaos
